@@ -1,0 +1,41 @@
+// Reproduces Figure 14: EPT vs EPT* MkNNQ performance (CPU time and
+// compdists) as k varies over {5, 10, 20, 50, 100}, on all four datasets.
+// Expected shape: EPT* below EPT on both metrics (higher-quality PSA
+// pivots), at much higher construction cost (see bench_table4).
+
+#include <cstdio>
+
+#include "src/harness/registry.h"
+#include "src/harness/table_printer.h"
+#include "src/harness/workload.h"
+
+int main() {
+  using namespace pmi;
+  BenchConfig config = BenchConfig::FromEnv();
+  const std::vector<uint32_t> kks = {5, 10, 20, 50, 100};
+
+  for (BenchDatasetId ds : AllBenchDatasets()) {
+    Workload w = MakeWorkload(ds, config);
+    PrintBanner("Fig 14: EPT vs EPT*, MkNNQ vs k -- " + w.bd.name +
+                " (n=" + std::to_string(w.data().size()) + ")");
+    TablePrinter table({"Index", "Metric", "k=5", "k=10", "k=20", "k=50",
+                        "k=100"});
+    for (const char* name : {"EPT", "EPT*"}) {
+      auto index = MakeIndex(name, OptionsFor(name, ds));
+      index->Build(w.data(), w.metric(), w.pivots);
+      std::vector<std::string> cd_row = {name, "compdists"};
+      std::vector<std::string> ms_row = {name, "CPU (ms)"};
+      for (uint32_t k : kks) {
+        QueryCost cost = RunKnn(*index, w, k);
+        cd_row.push_back(FormatCount(cost.compdists));
+        ms_row.push_back(FormatMs(cost.cpu_ms));
+      }
+      table.AddRow(cd_row);
+      table.AddRow(ms_row);
+    }
+    table.Print();
+  }
+  std::printf("\nExpected shape (paper Fig 14): EPT* <= EPT on compdists and\n"
+              "CPU across all k and datasets.\n");
+  return 0;
+}

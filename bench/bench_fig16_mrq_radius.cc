@@ -1,0 +1,47 @@
+// Reproduces Figure 16: MRQ performance (compdists, PA, CPU) of the nine
+// figure indexes as the radius selectivity r sweeps {4, 8, 16, 32, 64}%.
+// The radius is calibrated so MRQ(q, r) returns that fraction of the
+// dataset, matching the paper's definition of r (Section 6.1).
+
+#include <cstdio>
+
+#include "src/harness/registry.h"
+#include "src/harness/table_printer.h"
+#include "src/harness/workload.h"
+
+int main() {
+  using namespace pmi;
+  BenchConfig config = BenchConfig::FromEnv();
+  const std::vector<double> kSelectivities = {0.04, 0.08, 0.16, 0.32, 0.64};
+
+  for (BenchDatasetId ds : AllBenchDatasets()) {
+    Workload w = MakeWorkload(ds, config);
+    PrintBanner("Fig 16: MRQ vs radius r -- " + w.bd.name + " (n=" +
+                std::to_string(w.data().size()) + ", |P|=5)");
+    TablePrinter table({"Index", "Metric", "r=4%", "r=8%", "r=16%", "r=32%",
+                        "r=64%"});
+    for (const IndexSpec& spec : FigureIndexSpecs()) {
+      if (spec.discrete_only && !w.metric().discrete()) continue;
+      auto index = spec.make(OptionsFor(spec.name, ds));
+      index->Build(w.data(), w.metric(), w.pivots);
+      std::vector<std::string> cd = {spec.name, "compdists"};
+      std::vector<std::string> pa = {spec.name, "PA"};
+      std::vector<std::string> ms = {spec.name, "CPU (ms)"};
+      for (double sel : kSelectivities) {
+        QueryCost cost = RunMrq(*index, w, w.Radius(sel));
+        cd.push_back(FormatCount(cost.compdists));
+        pa.push_back(spec.uses_disk ? FormatCount(cost.page_accesses) : "-");
+        ms.push_back(FormatMs(cost.cpu_ms));
+      }
+      table.AddRow(cd);
+      table.AddRow(pa);
+      table.AddRow(ms);
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 16): costs grow with r; SPB-tree lowest\n"
+      "PA; M-index*/SPB-tree strongest compdists on LA/Words (validation);\n"
+      "EPT* strongest on Color; in-memory trees cheapest CPU.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Figure 17: MkNNQ performance (compdists, PA, CPU) of the
+// nine figure indexes as k sweeps {5, 10, 20, 50, 100}.
+
+#include <cstdio>
+
+#include "src/harness/registry.h"
+#include "src/harness/table_printer.h"
+#include "src/harness/workload.h"
+
+int main() {
+  using namespace pmi;
+  BenchConfig config = BenchConfig::FromEnv();
+  const std::vector<uint32_t> kks = {5, 10, 20, 50, 100};
+
+  for (BenchDatasetId ds : AllBenchDatasets()) {
+    Workload w = MakeWorkload(ds, config);
+    PrintBanner("Fig 17: MkNNQ vs k -- " + w.bd.name + " (n=" +
+                std::to_string(w.data().size()) + ", |P|=5)");
+    TablePrinter table({"Index", "Metric", "k=5", "k=10", "k=20", "k=50",
+                        "k=100"});
+    for (const IndexSpec& spec : FigureIndexSpecs()) {
+      if (spec.discrete_only && !w.metric().discrete()) continue;
+      auto index = spec.make(OptionsFor(spec.name, ds));
+      index->Build(w.data(), w.metric(), w.pivots);
+      std::vector<std::string> cd = {spec.name, "compdists"};
+      std::vector<std::string> pa = {spec.name, "PA"};
+      std::vector<std::string> ms = {spec.name, "CPU (ms)"};
+      for (uint32_t k : kks) {
+        QueryCost cost = RunKnn(*index, w, k);
+        cd.push_back(FormatCount(cost.compdists));
+        pa.push_back(spec.uses_disk ? FormatCount(cost.page_accesses) : "-");
+        ms.push_back(FormatMs(cost.cpu_ms));
+      }
+      table.AddRow(cd);
+      table.AddRow(pa);
+      table.AddRow(ms);
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 17): costs grow with k; EPT*/PM-tree\n"
+      "lowest compdists on Color/Words; trees highest compdists but lowest\n"
+      "CPU; SPB-tree best PA.\n");
+  return 0;
+}

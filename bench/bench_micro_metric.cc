@@ -1,0 +1,80 @@
+// google-benchmark micro suite for the hot substrate paths on the metric
+// side: the four distance functions the paper's datasets use, the pivot
+// mapping, and the filtering lemmas.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/filtering.h"
+#include "src/core/pivot_selection.h"
+#include "src/core/pivots.h"
+#include "src/data/generators.h"
+
+namespace pmi {
+namespace {
+
+void BM_Distance(benchmark::State& state, BenchDatasetId id) {
+  BenchDataset bd = MakeBenchDataset(id, 1000, 1);
+  Rng rng(7);
+  for (auto _ : state) {
+    ObjectId a = rng() % bd.data.size();
+    ObjectId b = rng() % bd.data.size();
+    benchmark::DoNotOptimize(
+        bd.metric->Distance(bd.data.view(a), bd.data.view(b)));
+  }
+}
+BENCHMARK_CAPTURE(BM_Distance, L2_2d_LA, BenchDatasetId::kLa);
+BENCHMARK_CAPTURE(BM_Distance, Edit_Words, BenchDatasetId::kWords);
+BENCHMARK_CAPTURE(BM_Distance, L1_282d_Color, BenchDatasetId::kColor);
+BENCHMARK_CAPTURE(BM_Distance, Linf_20d_Synthetic, BenchDatasetId::kSynthetic);
+
+void BM_PivotMapping(benchmark::State& state) {
+  BenchDataset bd = MakeBenchDataset(BenchDatasetId::kSynthetic, 2000, 1);
+  PivotSelectionOptions po;
+  po.sample_size = 500;
+  PerfCounters c;
+  DistanceComputer dist(bd.metric.get(), &c);
+  PivotSet pivots(bd.data,
+                  SelectPivotsHFI(bd.data, dist, state.range(0), po));
+  Rng rng(7);
+  std::vector<double> phi;
+  for (auto _ : state) {
+    pivots.Map(bd.data.view(rng() % bd.data.size()), dist, &phi);
+    benchmark::DoNotOptimize(phi.data());
+  }
+}
+BENCHMARK(BM_PivotMapping)->Arg(1)->Arg(5)->Arg(9);
+
+void BM_Lemma1Filter(benchmark::State& state) {
+  const uint32_t l = static_cast<uint32_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> phi_o(l), phi_q(l);
+  for (uint32_t i = 0; i < l; ++i) {
+    phi_o[i] = double(rng() % 10000);
+    phi_q[i] = double(rng() % 10000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PrunedByPivots(phi_o.data(), phi_q.data(), l, 500.0));
+  }
+}
+BENCHMARK(BM_Lemma1Filter)->Arg(1)->Arg(5)->Arg(9);
+
+void BM_PivotSelectionHFI(benchmark::State& state) {
+  BenchDataset bd = MakeBenchDataset(BenchDatasetId::kLa, 5000, 1);
+  PerfCounters c;
+  DistanceComputer dist(bd.metric.get(), &c);
+  PivotSelectionOptions po;
+  po.sample_size = 1000;
+  po.pair_sample = 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectPivotsHFI(bd.data, dist, static_cast<uint32_t>(state.range(0)),
+                        po));
+  }
+}
+BENCHMARK(BM_PivotSelectionHFI)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pmi
+
+BENCHMARK_MAIN();

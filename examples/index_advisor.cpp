@@ -1,0 +1,115 @@
+// Index advisor: builds every applicable surveyed index on a workload,
+// measures construction/query/update costs, and prints a recommendation
+// following the selection guidance of the paper's Section 7:
+//   - small dataset + complex distance  -> EPT*
+//   - small dataset + cheap distance    -> MVPT
+//   - large dataset / low memory        -> SPB-tree or M-index*
+// Usage: example_index_advisor [la|words|color|synthetic]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/pivot_selection.h"
+#include "src/data/distribution.h"
+#include "src/data/generators.h"
+#include "src/harness/registry.h"
+#include "src/harness/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace pmi;
+
+  BenchDatasetId ds = BenchDatasetId::kWords;
+  if (argc > 1) {
+    std::string arg = argv[1];
+    if (arg == "la") ds = BenchDatasetId::kLa;
+    else if (arg == "color") ds = BenchDatasetId::kColor;
+    else if (arg == "synthetic") ds = BenchDatasetId::kSynthetic;
+    else if (arg != "words") {
+      std::fprintf(stderr, "usage: %s [la|words|color|synthetic]\n", argv[0]);
+      return 1;
+    }
+  }
+  BenchDataset bd = MakeBenchDataset(ds, 12000);
+  DistanceDistribution distribution =
+      EstimateDistribution(bd.data, *bd.metric);
+  std::printf("workload: %s, %u objects, %s metric, intrinsic dim %.1f\n\n",
+              bd.name.c_str(), bd.data.size(), bd.metric->name().c_str(),
+              distribution.intrinsic_dim);
+  PivotSet pivots = SelectSharedPivots(bd.data, *bd.metric, 5);
+  double r = distribution.RadiusForSelectivity(0.05);
+
+  TablePrinter table({"Index", "Build (s)", "MRQ compdists", "MRQ PA",
+                      "kNN compdists", "kNN CPU (ms)", "Memory", "Disk"});
+  struct Score {
+    std::string name;
+    double knn_compdists;
+    double knn_ms;
+    bool disk;
+  };
+  std::vector<Score> scores;
+  for (const IndexSpec& spec : AllIndexSpecs()) {
+    if (spec.name == "AESA") continue;  // quadratic storage: advisory skip
+    if (spec.discrete_only && !bd.metric->discrete()) continue;
+    IndexOptions opts;
+    opts.page_size =
+        (ds == BenchDatasetId::kColor || ds == BenchDatasetId::kSynthetic) &&
+                (spec.name == "CPT" || spec.name == "PM-tree")
+            ? 40960
+            : 4096;
+    auto index = spec.make(opts);
+    OpStats build = index->Build(bd.data, *bd.metric, pivots);
+    double mrq_cd = 0, mrq_pa = 0, knn_cd = 0, knn_ms = 0;
+    const int kQ = 10;
+    for (int q = 0; q < kQ; ++q) {
+      std::vector<ObjectId> out;
+      OpStats s = index->RangeQuery(bd.data.view(q * 37 % bd.data.size()), r,
+                                    &out);
+      mrq_cd += double(s.dist_computations) / kQ;
+      mrq_pa += double(s.page_accesses()) / kQ;
+      std::vector<Neighbor> nn;
+      OpStats t =
+          index->KnnQuery(bd.data.view(q * 53 % bd.data.size()), 20, &nn);
+      knn_cd += double(t.dist_computations) / kQ;
+      knn_ms += t.seconds * 1000 / kQ;
+    }
+    table.AddRow({spec.name, FormatF(build.seconds, 2), FormatCount(mrq_cd),
+                  spec.uses_disk ? FormatCount(mrq_pa) : "-",
+                  FormatCount(knn_cd), FormatMs(knn_ms),
+                  FormatBytes(index->memory_bytes()),
+                  spec.uses_disk ? FormatBytes(index->disk_bytes()) : "-"});
+    scores.push_back({spec.name, knn_cd, knn_ms, spec.uses_disk});
+  }
+  table.Print();
+
+  // Section 7 decision rule, informed by the measurements.
+  bool complex_metric = bd.metric->name() == "edit" || bd.data.dim() >= 100;
+  const Score* best_mem = nullptr;
+  const Score* best_disk = nullptr;
+  for (const Score& s : scores) {
+    if (!s.disk && (best_mem == nullptr ||
+                    (complex_metric ? s.knn_compdists < best_mem->knn_compdists
+                                    : s.knn_ms < best_mem->knn_ms))) {
+      best_mem = &s;
+    }
+    if (s.disk && (best_disk == nullptr ||
+                   s.knn_compdists + 100 * s.knn_ms <
+                       best_disk->knn_compdists + 100 * best_disk->knn_ms)) {
+      best_disk = &s;
+    }
+  }
+  std::printf("\nRecommendation (Section 7 guidance):\n");
+  if (best_mem != nullptr) {
+    std::printf("  fits in RAM:   %s (%s)\n", best_mem->name.c_str(),
+                complex_metric ? "fewest distance computations for a complex "
+                                 "distance function"
+                               : "lowest CPU time for a cheap distance");
+  }
+  if (best_disk != nullptr) {
+    std::printf("  outgrows RAM:  %s (best query profile among the "
+                "disk-based indexes)\n",
+                best_disk->name.c_str());
+  }
+  return 0;
+}

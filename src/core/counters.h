@@ -1,0 +1,60 @@
+// Performance counters shared by all index structures.
+//
+// Every cost the paper reports -- the number of distance computations
+// ("compdists"), the number of page accesses ("PA"), and CPU time -- is
+// accounted through this module so that all indexes are measured on an
+// equal footing (Section 6.1 of the paper).
+
+#ifndef PMI_CORE_COUNTERS_H_
+#define PMI_CORE_COUNTERS_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pmi {
+
+/// Monotonic counters attributed to one index instance.
+///
+/// Page reads and writes are counted by the storage layer (a buffer-pool
+/// hit costs nothing); distance computations are counted by
+/// DistanceComputer.  Snapshots of this struct bracket a build, query, or
+/// update to produce the per-operation costs reported by the benchmarks.
+struct PerfCounters {
+  uint64_t dist_computations = 0;
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+
+  void Reset() { *this = PerfCounters{}; }
+
+  /// Total page accesses, the paper's "PA" metric.
+  uint64_t page_accesses() const { return page_reads + page_writes; }
+
+  PerfCounters operator-(const PerfCounters& rhs) const {
+    PerfCounters d;
+    d.dist_computations = dist_computations - rhs.dist_computations;
+    d.page_reads = page_reads - rhs.page_reads;
+    d.page_writes = page_writes - rhs.page_writes;
+    return d;
+  }
+};
+
+/// Wall-clock stopwatch used for the CPU-time measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Restart() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pmi
+
+#endif  // PMI_CORE_COUNTERS_H_

@@ -1,0 +1,144 @@
+// Owning store of metric objects.
+//
+// A Dataset is an immutable-after-build arena of objects of one
+// ObjectKind.  Indexes reference objects by ObjectId; the Dataset outlives
+// every index built on it.  Serialization helpers define the on-"disk"
+// record format used by the RAF object files of the external indexes.
+
+#ifndef PMI_CORE_DATASET_H_
+#define PMI_CORE_DATASET_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/object.h"
+
+namespace pmi {
+
+/// Arena-backed collection of objects of a single kind.
+class Dataset {
+ public:
+  /// Creates an empty vector dataset of fixed dimensionality `dim`.
+  static Dataset Vectors(uint32_t dim) {
+    Dataset d;
+    d.kind_ = ObjectKind::kVector;
+    d.dim_ = dim;
+    return d;
+  }
+
+  /// Creates an empty string dataset.
+  static Dataset Strings() {
+    Dataset d;
+    d.kind_ = ObjectKind::kString;
+    return d;
+  }
+
+  ObjectKind kind() const { return kind_; }
+
+  /// Dimensionality; only meaningful for vector datasets.
+  uint32_t dim() const { return dim_; }
+
+  /// Number of objects.
+  uint32_t size() const {
+    return kind_ == ObjectKind::kVector
+               ? static_cast<uint32_t>(dim_ == 0 ? 0 : vec_data_.size() / dim_)
+               : static_cast<uint32_t>(str_offsets_.size());
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Appends a vector object; returns its id. `data` must hold dim() floats.
+  ObjectId AddVector(const float* data) {
+    assert(kind_ == ObjectKind::kVector);
+    vec_data_.insert(vec_data_.end(), data, data + dim_);
+    return size() - 1;
+  }
+
+  ObjectId AddVector(const std::vector<float>& data) {
+    assert(data.size() == dim_);
+    return AddVector(data.data());
+  }
+
+  /// Appends a string object; returns its id.
+  ObjectId AddString(std::string_view s) {
+    assert(kind_ == ObjectKind::kString);
+    str_offsets_.push_back(static_cast<uint32_t>(str_data_.size()));
+    str_lengths_.push_back(static_cast<uint32_t>(s.size()));
+    str_data_.append(s);
+    return size() - 1;
+  }
+
+  /// Copies an object (typically from another dataset); returns its id.
+  ObjectId Add(const ObjectView& v) {
+    if (kind_ == ObjectKind::kVector) {
+      assert(v.kind == ObjectKind::kVector && v.dim == dim_);
+      return AddVector(v.vec);
+    }
+    assert(v.kind == ObjectKind::kString);
+    return AddString(v.AsString());
+  }
+
+  /// Non-owning view of object `id`.
+  ObjectView view(ObjectId id) const {
+    assert(id < size());
+    if (kind_ == ObjectKind::kVector) {
+      return ObjectView::FromVector(&vec_data_[size_t(id) * dim_], dim_);
+    }
+    return ObjectView::FromString(
+        std::string_view(str_data_).substr(str_offsets_[id], str_lengths_[id]));
+  }
+
+  /// Serialized payload size of object `id` in bytes (RAF record payload).
+  uint32_t payload_bytes(ObjectId id) const { return view(id).payload_bytes(); }
+
+  /// Average serialized payload size; used for page-layout decisions.
+  double avg_payload_bytes() const {
+    if (empty()) return 0;
+    if (kind_ == ObjectKind::kVector) return double(dim_) * sizeof(float);
+    return double(str_data_.size()) / size();
+  }
+
+  /// Appends the raw payload of object `id` to `out`.
+  void SerializeObject(ObjectId id, std::string* out) const {
+    ObjectView v = view(id);
+    if (kind_ == ObjectKind::kVector) {
+      out->append(reinterpret_cast<const char*>(v.vec), v.payload_bytes());
+    } else {
+      out->append(v.str, v.len);
+    }
+  }
+
+  /// Reinterprets `len` raw payload bytes (as produced by SerializeObject)
+  /// as an object view.  `data` must be suitably aligned for floats when
+  /// this is a vector dataset (page buffers guarantee this).
+  ObjectView DeserializeObject(const char* data, uint32_t len) const {
+    if (kind_ == ObjectKind::kVector) {
+      assert(len == dim_ * sizeof(float));
+      return ObjectView::FromVector(reinterpret_cast<const float*>(data), dim_);
+    }
+    return ObjectView::FromString(std::string_view(data, len));
+  }
+
+  /// Total payload bytes across all objects.
+  size_t total_payload_bytes() const {
+    return kind_ == ObjectKind::kVector ? vec_data_.size() * sizeof(float)
+                                        : str_data_.size();
+  }
+
+ private:
+  Dataset() = default;
+
+  ObjectKind kind_ = ObjectKind::kVector;
+  uint32_t dim_ = 0;
+  std::vector<float> vec_data_;          // kVector: n * dim floats
+  std::string str_data_;                 // kString: concatenated bytes
+  std::vector<uint32_t> str_offsets_;    // kString: per-object offset
+  std::vector<uint32_t> str_lengths_;    // kString: per-object length
+};
+
+}  // namespace pmi
+
+#endif  // PMI_CORE_DATASET_H_

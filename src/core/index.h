@@ -1,0 +1,189 @@
+// The common interface of all pivot-based metric indexes.
+//
+// Every index in the survey implements MetricIndex: build over a dataset +
+// metric + shared pivot set, answer metric range queries (Definition 1)
+// and metric k-nearest-neighbor queries (Definition 2), support the
+// update operation of Section 6.3 (delete an object, insert it back), and
+// report storage split into main-memory (I) and disk (D) bytes (Table 4).
+//
+// Cost accounting follows the template-method pattern: the public
+// non-virtual entry points snapshot the per-index PerfCounters and a
+// stopwatch around each *Impl call, so all indexes report compdists / PA /
+// CPU time identically.
+
+#ifndef PMI_CORE_INDEX_H_
+#define PMI_CORE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/counters.h"
+#include "src/core/dataset.h"
+#include "src/core/knn_heap.h"
+#include "src/core/metric.h"
+#include "src/core/object.h"
+#include "src/core/pivots.h"
+
+namespace pmi {
+
+/// Tuning knobs.  Defaults reproduce the paper's setup (Section 6.1).
+struct IndexOptions {
+  /// Disk page size.  4 KB default; the paper uses 40 KB for CPT and the
+  /// PM-tree on high-dimensional datasets (Color, Synthetic) because those
+  /// two store objects inside tree nodes.
+  uint32_t page_size = 4096;
+
+  /// LRU buffer-pool capacity (bytes); 128 KB per the paper.
+  uint32_t cache_bytes = 128 * 1024;
+
+  /// Seed for any internal randomized decision (BKT pivots, M-tree split
+  /// sampling, ...).
+  uint64_t seed = 42;
+
+  // -- pivot-based trees ----------------------------------------------------
+  /// MVPT arity m; the paper sets m = 5 (Section 4.3).
+  uint32_t mvpt_arity = 5;
+  /// Max objects in a tree leaf before splitting (BKT/FQT/MVPT).
+  uint32_t tree_leaf_capacity = 16;
+  /// BKT/FQT: number of equal-width distance buckets per node, used when
+  /// the discrete distance domain is large (Section 4.1 discussion).
+  uint32_t tree_fanout = 16;
+
+  // -- EPT / EPT* -----------------------------------------------------------
+  /// EPT group size m (pivots per random group).  0 = estimate via the
+  /// cost model of Equation (1).
+  uint32_t ept_group_size = 0;
+  /// Candidate outlier count for PSA ("cp_scale is set to 40").
+  uint32_t ept_cp_scale = 40;
+  /// Sample size |S| used by PSA and by EPT's mu estimation.
+  uint32_t ept_sample_size = 64;
+
+  // -- M-index --------------------------------------------------------------
+  /// Cluster split threshold ("maxnum, set to 1,600 in this paper").
+  uint32_t mindex_maxnum = 1600;
+
+  // -- SPB-tree -------------------------------------------------------------
+  /// Bits per pivot dimension for the SFC grid. 0 = auto (<= 63 total).
+  uint32_t spb_bits_per_dim = 0;
+};
+
+/// Costs of one build / query / update operation.
+struct OpStats {
+  uint64_t dist_computations = 0;
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  double seconds = 0;
+
+  uint64_t page_accesses() const { return page_reads + page_writes; }
+
+  OpStats& operator+=(const OpStats& o) {
+    dist_computations += o.dist_computations;
+    page_reads += o.page_reads;
+    page_writes += o.page_writes;
+    seconds += o.seconds;
+    return *this;
+  }
+};
+
+/// Abstract pivot-based metric index.
+class MetricIndex {
+ public:
+  explicit MetricIndex(IndexOptions options = {}) : options_(options) {}
+  virtual ~MetricIndex() = default;
+
+  MetricIndex(const MetricIndex&) = delete;
+  MetricIndex& operator=(const MetricIndex&) = delete;
+
+  /// Short display name, e.g. "LAESA" or "M-index*".
+  virtual std::string name() const = 0;
+
+  /// True for the pivot-based external indexes (category 3).
+  virtual bool disk_based() const = 0;
+
+  /// Builds the index over every object of `data`.  The dataset, metric,
+  /// and pivots must outlive the index.  Returns the construction cost.
+  OpStats Build(const Dataset& data, const Metric& metric,
+                const PivotSet& pivots) {
+    data_ = &data;
+    metric_ = &metric;
+    pivots_ = pivots;
+    return Measure([&] { BuildImpl(); });
+  }
+
+  /// MRQ(q, r): appends all ids o with d(q,o) <= r to `out` (unordered).
+  OpStats RangeQuery(const ObjectView& q, double r,
+                     std::vector<ObjectId>* out) const {
+    out->clear();
+    return Measure([&] { RangeImpl(q, r, out); });
+  }
+
+  /// MkNNQ(q, k): the k nearest objects, ascending by distance.
+  OpStats KnnQuery(const ObjectView& q, size_t k,
+                   std::vector<Neighbor>* out) const {
+    out->clear();
+    return Measure([&] { KnnImpl(q, k, out); });
+  }
+
+  /// Re-inserts dataset object `id` (previously removed).
+  OpStats Insert(ObjectId id) {
+    return Measure([&] { InsertImpl(id); });
+  }
+
+  /// Removes dataset object `id` from the index.
+  OpStats Remove(ObjectId id) {
+    return Measure([&] { RemoveImpl(id); });
+  }
+
+  /// Main-memory footprint in bytes (the paper's "I" storage).
+  virtual size_t memory_bytes() const = 0;
+
+  /// Disk footprint in bytes (the paper's "D" storage); 0 for categories
+  /// 1-2 except CPT.
+  virtual size_t disk_bytes() const { return 0; }
+
+  const IndexOptions& options() const { return options_; }
+  const PivotSet& pivots() const { return pivots_; }
+
+ protected:
+  virtual void BuildImpl() = 0;
+  virtual void RangeImpl(const ObjectView& q, double r,
+                         std::vector<ObjectId>* out) const = 0;
+  virtual void KnnImpl(const ObjectView& q, size_t k,
+                       std::vector<Neighbor>* out) const = 0;
+  virtual void InsertImpl(ObjectId id) = 0;
+  virtual void RemoveImpl(ObjectId id) = 0;
+
+  /// Counting distance computer bound to this index's counters.
+  DistanceComputer dist() const {
+    return DistanceComputer(metric_, &counters_);
+  }
+
+  const Dataset& data() const { return *data_; }
+  const Metric& metric() const { return *metric_; }
+
+  const Dataset* data_ = nullptr;
+  const Metric* metric_ = nullptr;
+  PivotSet pivots_;
+  IndexOptions options_;
+  mutable PerfCounters counters_;
+
+ private:
+  template <typename Fn>
+  OpStats Measure(Fn&& fn) const {
+    PerfCounters before = counters_;
+    Stopwatch watch;
+    fn();
+    PerfCounters delta = counters_ - before;
+    OpStats s;
+    s.dist_computations = delta.dist_computations;
+    s.page_reads = delta.page_reads;
+    s.page_writes = delta.page_writes;
+    s.seconds = watch.Seconds();
+    return s;
+  }
+};
+
+}  // namespace pmi
+
+#endif  // PMI_CORE_INDEX_H_

@@ -1,0 +1,71 @@
+// Bounded result heap for MkNNQ processing (Definition 2).
+//
+// Every MkNNQ implementation follows the paper's second strategy
+// (Section 2.1): start with radius = infinity and tighten it as verified
+// objects arrive.  KnnHeap encapsulates that contract.
+
+#ifndef PMI_CORE_KNN_HEAP_H_
+#define PMI_CORE_KNN_HEAP_H_
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "src/core/object.h"
+
+namespace pmi {
+
+/// One kNN result entry.
+struct Neighbor {
+  ObjectId id = kInvalidObjectId;
+  double dist = 0;
+
+  bool operator<(const Neighbor& o) const {
+    return dist < o.dist || (dist == o.dist && id < o.id);
+  }
+};
+
+/// Max-heap keeping the k nearest objects seen so far.
+class KnnHeap {
+ public:
+  explicit KnnHeap(size_t k) : k_(k) {}
+
+  /// Current pruning radius: distance of the kth neighbor, or +inf while
+  /// fewer than k objects have been collected.  k = 0 yields -inf so
+  /// every candidate prunes immediately.
+  double radius() const {
+    if (k_ == 0) return -std::numeric_limits<double>::infinity();
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.front().dist;
+  }
+
+  bool full() const { return heap_.size() >= k_; }
+
+  /// Offers (id, dist); keeps it only if it improves the current k-set.
+  void Push(ObjectId id, double dist) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({id, dist});
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (dist < heap_.front().dist) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {id, dist};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  /// Moves the results, sorted ascending by distance, into `out`.
+  void TakeSorted(std::vector<Neighbor>* out) {
+    std::sort_heap(heap_.begin(), heap_.end());
+    *out = std::move(heap_);
+    heap_.clear();
+  }
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> heap_;  // max-heap on dist
+};
+
+}  // namespace pmi
+
+#endif  // PMI_CORE_KNN_HEAP_H_

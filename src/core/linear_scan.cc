@@ -1,0 +1,33 @@
+#include "src/core/linear_scan.h"
+
+#include "src/core/knn_heap.h"
+
+namespace pmi {
+
+void LinearScan::BuildImpl() {
+  live_.assign(data().size(), true);
+}
+
+void LinearScan::RangeImpl(const ObjectView& q, double r,
+                           std::vector<ObjectId>* out) const {
+  DistanceComputer d = dist();
+  for (ObjectId id = 0; id < live_.size(); ++id) {
+    if (live_[id] && d(q, data().view(id)) <= r) out->push_back(id);
+  }
+}
+
+void LinearScan::KnnImpl(const ObjectView& q, size_t k,
+                         std::vector<Neighbor>* out) const {
+  DistanceComputer d = dist();
+  KnnHeap heap(k);
+  for (ObjectId id = 0; id < live_.size(); ++id) {
+    if (live_[id]) heap.Push(id, d(q, data().view(id)));
+  }
+  heap.TakeSorted(out);
+}
+
+void LinearScan::InsertImpl(ObjectId id) { live_[id] = true; }
+
+void LinearScan::RemoveImpl(ObjectId id) { live_[id] = false; }
+
+}  // namespace pmi

@@ -1,0 +1,73 @@
+#include "src/core/metric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace pmi {
+
+double L1Metric::Distance(const ObjectView& a, const ObjectView& b) const {
+  assert(a.kind == ObjectKind::kVector && b.kind == ObjectKind::kVector);
+  assert(a.dim == dim_ && b.dim == dim_);
+  double sum = 0;
+  for (uint32_t i = 0; i < dim_; ++i) sum += std::fabs(double(a.vec[i]) - b.vec[i]);
+  return sum;
+}
+
+L2Metric::L2Metric(uint32_t dim, double domain_extent)
+    : dim_(dim), max_(domain_extent * std::sqrt(double(dim))) {}
+
+double L2Metric::Distance(const ObjectView& a, const ObjectView& b) const {
+  assert(a.kind == ObjectKind::kVector && b.kind == ObjectKind::kVector);
+  assert(a.dim == dim_ && b.dim == dim_);
+  double sum = 0;
+  for (uint32_t i = 0; i < dim_; ++i) {
+    double diff = double(a.vec[i]) - b.vec[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+double LInfMetric::Distance(const ObjectView& a, const ObjectView& b) const {
+  assert(a.kind == ObjectKind::kVector && b.kind == ObjectKind::kVector);
+  assert(a.dim == b.dim);
+  double best = 0;
+  for (uint32_t i = 0; i < a.dim; ++i) {
+    best = std::max(best, std::fabs(double(a.vec[i]) - b.vec[i]));
+  }
+  return best;
+}
+
+double EditDistanceMetric::Distance(const ObjectView& a,
+                                    const ObjectView& b) const {
+  assert(a.kind == ObjectKind::kString && b.kind == ObjectKind::kString);
+  // Standard two-row Levenshtein DP.  The shorter string indexes the rows
+  // to keep the working set minimal; distances here are small (<= 34 for
+  // Words), so no banding is needed for correctness or speed.
+  std::string_view s = a.AsString(), t = b.AsString();
+  if (s.size() > t.size()) std::swap(s, t);
+  const uint32_t m = static_cast<uint32_t>(s.size());
+  const uint32_t n = static_cast<uint32_t>(t.size());
+  if (m == 0) return n;
+
+  // Thread-local scratch avoids per-call allocation on the hot path.
+  thread_local std::vector<uint32_t> row;
+  row.resize(m + 1);
+  for (uint32_t i = 0; i <= m; ++i) row[i] = i;
+  for (uint32_t j = 1; j <= n; ++j) {
+    uint32_t prev = row[0];  // DP[j-1][0]
+    row[0] = j;
+    const char tj = t[j - 1];
+    for (uint32_t i = 1; i <= m; ++i) {
+      uint32_t cur = row[i];  // DP[j-1][i]
+      uint32_t subst = prev + (s[i - 1] != tj);
+      row[i] = std::min({row[i - 1] + 1, cur + 1, subst});
+      prev = cur;
+    }
+  }
+  return row[m];
+}
+
+}  // namespace pmi

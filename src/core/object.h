@@ -1,0 +1,81 @@
+// Type-erased metric objects.
+//
+// The paper's metric-space model (Section 2.1) is agnostic to the payload
+// type: the evaluated datasets contain 2-d geographic points (LA), words
+// (Words), 282-d image features (Color), and 20-d integer vectors
+// (Synthetic).  ObjectView is a cheap non-owning view covering both payload
+// families so every index and metric operates on one object representation.
+
+#ifndef PMI_CORE_OBJECT_H_
+#define PMI_CORE_OBJECT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace pmi {
+
+/// Dense identifier of an object within its Dataset.
+using ObjectId = uint32_t;
+
+/// Sentinel for "no object".
+inline constexpr ObjectId kInvalidObjectId = UINT32_MAX;
+
+/// Payload family of a Dataset.
+enum class ObjectKind : uint8_t {
+  kVector,  ///< fixed-dimension float vector (LA, Color, Synthetic)
+  kString,  ///< variable-length byte string (Words)
+};
+
+/// Non-owning view of a single metric object.
+///
+/// Exactly one of the (vec, dim) / (str, len) pairs is meaningful,
+/// selected by `kind`.  Views are trivially copyable and valid for the
+/// lifetime of the owning Dataset (or page buffer for objects
+/// materialized from disk).
+struct ObjectView {
+  ObjectKind kind = ObjectKind::kVector;
+  const float* vec = nullptr;
+  uint32_t dim = 0;
+  const char* str = nullptr;
+  uint32_t len = 0;
+
+  static ObjectView FromVector(const float* data, uint32_t dim) {
+    ObjectView v;
+    v.kind = ObjectKind::kVector;
+    v.vec = data;
+    v.dim = dim;
+    return v;
+  }
+
+  static ObjectView FromString(std::string_view s) {
+    ObjectView v;
+    v.kind = ObjectKind::kString;
+    v.str = s.data();
+    v.len = static_cast<uint32_t>(s.size());
+    return v;
+  }
+
+  std::string_view AsString() const { return std::string_view(str, len); }
+
+  /// Number of payload bytes when serialized (see Dataset::SerializeObject).
+  uint32_t payload_bytes() const {
+    return kind == ObjectKind::kVector
+               ? dim * static_cast<uint32_t>(sizeof(float))
+               : len;
+  }
+
+  /// Deep equality of payloads (not identity).
+  bool PayloadEquals(const ObjectView& o) const {
+    if (kind != o.kind) return false;
+    if (kind == ObjectKind::kVector) {
+      return dim == o.dim &&
+             std::memcmp(vec, o.vec, dim * sizeof(float)) == 0;
+    }
+    return len == o.len && std::memcmp(str, o.str, len) == 0;
+  }
+};
+
+}  // namespace pmi
+
+#endif  // PMI_CORE_OBJECT_H_

@@ -1,0 +1,175 @@
+#include "src/core/pivot_selection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace pmi {
+namespace {
+
+/// Index of the sampled object farthest from `from`, distances through `d`.
+uint32_t FarthestInSample(const Dataset& data,
+                          const std::vector<uint32_t>& sample,
+                          const DistanceComputer& d, ObjectId from) {
+  double best = -1;
+  uint32_t best_i = 0;
+  ObjectView fv = data.view(from);
+  for (uint32_t i = 0; i < sample.size(); ++i) {
+    double dd = d(fv, data.view(sample[i]));
+    if (dd > best) {
+      best = dd;
+      best_i = i;
+    }
+  }
+  return best_i;
+}
+
+}  // namespace
+
+std::vector<ObjectId> SelectPivotsRandom(const Dataset& data, uint32_t count,
+                                         Rng& rng) {
+  std::vector<uint32_t> ids = SampleDistinct(data.size(), count, rng);
+  return {ids.begin(), ids.end()};
+}
+
+std::vector<ObjectId> SelectPivotsHF(const Dataset& data,
+                                     const DistanceComputer& dist,
+                                     uint32_t count,
+                                     const PivotSelectionOptions& options) {
+  assert(!data.empty());
+  Rng rng(options.seed);
+  std::vector<uint32_t> sample =
+      SampleDistinct(data.size(), options.sample_size, rng);
+  count = std::min<uint32_t>(count, static_cast<uint32_t>(sample.size()));
+
+  // Classic hull-of-foci: start from a random object s, take f1 = farthest
+  // from s, f2 = farthest from f1; the "edge" is d(f1, f2).  Then greedily
+  // add the object whose distances to the chosen foci deviate least from
+  // the edge (it lies near the hull, roughly equidistant from all foci).
+  ObjectId seed_obj = sample[rng() % sample.size()];
+  ObjectId f1 = sample[FarthestInSample(data, sample, dist, seed_obj)];
+  std::vector<ObjectId> foci = {f1};
+  if (count == 1) return foci;
+  ObjectId f2 = sample[FarthestInSample(data, sample, dist, f1)];
+  double edge = dist.metric().Distance(data.view(f1), data.view(f2));
+  foci.push_back(f2);
+
+  std::vector<double> error(sample.size(), 0);
+  std::vector<bool> used(sample.size(), false);
+  auto accumulate = [&](ObjectId focus) {
+    ObjectView fv = data.view(focus);
+    for (uint32_t i = 0; i < sample.size(); ++i) {
+      if (used[i]) continue;
+      error[i] += std::fabs(dist(data.view(sample[i]), fv) - edge);
+    }
+  };
+  for (uint32_t i = 0; i < sample.size(); ++i) {
+    if (sample[i] == f1 || sample[i] == f2) used[i] = true;
+  }
+  accumulate(f1);
+  accumulate(f2);
+
+  while (foci.size() < count) {
+    double best = std::numeric_limits<double>::infinity();
+    uint32_t best_i = UINT32_MAX;
+    for (uint32_t i = 0; i < sample.size(); ++i) {
+      if (!used[i] && error[i] < best) {
+        best = error[i];
+        best_i = i;
+      }
+    }
+    if (best_i == UINT32_MAX) break;  // sample exhausted
+    used[best_i] = true;
+    foci.push_back(sample[best_i]);
+    accumulate(sample[best_i]);
+  }
+  return foci;
+}
+
+std::vector<ObjectId> SelectPivotsHFI(const Dataset& data,
+                                      const DistanceComputer& dist,
+                                      uint32_t count,
+                                      const PivotSelectionOptions& options,
+                                      uint32_t candidate_count) {
+  assert(!data.empty());
+  if (candidate_count == 0) candidate_count = std::max(4 * count, 40u);
+  std::vector<ObjectId> candidates =
+      SelectPivotsHF(data, dist, candidate_count, options);
+  if (candidates.size() <= count) return candidates;
+
+  Rng rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  const uint32_t pairs = options.pair_sample;
+
+  // Sample object pairs (a, b) and precompute all candidate distances.
+  std::vector<ObjectId> a_ids, b_ids;
+  std::vector<double> d_ab;
+  a_ids.reserve(pairs);
+  b_ids.reserve(pairs);
+  d_ab.reserve(pairs);
+  for (uint32_t i = 0; i < pairs; ++i) {
+    ObjectId a = rng() % data.size();
+    ObjectId b = rng() % data.size();
+    double dd = dist(data.view(a), data.view(b));
+    if (dd <= 0) continue;  // identical objects carry no signal
+    a_ids.push_back(a);
+    b_ids.push_back(b);
+    d_ab.push_back(dd);
+  }
+  const uint32_t np = static_cast<uint32_t>(d_ab.size());
+  if (np == 0) {  // degenerate dataset (all duplicates): any pivots do
+    candidates.resize(count);
+    return candidates;
+  }
+
+  // diff[c][j] = |d(a_j, p_c) - d(b_j, p_c)|, the pivot-space Linf
+  // contribution of candidate c on pair j.
+  std::vector<std::vector<double>> diff(candidates.size());
+  for (uint32_t c = 0; c < candidates.size(); ++c) {
+    diff[c].resize(np);
+    ObjectView pv = data.view(candidates[c]);
+    for (uint32_t j = 0; j < np; ++j) {
+      double da = dist(data.view(a_ids[j]), pv);
+      double db = dist(data.view(b_ids[j]), pv);
+      diff[c][j] = std::fabs(da - db);
+    }
+  }
+
+  // Greedy forward selection on the mean D(a,b)/d(a,b) objective.
+  std::vector<double> current(np, 0);  // best per-pair lower bound so far
+  std::vector<bool> used(candidates.size(), false);
+  std::vector<ObjectId> chosen;
+  chosen.reserve(count);
+  while (chosen.size() < count) {
+    double best_gain = -1;
+    uint32_t best_c = UINT32_MAX;
+    for (uint32_t c = 0; c < candidates.size(); ++c) {
+      if (used[c]) continue;
+      double score = 0;
+      for (uint32_t j = 0; j < np; ++j) {
+        score += std::max(current[j], diff[c][j]) / d_ab[j];
+      }
+      if (score > best_gain) {
+        best_gain = score;
+        best_c = c;
+      }
+    }
+    if (best_c == UINT32_MAX) break;
+    used[best_c] = true;
+    chosen.push_back(candidates[best_c]);
+    for (uint32_t j = 0; j < np; ++j) {
+      current[j] = std::max(current[j], diff[best_c][j]);
+    }
+  }
+  return chosen;
+}
+
+PivotSet SelectSharedPivots(const Dataset& data, const Metric& metric,
+                            uint32_t count,
+                            const PivotSelectionOptions& options) {
+  PerfCounters scratch;
+  DistanceComputer dist(&metric, &scratch);
+  std::vector<ObjectId> ids = SelectPivotsHFI(data, dist, count, options);
+  return PivotSet(data, ids);
+}
+
+}  // namespace pmi

@@ -1,0 +1,65 @@
+// Pivot selection strategies.
+//
+// The paper's central methodological point is that all indexes must be
+// compared under the *same* pivot selection strategy (Section 1).  The
+// shared strategy is HFI -- the HF-based incremental selection of the
+// SPB-tree paper [12], which the authors call state-of-the-art
+// (Section 6.1).  HF (the Omni "hull of foci" outlier finder [17]) is
+// both a standalone strategy and the candidate generator for HFI and for
+// EPT*'s PSA (Algorithm 1).
+
+#ifndef PMI_CORE_PIVOT_SELECTION_H_
+#define PMI_CORE_PIVOT_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/metric.h"
+#include "src/core/pivots.h"
+#include "src/core/rng.h"
+
+namespace pmi {
+
+/// Tuning for the selection algorithms; defaults follow the paper.
+struct PivotSelectionOptions {
+  /// Objects sampled for focus/candidate evaluation.
+  uint32_t sample_size = 2000;
+  /// Object pairs sampled for HFI's precision objective.
+  uint32_t pair_sample = 500;
+  uint64_t seed = 42;
+};
+
+/// Uniformly random distinct objects; BKT's per-subtree strategy.
+std::vector<ObjectId> SelectPivotsRandom(const Dataset& data, uint32_t count,
+                                         Rng& rng);
+
+/// HF ("hull of foci", Omni-family): picks `count` outliers lying near the
+/// convex hull of the dataset.  Distance computations are attributed
+/// through `dist`.
+std::vector<ObjectId> SelectPivotsHF(const Dataset& data,
+                                     const DistanceComputer& dist,
+                                     uint32_t count,
+                                     const PivotSelectionOptions& options);
+
+/// HFI: generates HF outlier candidates, then greedily adds the candidate
+/// maximizing the mean pivot-space / metric-space distance ratio
+///   mean over pairs (a,b) of  max_i |d(a,p_i) - d(b,p_i)| / d(a,b),
+/// i.e. how faithfully the pivot mapping preserves the original metric.
+/// `candidate_count` of 0 defaults to max(4 * count, 40) candidates.
+std::vector<ObjectId> SelectPivotsHFI(const Dataset& data,
+                                      const DistanceComputer& dist,
+                                      uint32_t count,
+                                      const PivotSelectionOptions& options,
+                                      uint32_t candidate_count = 0);
+
+/// Convenience: the shared pivot set every index receives -- HFI over the
+/// dataset, counters discarded (selection cost is not part of any
+/// reported experiment; each index re-computes its own mapping at build).
+PivotSet SelectSharedPivots(const Dataset& data, const Metric& metric,
+                            uint32_t count,
+                            const PivotSelectionOptions& options = {});
+
+}  // namespace pmi
+
+#endif  // PMI_CORE_PIVOT_SELECTION_H_

@@ -1,0 +1,57 @@
+// Pivot sets and the pivot-space mapping (Section 2.3).
+//
+// Given pivots P = {p1..pl}, an object o maps to the point
+// phi(o) = <d(o,p1), ..., d(o,pl)> in the vector space (R^l, Linf).  The
+// PivotSet owns copies of the pivot objects so it stays valid across
+// dataset updates and can be shared by every index (the paper's
+// equal-footing requirement).
+
+#ifndef PMI_CORE_PIVOTS_H_
+#define PMI_CORE_PIVOTS_H_
+
+#include <cassert>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/metric.h"
+#include "src/core/object.h"
+
+namespace pmi {
+
+/// An ordered set of pivot objects, copied out of their source dataset.
+class PivotSet {
+ public:
+  PivotSet() = default;
+
+  /// Copies the objects with the given ids out of `source`.
+  PivotSet(const Dataset& source, const std::vector<ObjectId>& ids)
+      : store_(source.kind() == ObjectKind::kVector
+                   ? Dataset::Vectors(source.dim())
+                   : Dataset::Strings()) {
+    for (ObjectId id : ids) store_.Add(source.view(id));
+  }
+
+  uint32_t size() const { return store_.size(); }
+  bool empty() const { return store_.empty(); }
+
+  /// View of pivot i.
+  ObjectView pivot(uint32_t i) const { return store_.view(i); }
+
+  /// Maps `o` into pivot space: out[i] = d(o, p_i).  Costs size() distance
+  /// computations, attributed through `dist`.
+  void Map(const ObjectView& o, const DistanceComputer& dist,
+           std::vector<double>* out) const {
+    out->resize(size());
+    for (uint32_t i = 0; i < size(); ++i) (*out)[i] = dist(o, pivot(i));
+  }
+
+  /// Approximate in-memory footprint of the pivot objects themselves.
+  size_t memory_bytes() const { return store_.total_payload_bytes(); }
+
+ private:
+  Dataset store_ = Dataset::Vectors(0);
+};
+
+}  // namespace pmi
+
+#endif  // PMI_CORE_PIVOTS_H_

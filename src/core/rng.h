@@ -1,0 +1,53 @@
+// Deterministic random number utilities.
+//
+// All dataset generation, pivot selection, and query sampling in this
+// repository is seeded so experiments are exactly reproducible run-to-run.
+
+#ifndef PMI_CORE_RNG_H_
+#define PMI_CORE_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pmi {
+
+/// Project-wide RNG. mt19937_64 everywhere; never seeded from entropy.
+using Rng = std::mt19937_64;
+
+/// Samples `count` distinct values from [0, n).  If count >= n, returns
+/// the full identity permutation prefix of length n.
+inline std::vector<uint32_t> SampleDistinct(uint32_t n, uint32_t count,
+                                            Rng& rng) {
+  if (count >= n) {
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm for small samples, partial shuffle otherwise.
+  if (count < n / 16) {
+    std::vector<uint32_t> out;
+    out.reserve(count);
+    std::vector<bool> taken;  // lazily sized only when needed
+    taken.resize(n, false);
+    for (uint32_t j = n - count; j < n; ++j) {
+      uint32_t t = std::uniform_int_distribution<uint32_t>(0, j)(rng);
+      if (taken[t]) t = j;
+      taken[t] = true;
+      out.push_back(t);
+    }
+    return out;
+  }
+  std::vector<uint32_t> all(n);
+  for (uint32_t i = 0; i < n; ++i) all[i] = i;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t j = std::uniform_int_distribution<uint32_t>(i, n - 1)(rng);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+}  // namespace pmi
+
+#endif  // PMI_CORE_RNG_H_

@@ -1,0 +1,46 @@
+#include "src/data/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pmi {
+
+double DistanceDistribution::RadiusForSelectivity(double fraction) const {
+  assert(!sample.empty());
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(fraction * (sample.size() - 1));
+  return sample[idx];
+}
+
+DistanceDistribution EstimateDistribution(const Dataset& data,
+                                          const Metric& metric,
+                                          uint32_t pairs, uint64_t seed) {
+  DistanceDistribution out;
+  if (data.size() < 2) return out;
+  Rng rng(seed);
+  out.sample.reserve(pairs);
+  double sum = 0, sum2 = 0;
+  for (uint32_t i = 0; i < pairs; ++i) {
+    ObjectId a = rng() % data.size();
+    ObjectId b = rng() % data.size();
+    if (a == b) continue;
+    double d = metric.Distance(data.view(a), data.view(b));
+    out.sample.push_back(d);
+    sum += d;
+    sum2 += d * d;
+    out.max_distance = std::max(out.max_distance, d);
+  }
+  std::sort(out.sample.begin(), out.sample.end());
+  const double n = static_cast<double>(out.sample.size());
+  if (n > 0) {
+    out.mean = sum / n;
+    out.variance = std::max(0.0, sum2 / n - out.mean * out.mean);
+    if (out.variance > 0) {
+      out.intrinsic_dim = out.mean * out.mean / (2 * out.variance);
+    }
+  }
+  return out;
+}
+
+}  // namespace pmi

@@ -1,0 +1,44 @@
+// Distance-distribution statistics (Table 2, Section 6.1).
+//
+// The paper characterizes each dataset by its intrinsic dimensionality
+// rho = mu^2 / (2 sigma^2) over the pairwise distance distribution, and
+// specifies MRQ radii as *selectivities* ("the value of the radius r
+// denotes the percentage of objects in the dataset that are result
+// objects").  Both are estimated here by pair sampling.
+
+#ifndef PMI_DATA_DISTRIBUTION_H_
+#define PMI_DATA_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/metric.h"
+#include "src/core/rng.h"
+
+namespace pmi {
+
+/// Summary of the pairwise distance distribution of a dataset.
+struct DistanceDistribution {
+  double mean = 0;
+  double variance = 0;
+  double max_distance = 0;
+  /// Intrinsic dimensionality mu^2 / (2 sigma^2) (Chavez et al. [11]).
+  double intrinsic_dim = 0;
+  /// Sorted sample of pairwise distances (for quantile queries).
+  std::vector<double> sample;
+
+  /// Distance below which approximately `fraction` of all objects fall,
+  /// i.e. the MRQ radius with expected selectivity `fraction`.
+  double RadiusForSelectivity(double fraction) const;
+};
+
+/// Estimates the distribution from `pairs` random object pairs.
+DistanceDistribution EstimateDistribution(const Dataset& data,
+                                          const Metric& metric,
+                                          uint32_t pairs = 20000,
+                                          uint64_t seed = 7);
+
+}  // namespace pmi
+
+#endif  // PMI_DATA_DISTRIBUTION_H_

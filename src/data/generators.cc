@@ -1,0 +1,222 @@
+#include "src/data/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "src/core/rng.h"
+
+namespace pmi {
+namespace {
+
+float ClampTo(double v, double lo, double hi) {
+  return static_cast<float>(std::clamp(v, lo, hi));
+}
+
+}  // namespace
+
+Dataset MakeLaLike(uint32_t n, uint64_t seed) {
+  // Urban geography: a handful of dense centers (downtown cores), a ring
+  // of suburbs around each, and a thin uniform background.  Coordinates
+  // are mapped to [0, 10000] as in the paper.
+  Dataset data = Dataset::Vectors(2);
+  Rng rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  constexpr int kCenters = 24;
+  std::vector<std::pair<double, double>> centers;
+  std::vector<double> spread;
+  for (int c = 0; c < kCenters; ++c) {
+    centers.emplace_back(500 + 9000 * unit(rng), 500 + 9000 * unit(rng));
+    spread.push_back(120 + 600 * unit(rng));
+  }
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    float pt[2];
+    double roll = unit(rng);
+    if (roll < 0.92) {
+      // Zipf-ish preference for earlier (bigger) centers.
+      int c = static_cast<int>(kCenters * std::pow(unit(rng), 1.8));
+      c = std::min(c, kCenters - 1);
+      pt[0] = ClampTo(centers[c].first + spread[c] * gauss(rng), 0, 10000);
+      pt[1] = ClampTo(centers[c].second + spread[c] * gauss(rng), 0, 10000);
+    } else {
+      pt[0] = ClampTo(10000 * unit(rng), 0, 10000);
+      pt[1] = ClampTo(10000 * unit(rng), 0, 10000);
+    }
+    data.AddVector(pt);
+  }
+  return data;
+}
+
+Dataset MakeWordsLike(uint32_t n, uint64_t seed) {
+  // Syllable-chain generator: words are alternating onset/vowel/coda
+  // fragments with common English affixes, lengths skewed short
+  // (mode ~7) and capped at 34 like the Moby word list.
+  static const char* kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "h",  "j",
+                                  "k",  "l",  "m",  "n",  "p",  "r",  "s",
+                                  "t",  "v",  "w",  "z",  "ch", "sh", "th",
+                                  "ph", "st", "tr", "br", "cr", "pl", "gr"};
+  static const char* kVowels[] = {"a",  "e",  "i",  "o",  "u",  "ai",
+                                  "ea", "ee", "io", "ou", "oo", "ie"};
+  static const char* kCodas[] = {"",   "n",  "r",  "s",   "t",   "l",
+                                 "m",  "d",  "ck", "ng",  "rd",  "st",
+                                 "nt", "sh", "mp", "lt",  "ns",  "x"};
+  static const char* kSuffixes[] = {"",     "",    "",     "ing", "ed",
+                                    "s",    "er",  "tion", "ness", "ly",
+                                    "ment", "ous", "al",   "ive",  "ism"};
+  Dataset data = Dataset::Strings();
+  Rng rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::string w;
+  for (uint32_t i = 0; i < n; ++i) {
+    w.clear();
+    // 1..8 syllables with a heavy tail (the Moby list mixes short words
+    // with long compounds/proper nouns; the wide length spread is what
+    // drives its very low intrinsic dimensionality of ~1.2).
+    int syllables = 1;
+    while (syllables < 8 && unit(rng) < 0.58) ++syllables;
+    for (int s = 0; s < syllables; ++s) {
+      w += kOnsets[rng() % std::size(kOnsets)];
+      w += kVowels[rng() % std::size(kVowels)];
+      if (unit(rng) < 0.55) w += kCodas[rng() % std::size(kCodas)];
+    }
+    w += kSuffixes[rng() % std::size(kSuffixes)];
+    // Occasional very short tokens (acronyms) and long compounds.
+    double roll = unit(rng);
+    if (roll < 0.06) {
+      w.resize(std::min<size_t>(w.size(), 1 + rng() % 3));
+    } else if (roll < 0.16) {
+      w += '-';
+      int extra = 1 + int(rng() % 3);
+      for (int s = 0; s < extra; ++s) {
+        w += kOnsets[rng() % std::size(kOnsets)];
+        w += kVowels[rng() % std::size(kVowels)];
+      }
+    }
+    if (w.size() > 34) w.resize(34);
+    data.AddString(w);
+  }
+  return data;
+}
+
+Dataset MakeColorLike(uint32_t n, uint64_t seed) {
+  // MPEG-7 style features: 282 ambient dimensions driven by a small
+  // number of latent factors (image-level properties), plus per-dimension
+  // noise.  The factor loadings are fixed per dataset (seeded), the
+  // factors per object.  Values mapped to [-255, 255] as in the paper.
+  constexpr uint32_t kDim = 282;
+  constexpr uint32_t kFactors = 6;  // tuned: measured int.dim ~= paper's 6.5
+  Dataset data = Dataset::Vectors(kDim);
+  Rng rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  // Loading matrix A: kDim x kFactors, sparse-ish rows so different
+  // feature blocks respond to different factors (as MPEG-7 descriptors do).
+  std::vector<double> loading(kDim * kFactors);
+  for (uint32_t d = 0; d < kDim; ++d) {
+    for (uint32_t f = 0; f < kFactors; ++f) {
+      double l = gauss(rng);
+      // Emphasize a "home" factor per dimension block.
+      if (f == (d * kFactors) / kDim) l *= 3.0;
+      loading[d * kFactors + f] = l;
+    }
+  }
+
+  std::vector<double> z(kFactors);
+  std::vector<float> x(kDim);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t f = 0; f < kFactors; ++f) z[f] = gauss(rng);
+    for (uint32_t d = 0; d < kDim; ++d) {
+      double v = 0;
+      const double* row = &loading[d * kFactors];
+      for (uint32_t f = 0; f < kFactors; ++f) v += row[f] * z[f];
+      v = v * 45.0 + 8.0 * gauss(rng);  // scale + noise
+      x[d] = ClampTo(v, -255, 255);
+    }
+    data.AddVector(x);
+  }
+  return data;
+}
+
+Dataset MakeSyntheticPaper(uint32_t n, uint64_t seed) {
+  // Paper recipe: "five dimension values are generated randomly, and the
+  // remaining dimension values are linear combinations of the previous
+  // ones"; integer values on [0, 10000]; Linf-norm.
+  constexpr uint32_t kDim = 20;
+  constexpr uint32_t kBase = 5;
+  Dataset data = Dataset::Vectors(kDim);
+  Rng rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Fixed random combination weights (rows sum to 1 so values stay in
+  // domain), seeded separately from the per-object draws.
+  double weights[kDim][kBase];
+  for (uint32_t d = kBase; d < kDim; ++d) {
+    double sum = 0;
+    for (uint32_t b = 0; b < kBase; ++b) {
+      weights[d][b] = unit(rng);
+      sum += weights[d][b];
+    }
+    for (uint32_t b = 0; b < kBase; ++b) weights[d][b] /= sum;
+  }
+
+  std::vector<float> x(kDim);
+  for (uint32_t i = 0; i < n; ++i) {
+    double base[kBase];
+    for (uint32_t b = 0; b < kBase; ++b) {
+      base[b] = std::floor(10001 * unit(rng));
+      x[b] = static_cast<float>(base[b]);
+    }
+    for (uint32_t d = kBase; d < kDim; ++d) {
+      double v = 0;
+      for (uint32_t b = 0; b < kBase; ++b) v += weights[d][b] * base[b];
+      x[d] = static_cast<float>(std::floor(v));  // integer-valued
+    }
+    data.AddVector(x);
+  }
+  return data;
+}
+
+std::unique_ptr<Metric> MakeMetricFor(BenchDatasetId id) {
+  switch (id) {
+    case BenchDatasetId::kLa:
+      return std::make_unique<L2Metric>(2, 10000.0);
+    case BenchDatasetId::kWords:
+      return std::make_unique<EditDistanceMetric>(34);
+    case BenchDatasetId::kColor:
+      return std::make_unique<L1Metric>(282, 510.0);
+    case BenchDatasetId::kSynthetic:
+      return std::make_unique<LInfMetric>(20, 10000.0,
+                                          /*discrete_domain=*/true);
+  }
+  return nullptr;
+}
+
+BenchDataset MakeBenchDataset(BenchDatasetId id, uint32_t n, uint64_t seed) {
+  BenchDataset out{.name = "", .data = Dataset::Vectors(0), .metric = nullptr,
+                   .id = id};
+  switch (id) {
+    case BenchDatasetId::kLa:
+      out.name = "LA";
+      out.data = MakeLaLike(n, seed ^ 1);
+      break;
+    case BenchDatasetId::kWords:
+      out.name = "Words";
+      out.data = MakeWordsLike(n, seed ^ 2);
+      break;
+    case BenchDatasetId::kColor:
+      out.name = "Color";
+      out.data = MakeColorLike(n, seed ^ 3);
+      break;
+    case BenchDatasetId::kSynthetic:
+      out.name = "Synthetic";
+      out.data = MakeSyntheticPaper(n, seed ^ 4);
+      break;
+  }
+  out.metric = MakeMetricFor(id);
+  return out;
+}
+
+}  // namespace pmi

@@ -1,0 +1,150 @@
+#include "src/external/ept_disk.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/core/knn_heap.h"
+
+namespace pmi {
+
+void EptDisk::AppendRow(ObjectId id, const RafRef& ref, const uint32_t* pidx,
+                        const double* pdist) {
+  const uint32_t rpp = RowsPerPage();
+  uint32_t page_idx = rows_ / rpp;
+  uint32_t slot = rows_ % rpp;
+  while (page_idx >= seq_->num_pages()) seq_->Allocate();
+  char* row = seq_->Write(page_idx, /*load=*/slot != 0) +
+              size_t(slot) * RowBytes();
+  std::memcpy(row, &id, 4);
+  std::memcpy(row + 4, &ref.length, 4);
+  std::memcpy(row + 8, &ref.offset, 8);
+  for (uint32_t j = 0; j < l_; ++j) {
+    std::memcpy(row + 16 + 12 * j, &pidx[j], 4);
+    std::memcpy(row + 16 + 12 * j + 4, &pdist[j], 8);
+  }
+  ++rows_;
+}
+
+void EptDisk::BuildImpl() {
+  l_ = std::max<uint32_t>(1, pivots_.size());
+  file_ = std::make_unique<PagedFile>(options_.page_size,
+                                      options_.cache_bytes, &counters_);
+  seq_ = std::make_unique<PagedFile>(options_.page_size,
+                                     options_.cache_bytes, &counters_);
+  raf_ = std::make_unique<RandomAccessFile>(file_.get());
+  rows_ = 0;
+  DistanceComputer d = dist();
+  psa_.Build(data(), d, options_.ept_cp_scale, options_.ept_sample_size,
+             options_.seed);
+  std::vector<uint32_t> pidx(l_);
+  std::vector<double> pdist(l_);
+  std::string buf;
+  for (ObjectId id = 0; id < data().size(); ++id) {
+    buf.clear();
+    data().SerializeObject(id, &buf);
+    RafRef ref = raf_->Append(buf.data(), static_cast<uint32_t>(buf.size()));
+    psa_.SelectForObject(data().view(id), d, l_, pidx.data(), pdist.data());
+    AppendRow(id, ref, pidx.data(), pdist.data());
+  }
+  file_->Flush();
+  seq_->Flush();
+}
+
+void EptDisk::RangeImpl(const ObjectView& q, double r,
+                        std::vector<ObjectId>* out) const {
+  DistanceComputer d = dist();
+  std::vector<double> d_qp(psa_.pool().size());
+  for (uint32_t c = 0; c < psa_.pool().size(); ++c) {
+    d_qp[c] = d(q, psa_.pool().pivot(c));
+  }
+  const uint32_t rpp = RowsPerPage();
+  std::vector<char> buf;
+  for (uint32_t row = 0; row < rows_; ++row) {
+    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    ObjectId id;
+    std::memcpy(&id, p, 4);
+    if (id == kInvalidObjectId) continue;  // tombstone
+    bool pruned = false;
+    for (uint32_t j = 0; j < l_ && !pruned; ++j) {
+      uint32_t pv;
+      double dd;
+      std::memcpy(&pv, p + 16 + 12 * j, 4);
+      std::memcpy(&dd, p + 16 + 12 * j + 4, 8);
+      pruned = std::fabs(dd - d_qp[pv]) > r;
+    }
+    if (pruned) continue;
+    RafRef ref;
+    std::memcpy(&ref.length, p + 4, 4);
+    std::memcpy(&ref.offset, p + 8, 8);
+    raf_->ReadRecord(ref, &buf);
+    ObjectView obj =
+        data().DeserializeObject(buf.data(), static_cast<uint32_t>(buf.size()));
+    if (d(q, obj) <= r) out->push_back(id);
+  }
+}
+
+void EptDisk::KnnImpl(const ObjectView& q, size_t k,
+                      std::vector<Neighbor>* out) const {
+  DistanceComputer d = dist();
+  std::vector<double> d_qp(psa_.pool().size());
+  for (uint32_t c = 0; c < psa_.pool().size(); ++c) {
+    d_qp[c] = d(q, psa_.pool().pivot(c));
+  }
+  const uint32_t rpp = RowsPerPage();
+  std::vector<char> buf;
+  KnnHeap heap(k);
+  for (uint32_t row = 0; row < rows_; ++row) {
+    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    ObjectId id;
+    std::memcpy(&id, p, 4);
+    if (id == kInvalidObjectId) continue;
+    double radius = heap.radius();
+    bool pruned = false;
+    for (uint32_t j = 0; j < l_ && !pruned; ++j) {
+      uint32_t pv;
+      double dd;
+      std::memcpy(&pv, p + 16 + 12 * j, 4);
+      std::memcpy(&dd, p + 16 + 12 * j + 4, 8);
+      pruned = std::fabs(dd - d_qp[pv]) > radius;
+    }
+    if (pruned) continue;
+    RafRef ref;
+    std::memcpy(&ref.length, p + 4, 4);
+    std::memcpy(&ref.offset, p + 8, 8);
+    raf_->ReadRecord(ref, &buf);
+    ObjectView obj =
+        data().DeserializeObject(buf.data(), static_cast<uint32_t>(buf.size()));
+    heap.Push(id, d(q, obj));
+  }
+  heap.TakeSorted(out);
+}
+
+void EptDisk::InsertImpl(ObjectId id) {
+  DistanceComputer d = dist();
+  std::string buf;
+  data().SerializeObject(id, &buf);
+  RafRef ref = raf_->Append(buf.data(), static_cast<uint32_t>(buf.size()));
+  std::vector<uint32_t> pidx(l_);
+  std::vector<double> pdist(l_);
+  psa_.SelectForObject(data().view(id), d, l_, pidx.data(), pdist.data());
+  AppendRow(id, ref, pidx.data(), pdist.data());
+  file_->Flush();
+  seq_->Flush();
+}
+
+void EptDisk::RemoveImpl(ObjectId id) {
+  const uint32_t rpp = RowsPerPage();
+  for (uint32_t row = 0; row < rows_; ++row) {
+    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    ObjectId got;
+    std::memcpy(&got, p, 4);
+    if (got != id) continue;
+    char* wp = seq_->Write(row / rpp);
+    ObjectId dead = kInvalidObjectId;
+    std::memcpy(wp + size_t(row % rpp) * RowBytes(), &dead, 4);
+    break;
+  }
+  seq_->Flush();
+}
+
+}  // namespace pmi

@@ -1,0 +1,63 @@
+// EPT*-disk -- the paper's Section 7 future-work direction, implemented:
+// "extension of EPT(*) to a disk-based metric index with a low
+// construction cost is a promising direction."
+//
+// The EPT* table (per-object PSA pivots + pre-computed distances) is laid
+// out in sequential pages, and the objects move to a separate RAF, Omni
+// style.  Queries scan the table pages -- Lemma 1 with per-object pivots
+// -- and fetch only surviving candidates from the RAF.  Compared with the
+// Omni-sequential-file it keeps EPT*'s stronger pruning; compared with
+// in-memory EPT* its resident footprint is only the candidate pool.
+
+#ifndef PMI_EXTERNAL_EPT_DISK_H_
+#define PMI_EXTERNAL_EPT_DISK_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/index.h"
+#include "src/storage/paged_file.h"
+#include "src/storage/raf.h"
+#include "src/tables/psa.h"
+
+namespace pmi {
+
+/// Disk-resident EPT*.
+class EptDisk final : public MetricIndex {
+ public:
+  explicit EptDisk(IndexOptions options = {}) : MetricIndex(options) {}
+
+  std::string name() const override { return "EPT*-disk"; }
+  bool disk_based() const override { return true; }
+  size_t memory_bytes() const override { return psa_.memory_bytes(); }
+  size_t disk_bytes() const override {
+    return (file_ ? file_->bytes() : 0) + (seq_ ? seq_->bytes() : 0);
+  }
+
+ protected:
+  void BuildImpl() override;
+  void RangeImpl(const ObjectView& q, double r,
+                 std::vector<ObjectId>* out) const override;
+  void KnnImpl(const ObjectView& q, size_t k,
+               std::vector<Neighbor>* out) const override;
+  void InsertImpl(ObjectId id) override;
+  void RemoveImpl(ObjectId id) override;
+
+ private:
+  // Row: [oid u32][raf len u32][raf off u64] + l x ([pivot u32][dist f64]).
+  uint32_t RowBytes() const { return 16 + 12 * l_; }
+  uint32_t RowsPerPage() const { return options_.page_size / RowBytes(); }
+  void AppendRow(ObjectId id, const RafRef& ref, const uint32_t* pidx,
+                 const double* pdist);
+
+  uint32_t l_ = 0;
+  PsaSelector psa_;
+  std::unique_ptr<PagedFile> file_;  // RAF backing
+  std::unique_ptr<PagedFile> seq_;   // table pages
+  std::unique_ptr<RandomAccessFile> raf_;
+  uint32_t rows_ = 0;
+};
+
+}  // namespace pmi
+
+#endif  // PMI_EXTERNAL_EPT_DISK_H_

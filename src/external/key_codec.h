@@ -1,0 +1,29 @@
+// Order-preserving encodings of distances into B+-tree keys.
+
+#ifndef PMI_EXTERNAL_KEY_CODEC_H_
+#define PMI_EXTERNAL_KEY_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace pmi {
+
+/// Encodes a non-negative double as a uint64 whose integer order matches
+/// the double order (IEEE-754 bit pattern trick; exact, no quantization).
+inline uint64_t EncodeOrderedKey(double d) {
+  if (d < 0) d = 0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  return bits;
+}
+
+/// Inverse of EncodeOrderedKey.
+inline double DecodeOrderedKey(uint64_t key) {
+  double d;
+  std::memcpy(&d, &key, 8);
+  return d;
+}
+
+}  // namespace pmi
+
+#endif  // PMI_EXTERNAL_KEY_CODEC_H_

@@ -1,0 +1,518 @@
+#include "src/external/m_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "src/core/filtering.h"
+#include "src/core/knn_heap.h"
+
+namespace pmi {
+namespace {
+
+// B+-tree value layout (16 bytes): [oid u32][raf len u32][raf off u64].
+struct Value {
+  ObjectId oid;
+  RafRef ref;
+};
+
+void PackValue(const Value& v, char* out) {
+  std::memcpy(out, &v.oid, 4);
+  std::memcpy(out + 4, &v.ref.length, 4);
+  std::memcpy(out + 8, &v.ref.offset, 8);
+}
+
+Value UnpackValue(const char* p) {
+  Value v;
+  std::memcpy(&v.oid, p, 4);
+  std::memcpy(&v.ref.length, p + 4, 4);
+  std::memcpy(&v.ref.offset, p + 8, 8);
+  return v;
+}
+
+}  // namespace
+
+// Keys: [cluster_id u32 | quantized d(p_last, o) u32].  Quantization is
+// only a within-cluster ordering device; range-scan bounds are made
+// conservative with floor/ceil and entries are re-filtered exactly.
+uint64_t MIndex::QuantFloor(double d) const {
+  double x = std::clamp(d / metric().max_distance(), 0.0, 1.0);
+  return static_cast<uint64_t>(x * double(UINT32_MAX));
+}
+
+uint64_t MIndex::QuantCeil(double d) const {
+  uint64_t q = QuantFloor(d);
+  return q < UINT32_MAX ? q + 1 : q;
+}
+
+uint64_t MIndex::MakeKey(uint32_t cluster_id, double d) const {
+  return (uint64_t(cluster_id) << 32) | QuantFloor(d);
+}
+
+std::vector<uint32_t> MIndex::NearestOrder(
+    const std::vector<double>& phi) const {
+  std::vector<uint32_t> order(phi.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) { return phi[a] < phi[b]; });
+  return order;
+}
+
+MIndex::Cluster* MIndex::MakeLeaf(uint32_t pivot, uint32_t depth) {
+  auto* c = new Cluster();
+  c->pivot = pivot;
+  c->depth = depth;
+  c->cluster_id = next_cluster_id_++;
+  c->minkey = std::numeric_limits<double>::max();
+  c->maxkey = -1;
+  if (variant_ == Variant::kStar) {
+    const uint32_t l = pivots_.size();
+    c->mbb.assign(2 * l, 0);
+    for (uint32_t j = 0; j < l; ++j) {
+      c->mbb[j] = std::numeric_limits<double>::max();
+      c->mbb[l + j] = std::numeric_limits<double>::lowest();
+    }
+  }
+  ++cluster_nodes_;
+  return c;
+}
+
+MIndex::Cluster* MIndex::Locate(const std::vector<uint32_t>& order,
+                                bool create) {
+  Cluster* node = root_.get();
+  uint32_t level = 0;
+  while (!node->leaf) {
+    uint32_t next = order[level];
+    if (!node->kids[next]) {
+      if (!create) return nullptr;
+      node->kids[next].reset(MakeLeaf(next, level + 1));
+    }
+    node = node->kids[next].get();
+    ++level;
+  }
+  return node;
+}
+
+void MIndex::ExpandSummaries(Cluster* leaf, const std::vector<double>& phi) {
+  double key = phi[leaf->pivot];
+  leaf->minkey = std::min(leaf->minkey, key);
+  leaf->maxkey = std::max(leaf->maxkey, key);
+  ++leaf->count;
+  if (variant_ == Variant::kStar) {
+    const uint32_t l = pivots_.size();
+    for (uint32_t j = 0; j < l; ++j) {
+      leaf->mbb[j] = std::min(leaf->mbb[j], phi[j]);
+      leaf->mbb[l + j] = std::max(leaf->mbb[l + j], phi[j]);
+    }
+  }
+}
+
+ObjectView MIndex::ReadRecord(const RafRef& ref, std::vector<char>* buf,
+                              std::vector<double>* phi) const {
+  // RAF record layout: [phi l*f64][object payload].
+  raf_->ReadRecord(ref, buf);
+  const uint32_t l = pivots_.size();
+  phi->resize(l);
+  std::memcpy(phi->data(), buf->data(), 8 * l);
+  return data().DeserializeObject(buf->data() + 8 * l,
+                                  static_cast<uint32_t>(buf->size()) - 8 * l);
+}
+
+void MIndex::BuildImpl() {
+  assert(pivots_.size() >= (variant_ == Variant::kStar ? 2u : 1u) &&
+         "hyperplane partitioning needs at least two pivots");
+  file_ = std::make_unique<PagedFile>(options_.page_size,
+                                      options_.cache_bytes, &counters_);
+  btree_ = std::make_unique<BPlusTree>(file_.get(), 16);
+  raf_ = std::make_unique<RandomAccessFile>(file_.get());
+  next_cluster_id_ = 0;
+  cluster_nodes_ = 0;
+  const uint32_t l = pivots_.size();
+  root_ = std::make_unique<Cluster>();
+  root_->leaf = false;
+  root_->depth = 0;
+  root_->kids.resize(l);
+
+  // Phase 1: map all objects, partition recursively in memory.
+  DistanceComputer d = dist();
+  std::vector<std::vector<double>> phis(data().size());
+  for (ObjectId id = 0; id < data().size(); ++id) {
+    pivots_.Map(data().view(id), d, &phis[id]);
+  }
+  std::vector<std::vector<uint32_t>> orders(data().size());
+  for (ObjectId id = 0; id < data().size(); ++id) {
+    orders[id] = NearestOrder(phis[id]);
+  }
+
+  struct Task {
+    Cluster* node;       // internal node to fill
+    std::vector<ObjectId> members;
+    uint32_t level;      // order[] index used to partition
+  };
+  // Seed: partition everything by nearest pivot under the pseudo-root.
+  std::vector<std::pair<Cluster*, std::vector<ObjectId>>> leaves;
+  std::vector<Task> tasks;
+  {
+    std::vector<std::vector<ObjectId>> parts(l);
+    for (ObjectId id = 0; id < data().size(); ++id) {
+      parts[orders[id][0]].push_back(id);
+    }
+    for (uint32_t j = 0; j < l; ++j) {
+      if (parts[j].empty()) continue;
+      root_->kids[j].reset(MakeLeaf(j, 1));
+      if (parts[j].size() > options_.mindex_maxnum && 1 < l) {
+        root_->kids[j]->leaf = false;
+        root_->kids[j]->kids.resize(l);
+        tasks.push_back({root_->kids[j].get(), std::move(parts[j]), 1});
+      } else {
+        leaves.push_back({root_->kids[j].get(), std::move(parts[j])});
+      }
+    }
+  }
+  while (!tasks.empty()) {
+    Task t = std::move(tasks.back());
+    tasks.pop_back();
+    std::vector<std::vector<ObjectId>> parts(l);
+    for (ObjectId id : t.members) parts[orders[id][t.level]].push_back(id);
+    for (uint32_t j = 0; j < l; ++j) {
+      if (parts[j].empty()) continue;
+      t.node->kids[j].reset(MakeLeaf(j, t.level + 1));
+      Cluster* child = t.node->kids[j].get();
+      if (parts[j].size() > options_.mindex_maxnum && t.level + 1 < l) {
+        child->leaf = false;
+        child->kids.resize(l);
+        tasks.push_back({child, std::move(parts[j]), t.level + 1});
+      } else {
+        leaves.push_back({child, std::move(parts[j])});
+      }
+    }
+  }
+
+  // Phase 2: RAF + B+-tree in key order (cluster ids ascend in creation
+  // order, so sorting groups clusters contiguously -- sequential I/O).
+  std::sort(leaves.begin(), leaves.end(), [](const auto& a, const auto& b) {
+    return a.first->cluster_id < b.first->cluster_id;
+  });
+  std::vector<std::pair<uint64_t, std::vector<char>>> entries;
+  entries.reserve(data().size());
+  std::string obj_buf;
+  std::vector<char> rec;
+  for (auto& [leaf, members] : leaves) {
+    std::sort(members.begin(), members.end(),
+              [&](ObjectId a, ObjectId b) {
+                return phis[a][leaf->pivot] < phis[b][leaf->pivot];
+              });
+    for (ObjectId id : members) {
+      const std::vector<double>& phi = phis[id];
+      obj_buf.clear();
+      data().SerializeObject(id, &obj_buf);
+      rec.assign(8 * size_t(l) + obj_buf.size(), 0);
+      std::memcpy(rec.data(), phi.data(), 8 * l);
+      std::memcpy(rec.data() + 8 * l, obj_buf.data(), obj_buf.size());
+      RafRef ref = raf_->Append(rec.data(), static_cast<uint32_t>(rec.size()));
+      std::vector<char> value(16);
+      PackValue({id, ref}, value.data());
+      entries.emplace_back(MakeKey(leaf->cluster_id, phi[leaf->pivot]),
+                           std::move(value));
+      ExpandSummaries(leaf, phi);
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  btree_->BulkLoad(entries);
+  file_->Flush();
+}
+
+void MIndex::RangeSearch(const ObjectView& q,
+                         const std::vector<double>& phi_q, double r,
+                         bool validate, std::vector<ObjectId>* out) const {
+  const uint32_t l = pivots_.size();
+  DistanceComputer d = dist();
+
+  struct Frame {
+    const Cluster* node;
+    uint32_t used_mask;
+  };
+  std::vector<Frame> stack{{root_.get(), 0}};
+  std::vector<char> buf;
+  std::vector<double> phi_o;
+  while (!stack.empty()) {
+    auto [node, used_mask] = stack.back();
+    stack.pop_back();
+    if (!node->leaf) {
+      // Cheapest unused pivot distance, for the double-pivot test.
+      double min_avail = std::numeric_limits<double>::max();
+      for (uint32_t j = 0; j < l; ++j) {
+        if (!(used_mask & (1u << j))) min_avail = std::min(min_avail, phi_q[j]);
+      }
+      for (uint32_t j = 0; j < l; ++j) {
+        const Cluster* child =
+            j < node->kids.size() ? node->kids[j].get() : nullptr;
+        if (child == nullptr) continue;
+        if (PrunedByHyperplane(phi_q[j], min_avail, r)) continue;  // Lemma 3
+        stack.push_back({child, used_mask | (1u << j)});
+      }
+      continue;
+    }
+    if (node->count == 0) continue;
+    if (validate &&
+        MbbPrunedByPivots(node->mbb.data(), node->mbb.data() + l,
+                          phi_q.data(), l, r)) {
+      continue;  // M-index*: Lemma 1 over the cluster MBB
+    }
+    // iDistance ring restriction within the cluster's key range.
+    double lo = std::max(node->minkey, phi_q[node->pivot] - r);
+    double hi = std::min(node->maxkey, phi_q[node->pivot] + r);
+    if (lo > hi) continue;
+    uint64_t base = uint64_t(node->cluster_id) << 32;
+    btree_->Scan(base | QuantFloor(lo), base | QuantCeil(hi),
+                 [&](uint64_t, const char* vp) {
+                   Value v = UnpackValue(vp);
+                   ObjectView obj = ReadRecord(v.ref, &buf, &phi_o);
+                   if (PrunedByPivots(phi_o.data(), phi_q.data(), l, r)) {
+                     return true;
+                   }
+                   if (validate && ValidatedByPivots(phi_o.data(),
+                                                     phi_q.data(), l, r)) {
+                     out->push_back(v.oid);  // Lemma 4: no verification
+                     return true;
+                   }
+                   if (d(q, obj) <= r) out->push_back(v.oid);
+                   return true;
+                 });
+  }
+}
+
+void MIndex::RangeImpl(const ObjectView& q, double r,
+                       std::vector<ObjectId>* out) const {
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  RangeSearch(q, phi_q, r, variant_ == Variant::kStar, out);
+}
+
+void MIndex::KnnImpl(const ObjectView& q, size_t k,
+                     std::vector<Neighbor>* out) const {
+  if (k == 0) return;
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  const uint32_t l = pivots_.size();
+
+  if (variant_ == Variant::kBasic) {
+    // Incremental-radius MRQs; verified distances are cached so the
+    // repeated traversals cost I/O and CPU but not compdists (Fig. 15).
+    std::unordered_map<ObjectId, double> verified;
+    std::vector<char> buf;
+    std::vector<double> phi_o;
+    double r = metric().max_distance() / 256;
+    while (true) {
+      struct Frame {
+        const Cluster* node;
+        uint32_t used_mask;
+      };
+      std::vector<Frame> stack{{root_.get(), 0}};
+      while (!stack.empty()) {
+        auto [node, used_mask] = stack.back();
+        stack.pop_back();
+        if (!node->leaf) {
+          double min_avail = std::numeric_limits<double>::max();
+          for (uint32_t j = 0; j < l; ++j) {
+            if (!(used_mask & (1u << j))) {
+              min_avail = std::min(min_avail, phi_q[j]);
+            }
+          }
+          for (uint32_t j = 0; j < l; ++j) {
+            const Cluster* child =
+                j < node->kids.size() ? node->kids[j].get() : nullptr;
+            if (child == nullptr) continue;
+            if (PrunedByHyperplane(phi_q[j], min_avail, r)) continue;
+            stack.push_back({child, used_mask | (1u << j)});
+          }
+          continue;
+        }
+        if (node->count == 0) continue;
+        double lo = std::max(node->minkey, phi_q[node->pivot] - r);
+        double hi = std::min(node->maxkey, phi_q[node->pivot] + r);
+        if (lo > hi) continue;
+        uint64_t base = uint64_t(node->cluster_id) << 32;
+        btree_->Scan(base | QuantFloor(lo), base | QuantCeil(hi),
+                     [&](uint64_t, const char* vp) {
+                       Value v = UnpackValue(vp);
+                       if (verified.count(v.oid)) return true;
+                       ObjectView obj = ReadRecord(v.ref, &buf, &phi_o);
+                       if (PrunedByPivots(phi_o.data(), phi_q.data(), l, r)) {
+                         return true;
+                       }
+                       verified[v.oid] = d(q, obj);
+                       return true;
+                     });
+      }
+      size_t within = 0;
+      for (const auto& [oid, dv] : verified) within += dv <= r;
+      if (within >= k || r >= metric().max_distance()) break;
+      r = std::min(r * 2, metric().max_distance());
+    }
+    KnnHeap heap(k);
+    for (const auto& [oid, dv] : verified) heap.Push(oid, dv);
+    heap.TakeSorted(out);
+    return;
+  }
+
+  // M-index*: best-first over leaf clusters by MBB lower bound; one pass.
+  struct Entry {
+    double lb;
+    const Cluster* cluster;
+    bool operator>(const Entry& o) const { return lb > o.lb; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  {
+    std::vector<const Cluster*> stack{root_.get()};
+    while (!stack.empty()) {
+      const Cluster* node = stack.back();
+      stack.pop_back();
+      if (node->leaf) {
+        if (node->count > 0) {
+          pq.push({MbbLowerBound(node->mbb.data(), node->mbb.data() + l,
+                                 phi_q.data(), l),
+                   node});
+        }
+        continue;
+      }
+      for (const auto& kid : node->kids) {
+        if (kid) stack.push_back(kid.get());
+      }
+    }
+  }
+  KnnHeap heap(k);
+  std::vector<char> buf;
+  std::vector<double> phi_o;
+  while (!pq.empty()) {
+    Entry e = pq.top();
+    pq.pop();
+    double radius = heap.radius();
+    if (e.lb > radius) break;
+    const Cluster* node = e.cluster;
+    double lo = node->minkey, hi = node->maxkey;
+    if (radius < std::numeric_limits<double>::infinity()) {
+      lo = std::max(lo, phi_q[node->pivot] - radius);
+      hi = std::min(hi, phi_q[node->pivot] + radius);
+      if (lo > hi) continue;
+    }
+    uint64_t base = uint64_t(node->cluster_id) << 32;
+    btree_->Scan(base | QuantFloor(lo), base | QuantCeil(hi),
+                 [&](uint64_t, const char* vp) {
+                   Value v = UnpackValue(vp);
+                   ObjectView obj = ReadRecord(v.ref, &buf, &phi_o);
+                   if (!PrunedByPivots(phi_o.data(), phi_q.data(), l,
+                                       heap.radius())) {
+                     heap.Push(v.oid, d(q, obj));
+                   }
+                   return true;
+                 });
+  }
+  heap.TakeSorted(out);
+}
+
+void MIndex::SplitCluster(Cluster* leaf,
+                          const std::vector<uint32_t>& chain_used) {
+  const uint32_t l = pivots_.size();
+  // Collect the cluster's entries, re-read their mappings, re-key under
+  // fresh child clusters (the dynamic split of Fig. 12(d)).
+  uint64_t base = uint64_t(leaf->cluster_id) << 32;
+  std::vector<std::pair<uint64_t, Value>> old_entries;
+  btree_->Scan(base, base | 0xFFFFFFFFull, [&](uint64_t k, const char* vp) {
+    old_entries.emplace_back(k, UnpackValue(vp));
+    return true;
+  });
+  leaf->leaf = false;
+  leaf->kids.resize(l);
+  leaf->count = 0;
+
+  std::vector<char> buf;
+  std::vector<double> phi;
+  for (const auto& [key, value] : old_entries) {
+    char oid_bytes[4];
+    std::memcpy(oid_bytes, &value.oid, 4);
+    bool removed = btree_->Remove(key, oid_bytes, 4);
+    assert(removed);
+    (void)removed;
+    ReadRecord(value.ref, &buf, &phi);
+    // The child pivot is the nearest pivot not yet used on the chain.
+    std::vector<uint32_t> order = NearestOrder(phi);
+    uint32_t next = l;
+    for (uint32_t cand : order) {
+      bool used = false;
+      for (uint32_t u : chain_used) used |= u == cand;
+      if (!used) {
+        next = cand;
+        break;
+      }
+    }
+    assert(next < l);
+    if (!leaf->kids[next]) leaf->kids[next].reset(MakeLeaf(next, leaf->depth + 1));
+    Cluster* child = leaf->kids[next].get();
+    char vbuf[16];
+    PackValue(value, vbuf);
+    btree_->Insert(MakeKey(child->cluster_id, phi[child->pivot]), vbuf);
+    ExpandSummaries(child, phi);
+  }
+}
+
+void MIndex::InsertImpl(ObjectId id) {
+  const uint32_t l = pivots_.size();
+  DistanceComputer d = dist();
+  std::vector<double> phi;
+  pivots_.Map(data().view(id), d, &phi);
+  std::vector<uint32_t> order = NearestOrder(phi);
+  Cluster* leaf = Locate(order, /*create=*/true);
+
+  std::string obj_buf;
+  data().SerializeObject(id, &obj_buf);
+  std::vector<char> rec(8 * size_t(l) + obj_buf.size());
+  std::memcpy(rec.data(), phi.data(), 8 * l);
+  std::memcpy(rec.data() + 8 * l, obj_buf.data(), obj_buf.size());
+  RafRef ref = raf_->Append(rec.data(), static_cast<uint32_t>(rec.size()));
+  char vbuf[16];
+  PackValue({id, ref}, vbuf);
+  btree_->Insert(MakeKey(leaf->cluster_id, phi[leaf->pivot]), vbuf);
+  ExpandSummaries(leaf, phi);
+
+  if (leaf->count > options_.mindex_maxnum && leaf->depth < l) {
+    std::vector<uint32_t> chain(order.begin(), order.begin() + leaf->depth);
+    SplitCluster(leaf, chain);
+  }
+  file_->Flush();
+}
+
+void MIndex::RemoveImpl(ObjectId id) {
+  DistanceComputer d = dist();
+  std::vector<double> phi;
+  pivots_.Map(data().view(id), d, &phi);
+  Cluster* leaf = Locate(NearestOrder(phi), /*create=*/false);
+  if (leaf == nullptr) return;
+  char oid_bytes[4];
+  std::memcpy(oid_bytes, &id, 4);
+  if (btree_->Remove(MakeKey(leaf->cluster_id, phi[leaf->pivot]), oid_bytes,
+                     4)) {
+    --leaf->count;  // min/max/mbb stay conservative
+  }
+  file_->Flush();
+}
+
+size_t MIndex::memory_bytes() const {
+  size_t per_node = sizeof(Cluster) +
+                    (variant_ == Variant::kStar
+                         ? 2 * size_t(pivots_.size()) * sizeof(double)
+                         : 0);
+  return cluster_nodes_ * per_node + pivots_.memory_bytes();
+}
+
+}  // namespace pmi

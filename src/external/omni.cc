@@ -1,0 +1,406 @@
+#include "src/external/omni.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/filtering.h"
+#include "src/core/knn_heap.h"
+#include "src/external/key_codec.h"
+
+namespace pmi {
+
+// -- shared base --------------------------------------------------------------
+
+void OmniBase::InitStorage() {
+  eps_ = metric().max_distance() * 1e-6 + 1e-9;
+  file_ = std::make_unique<PagedFile>(options_.page_size,
+                                      options_.cache_bytes, &counters_);
+  raf_ = std::make_unique<RandomAccessFile>(file_.get());
+}
+
+std::vector<double> OmniBase::Map(const ObjectView& o) const {
+  DistanceComputer d = dist();
+  std::vector<double> phi;
+  pivots_.Map(o, d, &phi);
+  return phi;
+}
+
+double OmniBase::VerifyFromRaf(const ObjectView& q, const RafRef& ref) const {
+  std::vector<char> buf;
+  raf_->ReadRecord(ref, &buf);
+  DistanceComputer d = dist();
+  return d(q, data().DeserializeObject(buf.data(),
+                                       static_cast<uint32_t>(buf.size())));
+}
+
+// -- Omni-sequential-file -------------------------------------------------------
+//
+// Row layout (fixed size): [oid u32][pad u32][raf off u64][raf len u32]
+// [pad u32]... actually: [oid u32][raf len u32][raf off u64][phi l*f64].
+// A tombstone sets oid = kInvalidObjectId.
+
+void OmniSequential::AppendRow(ObjectId id, const std::vector<double>& phi,
+                               const RafRef& ref) {
+  const uint32_t rpp = RowsPerPage();
+  uint32_t page_idx = rows_ / rpp;
+  uint32_t slot = rows_ % rpp;
+  while (page_idx >= seq_->num_pages()) seq_->Allocate();
+  char* p = seq_->Write(page_idx, /*load=*/slot != 0);
+  char* row = p + size_t(slot) * RowBytes();
+  std::memcpy(row, &id, 4);
+  std::memcpy(row + 4, &ref.length, 4);
+  std::memcpy(row + 8, &ref.offset, 8);
+  std::memcpy(row + 16, phi.data(), 8 * pivots_.size());
+  ++rows_;
+}
+
+void OmniSequential::BuildImpl() {
+  InitStorage();
+  seq_ = std::make_unique<PagedFile>(options_.page_size,
+                                     options_.cache_bytes, &counters_);
+  rows_ = 0;
+  std::string buf;
+  for (ObjectId id = 0; id < data().size(); ++id) {
+    buf.clear();
+    data().SerializeObject(id, &buf);
+    RafRef ref = raf_->Append(buf.data(), static_cast<uint32_t>(buf.size()));
+    AppendRow(id, Map(data().view(id)), ref);
+  }
+  file_->Flush();
+  seq_->Flush();
+}
+
+void OmniSequential::RangeImpl(const ObjectView& q, double r,
+                               std::vector<ObjectId>* out) const {
+  const uint32_t l = pivots_.size();
+  std::vector<double> phi_q = Map(q);
+  const uint32_t rpp = RowsPerPage();
+  std::vector<double> phi(l);
+  for (uint32_t row = 0; row < rows_; ++row) {
+    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    ObjectId id;
+    std::memcpy(&id, p, 4);
+    if (id == kInvalidObjectId) continue;  // tombstone
+    std::memcpy(phi.data(), p + 16, 8 * l);
+    if (PrunedByPivots(phi.data(), phi_q.data(), l, r)) continue;
+    RafRef ref;
+    std::memcpy(&ref.length, p + 4, 4);
+    std::memcpy(&ref.offset, p + 8, 8);
+    if (VerifyFromRaf(q, ref) <= r) out->push_back(id);
+  }
+}
+
+void OmniSequential::KnnImpl(const ObjectView& q, size_t k,
+                             std::vector<Neighbor>* out) const {
+  const uint32_t l = pivots_.size();
+  std::vector<double> phi_q = Map(q);
+  const uint32_t rpp = RowsPerPage();
+  std::vector<double> phi(l);
+  KnnHeap heap(k);
+  for (uint32_t row = 0; row < rows_; ++row) {
+    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    ObjectId id;
+    std::memcpy(&id, p, 4);
+    if (id == kInvalidObjectId) continue;
+    std::memcpy(phi.data(), p + 16, 8 * l);
+    if (PrunedByPivots(phi.data(), phi_q.data(), l, heap.radius())) continue;
+    RafRef ref;
+    std::memcpy(&ref.length, p + 4, 4);
+    std::memcpy(&ref.offset, p + 8, 8);
+    heap.Push(id, VerifyFromRaf(q, ref));
+  }
+  heap.TakeSorted(out);
+}
+
+void OmniSequential::InsertImpl(ObjectId id) {
+  std::string buf;
+  data().SerializeObject(id, &buf);
+  RafRef ref = raf_->Append(buf.data(), static_cast<uint32_t>(buf.size()));
+  AppendRow(id, Map(data().view(id)), ref);
+  file_->Flush();
+  seq_->Flush();
+}
+
+void OmniSequential::RemoveImpl(ObjectId id) {
+  const uint32_t rpp = RowsPerPage();
+  for (uint32_t row = 0; row < rows_; ++row) {
+    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    ObjectId got;
+    std::memcpy(&got, p, 4);
+    if (got != id) continue;
+    char* wp = seq_->Write(row / rpp);
+    ObjectId dead = kInvalidObjectId;
+    std::memcpy(wp + size_t(row % rpp) * RowBytes(), &dead, 4);
+    break;
+  }
+  seq_->Flush();
+}
+
+// -- OmniB+-tree ----------------------------------------------------------------
+//
+// Value layout (16 bytes): [oid u32][raf len u32][raf off u64].
+
+namespace {
+
+struct OmniValue {
+  ObjectId oid;
+  RafRef ref;
+};
+
+void PackValue(const OmniValue& v, char* out) {
+  std::memcpy(out, &v.oid, 4);
+  std::memcpy(out + 4, &v.ref.length, 4);
+  std::memcpy(out + 8, &v.ref.offset, 8);
+}
+
+OmniValue UnpackValue(const char* p) {
+  OmniValue v;
+  std::memcpy(&v.oid, p, 4);
+  std::memcpy(&v.ref.length, p + 4, 4);
+  std::memcpy(&v.ref.offset, p + 8, 8);
+  return v;
+}
+
+}  // namespace
+
+void OmniBTree::BuildImpl() {
+  InitStorage();
+  const uint32_t l = pivots_.size();
+  trees_.clear();
+  std::vector<std::vector<std::pair<uint64_t, std::vector<char>>>> entries(l);
+  std::string buf;
+  for (ObjectId id = 0; id < data().size(); ++id) {
+    buf.clear();
+    data().SerializeObject(id, &buf);
+    RafRef ref = raf_->Append(buf.data(), static_cast<uint32_t>(buf.size()));
+    std::vector<double> phi = Map(data().view(id));
+    std::vector<char> value(16);
+    PackValue({id, ref}, value.data());
+    for (uint32_t i = 0; i < l; ++i) {
+      entries[i].emplace_back(EncodeOrderedKey(phi[i]), value);
+    }
+  }
+  for (uint32_t i = 0; i < l; ++i) {
+    trees_.push_back(std::make_unique<BPlusTree>(file_.get(), 16));
+    std::sort(entries[i].begin(), entries[i].end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    trees_[i]->BulkLoad(entries[i]);
+  }
+  file_->Flush();
+}
+
+void OmniBTree::CollectCandidates(
+    const std::vector<double>& phi_q, double r,
+    std::vector<std::pair<ObjectId, RafRef>>* out) const {
+  const uint32_t l = pivots_.size();
+  // Scan tree 0 for the seed candidate set, then intersect with the id
+  // sets of the remaining trees (each scanned over its own range).
+  std::unordered_map<ObjectId, RafRef> candidates;
+  trees_[0]->Scan(EncodeOrderedKey(std::max(0.0, phi_q[0] - r)),
+                  EncodeOrderedKey(phi_q[0] + r),
+                  [&](uint64_t, const char* v) {
+                    OmniValue val = UnpackValue(v);
+                    candidates.emplace(val.oid, val.ref);
+                    return true;
+                  });
+  for (uint32_t i = 1; i < l && !candidates.empty(); ++i) {
+    std::unordered_set<ObjectId> seen;
+    trees_[i]->Scan(EncodeOrderedKey(std::max(0.0, phi_q[i] - r)),
+                    EncodeOrderedKey(phi_q[i] + r),
+                    [&](uint64_t, const char* v) {
+                      ObjectId oid;
+                      std::memcpy(&oid, v, 4);
+                      seen.insert(oid);
+                      return true;
+                    });
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      it = seen.count(it->first) ? std::next(it) : candidates.erase(it);
+    }
+  }
+  out->assign(candidates.begin(), candidates.end());
+}
+
+void OmniBTree::RangeImpl(const ObjectView& q, double r,
+                          std::vector<ObjectId>* out) const {
+  std::vector<double> phi_q = Map(q);
+  std::vector<std::pair<ObjectId, RafRef>> candidates;
+  CollectCandidates(phi_q, r, &candidates);
+  for (const auto& [oid, ref] : candidates) {
+    if (VerifyFromRaf(q, ref) <= r) out->push_back(oid);
+  }
+}
+
+void OmniBTree::KnnImpl(const ObjectView& q, size_t k,
+                        std::vector<Neighbor>* out) const {
+  if (k == 0) return;
+  // Incremental-radius strategy with verified-distance caching: the
+  // B+-trees are re-scanned per round (redundant I/O) but no distance is
+  // ever recomputed.
+  std::vector<double> phi_q = Map(q);
+  std::unordered_map<ObjectId, double> verified;
+  double r = metric().max_distance() / 256;
+  while (true) {
+    std::vector<std::pair<ObjectId, RafRef>> candidates;
+    CollectCandidates(phi_q, r, &candidates);
+    for (const auto& [oid, ref] : candidates) {
+      if (!verified.count(oid)) verified[oid] = VerifyFromRaf(q, ref);
+    }
+    size_t within = 0;
+    for (const auto& [oid, dv] : verified) within += dv <= r;
+    if (within >= k || r >= metric().max_distance()) break;
+    r = std::min(r * 2, metric().max_distance());
+  }
+  KnnHeap heap(k);
+  for (const auto& [oid, dv] : verified) heap.Push(oid, dv);
+  heap.TakeSorted(out);
+}
+
+void OmniBTree::InsertImpl(ObjectId id) {
+  std::string buf;
+  data().SerializeObject(id, &buf);
+  RafRef ref = raf_->Append(buf.data(), static_cast<uint32_t>(buf.size()));
+  std::vector<double> phi = Map(data().view(id));
+  char value[16];
+  PackValue({id, ref}, value);
+  for (uint32_t i = 0; i < trees_.size(); ++i) {
+    trees_[i]->Insert(EncodeOrderedKey(phi[i]), value);
+  }
+  file_->Flush();
+}
+
+void OmniBTree::RemoveImpl(ObjectId id) {
+  std::vector<double> phi = Map(data().view(id));
+  char oid_bytes[4];
+  std::memcpy(oid_bytes, &id, 4);
+  for (uint32_t i = 0; i < trees_.size(); ++i) {
+    trees_[i]->Remove(EncodeOrderedKey(phi[i]), oid_bytes, 4);
+  }
+  file_->Flush();
+}
+
+// -- OmniR-tree -----------------------------------------------------------------
+
+std::vector<float> OmniRTree::MapToFloat(ObjectId id) const {
+  std::vector<double> phi = Map(data().view(id));
+  return {phi.begin(), phi.end()};
+}
+
+void OmniRTree::BuildImpl() {
+  InitStorage();
+  rtree_ = std::make_unique<RTree>(file_.get(), pivots_.size());
+  refs_.assign(data().size(), RafRef{});
+  std::vector<RTree::LeafEntry> entries(data().size());
+  std::string buf;
+  for (ObjectId id = 0; id < data().size(); ++id) {
+    buf.clear();
+    data().SerializeObject(id, &buf);
+    refs_[id] = raf_->Append(buf.data(), static_cast<uint32_t>(buf.size()));
+    entries[id].point = MapToFloat(id);
+    entries[id].oid = id;
+    entries[id].ref = refs_[id];
+  }
+  rtree_->BulkLoad(std::move(entries));
+  file_->Flush();
+}
+
+void OmniRTree::RangeImpl(const ObjectView& q, double r,
+                          std::vector<ObjectId>* out) const {
+  const uint32_t l = pivots_.size();
+  std::vector<double> phi_q = Map(q);
+  std::vector<PageId> stack{rtree_->root()};
+  while (!stack.empty()) {
+    RTree::NodeView node = rtree_->ReadNode(stack.back());
+    stack.pop_back();
+    for (uint32_t i = 0; i < node.count; ++i) {
+      if (node.is_leaf) {
+        const float* pt = node.point(i);
+        bool pruned = false;
+        for (uint32_t j = 0; j < l && !pruned; ++j) {
+          pruned = std::fabs(double(pt[j]) - phi_q[j]) > r + eps_;
+        }
+        if (!pruned && VerifyFromRaf(q, node.ref(i)) <= r) {
+          out->push_back(node.oid(i));
+        }
+      } else {
+        bool pruned = false;
+        for (uint32_t j = 0; j < l && !pruned; ++j) {
+          pruned = double(node.lo(i)[j]) > phi_q[j] + r + eps_ ||
+                   double(node.hi(i)[j]) < phi_q[j] - r - eps_;
+        }
+        if (!pruned) stack.push_back(node.child(i));
+      }
+    }
+  }
+}
+
+void OmniRTree::KnnImpl(const ObjectView& q, size_t k,
+                        std::vector<Neighbor>* out) const {
+  const uint32_t l = pivots_.size();
+  std::vector<double> phi_q = Map(q);
+  KnnHeap heap(k);
+  struct Item {
+    double lb;
+    PageId page;
+    bool operator>(const Item& o) const { return lb > o.lb; }
+  };
+  auto mbb_bound = [&](const float* lo, const float* hi) {
+    double best = 0;
+    for (uint32_t j = 0; j < l; ++j) {
+      if (phi_q[j] < lo[j]) {
+        best = std::max(best, double(lo[j]) - phi_q[j]);
+      } else if (phi_q[j] > hi[j]) {
+        best = std::max(best, phi_q[j] - double(hi[j]));
+      }
+    }
+    return std::max(0.0, best - eps_);
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.push({0, rtree_->root()});
+  while (!pq.empty()) {
+    Item item = pq.top();
+    pq.pop();
+    if (item.lb > heap.radius()) break;
+    RTree::NodeView node = rtree_->ReadNode(item.page);
+    for (uint32_t i = 0; i < node.count; ++i) {
+      if (node.is_leaf) {
+        const float* pt = node.point(i);
+        double lb = 0;
+        for (uint32_t j = 0; j < l; ++j) {
+          lb = std::max(lb, std::fabs(double(pt[j]) - phi_q[j]));
+        }
+        if (lb - eps_ > heap.radius()) continue;
+        heap.Push(node.oid(i), VerifyFromRaf(q, node.ref(i)));
+      } else {
+        double lb = std::max(item.lb, mbb_bound(node.lo(i), node.hi(i)));
+        if (lb <= heap.radius()) pq.push({lb, node.child(i)});
+      }
+    }
+  }
+  heap.TakeSorted(out);
+}
+
+void OmniRTree::InsertImpl(ObjectId id) {
+  if (refs_.size() <= id) refs_.resize(id + 1, RafRef{});
+  std::string buf;
+  data().SerializeObject(id, &buf);
+  refs_[id] = raf_->Append(buf.data(), static_cast<uint32_t>(buf.size()));
+  RTree::LeafEntry e;
+  e.point = MapToFloat(id);
+  e.oid = id;
+  e.ref = refs_[id];
+  rtree_->Insert(e);
+  file_->Flush();
+}
+
+void OmniRTree::RemoveImpl(ObjectId id) {
+  std::vector<float> pt = MapToFloat(id);
+  rtree_->Remove(pt.data(), id);
+  file_->Flush();
+}
+
+}  // namespace pmi

@@ -1,0 +1,125 @@
+// The Omni-family (Traina Jr. et al. [17]; Section 5.2).
+//
+// All three members map objects to pivot space and keep the real objects
+// in a separate random access file so index-node size is independent of
+// object size:
+//   * Omni-sequential-file -- "LAESA stored on disk": the mapped vectors
+//     in a flat paged file, scanned wholesale per query;
+//   * OmniB+-tree -- one B+-tree per pivot over d(o, p_i); a query
+//     range-scans each tree and intersects the candidate id sets (the
+//     redundant storage and I/O the paper notes);
+//   * OmniR-tree -- one R-tree over the full mapped vectors, the member
+//     the paper (and [17]) finds best and carries into Figures 16-18.
+
+#ifndef PMI_EXTERNAL_OMNI_H_
+#define PMI_EXTERNAL_OMNI_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/index.h"
+#include "src/storage/bptree.h"
+#include "src/storage/paged_file.h"
+#include "src/storage/raf.h"
+#include "src/storage/rtree.h"
+
+namespace pmi {
+
+/// Base: RAF object store + pivot mapping shared by the three members.
+class OmniBase : public MetricIndex {
+ public:
+  explicit OmniBase(IndexOptions options) : MetricIndex(options) {}
+
+  bool disk_based() const override { return true; }
+  size_t memory_bytes() const override { return pivots_.memory_bytes(); }
+  size_t disk_bytes() const override { return file_ ? file_->bytes() : 0; }
+
+ protected:
+  void InitStorage();
+  /// phi(o) as double vector (distance computations counted).
+  std::vector<double> Map(const ObjectView& o) const;
+  /// Reads object `ref` from the RAF and returns d(q, object).
+  double VerifyFromRaf(const ObjectView& q, const RafRef& ref) const;
+
+  std::unique_ptr<PagedFile> file_;
+  std::unique_ptr<RandomAccessFile> raf_;
+  double eps_ = 0;  // float-rounding slack
+};
+
+/// Omni-sequential-file.
+class OmniSequential final : public OmniBase {
+ public:
+  explicit OmniSequential(IndexOptions options = {}) : OmniBase(options) {}
+  std::string name() const override { return "OmniSeq"; }
+
+ protected:
+  void BuildImpl() override;
+  void RangeImpl(const ObjectView& q, double r,
+                 std::vector<ObjectId>* out) const override;
+  void KnnImpl(const ObjectView& q, size_t k,
+               std::vector<Neighbor>* out) const override;
+  void InsertImpl(ObjectId id) override;
+  void RemoveImpl(ObjectId id) override;
+
+ private:
+  uint32_t RowBytes() const { return 16 + 8 * pivots_.size(); }
+  uint32_t RowsPerPage() const { return options_.page_size / RowBytes(); }
+  void AppendRow(ObjectId id, const std::vector<double>& phi,
+                 const RafRef& ref);
+
+  std::unique_ptr<PagedFile> seq_;  // the sequential file itself
+  uint32_t rows_ = 0;               // including tombstones
+
+ public:
+  size_t disk_bytes() const override {
+    return OmniBase::disk_bytes() + (seq_ ? seq_->bytes() : 0);
+  }
+};
+
+/// OmniB+-tree: one B+-tree per pivot.
+class OmniBTree final : public OmniBase {
+ public:
+  explicit OmniBTree(IndexOptions options = {}) : OmniBase(options) {}
+  std::string name() const override { return "OmniB+tree"; }
+
+ protected:
+  void BuildImpl() override;
+  void RangeImpl(const ObjectView& q, double r,
+                 std::vector<ObjectId>* out) const override;
+  void KnnImpl(const ObjectView& q, size_t k,
+               std::vector<Neighbor>* out) const override;
+  void InsertImpl(ObjectId id) override;
+  void RemoveImpl(ObjectId id) override;
+
+ private:
+  void CollectCandidates(const std::vector<double>& phi_q, double r,
+                         std::vector<std::pair<ObjectId, RafRef>>* out) const;
+
+  std::vector<std::unique_ptr<BPlusTree>> trees_;  // one per pivot
+};
+
+/// OmniR-tree.
+class OmniRTree final : public OmniBase {
+ public:
+  explicit OmniRTree(IndexOptions options = {}) : OmniBase(options) {}
+  std::string name() const override { return "OmniR-tree"; }
+
+ protected:
+  void BuildImpl() override;
+  void RangeImpl(const ObjectView& q, double r,
+                 std::vector<ObjectId>* out) const override;
+  void KnnImpl(const ObjectView& q, size_t k,
+               std::vector<Neighbor>* out) const override;
+  void InsertImpl(ObjectId id) override;
+  void RemoveImpl(ObjectId id) override;
+
+ private:
+  std::vector<float> MapToFloat(ObjectId id) const;
+
+  std::unique_ptr<RTree> rtree_;
+  std::vector<RafRef> refs_;  // oid -> RAF slot (kept across removals)
+};
+
+}  // namespace pmi
+
+#endif  // PMI_EXTERNAL_OMNI_H_

@@ -1,0 +1,170 @@
+#include "src/external/pm_tree.h"
+
+#include <cmath>
+#include <queue>
+
+#include "src/core/filtering.h"
+#include "src/core/knn_heap.h"
+
+namespace pmi {
+namespace {
+
+/// Lemma 1 against float data with slack: prune only when the violation
+/// exceeds eps, so float rounding can never drop a true result.
+bool PhiPruned(const float* phi_o, const double* phi_q, uint32_t l, double r,
+               double eps) {
+  for (uint32_t i = 0; i < l; ++i) {
+    if (std::fabs(double(phi_o[i]) - phi_q[i]) > r + eps) return true;
+  }
+  return false;
+}
+
+bool MbbPruned(const float* mbb, const double* phi_q, uint32_t l, double r,
+               double eps) {
+  for (uint32_t i = 0; i < l; ++i) {
+    if (double(mbb[i]) > phi_q[i] + r + eps) return true;
+    if (double(mbb[l + i]) < phi_q[i] - r - eps) return true;
+  }
+  return false;
+}
+
+double MbbBound(const float* mbb, const double* phi_q, uint32_t l,
+                double eps) {
+  double best = 0;
+  for (uint32_t i = 0; i < l; ++i) {
+    if (phi_q[i] < mbb[i]) {
+      best = std::max(best, double(mbb[i]) - phi_q[i]);
+    } else if (phi_q[i] > mbb[l + i]) {
+      best = std::max(best, phi_q[i] - double(mbb[l + i]));
+    }
+  }
+  return std::max(0.0, best - eps);
+}
+
+}  // namespace
+
+std::vector<float> PmTree::MapToFloat(const ObjectView& o) const {
+  DistanceComputer d = dist();
+  std::vector<double> phi;
+  pivots_.Map(o, d, &phi);
+  return {phi.begin(), phi.end()};
+}
+
+void PmTree::BuildImpl() {
+  eps_ = metric().max_distance() * 1e-6 + 1e-9;
+  file_ = std::make_unique<PagedFile>(options_.page_size,
+                                      options_.cache_bytes, &counters_);
+  MTree::Options mo;
+  mo.store_pivot_data = true;
+  mo.num_pivots = pivots_.size();
+  mo.seed = options_.seed;
+  mtree_ = std::make_unique<MTree>(file_.get(), data_, dist(), mo);
+  for (ObjectId id = 0; id < data().size(); ++id) {
+    mtree_->Insert(id, MapToFloat(data().view(id)));
+  }
+  file_->Flush();
+}
+
+void PmTree::RangeImpl(const ObjectView& q, double r,
+                       std::vector<ObjectId>* out) const {
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  const uint32_t l = pivots_.size();
+
+  struct Frame {
+    PageId page;
+    double d_parent;  // d(q, parent RO); unused at the root
+    bool has_parent;
+  };
+  std::vector<Frame> stack{{mtree_->root(), 0, false}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    MTreeNode node = mtree_->LoadNode(f.page);
+    if (node.is_leaf) {
+      for (const auto& e : node.leaves) {
+        // Parent-distance test (free), then Lemma 1 on stored phi (free),
+        // then the real distance.
+        if (f.has_parent && std::fabs(f.d_parent - e.pd) > r + eps_) continue;
+        if (PhiPruned(e.phi.data(), phi_q.data(), l, r, eps_)) continue;
+        if (d(q, mtree_->ViewOf(e.obj)) <= r) out->push_back(e.oid);
+      }
+      continue;
+    }
+    for (const auto& e : node.children) {
+      if (f.has_parent &&
+          std::fabs(f.d_parent - e.pd) > r + e.radius + eps_) {
+        continue;  // parent-distance test avoids computing d(q, RO)
+      }
+      if (MbbPruned(e.mbb.data(), phi_q.data(), l, r, eps_)) continue;
+      double dq = d(q, mtree_->ViewOf(e.ro));
+      if (PrunedByBall(dq, e.radius + eps_, r)) continue;  // Lemma 2
+      stack.push_back({e.child, dq, true});
+    }
+  }
+}
+
+void PmTree::KnnImpl(const ObjectView& q, size_t k,
+                     std::vector<Neighbor>* out) const {
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  const uint32_t l = pivots_.size();
+  KnnHeap heap(k);
+
+  struct Item {
+    double lb;
+    PageId page;
+    double d_parent;
+    bool has_parent;
+    bool operator>(const Item& o) const { return lb > o.lb; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.push({0, mtree_->root(), 0, false});
+  while (!pq.empty()) {
+    Item item = pq.top();
+    pq.pop();
+    if (item.lb > heap.radius()) break;
+    MTreeNode node = mtree_->LoadNode(item.page);
+    double radius = heap.radius();
+    if (node.is_leaf) {
+      for (const auto& e : node.leaves) {
+        radius = heap.radius();
+        if (item.has_parent &&
+            std::fabs(item.d_parent - e.pd) > radius + eps_) {
+          continue;
+        }
+        if (PhiPruned(e.phi.data(), phi_q.data(), l, radius, eps_)) continue;
+        heap.Push(e.oid, d(q, mtree_->ViewOf(e.obj)));
+      }
+      continue;
+    }
+    for (const auto& e : node.children) {
+      radius = heap.radius();
+      if (item.has_parent &&
+          std::fabs(item.d_parent - e.pd) > radius + e.radius + eps_) {
+        continue;
+      }
+      double mbb_bound = MbbBound(e.mbb.data(), phi_q.data(), l, eps_);
+      if (mbb_bound > radius) continue;
+      double dq = d(q, mtree_->ViewOf(e.ro));
+      double lb = std::max({item.lb, mbb_bound,
+                            BallLowerBound(dq, e.radius + eps_)});
+      if (lb <= radius) pq.push({lb, e.child, dq, true});
+    }
+  }
+  heap.TakeSorted(out);
+}
+
+void PmTree::InsertImpl(ObjectId id) {
+  mtree_->Insert(id, MapToFloat(data().view(id)));
+  file_->Flush();
+}
+
+void PmTree::RemoveImpl(ObjectId id) {
+  mtree_->Remove(id);
+  file_->Flush();
+}
+
+}  // namespace pmi

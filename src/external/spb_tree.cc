@@ -1,0 +1,229 @@
+#include "src/external/spb_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <queue>
+
+#include "src/core/filtering.h"
+#include "src/core/knn_heap.h"
+
+namespace pmi {
+namespace {
+
+// B+-tree value layout (16 bytes): [oid u32][raf len u32][raf off u64].
+struct Value {
+  ObjectId oid;
+  RafRef ref;
+};
+
+void PackValue(const Value& v, char* out) {
+  std::memcpy(out, &v.oid, 4);
+  std::memcpy(out + 4, &v.ref.length, 4);
+  std::memcpy(out + 8, &v.ref.offset, 8);
+}
+
+Value UnpackValue(const char* p) {
+  Value v;
+  std::memcpy(&v.oid, p, 4);
+  std::memcpy(&v.ref.length, p + 4, 4);
+  std::memcpy(&v.ref.offset, p + 8, 8);
+  return v;
+}
+
+}  // namespace
+
+uint32_t SpbTree::CellOf(double d) const {
+  if (d <= 0) return 0;
+  uint32_t c = static_cast<uint32_t>(d / cell_width_);
+  return std::min(c, curve_->max_coord());
+}
+
+uint64_t SpbTree::KeyOf(const std::vector<double>& phi) const {
+  uint32_t cells[64];
+  for (uint32_t i = 0; i < phi.size(); ++i) cells[i] = CellOf(phi[i]);
+  return curve_->Encode(cells);
+}
+
+void SpbTree::BuildImpl() {
+  const uint32_t l = pivots_.size();
+  uint32_t bits = options_.spb_bits_per_dim > 0 ? options_.spb_bits_per_dim
+                                                : HilbertCurve::AutoBits(l);
+  curve_ = std::make_unique<HilbertCurve>(l, bits);
+  cell_width_ = metric().max_distance() / (curve_->max_coord() + 1.0);
+
+  file_ = std::make_unique<PagedFile>(options_.page_size,
+                                      options_.cache_bytes, &counters_);
+  // Non-leaf entries aggregate the grid cells of their subtree: the MBB
+  // of Section 5.4, decoded from the Hilbert key on demand.
+  const HilbertCurve* curve = curve_.get();
+  btree_ = std::make_unique<BPlusTree>(
+      file_.get(), 16, l,
+      [curve](uint64_t key, const char*, float* coords) {
+        uint32_t cells[64];
+        curve->Decode(key, cells);
+        for (uint32_t i = 0; i < curve->dims(); ++i) {
+          coords[i] = static_cast<float>(cells[i]);
+        }
+      });
+  raf_ = std::make_unique<RandomAccessFile>(file_.get());
+
+  // Map everything, sort by curve position, lay the RAF out in curve
+  // order (the locality that gives the SPB-tree its low I/O), bulk load.
+  DistanceComputer d = dist();
+  std::vector<std::pair<uint64_t, ObjectId>> keyed(data().size());
+  std::vector<double> phi;
+  for (ObjectId id = 0; id < data().size(); ++id) {
+    pivots_.Map(data().view(id), d, &phi);
+    keyed[id] = {KeyOf(phi), id};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::pair<uint64_t, std::vector<char>>> entries;
+  entries.reserve(keyed.size());
+  std::string buf;
+  for (const auto& [key, id] : keyed) {
+    buf.clear();
+    data().SerializeObject(id, &buf);
+    RafRef ref = raf_->Append(buf.data(), static_cast<uint32_t>(buf.size()));
+    std::vector<char> value(16);
+    PackValue({id, ref}, value.data());
+    entries.emplace_back(key, std::move(value));
+  }
+  btree_->BulkLoad(entries);
+  file_->Flush();
+}
+
+void SpbTree::RangeImpl(const ObjectView& q, double r,
+                        std::vector<ObjectId>* out) const {
+  const uint32_t l = pivots_.size();
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+
+  std::vector<PageId> stack{btree_->root()};
+  uint32_t cells[64];
+  std::vector<char> buf;
+  while (!stack.empty()) {
+    BPlusTree::NodeView node = btree_->ReadNode(stack.back());
+    stack.pop_back();
+    for (uint32_t i = 0; i < node.count; ++i) {
+      if (!node.is_leaf) {
+        // Aggregated cell MBB -> conservative distance box.
+        bool pruned = false;
+        for (uint32_t j = 0; j < l && !pruned; ++j) {
+          double lo = CellLo(static_cast<uint32_t>(node.agg_lo(i)[j]));
+          double hi = CellHi(static_cast<uint32_t>(node.agg_hi(i)[j]));
+          pruned = lo > phi_q[j] + r || hi < phi_q[j] - r;
+        }
+        if (!pruned) stack.push_back(node.child(i));
+        continue;
+      }
+      curve_->Decode(node.key(i), cells);
+      // Lemma 1 on the cell box [c*w, (c+1)*w).
+      bool pruned = false;
+      bool validated = false;
+      for (uint32_t j = 0; j < l && !pruned; ++j) {
+        pruned = CellLo(cells[j]) > phi_q[j] + r ||
+                 CellHi(cells[j]) < phi_q[j] - r;
+      }
+      if (pruned) continue;
+      // Lemma 4 on the conservative upper end of the cell.
+      for (uint32_t j = 0; j < l && !validated; ++j) {
+        validated = CellHi(cells[j]) <= r - phi_q[j];
+      }
+      Value v = UnpackValue(node.value(i));
+      if (validated) {
+        out->push_back(v.oid);  // no verification needed
+        continue;
+      }
+      raf_->ReadRecord(v.ref, &buf);
+      ObjectView obj = data().DeserializeObject(
+          buf.data(), static_cast<uint32_t>(buf.size()));
+      if (d(q, obj) <= r) out->push_back(v.oid);
+    }
+  }
+}
+
+void SpbTree::KnnImpl(const ObjectView& q, size_t k,
+                      std::vector<Neighbor>* out) const {
+  const uint32_t l = pivots_.size();
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  KnnHeap heap(k);
+
+  struct Item {
+    double lb;
+    PageId page;
+    bool operator>(const Item& o) const { return lb > o.lb; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.push({0, btree_->root()});
+  uint32_t cells[64];
+  std::vector<char> buf;
+  while (!pq.empty()) {
+    Item item = pq.top();
+    pq.pop();
+    if (item.lb > heap.radius()) break;
+    BPlusTree::NodeView node = btree_->ReadNode(item.page);
+    for (uint32_t i = 0; i < node.count; ++i) {
+      if (!node.is_leaf) {
+        double lb = item.lb;
+        for (uint32_t j = 0; j < l; ++j) {
+          double lo = CellLo(static_cast<uint32_t>(node.agg_lo(i)[j]));
+          double hi = CellHi(static_cast<uint32_t>(node.agg_hi(i)[j]));
+          if (phi_q[j] < lo) {
+            lb = std::max(lb, lo - phi_q[j]);
+          } else if (phi_q[j] > hi) {
+            lb = std::max(lb, phi_q[j] - hi);
+          }
+        }
+        if (lb <= heap.radius()) pq.push({lb, node.child(i)});
+        continue;
+      }
+      curve_->Decode(node.key(i), cells);
+      double lb = 0;
+      for (uint32_t j = 0; j < l; ++j) {
+        double lo = CellLo(cells[j]), hi = CellHi(cells[j]);
+        if (phi_q[j] < lo) {
+          lb = std::max(lb, lo - phi_q[j]);
+        } else if (phi_q[j] > hi) {
+          lb = std::max(lb, phi_q[j] - hi);
+        }
+      }
+      if (lb > heap.radius()) continue;
+      Value v = UnpackValue(node.value(i));
+      raf_->ReadRecord(v.ref, &buf);
+      ObjectView obj = data().DeserializeObject(
+          buf.data(), static_cast<uint32_t>(buf.size()));
+      heap.Push(v.oid, d(q, obj));
+    }
+  }
+  heap.TakeSorted(out);
+}
+
+void SpbTree::InsertImpl(ObjectId id) {
+  DistanceComputer d = dist();
+  std::vector<double> phi;
+  pivots_.Map(data().view(id), d, &phi);
+  std::string buf;
+  data().SerializeObject(id, &buf);
+  RafRef ref = raf_->Append(buf.data(), static_cast<uint32_t>(buf.size()));
+  char vbuf[16];
+  PackValue({id, ref}, vbuf);
+  btree_->Insert(KeyOf(phi), vbuf);
+  file_->Flush();
+}
+
+void SpbTree::RemoveImpl(ObjectId id) {
+  DistanceComputer d = dist();
+  std::vector<double> phi;
+  pivots_.Map(data().view(id), d, &phi);
+  char oid_bytes[4];
+  std::memcpy(oid_bytes, &id, 4);
+  btree_->Remove(KeyOf(phi), oid_bytes, 4);
+  file_->Flush();
+}
+
+}  // namespace pmi

@@ -1,0 +1,53 @@
+// Index registry: one factory per surveyed index, shared by the
+// conformance tests and every benchmark so indexes are always constructed
+// the same way.
+
+#ifndef PMI_HARNESS_REGISTRY_H_
+#define PMI_HARNESS_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/index.h"
+
+namespace pmi {
+
+/// Construction recipe and applicability flags for one index.
+struct IndexSpec {
+  std::string name;
+  /// True when the index only supports discrete distance functions
+  /// (BKT, FQT; Table 1).
+  bool discrete_only = false;
+  /// True for category-3 (disk) indexes plus CPT's disk component.
+  bool uses_disk = false;
+  /// Minimum number of pivots required (M-index* needs >= 2 for
+  /// hyperplane partitioning; Fig. 18 omits it at |P| = 1).
+  uint32_t min_pivots = 1;
+  /// True if the index ignores the shared pivot set's identity (EPT,
+  /// EPT*, BKT pick their own pivots; only |P| is honored).
+  bool own_pivots = false;
+  std::function<std::unique_ptr<MetricIndex>(const IndexOptions&)> make;
+};
+
+/// All indexes of the survey, in the paper's presentation order:
+/// LAESA, EPT, EPT*, CPT, BKT, FQT, VPT, MVPT, PM-tree, Omni-seq,
+/// OmniB+-tree, OmniR-tree, M-index, M-index*, SPB-tree (+ AESA).
+const std::vector<IndexSpec>& AllIndexSpecs();
+
+/// The nine indexes of the paper's query-performance figures
+/// (Figs. 16-18): EPT*, CPT, BKT, FQT, MVPT, SPB-tree, M-index*,
+/// PM-tree, OmniR-tree.
+const std::vector<IndexSpec>& FigureIndexSpecs();
+
+/// Factory by display name; aborts on unknown names.
+std::unique_ptr<MetricIndex> MakeIndex(const std::string& name,
+                                       const IndexOptions& options = {});
+
+/// Spec by display name, or nullptr.
+const IndexSpec* FindIndexSpec(const std::string& name);
+
+}  // namespace pmi
+
+#endif  // PMI_HARNESS_REGISTRY_H_

@@ -1,0 +1,106 @@
+#include "src/harness/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace pmi {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == rows_[0].size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> width(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::string line;
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      std::string cell = rows_[r][c];
+      cell.resize(width[c], ' ');
+      line += cell;
+      if (c + 1 < rows_[r].size()) line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string sep(line.size(), '-');
+      std::printf("%s\n", sep.c_str());
+    }
+  }
+}
+
+std::string FormatCount(double v) {
+  char buf[64];
+  if (v < 0) return "-";
+  if (v < 100000) {
+    if (v == std::floor(v)) {
+      std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+    }
+  } else {
+    int exp = static_cast<int>(std::floor(std::log10(v)));
+    std::snprintf(buf, sizeof(buf), "%.2fe%d", v / std::pow(10, exp), exp);
+  }
+  return buf;
+}
+
+std::string FormatMs(double ms) {
+  char buf[64];
+  if (ms < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.4f", ms);
+  } else if (ms < 10) {
+    std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", ms);
+  }
+  return buf;
+}
+
+std::string FormatBytes(size_t bytes) {
+  char buf[64];
+  if (bytes >= (size_t(1) << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", double(bytes) / (1 << 20));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", double(bytes) / 1024);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+std::string FormatF(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void PrintRanking(const std::string& metric,
+                  std::vector<std::pair<std::string, double>> scores) {
+  std::sort(scores.begin(), scores.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::string line = metric + ": ";
+  static const char* kOrdinals[] = {"1st", "2nd", "3rd", "4th", "5th",
+                                    "6th", "7th", "8th", "9th", "10th",
+                                    "11th", "12th", "13th", "14th", "15th"};
+  for (size_t i = 0; i < scores.size() && i < std::size(kOrdinals); ++i) {
+    line += std::string(kOrdinals[i]) + ":" + scores[i].first + "  ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+}  // namespace pmi

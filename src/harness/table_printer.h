@@ -1,0 +1,47 @@
+// Fixed-width console tables for the benchmark binaries.
+
+#ifndef PMI_HARNESS_TABLE_PRINTER_H_
+#define PMI_HARNESS_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmi {
+
+/// Column-aligned table with a header row; prints to stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; must match the header arity.
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// 1234567 -> "1.23e6"-style compact scientific for big counts, plain for
+/// small ones.
+std::string FormatCount(double v);
+
+/// Milliseconds with sensible precision.
+std::string FormatMs(double ms);
+
+/// "12.3 KB" / "4.5 MB" style.
+std::string FormatBytes(size_t bytes);
+
+/// Fixed decimals.
+std::string FormatF(double v, int decimals = 2);
+
+/// Prints a "== title ==" section banner.
+void PrintBanner(const std::string& title);
+
+/// Prints ranking lines ("1st: X  2nd: Y ...") for a metric, ascending.
+void PrintRanking(const std::string& metric,
+                  std::vector<std::pair<std::string, double>> scores);
+
+}  // namespace pmi
+
+#endif  // PMI_HARNESS_TABLE_PRINTER_H_

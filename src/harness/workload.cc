@@ -1,0 +1,122 @@
+#include "src/harness/workload.h"
+
+#include <cstdlib>
+
+#include "src/core/pivot_selection.h"
+#include "src/core/rng.h"
+
+namespace pmi {
+namespace {
+
+uint32_t EnvU32(const char* name, uint32_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<uint32_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+BenchConfig BenchConfig::FromEnv() {
+  BenchConfig c;
+  c.scale_pct = EnvU32("PMI_SCALE", 100);
+  c.queries = EnvU32("PMI_QUERIES", 10);
+  c.quick = EnvU32("PMI_QUICK", 0) != 0;
+  if (c.quick) {
+    c.scale_pct = std::max(1u, c.scale_pct / 10);
+    c.queries = std::min(c.queries, 5u);
+  }
+  return c;
+}
+
+uint32_t DefaultCardinality(BenchDatasetId id) {
+  // ~2% of the paper's cardinalities: the full suite then reproduces in
+  // minutes on a laptop.  PMI_SCALE=1000 runs ~20% of paper scale.
+  switch (id) {
+    case BenchDatasetId::kLa: return 20000;        // paper: 1,073,727
+    case BenchDatasetId::kWords: return 15000;     // paper: 611,756
+    case BenchDatasetId::kColor: return 5000;      // paper: 1,000,000
+    case BenchDatasetId::kSynthetic: return 12000; // paper: 1,000,000
+  }
+  return 10000;
+}
+
+std::vector<BenchDatasetId> AllBenchDatasets() {
+  return {BenchDatasetId::kLa, BenchDatasetId::kWords, BenchDatasetId::kColor,
+          BenchDatasetId::kSynthetic};
+}
+
+Workload MakeWorkload(BenchDatasetId id, const BenchConfig& config,
+                      uint32_t pivot_count) {
+  uint32_t n = static_cast<uint32_t>(
+      uint64_t(DefaultCardinality(id)) * config.scale_pct / 100);
+  n = std::max(n, 500u);
+  Workload w{.bd = MakeBenchDataset(id, n),
+             .distribution = {},
+             .pivots = {},
+             .query_ids = {}};
+  w.distribution = EstimateDistribution(w.bd.data, *w.bd.metric, 20000, 7);
+  PivotSelectionOptions po;
+  po.sample_size = std::min(n, 2000u);
+  w.pivots = SelectSharedPivots(w.bd.data, *w.bd.metric, pivot_count, po);
+  Rng rng(0x9dcba);
+  w.query_ids.reserve(config.queries);
+  for (uint32_t i = 0; i < config.queries; ++i) {
+    w.query_ids.push_back(rng() % n);
+  }
+  return w;
+}
+
+uint32_t PageSizeFor(const std::string& index_name, BenchDatasetId dataset) {
+  bool big_objects = dataset == BenchDatasetId::kColor ||
+                     dataset == BenchDatasetId::kSynthetic;
+  bool stores_objects_in_tree = index_name == "CPT" || index_name == "PM-tree";
+  return big_objects && stores_objects_in_tree ? 40960 : 4096;
+}
+
+IndexOptions OptionsFor(const std::string& index_name,
+                        BenchDatasetId dataset) {
+  IndexOptions o;
+  o.page_size = PageSizeFor(index_name, dataset);
+  o.seed = 42;
+  return o;
+}
+
+void QueryCost::Accumulate(const OpStats& s, size_t result_count) {
+  compdists += double(s.dist_computations);
+  page_accesses += double(s.page_accesses());
+  cpu_ms += s.seconds * 1000.0;
+  results += double(result_count);
+}
+
+void QueryCost::FinishAverage(size_t runs) {
+  if (runs == 0) return;
+  compdists /= double(runs);
+  page_accesses /= double(runs);
+  cpu_ms /= double(runs);
+  results /= double(runs);
+}
+
+QueryCost RunMrq(const MetricIndex& index, const Workload& w, double r) {
+  QueryCost cost;
+  std::vector<ObjectId> out;
+  for (ObjectId qid : w.query_ids) {
+    OpStats s = index.RangeQuery(w.data().view(qid), r, &out);
+    cost.Accumulate(s, out.size());
+  }
+  cost.FinishAverage(w.query_ids.size());
+  return cost;
+}
+
+QueryCost RunKnn(const MetricIndex& index, const Workload& w, uint32_t k) {
+  QueryCost cost;
+  std::vector<Neighbor> out;
+  for (ObjectId qid : w.query_ids) {
+    OpStats s = index.KnnQuery(w.data().view(qid), k, &out);
+    cost.Accumulate(s, out.size());
+  }
+  cost.FinishAverage(w.query_ids.size());
+  return cost;
+}
+
+}  // namespace pmi

@@ -1,0 +1,95 @@
+#include "src/storage/hilbert.h"
+
+#include <cassert>
+
+namespace pmi {
+namespace {
+
+// Skilling's in-place transforms between axes and the "transpose" form of
+// the Hilbert index (bit-plane-major).  Public domain (J. Skilling,
+// "Programming the Hilbert curve", AIP 2004).
+void AxesToTranspose(uint32_t* x, uint32_t bits, uint32_t n) {
+  uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    uint32_t p = q - 1;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        uint32_t t = (x[0] ^ x[i]) & p;  // exchange
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (uint32_t i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (uint32_t i = 0; i < n; ++i) x[i] ^= t;
+}
+
+void TransposeToAxes(uint32_t* x, uint32_t bits, uint32_t n) {
+  uint32_t nbit = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[n - 1] >> 1;
+  for (uint32_t i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != nbit; q <<= 1) {
+    uint32_t p = q - 1;
+    for (uint32_t i = n; i-- > 0;) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+HilbertCurve::HilbertCurve(uint32_t dims, uint32_t bits)
+    : dims_(dims), bits_(bits) {
+  assert(dims >= 1 && bits >= 1);
+  assert(dims * bits <= 63);
+}
+
+uint64_t HilbertCurve::Encode(const uint32_t* coords) const {
+  uint32_t x[64];
+  for (uint32_t i = 0; i < dims_; ++i) {
+    assert(coords[i] <= max_coord());
+    x[i] = coords[i];
+  }
+  AxesToTranspose(x, bits_, dims_);
+  // Interleave the transpose bit-planes, MSB plane first: key bit
+  // (bits-1-b)*dims + (dims-1-i) ... equivalently walk planes outward.
+  uint64_t key = 0;
+  for (uint32_t b = bits_; b-- > 0;) {
+    for (uint32_t i = 0; i < dims_; ++i) {
+      key = (key << 1) | ((x[i] >> b) & 1u);
+    }
+  }
+  return key;
+}
+
+void HilbertCurve::Decode(uint64_t key, uint32_t* coords) const {
+  uint32_t x[64] = {0};
+  uint32_t total = bits_ * dims_;
+  for (uint32_t b = bits_; b-- > 0;) {
+    for (uint32_t i = 0; i < dims_; ++i) {
+      --total;
+      x[i] |= static_cast<uint32_t>((key >> total) & 1u) << b;
+    }
+  }
+  TransposeToAxes(x, bits_, dims_);
+  for (uint32_t i = 0; i < dims_; ++i) coords[i] = x[i];
+}
+
+}  // namespace pmi

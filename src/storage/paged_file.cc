@@ -1,0 +1,78 @@
+#include "src/storage/paged_file.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace pmi {
+
+PagedFile::PagedFile(uint32_t page_size, uint32_t cache_bytes,
+                     PerfCounters* counters)
+    : page_size_(page_size),
+      capacity_frames_(std::max<uint32_t>(1, cache_bytes / page_size)),
+      counters_(counters) {
+  assert(page_size_ >= 64);
+}
+
+PageId PagedFile::Allocate() {
+  pages_.push_back(std::make_unique<char[]>(page_size_));
+  std::memset(pages_.back().get(), 0, page_size_);
+  return num_pages() - 1;
+}
+
+const char* PagedFile::Read(PageId id) const {
+  assert(id < pages_.size());
+  Touch(id, /*dirty=*/false);
+  return pages_[id].get();
+}
+
+char* PagedFile::Write(PageId id, bool load) {
+  assert(id < pages_.size());
+  // A wholesale overwrite (load == false) skips the read charge a real
+  // buffer manager would also skip; either way the frame becomes dirty.
+  auto it = resident_.find(id);
+  if (it == resident_.end() && load) {
+    ++counters_->page_reads;
+  }
+  Touch(id, /*dirty=*/true);
+  return pages_[id].get();
+}
+
+void PagedFile::Flush() {
+  for (Frame& f : lru_) {
+    if (f.dirty) {
+      ++counters_->page_writes;
+      f.dirty = false;
+    }
+  }
+}
+
+void PagedFile::DropCache() {
+  Flush();
+  lru_.clear();
+  resident_.clear();
+}
+
+void PagedFile::Touch(PageId id, bool dirty) const {
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    it->second->dirty |= dirty;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (!dirty) ++counters_->page_reads;  // pool miss on a read path
+  lru_.push_front(Frame{id, dirty});
+  resident_[id] = lru_.begin();
+  EvictIfNeeded();
+}
+
+void PagedFile::EvictIfNeeded() const {
+  while (lru_.size() > capacity_frames_) {
+    Frame victim = lru_.back();
+    lru_.pop_back();
+    resident_.erase(victim.id);
+    if (victim.dirty) ++counters_->page_writes;
+  }
+}
+
+}  // namespace pmi

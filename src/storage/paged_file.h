@@ -1,0 +1,78 @@
+// Simulated disk with a write-back LRU buffer pool.
+//
+// The paper's disk-based indexes are measured in page accesses (PA), not
+// device time, and use a fixed 4 KB page size plus a 128 KB LRU cache
+// (Section 6.1).  PagedFile reproduces exactly that accounting: pages
+// live in memory, but every fetch that misses the buffer pool counts a
+// page read, and every dirty page counts a page write when it is evicted
+// or flushed -- the same quantities a real buffer manager would issue to
+// disk.
+
+#ifndef PMI_STORAGE_PAGED_FILE_H_
+#define PMI_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/counters.h"
+
+namespace pmi {
+
+/// Identifier of a page within one PagedFile.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// In-memory page store with PA accounting through an LRU buffer pool.
+class PagedFile {
+ public:
+  /// `cache_bytes` rounds down to whole frames (>= 1 frame).
+  PagedFile(uint32_t page_size, uint32_t cache_bytes, PerfCounters* counters);
+
+  uint32_t page_size() const { return page_size_; }
+  uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
+  size_t bytes() const { return size_t(num_pages()) * page_size_; }
+
+  /// Allocates a zeroed page.  No PA is charged until it is written.
+  PageId Allocate();
+
+  /// Page contents for reading.  Charges one page read on a pool miss.
+  const char* Read(PageId id) const;
+
+  /// Page contents for mutation.  Pulls the page into the pool (charging
+  /// a read on miss if `load` -- pass false when overwriting wholesale)
+  /// and marks it dirty; the page write is charged at eviction or Flush.
+  char* Write(PageId id, bool load = true);
+
+  /// Writes back all dirty pages (charging page writes) but keeps them
+  /// resident.  Called at the end of builds and updates so their write
+  /// cost lands in the right measurement window.
+  void Flush();
+
+  /// Flush + empty the pool; used to cold-start a measurement phase.
+  void DropCache();
+
+ private:
+  void Touch(PageId id, bool dirty) const;
+  void EvictIfNeeded() const;
+
+  uint32_t page_size_;
+  uint32_t capacity_frames_;
+  PerfCounters* counters_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+
+  struct Frame {
+    PageId id;
+    bool dirty;
+  };
+  // front = most recently used.
+  mutable std::list<Frame> lru_;
+  mutable std::unordered_map<PageId, std::list<Frame>::iterator> resident_;
+};
+
+}  // namespace pmi
+
+#endif  // PMI_STORAGE_PAGED_FILE_H_

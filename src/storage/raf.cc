@@ -1,0 +1,59 @@
+#include "src/storage/raf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace pmi {
+
+RafRef RandomAccessFile::Append(const char* data, uint32_t len) {
+  const uint32_t ps = file_->page_size();
+  // Keep whole records within a page when they fit in one: records never
+  // straddle a boundary unless longer than a page.  This mirrors slotted
+  // pages and creates the per-page waste the paper observes for Color
+  // objects (Section 6.2, storage discussion).
+  if (len <= ps) {
+    uint32_t in_page = static_cast<uint32_t>(end_ % ps);
+    if (in_page != 0 && in_page + len > ps) end_ += ps - in_page;  // pad
+  }
+  RafRef ref{end_, len};
+  uint64_t pos = end_;
+  uint32_t remaining = len;
+  const char* src = data;
+  while (remaining > 0) {
+    uint32_t page_idx = static_cast<uint32_t>(pos / ps);
+    uint32_t in_page = static_cast<uint32_t>(pos % ps);
+    while (page_idx >= pages_.size()) pages_.push_back(file_->Allocate());
+    uint32_t chunk = std::min(remaining, ps - in_page);
+    // Fresh append never needs the old page image when starting a page.
+    char* dst = file_->Write(pages_[page_idx], /*load=*/in_page != 0);
+    std::memcpy(dst + in_page, src, chunk);
+    pos += chunk;
+    src += chunk;
+    remaining -= chunk;
+  }
+  end_ = ref.offset + len;
+  return ref;
+}
+
+void RandomAccessFile::ReadRecord(const RafRef& ref,
+                                  std::vector<char>* out) const {
+  out->resize(ref.length);
+  const uint32_t ps = file_->page_size();
+  uint64_t pos = ref.offset;
+  uint32_t remaining = ref.length;
+  char* dst = out->data();
+  while (remaining > 0) {
+    uint32_t page_idx = static_cast<uint32_t>(pos / ps);
+    uint32_t in_page = static_cast<uint32_t>(pos % ps);
+    assert(page_idx < pages_.size());
+    uint32_t chunk = std::min(remaining, ps - in_page);
+    const char* srcp = file_->Read(pages_[page_idx]);
+    std::memcpy(dst, srcp + in_page, chunk);
+    pos += chunk;
+    dst += chunk;
+    remaining -= chunk;
+  }
+}
+
+}  // namespace pmi

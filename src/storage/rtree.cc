@@ -1,0 +1,449 @@
+#include "src/storage/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace pmi {
+namespace {
+
+constexpr uint32_t kHeaderSize = 8;  // u8 leaf | u8 pad | u16 count | u32 pad
+
+void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+bool IsLeaf(const char* p) { return p[0] != 0; }
+uint32_t Count(const char* p) {
+  uint16_t c;
+  std::memcpy(&c, p + 2, 2);
+  return c;
+}
+void SetHeader(char* p, bool leaf, uint32_t count) {
+  p[0] = leaf ? 1 : 0;
+  p[1] = 0;
+  uint16_t c = static_cast<uint16_t>(count);
+  std::memcpy(p + 2, &c, 2);
+  StoreU32(p + 4, 0);
+}
+void SetCount(char* p, uint32_t count) {
+  uint16_t c = static_cast<uint16_t>(count);
+  std::memcpy(p + 2, &c, 2);
+}
+
+}  // namespace
+
+// Leaf entry layout:     [point dims*f][oid u32][off u64][len u32]
+// Internal entry layout: [lo dims*f][hi dims*f][child u32]
+
+RTree::RTree(PagedFile* file, uint32_t dims) : file_(file), dims_(dims) {
+  uint32_t leaf_slots = (file_->page_size() - kHeaderSize) / leaf_entry_size();
+  uint32_t internal_slots =
+      (file_->page_size() - kHeaderSize) / internal_entry_size();
+  assert(leaf_slots >= 3 && internal_slots >= 3);
+  leaf_capacity_ = leaf_slots - 1;
+  internal_capacity_ = internal_slots - 1;
+  root_ = file_->Allocate();
+  SetHeader(file_->Write(root_, /*load=*/false), /*leaf=*/true, 0);
+}
+
+char* RTree::LeafEntryPtr(char* p, uint32_t i) const {
+  return p + kHeaderSize + size_t(i) * leaf_entry_size();
+}
+
+char* RTree::InternalEntryPtr(char* p, uint32_t i) const {
+  return p + kHeaderSize + size_t(i) * internal_entry_size();
+}
+
+const float* RTree::NodeView::lo(uint32_t i) const {
+  return reinterpret_cast<const float*>(
+      raw + kHeaderSize + size_t(i) * tree->internal_entry_size());
+}
+const float* RTree::NodeView::hi(uint32_t i) const {
+  return lo(i) + tree->dims_;
+}
+PageId RTree::NodeView::child(uint32_t i) const {
+  return LoadU32(raw + kHeaderSize + size_t(i) * tree->internal_entry_size() +
+                 8 * tree->dims_);
+}
+const float* RTree::NodeView::point(uint32_t i) const {
+  return reinterpret_cast<const float*>(
+      raw + kHeaderSize + size_t(i) * tree->leaf_entry_size());
+}
+ObjectId RTree::NodeView::oid(uint32_t i) const {
+  return LoadU32(raw + kHeaderSize + size_t(i) * tree->leaf_entry_size() +
+                 4 * tree->dims_);
+}
+RafRef RTree::NodeView::ref(uint32_t i) const {
+  const char* e =
+      raw + kHeaderSize + size_t(i) * tree->leaf_entry_size() + 4 * tree->dims_;
+  RafRef r;
+  std::memcpy(&r.offset, e + 4, 8);
+  std::memcpy(&r.length, e + 12, 4);
+  return r;
+}
+
+RTree::NodeView RTree::ReadNode(PageId page) const {
+  NodeView v;
+  v.raw = file_->Read(page);
+  v.is_leaf = IsLeaf(v.raw);
+  v.count = Count(v.raw);
+  v.tree = this;
+  return v;
+}
+
+RTree::Rect RTree::NodeBox(PageId page) const {
+  const char* p = file_->Read(page);
+  Rect box;
+  box.lo.assign(dims_, std::numeric_limits<float>::max());
+  box.hi.assign(dims_, std::numeric_limits<float>::lowest());
+  uint32_t n = Count(p);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (IsLeaf(p)) {
+      const float* pt = reinterpret_cast<const float*>(
+          p + kHeaderSize + size_t(i) * leaf_entry_size());
+      for (uint32_t d = 0; d < dims_; ++d) {
+        box.lo[d] = std::min(box.lo[d], pt[d]);
+        box.hi[d] = std::max(box.hi[d], pt[d]);
+      }
+    } else {
+      const float* lo = reinterpret_cast<const float*>(
+          p + kHeaderSize + size_t(i) * internal_entry_size());
+      const float* hi = lo + dims_;
+      for (uint32_t d = 0; d < dims_; ++d) {
+        box.lo[d] = std::min(box.lo[d], lo[d]);
+        box.hi[d] = std::max(box.hi[d], hi[d]);
+      }
+    }
+  }
+  return box;
+}
+
+// -- bulk load (STR) ----------------------------------------------------------
+
+void RTree::BulkLoad(std::vector<LeafEntry> entries) {
+  if (entries.empty()) {
+    root_ = file_->Allocate();
+    SetHeader(file_->Write(root_, /*load=*/false), true, 0);
+    height_ = 1;
+    return;
+  }
+  // Recursive STR tiling: sort the current span by dimension `dim` and
+  // cut it into ceil(count/target)^(1/remaining) slabs, recursing with
+  // the next dimension inside each slab.
+  const uint32_t fill = std::max<uint32_t>(2, leaf_capacity_ * 9 / 10);
+  std::vector<ChildBox> level;
+
+  struct Tile {
+    size_t begin, end;
+    uint32_t dim;
+  };
+  std::vector<Tile> stack{{0, entries.size(), 0}};
+  // Fully tile: sort recursively until slabs are leaf-sized, then emit in
+  // order.  We materialize slab order by processing the stack depth-first
+  // but keeping begin-order (process in reverse push order).
+  std::vector<std::pair<size_t, size_t>> leaf_runs;
+  while (!stack.empty()) {
+    Tile t = stack.back();
+    stack.pop_back();
+    size_t count = t.end - t.begin;
+    if (count <= fill || t.dim >= dims_) {
+      // Emit runs of `fill`.
+      for (size_t b = t.begin; b < t.end; b += fill) {
+        leaf_runs.emplace_back(b, std::min(t.end, b + fill));
+      }
+      continue;
+    }
+    std::sort(entries.begin() + t.begin, entries.begin() + t.end,
+              [&](const LeafEntry& a, const LeafEntry& b) {
+                return a.point[t.dim] < b.point[t.dim];
+              });
+    size_t num_leaves = (count + fill - 1) / fill;
+    uint32_t remaining = dims_ - t.dim;
+    size_t slabs = static_cast<size_t>(
+        std::ceil(std::pow(double(num_leaves), 1.0 / remaining)));
+    slabs = std::max<size_t>(1, std::min(slabs, num_leaves));
+    size_t per_slab = (count + slabs - 1) / slabs;
+    // Push in reverse so lower slabs are processed (emitted) first.
+    std::vector<Tile> tiles;
+    for (size_t b = t.begin; b < t.end; b += per_slab) {
+      tiles.push_back({b, std::min(t.end, b + per_slab), t.dim + 1});
+    }
+    for (auto it = tiles.rbegin(); it != tiles.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  std::sort(leaf_runs.begin(), leaf_runs.end());
+
+  for (auto [b, e] : leaf_runs) {
+    PageId page = file_->Allocate();
+    char* p = file_->Write(page, /*load=*/false);
+    SetHeader(p, /*leaf=*/true, static_cast<uint32_t>(e - b));
+    for (size_t i = b; i < e; ++i) {
+      char* ep = LeafEntryPtr(p, static_cast<uint32_t>(i - b));
+      std::memcpy(ep, entries[i].point.data(), 4 * dims_);
+      StoreU32(ep + 4 * dims_, entries[i].oid);
+      std::memcpy(ep + 4 * dims_ + 4, &entries[i].ref.offset, 8);
+      std::memcpy(ep + 4 * dims_ + 12, &entries[i].ref.length, 4);
+    }
+    level.push_back({page, NodeBox(page)});
+  }
+
+  height_ = 1;
+  const uint32_t int_fill = std::max<uint32_t>(2, internal_capacity_ * 9 / 10);
+  while (level.size() > 1) {
+    std::vector<ChildBox> up;
+    for (size_t j = 0; j < level.size(); j += int_fill) {
+      size_t e = std::min(level.size(), j + int_fill);
+      PageId page = file_->Allocate();
+      char* p = file_->Write(page, /*load=*/false);
+      SetHeader(p, /*leaf=*/false, static_cast<uint32_t>(e - j));
+      for (size_t t = j; t < e; ++t) {
+        char* ep = InternalEntryPtr(p, static_cast<uint32_t>(t - j));
+        std::memcpy(ep, level[t].box.lo.data(), 4 * dims_);
+        std::memcpy(ep + 4 * dims_, level[t].box.hi.data(), 4 * dims_);
+        StoreU32(ep + 8 * dims_, level[t].page);
+      }
+      up.push_back({page, NodeBox(page)});
+    }
+    level = std::move(up);
+    ++height_;
+  }
+  root_ = level[0].page;
+}
+
+// -- insertion ----------------------------------------------------------------
+
+namespace {
+
+// Margin-sum enlargement of box [lo,hi] to cover point pt; robust for the
+// degenerate (zero-volume) boxes common in pivot space.
+double Enlargement(const float* lo, const float* hi, const float* pt,
+                   uint32_t dims) {
+  double e = 0;
+  for (uint32_t d = 0; d < dims; ++d) {
+    if (pt[d] < lo[d]) e += double(lo[d]) - pt[d];
+    if (pt[d] > hi[d]) e += double(pt[d]) - hi[d];
+  }
+  return e;
+}
+
+double Margin(const float* lo, const float* hi, uint32_t dims) {
+  double m = 0;
+  for (uint32_t d = 0; d < dims; ++d) m += double(hi[d]) - lo[d];
+  return m;
+}
+
+}  // namespace
+
+void RTree::SplitNode(char* p, bool leaf, PageId page, SplitResult* out) {
+  const uint32_t n = Count(p);
+  const uint32_t esz = leaf ? leaf_entry_size() : internal_entry_size();
+  // Quadratic split on entry centers.
+  std::vector<const float*> centers(n);
+  std::vector<std::vector<float>> center_store;
+  center_store.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const char* e = p + kHeaderSize + size_t(i) * esz;
+    if (leaf) {
+      centers[i] = reinterpret_cast<const float*>(e);
+    } else {
+      const float* lo = reinterpret_cast<const float*>(e);
+      const float* hi = lo + dims_;
+      std::vector<float> c(dims_);
+      for (uint32_t d = 0; d < dims_; ++d) c[d] = (lo[d] + hi[d]) / 2;
+      center_store.push_back(std::move(c));
+      centers[i] = center_store.back().data();
+    }
+  }
+  // Seeds: the pair with maximal center distance (Linf).
+  uint32_t s1 = 0, s2 = 1;
+  double worst = -1;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      double d = 0;
+      for (uint32_t k = 0; k < dims_; ++k) {
+        d = std::max(d, std::fabs(double(centers[i][k]) - centers[j][k]));
+      }
+      if (d > worst) {
+        worst = d;
+        s1 = i;
+        s2 = j;
+      }
+    }
+  }
+  // Assign each entry to the nearer seed, balanced tail.
+  std::vector<uint32_t> g1{s1}, g2{s2};
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i == s1 || i == s2) continue;
+    double d1 = 0, d2 = 0;
+    for (uint32_t k = 0; k < dims_; ++k) {
+      d1 = std::max(d1, std::fabs(double(centers[i][k]) - centers[s1][k]));
+      d2 = std::max(d2, std::fabs(double(centers[i][k]) - centers[s2][k]));
+    }
+    const uint32_t min_fill = std::max<uint32_t>(1, n / 3);
+    if (g1.size() + (n - g1.size() - g2.size()) <= min_fill) {
+      g1.push_back(i);
+    } else if (g2.size() + (n - g1.size() - g2.size()) <= min_fill) {
+      g2.push_back(i);
+    } else {
+      (d1 <= d2 ? g1 : g2).push_back(i);
+    }
+  }
+  // Materialize: group 1 stays, group 2 moves to a fresh page.
+  std::vector<char> scratch(size_t(n) * esz);
+  std::memcpy(scratch.data(), p + kHeaderSize, scratch.size());
+  auto emit = [&](char* dst, const std::vector<uint32_t>& grp) {
+    for (uint32_t i = 0; i < grp.size(); ++i) {
+      std::memcpy(dst + kHeaderSize + size_t(i) * esz,
+                  scratch.data() + size_t(grp[i]) * esz, esz);
+    }
+  };
+  PageId right = file_->Allocate();
+  char* rp = file_->Write(right, /*load=*/false);
+  SetHeader(rp, leaf, static_cast<uint32_t>(g2.size()));
+  emit(rp, g2);
+  SetHeader(p, leaf, static_cast<uint32_t>(g1.size()));
+  emit(p, g1);
+  out->split = true;
+  out->right_page = right;
+  out->left_box = NodeBox(page);
+  out->right_box = NodeBox(right);
+}
+
+RTree::SplitResult RTree::InsertRec(PageId page, uint32_t level,
+                                    const LeafEntry& entry) {
+  char* p = file_->Write(page);
+  SplitResult res;
+  if (IsLeaf(p)) {
+    uint32_t n = Count(p);
+    char* ep = LeafEntryPtr(p, n);
+    std::memcpy(ep, entry.point.data(), 4 * dims_);
+    StoreU32(ep + 4 * dims_, entry.oid);
+    std::memcpy(ep + 4 * dims_ + 4, &entry.ref.offset, 8);
+    std::memcpy(ep + 4 * dims_ + 12, &entry.ref.length, 4);
+    SetCount(p, ++n);
+    if (n <= leaf_capacity_) {
+      res.left_box = NodeBox(page);
+      return res;
+    }
+    SplitNode(p, /*leaf=*/true, page, &res);
+    return res;
+  }
+
+  // Choose the child needing least margin enlargement; tie -> smaller box.
+  uint32_t n = Count(p);
+  assert(n > 0);
+  uint32_t best = 0;
+  double best_enl = std::numeric_limits<double>::max();
+  double best_margin = std::numeric_limits<double>::max();
+  for (uint32_t i = 0; i < n; ++i) {
+    const char* e = p + kHeaderSize + size_t(i) * internal_entry_size();
+    const float* lo = reinterpret_cast<const float*>(e);
+    const float* hi = lo + dims_;
+    double enl = Enlargement(lo, hi, entry.point.data(), dims_);
+    double mar = Margin(lo, hi, dims_);
+    if (enl < best_enl || (enl == best_enl && mar < best_margin)) {
+      best_enl = enl;
+      best_margin = mar;
+      best = i;
+    }
+  }
+  PageId child = LoadU32(p + kHeaderSize +
+                         size_t(best) * internal_entry_size() + 8 * dims_);
+  SplitResult sub = InsertRec(child, level + 1, entry);
+  p = file_->Write(page);
+  {
+    char* e = InternalEntryPtr(p, best);
+    std::memcpy(e, sub.left_box.lo.data(), 4 * dims_);
+    std::memcpy(e + 4 * dims_, sub.left_box.hi.data(), 4 * dims_);
+    StoreU32(e + 8 * dims_, child);
+  }
+  if (sub.split) {
+    char* e = InternalEntryPtr(p, n);
+    std::memcpy(e, sub.right_box.lo.data(), 4 * dims_);
+    std::memcpy(e + 4 * dims_, sub.right_box.hi.data(), 4 * dims_);
+    StoreU32(e + 8 * dims_, sub.right_page);
+    SetCount(p, ++n);
+  }
+  if (n <= internal_capacity_) {
+    res.left_box = NodeBox(page);
+    return res;
+  }
+  SplitNode(p, /*leaf=*/false, page, &res);
+  return res;
+}
+
+void RTree::Insert(const LeafEntry& entry) {
+  assert(entry.point.size() == dims_);
+  SplitResult res = InsertRec(root_, 0, entry);
+  if (!res.split) return;
+  PageId new_root = file_->Allocate();
+  char* p = file_->Write(new_root, /*load=*/false);
+  SetHeader(p, /*leaf=*/false, 2);
+  char* e0 = InternalEntryPtr(p, 0);
+  std::memcpy(e0, res.left_box.lo.data(), 4 * dims_);
+  std::memcpy(e0 + 4 * dims_, res.left_box.hi.data(), 4 * dims_);
+  StoreU32(e0 + 8 * dims_, root_);
+  char* e1 = InternalEntryPtr(p, 1);
+  std::memcpy(e1, res.right_box.lo.data(), 4 * dims_);
+  std::memcpy(e1 + 4 * dims_, res.right_box.hi.data(), 4 * dims_);
+  StoreU32(e1 + 8 * dims_, res.right_page);
+  root_ = new_root;
+  ++height_;
+}
+
+// -- removal ------------------------------------------------------------------
+
+bool RTree::RemoveRec(PageId page, const float* point, ObjectId oid,
+                      Rect* updated) {
+  const char* cp = file_->Read(page);
+  uint32_t n = Count(cp);
+  if (IsLeaf(cp)) {
+    for (uint32_t i = 0; i < n; ++i) {
+      const char* e = cp + kHeaderSize + size_t(i) * leaf_entry_size();
+      if (LoadU32(e + 4 * dims_) != oid) continue;
+      char* wp = file_->Write(page);
+      std::memmove(LeafEntryPtr(wp, i), LeafEntryPtr(wp, i + 1),
+                   size_t(n - i - 1) * leaf_entry_size());
+      SetCount(wp, n - 1);
+      *updated = NodeBox(page);
+      return true;
+    }
+    return false;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    const char* e = cp + kHeaderSize + size_t(i) * internal_entry_size();
+    const float* lo = reinterpret_cast<const float*>(e);
+    const float* hi = lo + dims_;
+    bool contains = true;
+    for (uint32_t d = 0; d < dims_ && contains; ++d) {
+      contains = point[d] >= lo[d] && point[d] <= hi[d];
+    }
+    if (!contains) continue;
+    PageId child = LoadU32(e + 8 * dims_);
+    Rect child_box;
+    if (RemoveRec(child, point, oid, &child_box)) {
+      char* wp = file_->Write(page);
+      char* we = InternalEntryPtr(wp, i);
+      std::memcpy(we, child_box.lo.data(), 4 * dims_);
+      std::memcpy(we + 4 * dims_, child_box.hi.data(), 4 * dims_);
+      *updated = NodeBox(page);
+      return true;
+    }
+    cp = file_->Read(page);
+  }
+  return false;
+}
+
+bool RTree::Remove(const float* point, ObjectId oid) {
+  Rect ignored;
+  return RemoveRec(root_, point, oid, &ignored);
+}
+
+}  // namespace pmi

@@ -1,0 +1,106 @@
+#include "src/tables/cpt.h"
+
+#include <cassert>
+
+#include "src/core/filtering.h"
+#include "src/core/knn_heap.h"
+
+namespace pmi {
+
+void Cpt::BuildImpl() {
+  const uint32_t l = pivots_.size();
+  const uint32_t n = data().size();
+  oids_.clear();
+  table_.clear();
+  leaf_of_.clear();
+  file_ = std::make_unique<PagedFile>(options_.page_size,
+                                      options_.cache_bytes, &counters_);
+  MTree::Options mo;
+  mo.seed = options_.seed;
+  mtree_ = std::make_unique<MTree>(
+      file_.get(), data_, dist(), mo,
+      [this](ObjectId oid, PageId page) { leaf_of_[oid] = page; });
+
+  DistanceComputer d = dist();
+  std::vector<double> phi;
+  oids_.reserve(n);
+  table_.reserve(size_t(n) * l);
+  for (ObjectId id = 0; id < n; ++id) {
+    pivots_.Map(data().view(id), d, &phi);
+    oids_.push_back(id);
+    table_.insert(table_.end(), phi.begin(), phi.end());
+    mtree_->Insert(id, {});
+  }
+  file_->Flush();
+}
+
+double Cpt::VerifyFromDisk(const ObjectView& q, ObjectId id) const {
+  auto it = leaf_of_.find(id);
+  assert(it != leaf_of_.end());
+  MTreeNode node = mtree_->LoadNode(it->second);
+  DistanceComputer d = dist();
+  for (const auto& e : node.leaves) {
+    if (e.oid == id) return d(q, mtree_->ViewOf(e.obj));
+  }
+  assert(false && "leaf pointer out of date");
+  return 0;
+}
+
+void Cpt::RangeImpl(const ObjectView& q, double r,
+                    std::vector<ObjectId>* out) const {
+  const uint32_t l = pivots_.size();
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  for (size_t i = 0; i < oids_.size(); ++i) {
+    if (PrunedByPivots(row(i), phi_q.data(), l, r)) continue;
+    if (VerifyFromDisk(q, oids_[i]) <= r) out->push_back(oids_[i]);
+  }
+}
+
+void Cpt::KnnImpl(const ObjectView& q, size_t k,
+                  std::vector<Neighbor>* out) const {
+  const uint32_t l = pivots_.size();
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  KnnHeap heap(k);
+  for (size_t i = 0; i < oids_.size(); ++i) {
+    if (PrunedByPivots(row(i), phi_q.data(), l, heap.radius())) continue;
+    heap.Push(oids_[i], VerifyFromDisk(q, oids_[i]));
+  }
+  heap.TakeSorted(out);
+}
+
+void Cpt::InsertImpl(ObjectId id) {
+  DistanceComputer d = dist();
+  std::vector<double> phi;
+  pivots_.Map(data().view(id), d, &phi);
+  oids_.push_back(id);
+  table_.insert(table_.end(), phi.begin(), phi.end());
+  mtree_->Insert(id, {});
+  file_->Flush();
+}
+
+void Cpt::RemoveImpl(ObjectId id) {
+  const uint32_t l = pivots_.size();
+  for (size_t i = 0; i < oids_.size(); ++i) {
+    if (oids_[i] != id) continue;
+    oids_.erase(oids_.begin() + i);
+    table_.erase(table_.begin() + i * l, table_.begin() + (i + 1) * l);
+    break;
+  }
+  mtree_->Remove(id);
+  leaf_of_.erase(id);
+  file_->Flush();
+}
+
+size_t Cpt::memory_bytes() const {
+  return table_.size() * sizeof(double) + oids_.size() * sizeof(ObjectId) +
+         leaf_of_.size() * (sizeof(ObjectId) + sizeof(PageId) + 16) +
+         pivots_.memory_bytes();
+}
+
+size_t Cpt::disk_bytes() const { return file_ ? file_->bytes() : 0; }
+
+}  // namespace pmi

@@ -1,0 +1,60 @@
+// CPT -- Clustered Pivot Table (Mosko, Lokoc, Skopal [20]; Section 3.3).
+//
+// Keeps the LAESA distance table in main memory but moves the objects
+// themselves into a disk-resident M-tree so similar objects cluster on
+// the same pages.  Each table row carries a pointer to the M-tree leaf
+// holding its object; a candidate that survives Lemma 1 is verified by
+// reading that leaf page (the per-candidate I/O the paper charges CPT
+// for).  Updates must maintain both structures, which is why Table 6
+// ranks CPT near the bottom.
+
+#ifndef PMI_TABLES_CPT_H_
+#define PMI_TABLES_CPT_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/index.h"
+#include "src/storage/mtree.h"
+#include "src/storage/paged_file.h"
+
+namespace pmi {
+
+/// In-memory pivot table + on-disk M-tree object store.
+class Cpt final : public MetricIndex {
+ public:
+  explicit Cpt(IndexOptions options = {}) : MetricIndex(options) {}
+
+  std::string name() const override { return "CPT"; }
+  bool disk_based() const override { return true; }
+  size_t memory_bytes() const override;
+  size_t disk_bytes() const override;
+
+ protected:
+  void BuildImpl() override;
+  void RangeImpl(const ObjectView& q, double r,
+                 std::vector<ObjectId>* out) const override;
+  void KnnImpl(const ObjectView& q, size_t k,
+               std::vector<Neighbor>* out) const override;
+  void InsertImpl(ObjectId id) override;
+  void RemoveImpl(ObjectId id) override;
+
+ private:
+  const double* row(size_t i) const { return &table_[i * pivots_.size()]; }
+
+  /// Reads object `id` from its M-tree leaf (charging the page access)
+  /// and returns its distance to `q`.
+  double VerifyFromDisk(const ObjectView& q, ObjectId id) const;
+
+  std::vector<ObjectId> oids_;
+  std::vector<double> table_;
+  std::unordered_map<ObjectId, PageId> leaf_of_;  // the table's "ptr" column
+
+  std::unique_ptr<PagedFile> file_;
+  std::unique_ptr<MTree> mtree_;
+};
+
+}  // namespace pmi
+
+#endif  // PMI_TABLES_CPT_H_

@@ -1,0 +1,246 @@
+#include "src/tables/ept.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/core/filtering.h"
+#include "src/core/knn_heap.h"
+#include "src/core/pivot_selection.h"
+#include "src/core/rng.h"
+
+namespace pmi {
+
+void Ept::BuildImpl() {
+  l_ = std::max<uint32_t>(1, pivots_.size());
+  oids_.clear();
+  pidx_.clear();
+  pdist_.clear();
+  Rng rng(options_.seed ^ 0xe97u);
+
+  if (variant_ == Variant::kClassic) {
+    if (options_.ept_group_size > 0) {
+      m_ = options_.ept_group_size;
+    } else {
+      EstimateGroupSize();
+    }
+    // l groups of m random pivots form one flat pool of m*l entries;
+    // group g owns pool indices [g*m, (g+1)*m).
+    std::vector<ObjectId> ids =
+        SelectPivotsRandom(data(), m_ * l_, rng);
+    // Random selection may return fewer ids than requested on tiny
+    // datasets; shrink m to fit.
+    while (ids.size() < size_t(m_) * l_ && m_ > 1) {
+      --m_;
+      ids.resize(size_t(m_) * l_);
+    }
+    pool_ = PivotSet(data(), ids);
+    EstimateMus();
+  } else {
+    // EPT*: HF outlier candidates (Algorithm 1 line 2, cp_scale = 40)
+    // plus the PSA object sample S -- shared with EPT*-disk via
+    // PsaSelector.
+    DistanceComputer d = dist();
+    psa_.Build(data(), d, options_.ept_cp_scale, options_.ept_sample_size,
+               options_.seed);
+  }
+
+  oids_.reserve(data().size());
+  pidx_.reserve(size_t(data().size()) * l_);
+  pdist_.reserve(size_t(data().size()) * l_);
+  for (ObjectId id = 0; id < data().size(); ++id) AppendRow(id);
+}
+
+// Equation (1): cost(m) = m*l + n * Pr(object survives all l groups).
+// The survival probability is estimated by Monte Carlo on sampled
+// (query, object, group) triples at a kNN-typical radius.
+void Ept::EstimateGroupSize() {
+  DistanceComputer d = dist();
+  Rng rng(options_.seed ^ 0x5eed);
+  const uint32_t n = data().size();
+  const uint32_t kPairs = 128;
+  // Radius of a ~20-NN query: the 20/n quantile of pairwise distances.
+  std::vector<double> dists;
+  dists.reserve(kPairs);
+  for (uint32_t i = 0; i < kPairs; ++i) {
+    dists.push_back(
+        d(data().view(rng() % n), data().view(rng() % n)));
+  }
+  std::sort(dists.begin(), dists.end());
+  double frac = std::min(0.25, std::max(0.001, 20.0 / n));
+  double r_hat = dists[size_t(frac * (dists.size() - 1))];
+
+  // Pre-sample pivots/objects/queries once; reuse across m candidates.
+  const uint32_t kTrials = 96, kPool = 24;
+  std::vector<ObjectId> povs(kPool), objs(kTrials), qrys(kTrials);
+  for (auto& x : povs) x = rng() % n;
+  for (auto& x : objs) x = rng() % n;
+  for (auto& x : qrys) x = rng() % n;
+  std::vector<double> mu(kPool, 0);
+  std::vector<double> d_op(size_t(kTrials) * kPool), d_qp(size_t(kTrials) * kPool);
+  for (uint32_t t = 0; t < kTrials; ++t) {
+    for (uint32_t p = 0; p < kPool; ++p) {
+      d_op[size_t(t) * kPool + p] = d(data().view(objs[t]), data().view(povs[p]));
+      d_qp[size_t(t) * kPool + p] = d(data().view(qrys[t]), data().view(povs[p]));
+    }
+  }
+  for (uint32_t p = 0; p < kPool; ++p) {
+    for (uint32_t t = 0; t < kTrials; ++t) mu[p] += d_op[size_t(t) * kPool + p];
+    mu[p] /= kTrials;
+  }
+
+  double best_cost = std::numeric_limits<double>::max();
+  uint32_t best_m = 2;
+  for (uint32_t m = 1; m <= 16; m *= 2) {
+    double survive = 0;
+    for (uint32_t t = 0; t < kTrials; ++t) {
+      // One simulated group: m pivots drawn from the pool; the object
+      // keeps the pivot with max |d(o,p) - mu_p|.
+      uint32_t best_p = 0;
+      double best_dev = -1;
+      for (uint32_t j = 0; j < m; ++j) {
+        uint32_t p = (t + j * 7 + 3) % kPool;  // deterministic spread
+        double dev = std::fabs(d_op[size_t(t) * kPool + p] - mu[p]);
+        if (dev > best_dev) {
+          best_dev = dev;
+          best_p = p;
+        }
+      }
+      double lb = std::fabs(d_op[size_t(t) * kPool + best_p] -
+                            d_qp[size_t(t) * kPool + best_p]);
+      if (lb <= r_hat) survive += 1;
+    }
+    double p_survive_group = survive / kTrials;
+    double cost = double(m) * l_ +
+                  double(data().size()) * std::pow(p_survive_group, l_);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_m = m;
+    }
+  }
+  m_ = std::max<uint32_t>(2, best_m);
+}
+
+void Ept::EstimateMus() {
+  DistanceComputer d = dist();
+  Rng rng(options_.seed ^ 0x3a7);
+  uint32_t sample = std::min<uint32_t>(options_.ept_sample_size, data().size());
+  pool_mu_.assign(pool_.size(), 0);
+  std::vector<ObjectId> ids = SelectPivotsRandom(data(), sample, rng);
+  for (uint32_t p = 0; p < pool_.size(); ++p) {
+    double sum = 0;
+    for (ObjectId id : ids) sum += d(pool_.pivot(p), data().view(id));
+    pool_mu_[p] = ids.empty() ? 0 : sum / ids.size();
+  }
+}
+
+void Ept::SelectClassic(ObjectId id, uint32_t* pidx, double* pdist) {
+  DistanceComputer d = dist();
+  ObjectView o = data().view(id);
+  for (uint32_t g = 0; g < l_; ++g) {
+    uint32_t best = g * m_;
+    double best_dev = -1, best_d = 0;
+    for (uint32_t j = 0; j < m_; ++j) {
+      uint32_t p = g * m_ + j;
+      double dd = d(o, pool_.pivot(p));
+      double dev = std::fabs(dd - pool_mu_[p]);
+      if (dev > best_dev) {
+        best_dev = dev;
+        best = p;
+        best_d = dd;
+      }
+    }
+    pidx[g] = best;
+    pdist[g] = best_d;
+  }
+}
+
+void Ept::SelectStar(ObjectId id, uint32_t* pidx, double* pdist) {
+  DistanceComputer d = dist();
+  psa_.SelectForObject(data().view(id), d, l_, pidx, pdist);
+}
+
+void Ept::AppendRow(ObjectId id) {
+  size_t base = pidx_.size();
+  oids_.push_back(id);
+  pidx_.resize(base + l_);
+  pdist_.resize(base + l_);
+  if (variant_ == Variant::kClassic) {
+    SelectClassic(id, &pidx_[base], &pdist_[base]);
+  } else {
+    SelectStar(id, &pidx_[base], &pdist_[base]);
+  }
+}
+
+void Ept::MapQueryToPool(const ObjectView& q, std::vector<double>* out) const {
+  DistanceComputer d = dist();
+  const PivotSet& pool = query_pool();
+  out->resize(pool.size());
+  for (uint32_t p = 0; p < pool.size(); ++p) (*out)[p] = d(q, pool.pivot(p));
+}
+
+void Ept::RangeImpl(const ObjectView& q, double r,
+                    std::vector<ObjectId>* out) const {
+  DistanceComputer d = dist();
+  std::vector<double> d_qp;
+  MapQueryToPool(q, &d_qp);
+  for (size_t i = 0; i < oids_.size(); ++i) {
+    const uint32_t* pi = &pidx_[i * l_];
+    const double* pv = &pdist_[i * l_];
+    bool pruned = false;
+    for (uint32_t j = 0; j < l_ && !pruned; ++j) {
+      pruned = std::fabs(pv[j] - d_qp[pi[j]]) > r;
+    }
+    if (pruned) continue;
+    if (d(q, data().view(oids_[i])) <= r) out->push_back(oids_[i]);
+  }
+}
+
+void Ept::KnnImpl(const ObjectView& q, size_t k,
+                  std::vector<Neighbor>* out) const {
+  DistanceComputer d = dist();
+  std::vector<double> d_qp;
+  MapQueryToPool(q, &d_qp);
+  KnnHeap heap(k);
+  for (size_t i = 0; i < oids_.size(); ++i) {
+    const uint32_t* pi = &pidx_[i * l_];
+    const double* pv = &pdist_[i * l_];
+    double radius = heap.radius();
+    bool pruned = false;
+    for (uint32_t j = 0; j < l_ && !pruned; ++j) {
+      pruned = std::fabs(pv[j] - d_qp[pi[j]]) > radius;
+    }
+    if (pruned) continue;
+    heap.Push(oids_[i], d(q, data().view(oids_[i])));
+  }
+  heap.TakeSorted(out);
+}
+
+void Ept::InsertImpl(ObjectId id) {
+  if (variant_ == Variant::kClassic) {
+    // The mean distances the selection criterion relies on drift as the
+    // dataset changes, so classic EPT re-estimates them per insertion --
+    // the high estimation cost the paper reports in Table 6.
+    EstimateMus();
+  }
+  AppendRow(id);
+}
+
+void Ept::RemoveImpl(ObjectId id) {
+  for (size_t i = 0; i < oids_.size(); ++i) {
+    if (oids_[i] != id) continue;
+    oids_.erase(oids_.begin() + i);
+    pidx_.erase(pidx_.begin() + i * l_, pidx_.begin() + (i + 1) * l_);
+    pdist_.erase(pdist_.begin() + i * l_, pdist_.begin() + (i + 1) * l_);
+    return;
+  }
+}
+
+size_t Ept::memory_bytes() const {
+  return pdist_.size() * sizeof(double) + pidx_.size() * sizeof(uint32_t) +
+         oids_.size() * sizeof(ObjectId) + pool_.memory_bytes() +
+         psa_.memory_bytes() + data().total_payload_bytes();
+}
+
+}  // namespace pmi

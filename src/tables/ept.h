@@ -1,0 +1,87 @@
+// EPT and EPT* -- Extreme Pivot Tables (Ruiz et al. [24]; Section 3.2).
+//
+// Unlike LAESA, EPT assigns *different* pivots to different objects: l
+// pivot groups of m random pivots each; an object keeps, per group, the
+// pivot maximizing |d(o,p) - mu_p| (the deviation from that pivot's mean
+// distance), which maximizes the chance the stored distance prunes.
+//
+// EPT* is the paper's improvement: the Pivot Selection Algorithm (PSA,
+// Algorithm 1) draws candidate pivots from HF outliers (cp_scale = 40) and
+// per object greedily selects the l candidates maximizing the mean
+// lower-bound ratio D(o,s)/d(o,s) over a fixed object sample S.
+//
+// Implementation note (documented in DESIGN.md Section 3): PSA memoizes
+// the |S| x |CP| candidate-sample distance matrix and each object's |CP|
+// candidate distances, so EPT*'s construction compdists exceed EPT's by a
+// factor of ~(|CP|+|S|)/(m*l) rather than the paper's ~1000x naive
+// recomputation; the ordering (EPT* costliest to build, cheapest to
+// query) is preserved.
+
+#ifndef PMI_TABLES_EPT_H_
+#define PMI_TABLES_EPT_H_
+
+#include <vector>
+
+#include "src/core/index.h"
+#include "src/core/pivots.h"
+#include "src/tables/psa.h"
+
+namespace pmi {
+
+/// Extreme pivot table; variant selects classic EPT or EPT*.
+class Ept final : public MetricIndex {
+ public:
+  enum class Variant { kClassic, kStar };
+
+  explicit Ept(Variant variant, IndexOptions options = {})
+      : MetricIndex(options), variant_(variant) {}
+
+  std::string name() const override {
+    return variant_ == Variant::kClassic ? "EPT" : "EPT*";
+  }
+  bool disk_based() const override { return false; }
+  size_t memory_bytes() const override;
+
+  /// Group size m actually used (after Equation (1) estimation).
+  uint32_t group_size() const { return m_; }
+
+ protected:
+  void BuildImpl() override;
+  void RangeImpl(const ObjectView& q, double r,
+                 std::vector<ObjectId>* out) const override;
+  void KnnImpl(const ObjectView& q, size_t k,
+               std::vector<Neighbor>* out) const override;
+  void InsertImpl(ObjectId id) override;
+  void RemoveImpl(ObjectId id) override;
+
+ private:
+  uint32_t per_object() const { return l_; }
+
+  void EstimateGroupSize();
+  void EstimateMus();
+  void SelectClassic(ObjectId id, uint32_t* pidx, double* pdist);
+  void SelectStar(ObjectId id, uint32_t* pidx, double* pdist);
+  void AppendRow(ObjectId id);
+  void MapQueryToPool(const ObjectView& q, std::vector<double>* out) const;
+
+  Variant variant_;
+  uint32_t l_ = 0;  // pivots per object (= |P| of the shared setting)
+  uint32_t m_ = 0;  // group size (classic)
+
+  PivotSet pool_;                // classic: m*l random pivots
+  std::vector<double> pool_mu_;  // classic: estimated E[d(o, p)] per pivot
+  PsaSelector psa_;              // star: shared Algorithm-1 machinery
+
+  /// The pivot pool queries map against (classic's own or PSA's).
+  const PivotSet& query_pool() const {
+    return variant_ == Variant::kClassic ? pool_ : psa_.pool();
+  }
+
+  std::vector<ObjectId> oids_;   // row -> object id
+  std::vector<uint32_t> pidx_;   // rows x l pool indices
+  std::vector<double> pdist_;    // rows x l pre-computed distances
+};
+
+}  // namespace pmi
+
+#endif  // PMI_TABLES_EPT_H_

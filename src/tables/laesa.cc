@@ -1,0 +1,77 @@
+#include "src/tables/laesa.h"
+
+#include <cassert>
+
+#include "src/core/filtering.h"
+#include "src/core/knn_heap.h"
+
+namespace pmi {
+
+void Laesa::BuildImpl() {
+  const uint32_t l = pivots_.size();
+  const uint32_t n = data().size();
+  oids_.clear();
+  table_.clear();
+  oids_.reserve(n);
+  table_.reserve(size_t(n) * l);
+  DistanceComputer d = dist();
+  std::vector<double> phi;
+  for (ObjectId id = 0; id < n; ++id) {
+    pivots_.Map(data().view(id), d, &phi);
+    oids_.push_back(id);
+    table_.insert(table_.end(), phi.begin(), phi.end());
+  }
+}
+
+void Laesa::RangeImpl(const ObjectView& q, double r,
+                      std::vector<ObjectId>* out) const {
+  const uint32_t l = pivots_.size();
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  for (size_t i = 0; i < oids_.size(); ++i) {
+    if (PrunedByPivots(row(i), phi_q.data(), l, r)) continue;
+    if (d(q, data().view(oids_[i])) <= r) out->push_back(oids_[i]);
+  }
+}
+
+void Laesa::KnnImpl(const ObjectView& q, size_t k,
+                    std::vector<Neighbor>* out) const {
+  const uint32_t l = pivots_.size();
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  KnnHeap heap(k);
+  for (size_t i = 0; i < oids_.size(); ++i) {
+    if (PrunedByPivots(row(i), phi_q.data(), l, heap.radius())) continue;
+    heap.Push(oids_[i], d(q, data().view(oids_[i])));
+  }
+  heap.TakeSorted(out);
+}
+
+void Laesa::InsertImpl(ObjectId id) {
+  DistanceComputer d = dist();
+  std::vector<double> phi;
+  pivots_.Map(data().view(id), d, &phi);
+  oids_.push_back(id);
+  table_.insert(table_.end(), phi.begin(), phi.end());
+}
+
+void Laesa::RemoveImpl(ObjectId id) {
+  const uint32_t l = pivots_.size();
+  // Sequential scan for the victim row, then compaction -- the deletion
+  // behaviour of a scan table.
+  for (size_t i = 0; i < oids_.size(); ++i) {
+    if (oids_[i] != id) continue;
+    oids_.erase(oids_.begin() + i);
+    table_.erase(table_.begin() + i * l, table_.begin() + (i + 1) * l);
+    return;
+  }
+}
+
+size_t Laesa::memory_bytes() const {
+  return table_.size() * sizeof(double) + oids_.size() * sizeof(ObjectId) +
+         pivots_.memory_bytes() + data().total_payload_bytes();
+}
+
+}  // namespace pmi

@@ -1,0 +1,70 @@
+#include "src/tables/psa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/pivot_selection.h"
+#include "src/core/rng.h"
+
+namespace pmi {
+
+void PsaSelector::Build(const Dataset& data, const DistanceComputer& dist,
+                        uint32_t cp_scale, uint32_t sample_size,
+                        uint64_t seed) {
+  PivotSelectionOptions po;
+  po.seed = seed;
+  po.sample_size = std::min<uint32_t>(data.size(), 2000);
+  pool_ = PivotSet(data, SelectPivotsHF(data, dist, cp_scale, po));
+
+  Rng rng(seed ^ 0x97a);
+  std::vector<ObjectId> sample_ids = SelectPivotsRandom(
+      data, std::min<uint32_t>(sample_size, data.size()), rng);
+  sample_ = PivotSet(data, sample_ids);
+  sample_cand_.assign(size_t(sample_.size()) * pool_.size(), 0);
+  for (uint32_t s = 0; s < sample_.size(); ++s) {
+    for (uint32_t c = 0; c < pool_.size(); ++c) {
+      sample_cand_[size_t(s) * pool_.size() + c] =
+          dist(sample_.pivot(s), pool_.pivot(c));
+    }
+  }
+}
+
+void PsaSelector::SelectForObject(const ObjectView& o,
+                                  const DistanceComputer& dist, uint32_t l,
+                                  uint32_t* pidx, double* pdist) const {
+  const uint32_t nc = pool_.size();
+  const uint32_t ns = sample_.size();
+  std::vector<double> d_oc(nc), d_os(ns);
+  for (uint32_t c = 0; c < nc; ++c) d_oc[c] = dist(o, pool_.pivot(c));
+  for (uint32_t s = 0; s < ns; ++s) d_os[s] = dist(o, sample_.pivot(s));
+
+  std::vector<double> current(ns, 0);
+  std::vector<bool> used(nc, false);
+  for (uint32_t round = 0; round < l; ++round) {
+    double best_score = -1;
+    uint32_t best_c = 0;
+    for (uint32_t c = 0; c < nc; ++c) {
+      if (used[c]) continue;
+      double score = 0;
+      for (uint32_t s = 0; s < ns; ++s) {
+        if (d_os[s] <= 0) continue;
+        double diff = std::fabs(d_oc[c] - sample_cand_[size_t(s) * nc + c]);
+        score += std::max(current[s], diff) / d_os[s];
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_c = c;
+      }
+    }
+    used[best_c] = true;
+    pidx[round] = best_c;
+    pdist[round] = d_oc[best_c];
+    for (uint32_t s = 0; s < ns; ++s) {
+      double diff =
+          std::fabs(d_oc[best_c] - sample_cand_[size_t(s) * nc + best_c]);
+      current[s] = std::max(current[s], diff);
+    }
+  }
+}
+
+}  // namespace pmi

@@ -1,0 +1,52 @@
+// PSA -- the Pivot Selection Algorithm of EPT* (Algorithm 1), extracted
+// as a reusable component so both the in-memory EPT* and the disk-based
+// EPT* extension (the paper's Section 7 future-work direction) share one
+// implementation.
+//
+// PSA draws cp_scale HF outlier candidates and, per object o, greedily
+// picks the l candidates maximizing the mean lower-bound ratio
+// D(o,s)/d(o,s) over a fixed object sample S.  The |S| x |CP| distance
+// matrix is memoized (see DESIGN.md Section 3.4).
+
+#ifndef PMI_TABLES_PSA_H_
+#define PMI_TABLES_PSA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/metric.h"
+#include "src/core/pivots.h"
+
+namespace pmi {
+
+/// Per-object pivot selector (EPT*'s Algorithm 1).
+class PsaSelector {
+ public:
+  /// Draws the HF candidate pool and the PSA sample; distance
+  /// computations are attributed through `dist`.
+  void Build(const Dataset& data, const DistanceComputer& dist,
+             uint32_t cp_scale, uint32_t sample_size, uint64_t seed);
+
+  /// Candidate pivot pool (HF outliers, copied objects).
+  const PivotSet& pool() const { return pool_; }
+
+  /// Selects `l` pivots for object `o`: fills pool indices and the
+  /// pre-computed distances.  Costs |CP| + |S| distance computations.
+  void SelectForObject(const ObjectView& o, const DistanceComputer& dist,
+                       uint32_t l, uint32_t* pidx, double* pdist) const;
+
+  size_t memory_bytes() const {
+    return pool_.memory_bytes() + sample_.memory_bytes() +
+           sample_cand_.size() * sizeof(double);
+  }
+
+ private:
+  PivotSet pool_;
+  PivotSet sample_;
+  std::vector<double> sample_cand_;  // |S| x |CP|
+};
+
+}  // namespace pmi
+
+#endif  // PMI_TABLES_PSA_H_

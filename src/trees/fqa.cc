@@ -1,0 +1,200 @@
+#include "src/trees/fqa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "src/core/knn_heap.h"
+
+namespace pmi {
+
+uint16_t Fqa::Quantize(double d) const {
+  // Discrete domains with maxD < 65536 quantize losslessly (step 1).
+  double step = std::max(1.0, std::ceil(metric().max_distance() / 65535.0));
+  return static_cast<uint16_t>(std::min(65535.0, d / step));
+}
+
+std::vector<uint16_t> Fqa::TupleFor(ObjectId id) {
+  DistanceComputer d = dist();
+  std::vector<double> phi;
+  pivots_.Map(data().view(id), d, &phi);
+  std::vector<uint16_t> tuple(phi.size());
+  for (size_t i = 0; i < phi.size(); ++i) tuple[i] = Quantize(phi[i]);
+  return tuple;
+}
+
+bool Fqa::RowLess(size_t row, const std::vector<uint16_t>& tuple) const {
+  const uint32_t l = pivots_.size();
+  for (uint32_t i = 0; i < l; ++i) {
+    if (Coord(row, i) != tuple[i]) return Coord(row, i) < tuple[i];
+  }
+  return false;
+}
+
+void Fqa::BuildImpl() {
+  assert(metric().discrete() &&
+         "FQA is surveyed for discrete distance functions (Table 1)");
+  const uint32_t l = pivots_.size();
+  const uint32_t n = data().size();
+  std::vector<std::vector<uint16_t>> tuples(n);
+  for (ObjectId id = 0; id < n; ++id) tuples[id] = TupleFor(id);
+  std::vector<ObjectId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](ObjectId a, ObjectId b) {
+    return tuples[a] < tuples[b];
+  });
+  coords_.resize(size_t(n) * l);
+  oids_.resize(n);
+  for (uint32_t row = 0; row < n; ++row) {
+    oids_[row] = order[row];
+    for (uint32_t i = 0; i < l; ++i) {
+      coords_[size_t(row) * l + i] = tuples[order[row]][i];
+    }
+  }
+}
+
+std::pair<size_t, size_t> Fqa::EqualRun(size_t lo, size_t hi, uint32_t level,
+                                        uint16_t value) const {
+  // Coordinates at `level` are sorted within [lo, hi) because all rows
+  // there share coordinates 0..level-1.
+  size_t a = lo, b = hi;
+  while (a < b) {  // lower bound
+    size_t mid = (a + b) / 2;
+    if (Coord(mid, level) < value) a = mid + 1; else b = mid;
+  }
+  size_t begin = a;
+  b = hi;
+  while (a < b) {  // upper bound
+    size_t mid = (a + b) / 2;
+    if (Coord(mid, level) <= value) a = mid + 1; else b = mid;
+  }
+  return {begin, a};
+}
+
+void Fqa::RangeImpl(const ObjectView& q, double r,
+                    std::vector<ObjectId>* out) const {
+  const uint32_t l = pivots_.size();
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  double step = std::max(1.0, std::ceil(metric().max_distance() / 65535.0));
+
+  struct Frame {
+    size_t lo, hi;
+    uint32_t level;
+  };
+  std::vector<Frame> stack{{0, oids_.size(), 0}};
+  while (!stack.empty()) {
+    auto [lo, hi, level] = stack.back();
+    stack.pop_back();
+    if (lo >= hi) continue;
+    if (level == l) {
+      for (size_t row = lo; row < hi; ++row) {
+        if (d(q, data().view(oids_[row])) <= r) out->push_back(oids_[row]);
+      }
+      continue;
+    }
+    // Quantized window [vlo, vhi]: value v covers distances
+    // [v*step, (v+1)*step), so the window is widened conservatively.
+    double dlo = std::max(0.0, phi_q[level] - r);
+    double dhi = phi_q[level] + r;
+    uint16_t vlo = static_cast<uint16_t>(
+        std::min(65535.0, std::floor(dlo / step)));
+    uint16_t vhi = static_cast<uint16_t>(
+        std::min(65535.0, std::floor(dhi / step)));
+    size_t cursor = lo;
+    for (uint32_t v = vlo; v <= vhi && cursor < hi; ++v) {
+      auto [b, e] = EqualRun(cursor, hi, level,
+                             static_cast<uint16_t>(v));
+      if (b < e) stack.push_back({b, e, level + 1});
+      cursor = e;
+    }
+  }
+}
+
+void Fqa::KnnImpl(const ObjectView& q, size_t k,
+                  std::vector<Neighbor>* out) const {
+  const uint32_t l = pivots_.size();
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  double step = std::max(1.0, std::ceil(metric().max_distance() / 65535.0));
+  KnnHeap heap(k);
+
+  struct Frame {
+    size_t lo, hi;
+    uint32_t level;
+    double lb;
+  };
+  // DFS with live radius pruning (runs are visited nearest-value first
+  // inside each level to tighten the radius early).
+  std::vector<Frame> stack{{0, oids_.size(), 0, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.lo >= f.hi || f.lb > heap.radius()) continue;
+    if (f.level == l) {
+      for (size_t row = f.lo; row < f.hi; ++row) {
+        heap.Push(oids_[row], d(q, data().view(oids_[row])));
+      }
+      continue;
+    }
+    double radius = heap.radius();
+    double dlo = std::max(0.0, phi_q[f.level] - radius);
+    double dhi = std::min(metric().max_distance(), phi_q[f.level] + radius);
+    uint32_t vlo = static_cast<uint32_t>(std::floor(
+        std::min(65535.0, dlo / step)));
+    uint32_t vhi = static_cast<uint32_t>(std::floor(
+        std::min(65535.0, dhi / step)));
+    // Collect runs, then push farthest-first so the nearest run is
+    // processed first (LIFO stack).
+    std::vector<Frame> runs;
+    size_t cursor = f.lo;
+    for (uint32_t v = vlo; v <= vhi && cursor < f.hi; ++v) {
+      auto [b, e] = EqualRun(cursor, f.hi, f.level,
+                             static_cast<uint16_t>(v));
+      if (b < e) {
+        double cell_lo = v * step, cell_hi = (v + 1) * step;
+        double gap = 0;
+        if (phi_q[f.level] < cell_lo) gap = cell_lo - phi_q[f.level];
+        if (phi_q[f.level] > cell_hi) gap = phi_q[f.level] - cell_hi;
+        runs.push_back({b, e, f.level + 1, std::max(f.lb, gap)});
+      }
+      cursor = e;
+    }
+    std::sort(runs.begin(), runs.end(),
+              [](const Frame& a, const Frame& b) { return a.lb > b.lb; });
+    for (const Frame& run : runs) stack.push_back(run);
+  }
+  heap.TakeSorted(out);
+}
+
+void Fqa::InsertImpl(ObjectId id) {
+  const uint32_t l = pivots_.size();
+  std::vector<uint16_t> tuple = TupleFor(id);
+  size_t a = 0, b = oids_.size();
+  while (a < b) {
+    size_t mid = (a + b) / 2;
+    if (RowLess(mid, tuple)) a = mid + 1; else b = mid;
+  }
+  oids_.insert(oids_.begin() + a, id);
+  coords_.insert(coords_.begin() + a * l, tuple.begin(), tuple.end());
+}
+
+void Fqa::RemoveImpl(ObjectId id) {
+  const uint32_t l = pivots_.size();
+  for (size_t row = 0; row < oids_.size(); ++row) {
+    if (oids_[row] != id) continue;
+    oids_.erase(oids_.begin() + row);
+    coords_.erase(coords_.begin() + row * l, coords_.begin() + (row + 1) * l);
+    return;
+  }
+}
+
+size_t Fqa::memory_bytes() const {
+  return coords_.size() * sizeof(uint16_t) + oids_.size() * sizeof(ObjectId) +
+         pivots_.memory_bytes() + data().total_payload_bytes();
+}
+
+}  // namespace pmi

@@ -1,0 +1,204 @@
+#include "src/trees/mvpt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "src/core/knn_heap.h"
+
+namespace pmi {
+namespace {
+
+double IntervalDist(double d, double lo, double hi) {
+  if (d < lo) return lo - d;
+  if (d > hi) return d - hi;
+  return 0;
+}
+
+}  // namespace
+
+void Mvpt::BuildImpl() {
+  assert(!pivots_.empty());
+  std::vector<ObjectId> ids(data().size());
+  for (ObjectId i = 0; i < data().size(); ++i) ids[i] = i;
+  root_ = std::make_unique<Node>();
+  BuildNode(root_.get(), std::move(ids), 0);
+}
+
+void Mvpt::BuildNode(Node* node, std::vector<ObjectId> ids, uint32_t level) {
+  if (ids.size() <= options_.tree_leaf_capacity ||
+      ids.size() < size_t(arity_) * 2 || level >= pivots_.size()) {
+    node->leaf = true;
+    node->members = std::move(ids);
+    return;
+  }
+  node->leaf = false;
+  DistanceComputer d = dist();
+  ObjectView pv = pivots_.pivot(level);
+  std::vector<std::pair<double, ObjectId>> dists;
+  dists.reserve(ids.size());
+  for (ObjectId id : ids) dists.push_back({d(pv, data().view(id)), id});
+  std::sort(dists.begin(), dists.end());
+
+  // Equal-count quantile groups: child i holds ranks [i*sz, (i+1)*sz).
+  node->bounds.resize(arity_ + 1);
+  node->kids.resize(arity_);
+  node->bounds[0] = dists.front().first;
+  node->bounds[arity_] = dists.back().first;
+  const size_t per = (dists.size() + arity_ - 1) / arity_;
+  for (uint32_t i = 0; i < arity_; ++i) {
+    size_t b = std::min(dists.size(), i * per);
+    size_t e = std::min(dists.size(), (i + 1) * per);
+    if (i > 0) node->bounds[i] = b < dists.size() ? dists[b].first : dists.back().first;
+    if (b >= e) continue;
+    std::vector<ObjectId> sub;
+    sub.reserve(e - b);
+    for (size_t j = b; j < e; ++j) sub.push_back(dists[j].second);
+    node->kids[i] = std::make_unique<Node>();
+    BuildNode(node->kids[i].get(), std::move(sub), level + 1);
+  }
+}
+
+void Mvpt::RangeImpl(const ObjectView& q, double r,
+                     std::vector<ObjectId>* out) const {
+  if (!root_) return;
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  struct Frame {
+    const Node* node;
+    uint32_t level;
+  };
+  std::vector<Frame> stack{{root_.get(), 0}};
+  while (!stack.empty()) {
+    auto [node, level] = stack.back();
+    stack.pop_back();
+    if (node->leaf) {
+      for (ObjectId id : node->members) {
+        if (d(q, data().view(id)) <= r) out->push_back(id);
+      }
+      continue;
+    }
+    for (uint32_t i = 0; i < node->kids.size(); ++i) {
+      if (!node->kids[i]) continue;
+      if (IntervalDist(phi_q[level], node->bounds[i], node->bounds[i + 1]) <=
+          r) {
+        stack.push_back({node->kids[i].get(), level + 1});
+      }
+    }
+  }
+}
+
+void Mvpt::KnnImpl(const ObjectView& q, size_t k,
+                   std::vector<Neighbor>* out) const {
+  if (!root_) return;
+  DistanceComputer d = dist();
+  std::vector<double> phi_q;
+  pivots_.Map(q, d, &phi_q);
+  KnnHeap heap(k);
+  struct Item {
+    double lb;
+    const Node* node;
+    uint32_t level;
+    bool operator>(const Item& o) const { return lb > o.lb; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.push({0, root_.get(), 0});
+  while (!pq.empty()) {
+    Item item = pq.top();
+    pq.pop();
+    if (item.lb > heap.radius()) break;
+    if (item.node->leaf) {
+      for (ObjectId id : item.node->members) {
+        heap.Push(id, d(q, data().view(id)));
+      }
+      continue;
+    }
+    for (uint32_t i = 0; i < item.node->kids.size(); ++i) {
+      if (!item.node->kids[i]) continue;
+      double child_lb = std::max(
+          item.lb, IntervalDist(phi_q[item.level], item.node->bounds[i],
+                                item.node->bounds[i + 1]));
+      if (child_lb <= heap.radius()) {
+        pq.push({child_lb, item.node->kids[i].get(), item.level + 1});
+      }
+    }
+  }
+  heap.TakeSorted(out);
+}
+
+void Mvpt::InsertInto(Node* node, ObjectId id, uint32_t level) {
+  if (node->leaf) {
+    node->members.push_back(id);
+    if (node->members.size() > options_.tree_leaf_capacity &&
+        level < pivots_.size()) {
+      std::vector<ObjectId> ids = std::move(node->members);
+      node->members.clear();
+      BuildNode(node, std::move(ids), level);
+    }
+    return;
+  }
+  DistanceComputer d = dist();
+  double dd = d(pivots_.pivot(level), data().view(id));
+  // Interior boundaries are shared between siblings and must never move
+  // (shrinking a sibling's interval would orphan its members); only the
+  // outermost bounds may expand to absorb out-of-range distances.
+  uint32_t pick = 0;
+  if (dd < node->bounds.front()) {
+    node->bounds.front() = dd;
+    pick = 0;
+  } else if (dd > node->bounds.back()) {
+    node->bounds.back() = dd;
+    pick = static_cast<uint32_t>(node->kids.size()) - 1;
+  } else {
+    for (uint32_t i = 0; i < node->kids.size(); ++i) {
+      pick = i;
+      if (dd <= node->bounds[i + 1]) break;
+    }
+  }
+  if (!node->kids[pick]) node->kids[pick] = std::make_unique<Node>();
+  InsertInto(node->kids[pick].get(), id, level + 1);
+}
+
+bool Mvpt::RemoveFrom(Node* node, ObjectId id, const ObjectView& obj,
+                      uint32_t level) {
+  if (node->leaf) {
+    auto it = std::find(node->members.begin(), node->members.end(), id);
+    if (it == node->members.end()) return false;
+    node->members.erase(it);
+    return true;
+  }
+  DistanceComputer d = dist();
+  double dd = d(pivots_.pivot(level), obj);
+  // Boundary ties can land in either adjacent child; try all whose
+  // interval contains dd.
+  for (uint32_t i = 0; i < node->kids.size(); ++i) {
+    if (!node->kids[i]) continue;
+    if (dd < node->bounds[i] || dd > node->bounds[i + 1]) continue;
+    if (RemoveFrom(node->kids[i].get(), id, obj, level + 1)) return true;
+  }
+  return false;
+}
+
+void Mvpt::InsertImpl(ObjectId id) { InsertInto(root_.get(), id, 0); }
+
+void Mvpt::RemoveImpl(ObjectId id) {
+  RemoveFrom(root_.get(), id, data().view(id), 0);
+}
+
+size_t Mvpt::NodeBytes(const Node& node) const {
+  size_t n = sizeof(Node) + node.members.capacity() * sizeof(ObjectId) +
+             node.bounds.capacity() * sizeof(double) +
+             node.kids.capacity() * sizeof(std::unique_ptr<Node>);
+  for (const auto& kid : node.kids) {
+    if (kid) n += NodeBytes(*kid);
+  }
+  return n;
+}
+
+size_t Mvpt::memory_bytes() const {
+  return (root_ ? NodeBytes(*root_) : 0) + pivots_.memory_bytes() +
+         data().total_payload_bytes();
+}
+
+}  // namespace pmi

@@ -1,0 +1,65 @@
+// VPT / MVPT -- (Multi-)Vantage-Point Tree (Yianilos [29], Bozkaya &
+// Ozsoyoglu [5]; Section 4.3).
+//
+// A balanced m-ary tree for continuous distance functions: at each level
+// the objects are split into m equal-count groups by quantiles of their
+// distance to that level's pivot.  Following the paper's equal-footing
+// setup, nodes of a level share the same pivot (p_i from the shared set
+// at level i), only the m-1 split values are stored per node, and the
+// paper's default arity is m = 5 (VPT is the m = 2 special case).
+
+#ifndef PMI_TREES_MVPT_H_
+#define PMI_TREES_MVPT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/index.h"
+
+namespace pmi {
+
+/// Multi-vantage-point tree over the shared pivots.
+class Mvpt final : public MetricIndex {
+ public:
+  /// `arity_override` of 0 uses options.mvpt_arity (paper default 5);
+  /// pass 2 for a classic VPT.
+  explicit Mvpt(IndexOptions options = {}, uint32_t arity_override = 0)
+      : MetricIndex(options),
+        arity_(arity_override ? arity_override : options.mvpt_arity) {}
+
+  std::string name() const override { return arity_ == 2 ? "VPT" : "MVPT"; }
+  bool disk_based() const override { return false; }
+  size_t memory_bytes() const override;
+
+ protected:
+  void BuildImpl() override;
+  void RangeImpl(const ObjectView& q, double r,
+                 std::vector<ObjectId>* out) const override;
+  void KnnImpl(const ObjectView& q, size_t k,
+               std::vector<Neighbor>* out) const override;
+  void InsertImpl(ObjectId id) override;
+  void RemoveImpl(ObjectId id) override;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    // bounds[i], bounds[i+1] bracket child i (inclusive: quantile ties
+    // may straddle a boundary, so intervals share endpoints).
+    std::vector<double> bounds;
+    std::vector<std::unique_ptr<Node>> kids;
+    std::vector<ObjectId> members;
+  };
+
+  void BuildNode(Node* node, std::vector<ObjectId> ids, uint32_t level);
+  void InsertInto(Node* node, ObjectId id, uint32_t level);
+  bool RemoveFrom(Node* node, ObjectId id, const ObjectView& obj,
+                  uint32_t level);
+  size_t NodeBytes(const Node& node) const;
+
+  uint32_t arity_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace pmi
+
+#endif  // PMI_TREES_MVPT_H_

@@ -1,0 +1,201 @@
+// Unit tests for the small core utilities: KnnHeap, Dataset, ObjectView,
+// RNG sampling, and the OpStats accounting plumbing of MetricIndex.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/dataset.h"
+#include "src/core/knn_heap.h"
+#include "src/core/linear_scan.h"
+#include "src/core/pivot_selection.h"
+#include "src/core/rng.h"
+#include "src/data/generators.h"
+
+namespace pmi {
+namespace {
+
+TEST(KnnHeapTest, KeepsKSmallest) {
+  KnnHeap heap(3);
+  for (int i = 20; i >= 1; --i) heap.Push(i, double(i));
+  std::vector<Neighbor> out;
+  heap.TakeSorted(&out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].dist, 1.0);
+  EXPECT_EQ(out[1].dist, 2.0);
+  EXPECT_EQ(out[2].dist, 3.0);
+}
+
+TEST(KnnHeapTest, RadiusTightensAsHeapFills) {
+  KnnHeap heap(2);
+  EXPECT_TRUE(std::isinf(heap.radius()));
+  heap.Push(1, 10.0);
+  EXPECT_TRUE(std::isinf(heap.radius())) << "not full yet";
+  heap.Push(2, 5.0);
+  EXPECT_EQ(heap.radius(), 10.0);
+  heap.Push(3, 1.0);
+  EXPECT_EQ(heap.radius(), 5.0);
+  heap.Push(4, 100.0);  // worse than radius: ignored
+  EXPECT_EQ(heap.radius(), 5.0);
+}
+
+TEST(KnnHeapTest, SortedOutputBreaksTiesById) {
+  KnnHeap heap(4);
+  heap.Push(9, 1.0);
+  heap.Push(3, 1.0);
+  heap.Push(7, 1.0);
+  heap.Push(1, 0.5);
+  std::vector<Neighbor> out;
+  heap.TakeSorted(&out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 3u);
+  EXPECT_EQ(out[2].id, 7u);
+  EXPECT_EQ(out[3].id, 9u);
+}
+
+TEST(DatasetTest, VectorRoundTrip) {
+  Dataset d = Dataset::Vectors(3);
+  float a[3] = {1.5f, -2.5f, 3.5f};
+  ObjectId id = d.AddVector(a);
+  ObjectView v = d.view(id);
+  EXPECT_EQ(v.kind, ObjectKind::kVector);
+  EXPECT_EQ(v.dim, 3u);
+  EXPECT_EQ(v.vec[1], -2.5f);
+  EXPECT_EQ(v.payload_bytes(), 12u);
+  std::string buf;
+  d.SerializeObject(id, &buf);
+  ASSERT_EQ(buf.size(), 12u);
+  std::vector<char> aligned(buf.begin(), buf.end());
+  ObjectView back = d.DeserializeObject(aligned.data(), 12);
+  EXPECT_TRUE(back.PayloadEquals(v));
+}
+
+TEST(DatasetTest, StringRoundTripIncludingEmpty) {
+  Dataset d = Dataset::Strings();
+  ObjectId e = d.AddString("");
+  ObjectId w = d.AddString("hello");
+  EXPECT_EQ(d.view(e).len, 0u);
+  EXPECT_EQ(d.view(w).AsString(), "hello");
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.total_payload_bytes(), 5u);
+  std::string buf;
+  d.SerializeObject(w, &buf);
+  EXPECT_EQ(buf, "hello");
+}
+
+TEST(DatasetTest, CrossDatasetCopy) {
+  Dataset a = Dataset::Strings();
+  a.AddString("alpha");
+  Dataset b = Dataset::Strings();
+  ObjectId id = b.Add(a.view(0));
+  EXPECT_TRUE(b.view(id).PayloadEquals(a.view(0)));
+}
+
+TEST(RngTest, SampleDistinctProperties) {
+  Rng rng(9);
+  for (uint32_t n : {10u, 100u, 10000u}) {
+    for (uint32_t count : {1u, 5u, n / 2, n, n + 10}) {
+      std::vector<uint32_t> s = SampleDistinct(n, count, rng);
+      EXPECT_EQ(s.size(), std::min(count, n));
+      std::set<uint32_t> uniq(s.begin(), s.end());
+      EXPECT_EQ(uniq.size(), s.size());
+      for (uint32_t v : s) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(OpStatsTest, QueriesDoNotLeakAcrossMeasurements) {
+  BenchDataset bd = MakeBenchDataset(BenchDatasetId::kLa, 400, 3);
+  PivotSet pivots = SelectSharedPivots(bd.data, *bd.metric, 3);
+  LinearScan index;
+  index.Build(bd.data, *bd.metric, pivots);
+  std::vector<ObjectId> out;
+  OpStats first = index.RangeQuery(bd.data.view(0), 100.0, &out);
+  OpStats second = index.RangeQuery(bd.data.view(1), 100.0, &out);
+  // Both scans cost exactly n distance computations -- the second must
+  // not include the first's counts.
+  EXPECT_EQ(first.dist_computations, bd.data.size());
+  EXPECT_EQ(second.dist_computations, bd.data.size());
+  EXPECT_GE(first.seconds, 0.0);
+}
+
+TEST(OpStatsTest, AccumulationOperator) {
+  OpStats a, b;
+  a.dist_computations = 10;
+  a.page_reads = 3;
+  a.page_writes = 1;
+  a.seconds = 0.5;
+  b.dist_computations = 5;
+  b.page_reads = 2;
+  b.page_writes = 4;
+  b.seconds = 0.25;
+  a += b;
+  EXPECT_EQ(a.dist_computations, 15u);
+  EXPECT_EQ(a.page_accesses(), 10u);
+  EXPECT_DOUBLE_EQ(a.seconds, 0.75);
+}
+
+TEST(GeneratorsTest, DomainsMatchThePaper) {
+  Dataset la = MakeLaLike(2000, 1);
+  ASSERT_EQ(la.dim(), 2u);
+  for (ObjectId i = 0; i < la.size(); ++i) {
+    for (uint32_t d = 0; d < 2; ++d) {
+      EXPECT_GE(la.view(i).vec[d], 0.0f);
+      EXPECT_LE(la.view(i).vec[d], 10000.0f);
+    }
+  }
+  Dataset color = MakeColorLike(200, 1);
+  ASSERT_EQ(color.dim(), 282u);
+  for (ObjectId i = 0; i < color.size(); ++i) {
+    for (uint32_t d = 0; d < 282; ++d) {
+      EXPECT_GE(color.view(i).vec[d], -255.0f);
+      EXPECT_LE(color.view(i).vec[d], 255.0f);
+    }
+  }
+  Dataset words = MakeWordsLike(2000, 1);
+  for (ObjectId i = 0; i < words.size(); ++i) {
+    EXPECT_GE(words.view(i).len, 1u);
+    EXPECT_LE(words.view(i).len, 34u);
+  }
+}
+
+TEST(GeneratorsTest, SyntheticFollowsPaperRecipe) {
+  Dataset s = MakeSyntheticPaper(1000, 1);
+  ASSERT_EQ(s.dim(), 20u);
+  for (ObjectId i = 0; i < s.size(); ++i) {
+    for (uint32_t d = 0; d < 20; ++d) {
+      float v = s.view(i).vec[d];
+      EXPECT_EQ(v, std::floor(v)) << "values must be integers";
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 10000.0f);
+    }
+    // Dims 5..19 are convex combinations of dims 0..4, hence bounded by
+    // the base dims' range.
+    float base_max = 0;
+    for (uint32_t d = 0; d < 5; ++d) {
+      base_max = std::max(base_max, s.view(i).vec[d]);
+    }
+    for (uint32_t d = 5; d < 20; ++d) {
+      EXPECT_LE(s.view(i).vec[d], base_max + 1);
+    }
+  }
+}
+
+TEST(GeneratorsTest, DeterministicPerSeedDistinctAcrossSeeds) {
+  Dataset a = MakeWordsLike(100, 7);
+  Dataset b = MakeWordsLike(100, 7);
+  Dataset c = MakeWordsLike(100, 8);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal_ab = true, all_equal_ac = true;
+  for (ObjectId i = 0; i < a.size(); ++i) {
+    all_equal_ab &= a.view(i).PayloadEquals(b.view(i));
+    all_equal_ac &= a.view(i).PayloadEquals(c.view(i));
+  }
+  EXPECT_TRUE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);
+}
+
+}  // namespace
+}  // namespace pmi

@@ -1,0 +1,103 @@
+// Harness tests: workload construction, radius-for-selectivity
+// calibration, cost averaging, the registry, and table formatting.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "src/core/linear_scan.h"
+#include "src/harness/registry.h"
+#include "src/harness/table_printer.h"
+#include "src/harness/workload.h"
+
+namespace pmi {
+namespace {
+
+TEST(RegistryTest, ContainsAllSurveyedIndexes) {
+  // Table 1 of the paper plus the two enhanced variants and AESA.
+  for (const char* name :
+       {"AESA", "LAESA", "EPT", "EPT*", "CPT", "BKT", "FQT", "FQA", "VPT",
+        "MVPT", "PM-tree", "OmniSeq", "OmniB+tree", "OmniR-tree", "M-index",
+        "M-index*", "SPB-tree"}) {
+    const IndexSpec* spec = FindIndexSpec(name);
+    ASSERT_NE(spec, nullptr) << name;
+    auto index = spec->make(IndexOptions{});
+    EXPECT_EQ(index->name(), name);
+    EXPECT_EQ(index->disk_based(), spec->uses_disk) << name;
+  }
+  EXPECT_EQ(FindIndexSpec("no-such-index"), nullptr);
+}
+
+TEST(RegistryTest, FigureIndexesAreThePapersNine) {
+  const auto& specs = FigureIndexSpecs();
+  ASSERT_EQ(specs.size(), 9u);
+  EXPECT_EQ(specs.front().name, "EPT*");
+  EXPECT_EQ(specs.back().name, "OmniR-tree");
+}
+
+TEST(WorkloadTest, RadiusCalibrationMatchesSelectivity) {
+  BenchConfig config;
+  config.scale_pct = 20;
+  config.queries = 8;
+  Workload w = MakeWorkload(BenchDatasetId::kLa, config);
+  LinearScan oracle;
+  oracle.Build(w.data(), w.metric(), w.pivots);
+  for (double sel : {0.04, 0.16, 0.64}) {
+    double r = w.Radius(sel);
+    double total = 0;
+    std::vector<ObjectId> out;
+    for (ObjectId q : w.query_ids) {
+      oracle.RangeQuery(w.data().view(q), r, &out);
+      total += double(out.size());
+    }
+    double measured = total / (w.query_ids.size() * w.data().size());
+    EXPECT_NEAR(measured, sel, sel * 0.8 + 0.02)
+        << "selectivity calibration off at " << sel;
+  }
+}
+
+TEST(WorkloadTest, ScaleEnvControlsCardinality) {
+  BenchConfig config;
+  config.scale_pct = 10;
+  Workload w = MakeWorkload(BenchDatasetId::kWords, config);
+  EXPECT_EQ(w.data().size(), DefaultCardinality(BenchDatasetId::kWords) / 10);
+  EXPECT_EQ(w.pivots.size(), 5u);
+}
+
+TEST(WorkloadTest, PageSizeFollowsThePaper) {
+  EXPECT_EQ(PageSizeFor("CPT", BenchDatasetId::kColor), 40960u);
+  EXPECT_EQ(PageSizeFor("PM-tree", BenchDatasetId::kSynthetic), 40960u);
+  EXPECT_EQ(PageSizeFor("CPT", BenchDatasetId::kLa), 4096u);
+  EXPECT_EQ(PageSizeFor("SPB-tree", BenchDatasetId::kColor), 4096u);
+}
+
+TEST(WorkloadTest, QueryCostAveraging) {
+  QueryCost cost;
+  OpStats s;
+  s.dist_computations = 10;
+  s.page_reads = 4;
+  s.seconds = 0.002;
+  cost.Accumulate(s, 7);
+  cost.Accumulate(s, 9);
+  cost.FinishAverage(2);
+  EXPECT_DOUBLE_EQ(cost.compdists, 10.0);
+  EXPECT_DOUBLE_EQ(cost.page_accesses, 4.0);
+  EXPECT_DOUBLE_EQ(cost.results, 8.0);
+  EXPECT_NEAR(cost.cpu_ms, 2.0, 1e-9);
+}
+
+TEST(TablePrinterTest, Formatting) {
+  EXPECT_EQ(FormatCount(-1), "-");
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(1234), "1234");
+  EXPECT_EQ(FormatCount(1234567), "1.23e6");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3 << 20), "3.0 MB");
+  EXPECT_EQ(FormatF(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatMs(0.001), "0.0010");
+  EXPECT_EQ(FormatMs(123.4), "123.4");
+}
+
+}  // namespace
+}  // namespace pmi

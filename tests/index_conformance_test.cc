@@ -1,0 +1,213 @@
+// Index conformance suite: every surveyed index must return exactly the
+// same answers as the LinearScan oracle for MRQ and MkNNQ, across all
+// four benchmark datasets, several radii/k values, and through
+// delete/re-insert update cycles.  This single parameterized suite is the
+// core correctness contract of the library.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/linear_scan.h"
+#include "src/core/pivot_selection.h"
+#include "src/data/distribution.h"
+#include "src/data/generators.h"
+#include "src/harness/registry.h"
+
+namespace pmi {
+namespace {
+
+struct ConformanceCase {
+  std::string index;
+  BenchDatasetId dataset;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ConformanceCase>& info) {
+  std::string ds;
+  switch (info.param.dataset) {
+    case BenchDatasetId::kLa: ds = "LA"; break;
+    case BenchDatasetId::kWords: ds = "Words"; break;
+    case BenchDatasetId::kColor: ds = "Color"; break;
+    case BenchDatasetId::kSynthetic: ds = "Synthetic"; break;
+  }
+  std::string ix = info.param.index;
+  for (char& c : ix) {
+    if (c == '*') c = 'S';   // gtest name charset
+    if (c == '-' || c == '+') c = '_';
+  }
+  return ix + "_" + ds;
+}
+
+std::vector<ConformanceCase> AllCases() {
+  std::vector<ConformanceCase> cases;
+  for (const IndexSpec& spec : AllIndexSpecs()) {
+    for (BenchDatasetId ds :
+         {BenchDatasetId::kLa, BenchDatasetId::kWords, BenchDatasetId::kColor,
+          BenchDatasetId::kSynthetic}) {
+      bool discrete = ds == BenchDatasetId::kWords ||
+                      ds == BenchDatasetId::kSynthetic;
+      if (spec.discrete_only && !discrete) continue;
+      cases.push_back({spec.name, ds});
+    }
+  }
+  return cases;
+}
+
+class IndexConformanceTest
+    : public ::testing::TestWithParam<ConformanceCase> {
+ protected:
+  static constexpr uint32_t kN = 900;
+  static constexpr uint32_t kPivots = 4;
+
+  void SetUp() override {
+    bd_ = MakeBenchDataset(GetParam().dataset, kN, /*seed=*/2024);
+    PivotSelectionOptions po;
+    po.sample_size = 400;
+    po.pair_sample = 200;
+    pivots_ = SelectSharedPivots(bd_.data, *bd_.metric, kPivots, po);
+
+    IndexOptions opts;
+    opts.seed = 7;
+    // Generous pages so even 282-d Color objects fit M-tree/PM-tree nodes.
+    opts.page_size = GetParam().dataset == BenchDatasetId::kColor ? 40960
+                                                                  : 4096;
+    index_ = MakeIndex(GetParam().index, opts);
+    index_->Build(bd_.data, *bd_.metric, pivots_);
+    oracle_ = std::make_unique<LinearScan>();
+    oracle_->Build(bd_.data, *bd_.metric, pivots_);
+    distribution_ = EstimateDistribution(bd_.data, *bd_.metric, 4000, 3);
+  }
+
+  void ExpectSameRange(const ObjectView& q, double r) {
+    std::vector<ObjectId> got, want;
+    index_->RangeQuery(q, r, &got);
+    oracle_->RangeQuery(q, r, &want);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << index_->name() << " MRQ(r=" << r
+                         << ") diverges from linear scan";
+  }
+
+  void ExpectSameKnn(const ObjectView& q, size_t k) {
+    std::vector<Neighbor> got, want;
+    index_->KnnQuery(q, k, &got);
+    oracle_->KnnQuery(q, k, &want);
+    ASSERT_EQ(got.size(), want.size()) << index_->name() << " k=" << k;
+    for (size_t i = 0; i < got.size(); ++i) {
+      // Distance ties make ids ambiguous; distances must agree exactly.
+      EXPECT_NEAR(got[i].dist, want[i].dist, 1e-9)
+          << index_->name() << " kNN rank " << i;
+    }
+  }
+
+  BenchDataset bd_{.name = "", .data = Dataset::Vectors(0),
+                   .metric = nullptr, .id = BenchDatasetId::kLa};
+  PivotSet pivots_;
+  std::unique_ptr<MetricIndex> index_;
+  std::unique_ptr<LinearScan> oracle_;
+  DistanceDistribution distribution_;
+};
+
+TEST_P(IndexConformanceTest, RangeQueriesMatchLinearScan) {
+  Rng rng(99);
+  for (double selectivity : {0.004, 0.02, 0.08, 0.3}) {
+    double r = distribution_.RadiusForSelectivity(selectivity);
+    for (int t = 0; t < 4; ++t) {
+      ExpectSameRange(bd_.data.view(rng() % bd_.data.size()), r);
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, RangeQueryZeroRadiusFindsDuplicates) {
+  // r = 0 returns exactly the objects at distance zero (the query object
+  // itself plus duplicates).
+  Rng rng(3);
+  ObjectId qid = rng() % bd_.data.size();
+  ExpectSameRange(bd_.data.view(qid), 0.0);
+}
+
+TEST_P(IndexConformanceTest, RangeQueryHugeRadiusReturnsEverything) {
+  std::vector<ObjectId> got;
+  index_->RangeQuery(bd_.data.view(0), bd_.metric->max_distance() * 1.01,
+                     &got);
+  EXPECT_EQ(got.size(), bd_.data.size());
+}
+
+TEST_P(IndexConformanceTest, KnnQueriesMatchLinearScan) {
+  Rng rng(1234);
+  for (size_t k : {1u, 5u, 20u, 73u}) {
+    for (int t = 0; t < 3; ++t) {
+      ExpectSameKnn(bd_.data.view(rng() % bd_.data.size()), k);
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, KnnLargerThanDatasetReturnsAll) {
+  std::vector<Neighbor> got;
+  index_->KnnQuery(bd_.data.view(5), bd_.data.size() + 50, &got);
+  EXPECT_EQ(got.size(), bd_.data.size());
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end(),
+                             [](const Neighbor& a, const Neighbor& b) {
+                               return a.dist < b.dist;
+                             }));
+}
+
+TEST_P(IndexConformanceTest, KnnZeroReturnsNothing) {
+  std::vector<Neighbor> got;
+  index_->KnnQuery(bd_.data.view(1), 0, &got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_P(IndexConformanceTest, UpdatesPreserveCorrectness) {
+  // The paper's update operation: delete an object, insert it back
+  // (Section 6.3).  Interleave with queries to catch stale state.
+  Rng rng(77);
+  double r = distribution_.RadiusForSelectivity(0.03);
+  for (int round = 0; round < 8; ++round) {
+    ObjectId victim = rng() % bd_.data.size();
+    index_->Remove(victim);
+    oracle_->Remove(victim);
+    ExpectSameRange(bd_.data.view(rng() % bd_.data.size()), r);
+    index_->Insert(victim);
+    oracle_->Insert(victim);
+    ExpectSameKnn(bd_.data.view(rng() % bd_.data.size()), 10);
+  }
+}
+
+TEST_P(IndexConformanceTest, RemovedObjectsStayRemoved) {
+  Rng rng(55);
+  std::set<ObjectId> removed;
+  for (int i = 0; i < 25; ++i) {
+    ObjectId victim = rng() % bd_.data.size();
+    if (!removed.insert(victim).second) continue;
+    index_->Remove(victim);
+    oracle_->Remove(victim);
+  }
+  std::vector<ObjectId> got;
+  index_->RangeQuery(bd_.data.view(*removed.begin()),
+                     bd_.metric->max_distance() * 1.01, &got);
+  EXPECT_EQ(got.size(), bd_.data.size() - removed.size());
+  for (ObjectId id : got) EXPECT_EQ(removed.count(id), 0u);
+}
+
+TEST_P(IndexConformanceTest, StorageAccountingIsSane) {
+  EXPECT_GT(index_->memory_bytes() + index_->disk_bytes(), 0u);
+  const IndexSpec* spec = FindIndexSpec(GetParam().index);
+  ASSERT_NE(spec, nullptr);
+  if (spec->uses_disk) {
+    EXPECT_GT(index_->disk_bytes(), 0u)
+        << "disk index reports no disk storage";
+  } else {
+    EXPECT_EQ(index_->disk_bytes(), 0u)
+        << "in-memory index reports disk storage";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexConformanceTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace pmi

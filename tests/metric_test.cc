@@ -1,0 +1,132 @@
+// Metric axiom property tests (Section 2.1): symmetry, non-negativity,
+// identity, and the triangle inequality, for every metric the paper uses,
+// plus hand-checked distance values.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/metric.h"
+#include "src/core/rng.h"
+#include "src/data/generators.h"
+
+namespace pmi {
+namespace {
+
+struct MetricCase {
+  const char* name;
+  BenchDatasetId id;
+};
+
+class MetricAxiomsTest : public ::testing::TestWithParam<MetricCase> {};
+
+TEST_P(MetricAxiomsTest, SatisfiesMetricAxioms) {
+  BenchDataset bd = MakeBenchDataset(GetParam().id, 200, /*seed=*/99);
+  const Metric& m = *bd.metric;
+  const Dataset& data = bd.data;
+  Rng rng(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    ObjectId a = rng() % data.size();
+    ObjectId b = rng() % data.size();
+    ObjectId c = rng() % data.size();
+    double dab = m.Distance(data.view(a), data.view(b));
+    double dba = m.Distance(data.view(b), data.view(a));
+    double dac = m.Distance(data.view(a), data.view(c));
+    double dcb = m.Distance(data.view(c), data.view(b));
+    EXPECT_DOUBLE_EQ(dab, dba) << "symmetry violated";
+    EXPECT_GE(dab, 0.0) << "non-negativity violated";
+    EXPECT_LE(dab, dac + dcb + 1e-9) << "triangle inequality violated";
+    EXPECT_LE(dab, m.max_distance() * (1 + 1e-12)) << "max_distance too low";
+    if (a == b) {
+      EXPECT_DOUBLE_EQ(dab, 0.0);
+    }
+  }
+}
+
+TEST_P(MetricAxiomsTest, IdentityOfIndiscernibles) {
+  BenchDataset bd = MakeBenchDataset(GetParam().id, 50, /*seed=*/7);
+  for (ObjectId i = 0; i < bd.data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        bd.metric->Distance(bd.data.view(i), bd.data.view(i)), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, MetricAxiomsTest,
+    ::testing::Values(MetricCase{"L2_LA", BenchDatasetId::kLa},
+                      MetricCase{"Edit_Words", BenchDatasetId::kWords},
+                      MetricCase{"L1_Color", BenchDatasetId::kColor},
+                      MetricCase{"Linf_Synthetic",
+                                 BenchDatasetId::kSynthetic}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(L2MetricTest, KnownValues) {
+  L2Metric m(2, 10.0);
+  float a[2] = {0, 0}, b[2] = {3, 4};
+  EXPECT_DOUBLE_EQ(
+      m.Distance(ObjectView::FromVector(a, 2), ObjectView::FromVector(b, 2)),
+      5.0);
+  EXPECT_DOUBLE_EQ(m.max_distance(), 10.0 * std::sqrt(2.0));
+  EXPECT_FALSE(m.discrete());
+}
+
+TEST(L1MetricTest, KnownValues) {
+  L1Metric m(3, 10.0);
+  float a[3] = {1, 2, 3}, b[3] = {4, 0, 3};
+  EXPECT_DOUBLE_EQ(
+      m.Distance(ObjectView::FromVector(a, 3), ObjectView::FromVector(b, 3)),
+      5.0);
+  EXPECT_DOUBLE_EQ(m.max_distance(), 30.0);
+}
+
+TEST(LInfMetricTest, KnownValuesAndDiscreteness) {
+  LInfMetric m(3, 100.0, /*discrete_domain=*/true);
+  float a[3] = {1, 50, 3}, b[3] = {4, 0, 3};
+  EXPECT_DOUBLE_EQ(
+      m.Distance(ObjectView::FromVector(a, 3), ObjectView::FromVector(b, 3)),
+      50.0);
+  EXPECT_TRUE(m.discrete());
+  EXPECT_DOUBLE_EQ(m.max_distance(), 100.0);
+}
+
+TEST(EditDistanceTest, PaperExample) {
+  // Section 2.1: MRQ("defoliate", 1) over the example word set.
+  EditDistanceMetric m(34);
+  auto d = [&](std::string_view a, std::string_view b) {
+    return m.Distance(ObjectView::FromString(a), ObjectView::FromString(b));
+  };
+  EXPECT_DOUBLE_EQ(d("defoliate", "defoliates"), 1.0);
+  EXPECT_DOUBLE_EQ(d("defoliate", "defoliated"), 1.0);
+  EXPECT_DOUBLE_EQ(d("defoliate", "defoliation"), 3.0);
+  EXPECT_DOUBLE_EQ(d("defoliate", "defoliating"), 3.0);
+  EXPECT_GT(d("defoliate", "citrate"), 3.0);
+}
+
+TEST(EditDistanceTest, EdgeCases) {
+  EditDistanceMetric m(34);
+  auto d = [&](std::string_view a, std::string_view b) {
+    return m.Distance(ObjectView::FromString(a), ObjectView::FromString(b));
+  };
+  EXPECT_DOUBLE_EQ(d("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(d("", "abc"), 3.0);
+  EXPECT_DOUBLE_EQ(d("abc", ""), 3.0);
+  EXPECT_DOUBLE_EQ(d("kitten", "sitting"), 3.0);
+  EXPECT_DOUBLE_EQ(d("flaw", "lawn"), 2.0);
+  EXPECT_DOUBLE_EQ(d("a", "a"), 0.0);
+}
+
+TEST(DistanceComputerTest, CountsEveryCall) {
+  L2Metric m(2, 10.0);
+  PerfCounters counters;
+  DistanceComputer dc(&m, &counters);
+  float a[2] = {0, 0}, b[2] = {1, 1};
+  ObjectView va = ObjectView::FromVector(a, 2);
+  ObjectView vb = ObjectView::FromVector(b, 2);
+  for (int i = 0; i < 17; ++i) dc(va, vb);
+  EXPECT_EQ(counters.dist_computations, 17u);
+  EXPECT_EQ(counters.page_accesses(), 0u);
+}
+
+}  // namespace
+}  // namespace pmi

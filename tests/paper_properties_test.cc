@@ -1,0 +1,201 @@
+// Paper-shape property tests: the qualitative findings of Section 6 that
+// must hold on our substrate at test scale.  These are the guardrails
+// that keep the reproduction honest -- each test encodes one claim from
+// the paper's evaluation and fails if an implementation change breaks
+// the corresponding behaviour.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/pivot_selection.h"
+#include "src/data/distribution.h"
+#include "src/data/generators.h"
+#include "src/harness/registry.h"
+#include "src/harness/workload.h"
+
+namespace pmi {
+namespace {
+
+struct Fixture {
+  explicit Fixture(BenchDatasetId id, uint32_t n, uint32_t num_pivots = 5)
+      : bd(MakeBenchDataset(id, n, 11)) {
+    distribution = EstimateDistribution(bd.data, *bd.metric, 8000, 3);
+    PivotSelectionOptions po;
+    po.sample_size = std::min(n, 1500u);
+    pivots = SelectSharedPivots(bd.data, *bd.metric, num_pivots, po);
+    Rng rng(5150);
+    for (int i = 0; i < 8; ++i) query_ids.push_back(rng() % n);
+  }
+
+  std::unique_ptr<MetricIndex> Build(const std::string& name) {
+    IndexOptions opts;
+    opts.page_size =
+        bd.id == BenchDatasetId::kColor &&
+                (name == "CPT" || name == "PM-tree")
+            ? 40960
+            : 4096;
+    auto index = MakeIndex(name, opts);
+    index->Build(bd.data, *bd.metric, pivots);
+    return index;
+  }
+
+  OpStats KnnTotal(MetricIndex& index, uint32_t k) {
+    OpStats total;
+    std::vector<Neighbor> out;
+    for (ObjectId q : query_ids) {
+      total += index.KnnQuery(bd.data.view(q), k, &out);
+    }
+    return total;
+  }
+
+  OpStats MrqTotal(MetricIndex& index, double selectivity) {
+    OpStats total;
+    std::vector<ObjectId> out;
+    double r = distribution.RadiusForSelectivity(selectivity);
+    for (ObjectId q : query_ids) {
+      total += index.RangeQuery(bd.data.view(q), r, &out);
+    }
+    return total;
+  }
+
+  BenchDataset bd;
+  DistanceDistribution distribution;
+  PivotSet pivots;
+  std::vector<ObjectId> query_ids;
+};
+
+// Section 6.4 / Fig 14: EPT* answers MkNNQs with fewer distance
+// computations than EPT (higher-quality PSA pivots).
+TEST(PaperShapeTest, EptStarBeatsEptOnSynthetic) {
+  Fixture fx(BenchDatasetId::kSynthetic, 6000);
+  auto ept = fx.Build("EPT");
+  auto star = fx.Build("EPT*");
+  uint64_t cd_ept = fx.KnnTotal(*ept, 20).dist_computations;
+  uint64_t cd_star = fx.KnnTotal(*star, 20).dist_computations;
+  EXPECT_LT(cd_star, cd_ept);
+}
+
+// Table 4: EPT* construction is far more expensive than EPT's, which is
+// more expensive than LAESA's.
+TEST(PaperShapeTest, ConstructionCostOrderingOfTables) {
+  Fixture fx(BenchDatasetId::kSynthetic, 4000);
+  IndexOptions opts;
+  auto laesa = MakeIndex("LAESA", opts);
+  auto ept = MakeIndex("EPT", opts);
+  auto star = MakeIndex("EPT*", opts);
+  uint64_t cd_laesa =
+      laesa->Build(fx.bd.data, *fx.bd.metric, fx.pivots).dist_computations;
+  uint64_t cd_ept =
+      ept->Build(fx.bd.data, *fx.bd.metric, fx.pivots).dist_computations;
+  uint64_t cd_star =
+      star->Build(fx.bd.data, *fx.bd.metric, fx.pivots).dist_computations;
+  EXPECT_LT(cd_laesa, cd_ept);
+  EXPECT_LT(cd_ept, cd_star);
+}
+
+// Fig 15: the basic M-index re-traverses the index for MkNNQ
+// (incremental radii), costing more page accesses than M-index*'s
+// single best-first pass.
+TEST(PaperShapeTest, MIndexStarUsesFewerPagesForKnn) {
+  Fixture fx(BenchDatasetId::kWords, 8000);
+  auto basic = fx.Build("M-index");
+  auto star = fx.Build("M-index*");
+  uint64_t pa_basic = fx.KnnTotal(*basic, 20).page_accesses();
+  uint64_t pa_star = fx.KnnTotal(*star, 20).page_accesses();
+  EXPECT_LT(pa_star, pa_basic);
+}
+
+// Section 6.5.1: SPB-tree has the lowest I/O cost of the external
+// indexes (SFC-compacted keys + curve-ordered RAF).
+TEST(PaperShapeTest, SpbTreeHasLowestMrqPageAccesses) {
+  Fixture fx(BenchDatasetId::kWords, 8000);
+  auto spb = fx.Build("SPB-tree");
+  auto omnir = fx.Build("OmniR-tree");
+  auto pm = fx.Build("PM-tree");
+  uint64_t pa_spb = fx.MrqTotal(*spb, 0.08).page_accesses();
+  uint64_t pa_omnir = fx.MrqTotal(*omnir, 0.08).page_accesses();
+  uint64_t pa_pm = fx.MrqTotal(*pm, 0.08).page_accesses();
+  EXPECT_LT(pa_spb, pa_omnir);
+  EXPECT_LT(pa_spb, pa_pm);
+}
+
+// Section 6.2 storage discussion: SPB-tree stores less than the
+// OmniR-tree (SFC integers vs full mapped vectors + R-tree directory).
+TEST(PaperShapeTest, SpbTreeSmallerThanOmniR) {
+  Fixture fx(BenchDatasetId::kWords, 8000);
+  auto spb = fx.Build("SPB-tree");
+  auto omnir = fx.Build("OmniR-tree");
+  EXPECT_LT(spb->disk_bytes(), omnir->disk_bytes());
+}
+
+// Section 6.5.1: the in-memory trees store only split values, so their
+// pruning is coarser -- more distance computations than LAESA's full
+// table under the same pivots.
+TEST(PaperShapeTest, TreesTradeCompdistsForMemory) {
+  Fixture fx(BenchDatasetId::kLa, 8000);
+  auto laesa = fx.Build("LAESA");
+  auto mvpt = fx.Build("MVPT");
+  OpStats s_laesa = fx.MrqTotal(*laesa, 0.04);
+  OpStats s_mvpt = fx.MrqTotal(*mvpt, 0.04);
+  EXPECT_GE(s_mvpt.dist_computations, s_laesa.dist_computations);
+  EXPECT_LT(mvpt->memory_bytes(), laesa->memory_bytes());
+}
+
+// Section 6.5.3 / Fig 18: more pivots means better filtering -- LAESA's
+// MkNNQ compdists fall monotonically (modulo noise) from 1 to 9 pivots.
+TEST(PaperShapeTest, MorePivotsFewerCompdists) {
+  uint64_t prev = UINT64_MAX;
+  for (uint32_t p : {1u, 5u, 9u}) {
+    Fixture fx(BenchDatasetId::kSynthetic, 5000, p);
+    auto laesa = fx.Build("LAESA");
+    uint64_t cd = fx.KnnTotal(*laesa, 20).dist_computations;
+    EXPECT_LT(cd, prev) << "at |P|=" << p;
+    prev = cd;
+  }
+}
+
+// Lemma 4 effect (Section 6.5.1): with validation, M-index* answers
+// large-radius MRQs with fewer verifications than distance-only
+// verification would need -- compdists stays below the result count.
+TEST(PaperShapeTest, ValidationSkipsVerifications) {
+  Fixture fx(BenchDatasetId::kLa, 6000);
+  auto star = fx.Build("M-index*");
+  double r = fx.distribution.RadiusForSelectivity(0.64);
+  std::vector<ObjectId> out;
+  OpStats s = star->RangeQuery(fx.bd.data.view(fx.query_ids[0]), r, &out);
+  EXPECT_LT(s.dist_computations, out.size())
+      << "Lemma 4 should validate most of a 64%-selectivity result set";
+}
+
+// Buffer pool behaviour (Section 6.1): with a pool large enough to hold
+// the query's touch set, repeating the query costs no page accesses;
+// with the paper's small 128 KB pool, repeats still pay (LRU turnover).
+TEST(PaperShapeTest, WarmCacheAbsorbsRepeatedQueries) {
+  Fixture fx(BenchDatasetId::kWords, 6000);
+  IndexOptions opts;
+  opts.cache_bytes = 16 * 1024 * 1024;  // everything stays resident
+  auto spb = MakeIndex("SPB-tree", opts);
+  spb->Build(fx.bd.data, *fx.bd.metric, fx.pivots);
+  std::vector<Neighbor> out;
+  OpStats cold = spb->KnnQuery(fx.bd.data.view(fx.query_ids[0]), 20, &out);
+  OpStats warm = spb->KnnQuery(fx.bd.data.view(fx.query_ids[0]), 20, &out);
+  EXPECT_EQ(warm.page_accesses(), 0u);
+  EXPECT_LE(warm.page_accesses(), cold.page_accesses());
+}
+
+// Equal-footing sanity (Section 6.2): with the same pivots, the pure
+// Lemma-1 indexes do identical construction distance computations.
+TEST(PaperShapeTest, SharedPivotIndexesHaveIdenticalBuildCompdists) {
+  Fixture fx(BenchDatasetId::kLa, 4000);
+  IndexOptions opts;
+  uint64_t expected = uint64_t(fx.bd.data.size()) * fx.pivots.size();
+  for (const char* name : {"LAESA", "OmniSeq", "OmniR-tree", "SPB-tree"}) {
+    auto index = MakeIndex(name, opts);
+    OpStats s = index->Build(fx.bd.data, *fx.bd.metric, fx.pivots);
+    EXPECT_EQ(s.dist_computations, expected) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pmi

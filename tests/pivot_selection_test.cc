@@ -1,0 +1,152 @@
+// Pivot selection tests: determinism, distinctness, and the quality
+// ordering HFI >= HF >= random that motivates the paper's equal-footing
+// methodology (Section 1).
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/filtering.h"
+#include "src/core/pivot_selection.h"
+#include "src/data/generators.h"
+
+namespace pmi {
+namespace {
+
+// Mean tightness of the Lemma-1 lower bound over random pairs: the HFI
+// objective.  Higher is better.
+double PivotQuality(const Dataset& data, const Metric& metric,
+                    const std::vector<ObjectId>& ids) {
+  PivotSet pivots(data, ids);
+  PerfCounters c;
+  DistanceComputer dist(&metric, &c);
+  Rng rng(4242);
+  double sum = 0;
+  int used = 0;
+  std::vector<double> pa, pb;
+  for (int i = 0; i < 300; ++i) {
+    ObjectId a = rng() % data.size(), b = rng() % data.size();
+    double d = metric.Distance(data.view(a), data.view(b));
+    if (d <= 0) continue;
+    pivots.Map(data.view(a), dist, &pa);
+    pivots.Map(data.view(b), dist, &pb);
+    sum += PivotLowerBound(pa.data(), pb.data(), pivots.size()) / d;
+    ++used;
+  }
+  return used > 0 ? sum / used : 0;
+}
+
+class PivotSelectionTest : public ::testing::TestWithParam<BenchDatasetId> {};
+
+TEST_P(PivotSelectionTest, ReturnsDistinctValidIds) {
+  BenchDataset bd = MakeBenchDataset(GetParam(), 800, 3);
+  PerfCounters c;
+  DistanceComputer dist(bd.metric.get(), &c);
+  PivotSelectionOptions po;
+  po.sample_size = 400;
+  for (uint32_t count : {1u, 3u, 7u}) {
+    for (int which = 0; which < 2; ++which) {
+      std::vector<ObjectId> ids =
+          which == 0 ? SelectPivotsHF(bd.data, dist, count, po)
+                     : SelectPivotsHFI(bd.data, dist, count, po);
+      EXPECT_EQ(ids.size(), count);
+      std::set<ObjectId> uniq(ids.begin(), ids.end());
+      EXPECT_EQ(uniq.size(), ids.size()) << "duplicate pivots";
+      for (ObjectId id : ids) EXPECT_LT(id, bd.data.size());
+    }
+  }
+}
+
+TEST_P(PivotSelectionTest, DeterministicForFixedSeed) {
+  BenchDataset bd = MakeBenchDataset(GetParam(), 600, 3);
+  PerfCounters c;
+  DistanceComputer dist(bd.metric.get(), &c);
+  PivotSelectionOptions po;
+  po.sample_size = 300;
+  po.seed = 777;
+  EXPECT_EQ(SelectPivotsHFI(bd.data, dist, 5, po),
+            SelectPivotsHFI(bd.data, dist, 5, po));
+  EXPECT_EQ(SelectPivotsHF(bd.data, dist, 5, po),
+            SelectPivotsHF(bd.data, dist, 5, po));
+}
+
+TEST_P(PivotSelectionTest, HfiBeatsRandomOnLowerBoundQuality) {
+  BenchDataset bd = MakeBenchDataset(GetParam(), 1500, 3);
+  PerfCounters c;
+  DistanceComputer dist(bd.metric.get(), &c);
+  PivotSelectionOptions po;
+  po.sample_size = 800;
+  double hfi = PivotQuality(bd.data, *bd.metric,
+                            SelectPivotsHFI(bd.data, dist, 5, po));
+  // Average several random draws to avoid a lucky sample.
+  double random = 0;
+  Rng rng(1);
+  for (int rep = 0; rep < 5; ++rep) {
+    random +=
+        PivotQuality(bd.data, *bd.metric, SelectPivotsRandom(bd.data, 5, rng));
+  }
+  random /= 5;
+  EXPECT_GT(hfi, random * 0.98)
+      << "HFI should not lose to random pivot selection";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, PivotSelectionTest,
+                         ::testing::Values(BenchDatasetId::kLa,
+                                           BenchDatasetId::kWords,
+                                           BenchDatasetId::kColor,
+                                           BenchDatasetId::kSynthetic),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case BenchDatasetId::kLa: return "LA";
+                             case BenchDatasetId::kWords: return "Words";
+                             case BenchDatasetId::kColor: return "Color";
+                             default: return "Synthetic";
+                           }
+                         });
+
+TEST(PivotSelectionTest, HfPicksOutliers) {
+  // On a clustered 2-d set with a known far point, HF must include it.
+  Dataset data = Dataset::Vectors(2);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    float p[2] = {float(rng() % 100), float(rng() % 100)};
+    data.AddVector(p);
+  }
+  float far[2] = {9000, 9000};
+  ObjectId far_id = data.AddVector(far);
+  L2Metric metric(2, 10000);
+  PerfCounters c;
+  DistanceComputer dist(&metric, &c);
+  PivotSelectionOptions po;
+  po.sample_size = 501;
+  std::vector<ObjectId> foci = SelectPivotsHF(data, dist, 3, po);
+  EXPECT_TRUE(std::find(foci.begin(), foci.end(), far_id) != foci.end())
+      << "hull-of-foci missed the dominant outlier";
+}
+
+TEST(PivotSelectionTest, SharedPivotsCopySurviveDatasetGrowth) {
+  Dataset data = Dataset::Vectors(2);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    float p[2] = {float(rng() % 1000), float(rng() % 1000)};
+    data.AddVector(p);
+  }
+  L2Metric metric(2, 1000);
+  PivotSet pivots = SelectSharedPivots(data, metric, 4);
+  std::vector<float> before(8);
+  for (uint32_t i = 0; i < 4; ++i) {
+    before[2 * i] = pivots.pivot(i).vec[0];
+    before[2 * i + 1] = pivots.pivot(i).vec[1];
+  }
+  for (int i = 0; i < 5000; ++i) {  // force reallocation of the arena
+    float p[2] = {1, 2};
+    data.AddVector(p);
+  }
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pivots.pivot(i).vec[0], before[2 * i]);
+    EXPECT_EQ(pivots.pivot(i).vec[1], before[2 * i + 1]);
+  }
+}
+
+}  // namespace
+}  // namespace pmi

@@ -1,0 +1,191 @@
+// R-tree tests: structural invariants (every child MBR bounds its
+// subtree), query-by-traversal correctness against brute force, bulk load
+// vs dynamic insertion equivalence, and deletion.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/rng.h"
+#include "src/storage/paged_file.h"
+#include "src/storage/rtree.h"
+
+namespace pmi {
+namespace {
+
+std::vector<RTree::LeafEntry> RandomEntries(uint32_t n, uint32_t dims,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RTree::LeafEntry> out(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out[i].oid = i;
+    out[i].ref = {uint64_t(i) * 16, 16};
+    out[i].point.resize(dims);
+    for (uint32_t d = 0; d < dims; ++d) {
+      out[i].point[d] = float(rng() % 10000) / 10.0f;
+    }
+  }
+  return out;
+}
+
+// Collects all leaf oids under `page`, verifying MBR containment on the way.
+void CollectAndCheck(const RTree& t, PageId page, const float* lo,
+                     const float* hi, std::set<ObjectId>* out) {
+  RTree::NodeView node = t.ReadNode(page);
+  for (uint32_t i = 0; i < node.count; ++i) {
+    if (node.is_leaf) {
+      const float* pt = node.point(i);
+      if (lo != nullptr) {
+        for (uint32_t d = 0; d < t.dims(); ++d) {
+          EXPECT_GE(pt[d], lo[d]) << "point escapes parent MBR";
+          EXPECT_LE(pt[d], hi[d]) << "point escapes parent MBR";
+        }
+      }
+      EXPECT_TRUE(out->insert(node.oid(i)).second) << "duplicate oid";
+    } else {
+      if (lo != nullptr) {
+        for (uint32_t d = 0; d < t.dims(); ++d) {
+          EXPECT_GE(node.lo(i)[d], lo[d]);
+          EXPECT_LE(node.hi(i)[d], hi[d]);
+        }
+      }
+      CollectAndCheck(t, node.child(i), node.lo(i), node.hi(i), out);
+    }
+  }
+}
+
+class RTreeModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RTreeModes, ContainsExactlyTheInsertedPoints) {
+  const bool bulk = GetParam();
+  PerfCounters c;
+  PagedFile f(1024, 128 * 1024, &c);
+  RTree t(&f, 3);
+  auto entries = RandomEntries(3000, 3, 11);
+  if (bulk) {
+    t.BulkLoad(entries);
+  } else {
+    for (auto& e : entries) t.Insert(e);
+  }
+  std::set<ObjectId> seen;
+  CollectAndCheck(t, t.root(), nullptr, nullptr, &seen);
+  EXPECT_EQ(seen.size(), entries.size());
+}
+
+TEST_P(RTreeModes, RangeSearchMatchesBruteForce) {
+  const bool bulk = GetParam();
+  PerfCounters c;
+  PagedFile f(1024, 128 * 1024, &c);
+  RTree t(&f, 2);
+  auto entries = RandomEntries(2000, 2, 13);
+  if (bulk) {
+    t.BulkLoad(entries);
+  } else {
+    for (auto& e : entries) t.Insert(e);
+  }
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    float qlo[2], qhi[2];
+    for (int d = 0; d < 2; ++d) {
+      float a = float(rng() % 10000) / 10.0f;
+      float b = float(rng() % 10000) / 10.0f;
+      qlo[d] = std::min(a, b);
+      qhi[d] = std::max(a, b);
+    }
+    std::set<ObjectId> want;
+    for (auto& e : entries) {
+      bool in = true;
+      for (int d = 0; d < 2; ++d) {
+        in = in && e.point[d] >= qlo[d] && e.point[d] <= qhi[d];
+      }
+      if (in) want.insert(e.oid);
+    }
+    std::set<ObjectId> got;
+    std::vector<PageId> stack{t.root()};
+    while (!stack.empty()) {
+      PageId page = stack.back();
+      stack.pop_back();
+      RTree::NodeView node = t.ReadNode(page);
+      for (uint32_t i = 0; i < node.count; ++i) {
+        if (node.is_leaf) {
+          const float* pt = node.point(i);
+          bool in = true;
+          for (int d = 0; d < 2; ++d) {
+            in = in && pt[d] >= qlo[d] && pt[d] <= qhi[d];
+          }
+          if (in) got.insert(node.oid(i));
+        } else {
+          bool overlap = true;
+          for (int d = 0; d < 2; ++d) {
+            overlap = overlap && node.lo(i)[d] <= qhi[d] &&
+                      node.hi(i)[d] >= qlo[d];
+          }
+          if (overlap) stack.push_back(node.child(i));
+        }
+      }
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BulkAndDynamic, RTreeModes, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "BulkLoad" : "DynamicInsert";
+                         });
+
+TEST(RTreeTest, RemoveDropsEntryAndKeepsInvariants) {
+  PerfCounters c;
+  PagedFile f(1024, 128 * 1024, &c);
+  RTree t(&f, 2);
+  auto entries = RandomEntries(1000, 2, 29);
+  t.BulkLoad(entries);
+  Rng rng(31);
+  std::set<ObjectId> removed;
+  for (int i = 0; i < 300; ++i) {
+    uint32_t idx = rng() % entries.size();
+    if (removed.count(entries[idx].oid)) continue;
+    EXPECT_TRUE(t.Remove(entries[idx].point.data(), entries[idx].oid));
+    removed.insert(entries[idx].oid);
+  }
+  // Double-remove fails cleanly.
+  if (!removed.empty()) {
+    ObjectId gone = *removed.begin();
+    EXPECT_FALSE(t.Remove(entries[gone].point.data(), gone));
+  }
+  std::set<ObjectId> seen;
+  CollectAndCheck(t, t.root(), nullptr, nullptr, &seen);
+  EXPECT_EQ(seen.size(), entries.size() - removed.size());
+  for (ObjectId r : removed) EXPECT_EQ(seen.count(r), 0u);
+}
+
+TEST(RTreeTest, ReinsertAfterRemove) {
+  PerfCounters c;
+  PagedFile f(1024, 128 * 1024, &c);
+  RTree t(&f, 2);
+  auto entries = RandomEntries(500, 2, 37);
+  t.BulkLoad(entries);
+  for (int round = 0; round < 50; ++round) {
+    auto& e = entries[round * 7 % entries.size()];
+    ASSERT_TRUE(t.Remove(e.point.data(), e.oid));
+    t.Insert(e);
+  }
+  std::set<ObjectId> seen;
+  CollectAndCheck(t, t.root(), nullptr, nullptr, &seen);
+  EXPECT_EQ(seen.size(), entries.size());
+}
+
+TEST(RTreeTest, BulkLoadPacksTighterThanInsertion) {
+  PerfCounters c1, c2;
+  PagedFile f1(1024, 128 * 1024, &c1), f2(1024, 128 * 1024, &c2);
+  RTree a(&f1, 4), b(&f2, 4);
+  auto entries = RandomEntries(4000, 4, 41);
+  for (auto& e : entries) a.Insert(e);
+  b.BulkLoad(entries);
+  EXPECT_LT(f2.num_pages(), f1.num_pages());
+}
+
+}  // namespace
+}  // namespace pmi
