@@ -1,0 +1,329 @@
+// Micro-benchmark for the vectorized pivot-table query engine.  Compares
+// the pre-columnar implementations (kept alive here as reference code)
+// against the shipping ones on the paper's 20-d synthetic workload:
+//
+//   table_scan   row-major PrunedByPivots loop  vs  columnar PivotTable
+//   kernel       full Distance                  vs  BoundedDistance
+//   laesa_range  end-to-end MRQ, pre-PR LAESA   vs  shipping LAESA
+//
+// Emits one machine-readable JSON document to stdout (progress chatter
+// goes to stderr) so successive PRs can track the perf trajectory:
+//
+//   ./bench_micro_scan | python3 -m json.tool
+//
+// Environment: PMI_SCAN_N (cardinality, default 20000), PMI_SCAN_QUERIES
+// (default 50), PMI_SCAN_REPEATS (timing repeats, best-of, default 3).
+// The run self-checks the engine's equivalence claims (same survivors,
+// same results, same compdists) and reports them under "checks".
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/counters.h"
+#include "src/core/filtering.h"
+#include "src/core/knn_heap.h"
+#include "src/core/linear_scan.h"
+#include "src/core/pivot_selection.h"
+#include "src/core/pivot_table.h"
+#include "src/data/distribution.h"
+#include "src/data/generators.h"
+#include "src/tables/laesa.h"
+
+namespace pmi {
+namespace {
+
+uint32_t EnvOr(const char* name, uint32_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? static_cast<uint32_t>(std::strtoul(v, nullptr, 10)) : fallback;
+}
+
+/// The pre-PR LAESA query path, verbatim: row-major table, branchy
+/// per-row Lemma-1 loop, full (non-threshold-aware) verification.
+struct RowMajorLaesa {
+  const Dataset* data = nullptr;
+  const Metric* metric = nullptr;
+  const PivotSet* pivots = nullptr;
+  std::vector<ObjectId> oids;
+  std::vector<double> table;  // row-major rows x |P|
+  mutable PerfCounters counters;
+
+  void Build() {
+    const uint32_t l = pivots->size();
+    DistanceComputer d(metric, &counters);
+    std::vector<double> phi;
+    table.reserve(size_t(data->size()) * l);
+    for (ObjectId id = 0; id < data->size(); ++id) {
+      pivots->Map(data->view(id), d, &phi);
+      oids.push_back(id);
+      table.insert(table.end(), phi.begin(), phi.end());
+    }
+  }
+
+  void Range(const ObjectView& q, double r, std::vector<ObjectId>* out) const {
+    const uint32_t l = pivots->size();
+    DistanceComputer d(metric, &counters);
+    std::vector<double> phi_q;
+    pivots->Map(q, d, &phi_q);
+    for (size_t i = 0; i < oids.size(); ++i) {
+      if (PrunedByPivots(&table[i * l], phi_q.data(), l, r)) continue;
+      if (d(q, data->view(oids[i])) <= r) out->push_back(oids[i]);
+    }
+  }
+
+  void Knn(const ObjectView& q, size_t k, std::vector<Neighbor>* out) const {
+    const uint32_t l = pivots->size();
+    DistanceComputer d(metric, &counters);
+    std::vector<double> phi_q;
+    pivots->Map(q, d, &phi_q);
+    KnnHeap heap(k);
+    for (size_t i = 0; i < oids.size(); ++i) {
+      if (PrunedByPivots(&table[i * l], phi_q.data(), l, heap.radius())) {
+        continue;
+      }
+      heap.Push(oids[i], d(q, data->view(oids[i])));
+    }
+    heap.TakeSorted(out);
+  }
+};
+
+struct Timer {
+  Stopwatch watch;
+  double BestOfMs(uint32_t repeats, const std::function<void()>& fn) {
+    double best = 1e300;
+    for (uint32_t rep = 0; rep < repeats; ++rep) {
+      watch.Restart();
+      fn();
+      best = std::min(best, watch.Seconds() * 1e3);
+    }
+    return best;
+  }
+};
+
+struct JsonWriter {
+  bool first = true;
+  void Begin() { std::printf("{\n  \"results\": [\n"); }
+  void Result(const std::string& name, const std::string& fields) {
+    std::printf("%s    {\"name\": \"%s\", %s}", first ? "" : ",\n",
+                name.c_str(), fields.c_str());
+    first = false;
+  }
+  void End(const std::string& trailer) {
+    std::printf("\n  ],\n%s\n}\n", trailer.c_str());
+  }
+};
+
+std::string Num(const char* key, double v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6g", key, v);
+  return buf;
+}
+
+}  // namespace
+}  // namespace pmi
+
+int main() {
+  using namespace pmi;
+  // Floors keep degenerate/garbage env values (strtoul("abc") == 0) from
+  // producing empty datasets or query sets.
+  const uint32_t n = std::max(EnvOr("PMI_SCAN_N", 20000), 512u);
+  const uint32_t num_queries = std::max(EnvOr("PMI_SCAN_QUERIES", 50), 1u);
+  const uint32_t repeats = std::max(EnvOr("PMI_SCAN_REPEATS", 3), 1u);
+  const uint32_t kPivots = 5;
+
+  std::fprintf(stderr, "bench_micro_scan: n=%u queries=%u repeats=%u\n", n,
+               num_queries, repeats);
+
+  // The acceptance workload: 20-d synthetic integers under L-infinity.
+  BenchDataset bd = MakeBenchDataset(BenchDatasetId::kSynthetic, n, 7);
+  PivotSelectionOptions po;
+  po.sample_size = std::min<uint32_t>(n, 1000);
+  po.pair_sample = 400;
+  PivotSet pivots = SelectSharedPivots(bd.data, *bd.metric, kPivots, po);
+  // Selection can return fewer pivots than requested on tiny datasets;
+  // everything downstream uses the actual count.
+  const uint32_t l = pivots.size();
+  DistanceDistribution distribution =
+      EstimateDistribution(bd.data, *bd.metric, 4000, 3);
+
+  Rng rng(99);
+  std::vector<ObjectId> queries(num_queries);
+  for (auto& q : queries) q = rng() % bd.data.size();
+
+  JsonWriter json;
+  json.Begin();
+  Timer timer;
+  bool survivors_match = true, results_match = true, compdists_match = true;
+
+  // -- 1. raw table scan: row-major loop vs columnar blocked scan ------------
+  RowMajorLaesa ref;
+  ref.data = &bd.data;
+  ref.metric = bd.metric.get();
+  ref.pivots = &pivots;
+  ref.Build();
+
+  PivotTable columnar;
+  columnar.Reset(l);
+  columnar.Reserve(n);
+  for (size_t i = 0; i < ref.oids.size(); ++i) {
+    columnar.AppendRow(&ref.table[i * l]);
+  }
+
+  {
+    PerfCounters scratch;
+    DistanceComputer d(bd.metric.get(), &scratch);
+    std::vector<double> phi_q;
+    std::vector<std::vector<double>> query_phis;
+    for (ObjectId q : queries) {
+      pivots.Map(bd.data.view(q), d, &phi_q);
+      query_phis.push_back(phi_q);
+    }
+    for (double selectivity : {0.002, 0.01, 0.05}) {
+      const double r = distribution.RadiusForSelectivity(selectivity);
+      size_t row_major_survivors = 0, columnar_survivors = 0;
+
+      double row_major_ms = timer.BestOfMs(repeats, [&] {
+        row_major_survivors = 0;
+        for (const auto& pq : query_phis) {
+          for (size_t i = 0; i < ref.oids.size(); ++i) {
+            row_major_survivors +=
+                !PrunedByPivots(&ref.table[i * l], pq.data(), l, r);
+          }
+        }
+      });
+      std::vector<uint32_t> surv;
+      double columnar_ms = timer.BestOfMs(repeats, [&] {
+        columnar_survivors = 0;
+        for (const auto& pq : query_phis) {
+          surv.clear();
+          columnar.RangeScan(pq.data(), r, &surv);
+          columnar_survivors += surv.size();
+        }
+      });
+      survivors_match &= row_major_survivors == columnar_survivors;
+
+      char extra[160];
+      std::snprintf(extra, sizeof(extra),
+                    "\"selectivity\": %g, %s, %s, \"survivors\": %zu",
+                    selectivity,
+                    Num("row_major_ms", row_major_ms).c_str(),
+                    Num("columnar_ms", columnar_ms).c_str(),
+                    columnar_survivors);
+      json.Result("table_scan", extra);
+    }
+  }
+
+  // -- 2. distance kernels: full vs threshold-aware --------------------------
+  {
+    const uint32_t kCalls = 200000;
+    std::vector<std::pair<ObjectId, ObjectId>> pairs(kCalls);
+    for (auto& p : pairs) {
+      p = {ObjectId(rng() % bd.data.size()), ObjectId(rng() % bd.data.size())};
+    }
+    const double upper = distribution.RadiusForSelectivity(0.01);
+    double acc = 0;  // defeats dead-code elimination
+    double full_ms = timer.BestOfMs(repeats, [&] {
+      for (const auto& [a, b] : pairs) {
+        acc += bd.metric->Distance(bd.data.view(a), bd.data.view(b));
+      }
+    });
+    double bounded_ms = timer.BestOfMs(repeats, [&] {
+      for (const auto& [a, b] : pairs) {
+        acc += bd.metric->BoundedDistance(bd.data.view(a), bd.data.view(b),
+                                          upper);
+      }
+    });
+    if (acc == 1e-300) std::fprintf(stderr, "?");
+    char extra[200];
+    std::snprintf(extra, sizeof(extra),
+                  "\"metric\": \"%s\", \"calls\": %u, %s, %s, %s",
+                  bd.metric->name().c_str(), kCalls,
+                  Num("full_ms", full_ms).c_str(),
+                  Num("bounded_ms", bounded_ms).c_str(),
+                  Num("upper", upper).c_str());
+    json.Result("kernel", extra);
+  }
+
+  // -- 3. end-to-end LAESA MRQ: pre-PR reference vs shipping index -----------
+  double laesa_speedup = 0;
+  {
+    Laesa laesa;
+    laesa.Build(bd.data, *bd.metric, pivots);
+
+    const double r = distribution.RadiusForSelectivity(0.01);
+    std::vector<ObjectId> out_ref, out_new;
+
+    // Correctness + compdists parity first (outside the timed loops).
+    for (ObjectId q : queries) {
+      ObjectView qv = bd.data.view(q);
+      out_ref.clear();
+      uint64_t before_ref = ref.counters.dist_computations;
+      ref.Range(qv, r, &out_ref);
+      uint64_t cd_ref = ref.counters.dist_computations - before_ref;
+
+      out_new.clear();
+      OpStats stats = laesa.RangeQuery(qv, r, &out_new);
+
+      std::sort(out_ref.begin(), out_ref.end());
+      std::sort(out_new.begin(), out_new.end());
+      results_match &= out_ref == out_new;
+      compdists_match &= cd_ref == stats.dist_computations;
+
+      // MkNNQ parity: the dynamic scan's per-survivor radius re-check
+      // must reproduce the row-by-row loop's verification set exactly.
+      std::vector<Neighbor> nn_ref, nn_new;
+      before_ref = ref.counters.dist_computations;
+      ref.Knn(qv, 10, &nn_ref);
+      cd_ref = ref.counters.dist_computations - before_ref;
+      stats = laesa.KnnQuery(qv, 10, &nn_new);
+      compdists_match &= cd_ref == stats.dist_computations;
+      results_match &= nn_ref.size() == nn_new.size();
+      for (size_t i = 0; i < nn_ref.size() && i < nn_new.size(); ++i) {
+        results_match &= nn_ref[i].dist == nn_new[i].dist;
+      }
+    }
+
+    std::vector<ObjectId> sink;
+    double ref_ms = timer.BestOfMs(repeats, [&] {
+      for (ObjectId q : queries) {
+        sink.clear();
+        ref.Range(bd.data.view(q), r, &sink);
+      }
+    });
+    double new_ms = timer.BestOfMs(repeats, [&] {
+      for (ObjectId q : queries) {
+        sink.clear();
+        laesa.RangeQuery(bd.data.view(q), r, &sink);
+      }
+    });
+    laesa_speedup = new_ms > 0 ? ref_ms / new_ms : 0;
+
+    char extra[200];
+    std::snprintf(extra, sizeof(extra), "\"selectivity\": 0.01, %s, %s, %s",
+                  Num("row_major_ms", ref_ms).c_str(),
+                  Num("columnar_ms", new_ms).c_str(),
+                  Num("speedup", laesa_speedup).c_str());
+    json.Result("laesa_range", extra);
+  }
+
+  char trailer[512];
+  std::snprintf(
+      trailer, sizeof(trailer),
+      "  \"config\": {\"dataset\": \"Synthetic\", \"dim\": 20, \"n\": %u, "
+      "\"pivots\": %u, \"queries\": %u, \"repeats\": %u},\n"
+      "  \"checks\": {\"survivors_match\": %s, \"results_match\": %s, "
+      "\"compdists_match\": %s, \"laesa_range_speedup\": %.3f}",
+      n, l, num_queries, repeats, survivors_match ? "true" : "false",
+      results_match ? "true" : "false", compdists_match ? "true" : "false",
+      laesa_speedup);
+  json.End(trailer);
+
+  const bool ok = survivors_match && results_match && compdists_match;
+  if (!ok) std::fprintf(stderr, "bench_micro_scan: EQUIVALENCE CHECK FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -10,9 +10,14 @@ void LinearScan::BuildImpl() {
 
 void LinearScan::RangeImpl(const ObjectView& q, double r,
                            std::vector<ObjectId>* out) const {
+  // Threshold-aware kernels: an object whose partial distance already
+  // exceeds r abandons early; any reported value <= r is exact, so the
+  // oracle results are unchanged (see Metric::BoundedDistance).
   DistanceComputer d = dist();
   for (ObjectId id = 0; id < live_.size(); ++id) {
-    if (live_[id] && d(q, data().view(id)) <= r) out->push_back(id);
+    if (live_[id] && d.Bounded(q, data().view(id), r) <= r) {
+      out->push_back(id);
+    }
   }
 }
 
@@ -21,7 +26,9 @@ void LinearScan::KnnImpl(const ObjectView& q, size_t k,
   DistanceComputer d = dist();
   KnnHeap heap(k);
   for (ObjectId id = 0; id < live_.size(); ++id) {
-    if (live_[id]) heap.Push(id, d(q, data().view(id)));
+    if (live_[id]) {
+      heap.Push(id, d.Bounded(q, data().view(id), heap.radius()));
+    }
   }
   heap.TakeSorted(out);
 }

@@ -4,15 +4,61 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 namespace pmi {
+namespace {
+
+// The early-abandon kernels check the running partial against the bound
+// every kAbandonStride coordinates: often enough that a hopeless
+// verification stops after a few cache lines, rarely enough that the check
+// does not break auto-vectorization of the accumulation in between.
+constexpr uint32_t kAbandonStride = 16;
+
+// Inflated squared bound for the L2 abandon test.  The partial sum of
+// squares grows monotonically (non-negative terms), so `partial > bound`
+// proves the final distance exceeds `upper` -- but only if `bound` is
+// guaranteed not to round below upper^2.  A few ulps of slack costs at
+// worst one wasted stride; shaving the bound too tight would corrupt
+// results, so the comparison errs on the generous side.
+inline double InflatedSquare(double upper) {
+  double u2 = upper * upper;
+  return u2 + 4 * std::numeric_limits<double>::epsilon() * u2 +
+         std::numeric_limits<double>::min();
+}
+
+}  // namespace
 
 double L1Metric::Distance(const ObjectView& a, const ObjectView& b) const {
   assert(a.kind == ObjectKind::kVector && b.kind == ObjectKind::kVector);
   assert(a.dim == dim_ && b.dim == dim_);
+  const float* __restrict pa = a.vec;
+  const float* __restrict pb = b.vec;
   double sum = 0;
-  for (uint32_t i = 0; i < dim_; ++i) sum += std::fabs(double(a.vec[i]) - b.vec[i]);
+  for (uint32_t i = 0; i < dim_; ++i) sum += std::fabs(double(pa[i]) - pb[i]);
+  return sum;
+}
+
+double L1Metric::BoundedDistance(const ObjectView& a, const ObjectView& b,
+                                 double upper) const {
+  assert(a.kind == ObjectKind::kVector && b.kind == ObjectKind::kVector);
+  assert(a.dim == dim_ && b.dim == dim_);
+  const float* __restrict pa = a.vec;
+  const float* __restrict pb = b.vec;
+  // Identical accumulation order to Distance(): a completed run returns a
+  // bit-identical value.  The partial sum is a monotone lower bound, so
+  // partial > upper proves d(a, b) > upper and the partial itself is a
+  // valid "> upper" return value.
+  double sum = 0;
+  uint32_t i = 0;
+  for (; i + kAbandonStride <= dim_; i += kAbandonStride) {
+    for (uint32_t j = i; j < i + kAbandonStride; ++j) {
+      sum += std::fabs(double(pa[j]) - pb[j]);
+    }
+    if (sum > upper) return sum;
+  }
+  for (; i < dim_; ++i) sum += std::fabs(double(pa[i]) - pb[i]);
   return sum;
 }
 
@@ -22,9 +68,39 @@ L2Metric::L2Metric(uint32_t dim, double domain_extent)
 double L2Metric::Distance(const ObjectView& a, const ObjectView& b) const {
   assert(a.kind == ObjectKind::kVector && b.kind == ObjectKind::kVector);
   assert(a.dim == dim_ && b.dim == dim_);
+  const float* __restrict pa = a.vec;
+  const float* __restrict pb = b.vec;
   double sum = 0;
   for (uint32_t i = 0; i < dim_; ++i) {
-    double diff = double(a.vec[i]) - b.vec[i];
+    double diff = double(pa[i]) - pb[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+double L2Metric::BoundedDistance(const ObjectView& a, const ObjectView& b,
+                                 double upper) const {
+  assert(a.kind == ObjectKind::kVector && b.kind == ObjectKind::kVector);
+  assert(a.dim == dim_ && b.dim == dim_);
+  if (upper < 0) return std::numeric_limits<double>::infinity();
+  const float* __restrict pa = a.vec;
+  const float* __restrict pb = b.vec;
+  // Squared-space comparison: no sqrt unless the candidate survives.  The
+  // abandon bound is inflated by a few ulps so a borderline sum never
+  // abandons incorrectly; a completed loop falls through to the exact
+  // sqrt, preserving bit-identity with Distance().
+  const double bound = InflatedSquare(upper);
+  double sum = 0;
+  uint32_t i = 0;
+  for (; i + kAbandonStride <= dim_; i += kAbandonStride) {
+    for (uint32_t j = i; j < i + kAbandonStride; ++j) {
+      double diff = double(pa[j]) - pb[j];
+      sum += diff * diff;
+    }
+    if (sum > bound) return std::numeric_limits<double>::infinity();
+  }
+  for (; i < dim_; ++i) {
+    double diff = double(pa[i]) - pb[i];
     sum += diff * diff;
   }
   return std::sqrt(sum);
@@ -33,9 +109,34 @@ double L2Metric::Distance(const ObjectView& a, const ObjectView& b) const {
 double LInfMetric::Distance(const ObjectView& a, const ObjectView& b) const {
   assert(a.kind == ObjectKind::kVector && b.kind == ObjectKind::kVector);
   assert(a.dim == b.dim);
+  const float* __restrict pa = a.vec;
+  const float* __restrict pb = b.vec;
   double best = 0;
   for (uint32_t i = 0; i < a.dim; ++i) {
-    best = std::max(best, std::fabs(double(a.vec[i]) - b.vec[i]));
+    best = std::max(best, std::fabs(double(pa[i]) - pb[i]));
+  }
+  return best;
+}
+
+double LInfMetric::BoundedDistance(const ObjectView& a, const ObjectView& b,
+                                   double upper) const {
+  assert(a.kind == ObjectKind::kVector && b.kind == ObjectKind::kVector);
+  assert(a.dim == b.dim);
+  const float* __restrict pa = a.vec;
+  const float* __restrict pb = b.vec;
+  // The running max is exact (no rounding accumulates), so the partial is
+  // both the abandon test and the "> upper" return value.
+  const uint32_t dim = a.dim;
+  double best = 0;
+  uint32_t i = 0;
+  for (; i + kAbandonStride <= dim; i += kAbandonStride) {
+    for (uint32_t j = i; j < i + kAbandonStride; ++j) {
+      best = std::max(best, std::fabs(double(pa[j]) - pb[j]));
+    }
+    if (best > upper) return best;
+  }
+  for (; i < dim; ++i) {
+    best = std::max(best, std::fabs(double(pa[i]) - pb[i]));
   }
   return best;
 }
@@ -68,6 +169,61 @@ double EditDistanceMetric::Distance(const ObjectView& a,
     }
   }
   return row[m];
+}
+
+double EditDistanceMetric::BoundedDistance(const ObjectView& a,
+                                           const ObjectView& b,
+                                           double upper) const {
+  assert(a.kind == ObjectKind::kString && b.kind == ObjectKind::kString);
+  std::string_view s = a.AsString(), t = b.AsString();
+  if (s.size() > t.size()) std::swap(s, t);
+  const uint32_t m = static_cast<uint32_t>(s.size());
+  const uint32_t n = static_cast<uint32_t>(t.size());
+
+  // Integer distances: d <= upper iff d <= floor(upper).  A band at least
+  // as wide as the string leaves nothing to cut -- delegate to the plain
+  // DP (also covers upper = +inf from an unfilled kNN heap).
+  if (!(upper < n)) return Distance(a, b);
+  const uint32_t kb =
+      upper < 0 ? 0 : static_cast<uint32_t>(std::floor(upper));
+  // Length-difference lower bound (also disposes of m == 0: that needs
+  // n <= kb, impossible with kb = floor(upper) < n).
+  if (n - m > kb) return n - m;
+
+  // Ukkonen band: only cells with |i - j| <= kb can lie on an edit path
+  // of cost <= kb, so each DP column j touches rows [j-kb, j+kb].  kCut
+  // (= kb + 1) saturates every out-of-band or over-threshold value; when
+  // the in-band column minimum reaches it, no path of cost <= kb remains
+  // and the scan aborts with a "> upper" verdict.
+  const uint32_t kCut = kb + 1;
+  thread_local std::vector<uint32_t> row;
+  row.resize(m + 1);
+  for (uint32_t i = 0; i <= m; ++i) row[i] = i <= kb ? i : kCut;
+  for (uint32_t j = 1; j <= n; ++j) {
+    const uint32_t lo = j > kb ? j - kb : 1;
+    const uint32_t hi = std::min(m, j + kb);
+    uint32_t prev;  // DP[j-1][lo-1]
+    if (lo == 1) {
+      prev = row[0];
+      row[0] = std::min(j, kCut);
+    } else {
+      prev = row[lo - 1];
+      row[lo - 1] = kCut;  // cell (j, lo-1) leaves the band
+    }
+    uint32_t col_min = lo == 1 ? row[0] : kCut;
+    const char tj = t[j - 1];
+    for (uint32_t i = lo; i <= hi; ++i) {
+      // DP[j-1][i] sits outside column j-1's band when i = j + kb.
+      uint32_t cur = i >= j + kb ? kCut : row[i];
+      uint32_t subst = prev + (s[i - 1] != tj);
+      uint32_t val = std::min({row[i - 1] + 1, cur + 1, subst});
+      row[i] = std::min(val, kCut);
+      prev = cur;
+      col_min = std::min(col_min, row[i]);
+    }
+    if (col_min >= kCut) return kCut;  // no path of cost <= kb survives
+  }
+  return row[m];  // <= kb means exact; kCut means "> upper"
 }
 
 }  // namespace pmi

@@ -25,6 +25,21 @@ class Metric {
   /// The distance d(a, b).  Must satisfy the metric axioms.
   virtual double Distance(const ObjectView& a, const ObjectView& b) const = 0;
 
+  /// Threshold-aware distance: when d(a, b) <= upper, returns exactly the
+  /// value Distance(a, b) would (bit-identical -- implementations must
+  /// accumulate in the same order); otherwise returns *some* value > upper
+  /// (typically a partial lower bound, possibly +infinity).  Callers that
+  /// only compare the result against `upper` (verification after Lemma-1
+  /// pruning, kNN radius tests) get the same decisions as with Distance at
+  /// a fraction of the cost: the vector norms early-abandon their
+  /// accumulation, L2 compares squared sums and defers the sqrt to the
+  /// success case, and edit distance runs a Ukkonen-style banded DP.
+  virtual double BoundedDistance(const ObjectView& a, const ObjectView& b,
+                                 double upper) const {
+    (void)upper;
+    return Distance(a, b);
+  }
+
   /// True when the distance domain is discrete (integer-valued); BKT and
   /// FQT are only applicable to discrete metrics (Section 4).
   virtual bool discrete() const { return false; }
@@ -45,6 +60,8 @@ class L1Metric final : public Metric {
       : dim_(dim), max_(domain_extent * dim) {}
 
   double Distance(const ObjectView& a, const ObjectView& b) const override;
+  double BoundedDistance(const ObjectView& a, const ObjectView& b,
+                         double upper) const override;
   double max_distance() const override { return max_; }
   std::string name() const override { return "L1"; }
 
@@ -59,6 +76,8 @@ class L2Metric final : public Metric {
   explicit L2Metric(uint32_t dim, double domain_extent);
 
   double Distance(const ObjectView& a, const ObjectView& b) const override;
+  double BoundedDistance(const ObjectView& a, const ObjectView& b,
+                         double upper) const override;
   double max_distance() const override { return max_; }
   std::string name() const override { return "L2"; }
 
@@ -72,10 +91,12 @@ class L2Metric final : public Metric {
 /// and FQT (the paper generates Synthetic as integers for this reason).
 class LInfMetric final : public Metric {
  public:
-  LInfMetric(uint32_t dim, double domain_extent, bool discrete_domain)
+  LInfMetric(uint32_t /*dim*/, double domain_extent, bool discrete_domain)
       : max_(domain_extent), discrete_(discrete_domain) {}
 
   double Distance(const ObjectView& a, const ObjectView& b) const override;
+  double BoundedDistance(const ObjectView& a, const ObjectView& b,
+                         double upper) const override;
   bool discrete() const override { return discrete_; }
   double max_distance() const override { return max_; }
   std::string name() const override { return "Linf"; }
@@ -92,6 +113,8 @@ class EditDistanceMetric final : public Metric {
   explicit EditDistanceMetric(uint32_t max_len) : max_(max_len) {}
 
   double Distance(const ObjectView& a, const ObjectView& b) const override;
+  double BoundedDistance(const ObjectView& a, const ObjectView& b,
+                         double upper) const override;
   bool discrete() const override { return true; }
   double max_distance() const override { return max_; }
   std::string name() const override { return "edit"; }
@@ -110,6 +133,16 @@ class DistanceComputer {
   double operator()(const ObjectView& a, const ObjectView& b) const {
     ++counters_->dist_computations;
     return metric_->Distance(a, b);
+  }
+
+  /// Threshold-aware variant (see Metric::BoundedDistance).  Counts one
+  /// distance computation whether or not the kernel abandons early: the
+  /// compdists metric measures how many pairs the index had to *examine*,
+  /// which is unchanged by how cheaply the examination concludes.
+  double Bounded(const ObjectView& a, const ObjectView& b,
+                 double upper) const {
+    ++counters_->dist_computations;
+    return metric_->BoundedDistance(a, b, upper);
   }
 
   const Metric& metric() const { return *metric_; }

@@ -1,0 +1,117 @@
+#include "src/core/pivot_table.h"
+
+#include <cmath>
+
+namespace pmi {
+namespace {
+
+// Pivot-slot-0 sweep: one contiguous column slab -> byte mask.  Branchless
+// compare-and-store over restrict-qualified flat arrays; GCC/Clang turn
+// this into packed SIMD compares at -O2.
+inline void MaskSweep(const double* __restrict col, double q, double r,
+                      size_t count, uint8_t* __restrict keep) {
+  for (size_t i = 0; i < count; ++i) {
+    keep[i] = std::fabs(col[i] - q) <= r;
+  }
+}
+
+// Mask -> survivor index list (branch-free compaction).
+inline size_t Compact(const uint8_t* __restrict keep, size_t count,
+                      uint32_t* __restrict surv) {
+  size_t n = 0;
+  for (size_t i = 0; i < count; ++i) {
+    surv[n] = static_cast<uint32_t>(i);
+    n += keep[i];
+  }
+  return n;
+}
+
+// Later pivot slots only touch the current survivors: a short gather loop
+// over that slot's contiguous column, compacting in place.
+inline size_t Refine(const double* __restrict col, double q, double r,
+                     uint32_t* __restrict surv, size_t n) {
+  size_t m = 0;
+  for (size_t j = 0; j < n; ++j) {
+    const uint32_t i = surv[j];
+    surv[m] = i;
+    m += std::fabs(col[i] - q) <= r;
+  }
+  return m;
+}
+
+}  // namespace
+
+size_t PivotTable::FilterBlock(const double* phi_q, double r, size_t base,
+                               size_t count, uint32_t* surv) const {
+  if (width_ == 0) {  // no pivots: nothing prunes
+    for (size_t i = 0; i < count; ++i) surv[i] = static_cast<uint32_t>(i);
+    return count;
+  }
+  uint8_t keep[kScanBlock];
+  MaskSweep(cols_[0].data() + base, phi_q[0], r, count, keep);
+  size_t n = Compact(keep, count, surv);
+  for (uint32_t p = 1; p < width_ && n > 0; ++p) {
+    n = Refine(cols_[p].data() + base, phi_q[p], r, surv, n);
+  }
+  return n;
+}
+
+size_t PivotTable::FilterBlockIndirect(const double* d_qp, double r,
+                                       size_t base, size_t count,
+                                       uint32_t* surv) const {
+  if (width_ == 0) {
+    for (size_t i = 0; i < count; ++i) surv[i] = static_cast<uint32_t>(i);
+    return count;
+  }
+  // Slot 0: gather the per-row query-pivot distance, then the same mask +
+  // compact dance as the shared form.  The gather keeps this sweep off the
+  // pure-SIMD path, but both indexed arrays are contiguous column slabs,
+  // so it still runs at cache-line speed.
+  uint8_t keep[kScanBlock];
+  {
+    const double* __restrict col = cols_[0].data() + base;
+    const uint32_t* __restrict idx = pidx_cols_[0].data() + base;
+    for (size_t i = 0; i < count; ++i) {
+      keep[i] = std::fabs(col[i] - d_qp[idx[i]]) <= r;
+    }
+  }
+  size_t n = Compact(keep, count, surv);
+  for (uint32_t p = 1; p < width_ && n > 0; ++p) {
+    const double* __restrict col = cols_[p].data() + base;
+    const uint32_t* __restrict idx = pidx_cols_[p].data() + base;
+    size_t m = 0;
+    for (size_t j = 0; j < n; ++j) {
+      const uint32_t i = surv[j];
+      surv[m] = i;
+      m += std::fabs(col[i] - d_qp[idx[i]]) <= r;
+    }
+    n = m;
+  }
+  return n;
+}
+
+void PivotTable::RangeScan(const double* phi_q, double r,
+                           std::vector<uint32_t>* survivors) const {
+  uint32_t surv[kScanBlock];
+  for (size_t base = 0; base < rows_; base += kScanBlock) {
+    const size_t count = std::min<size_t>(kScanBlock, rows_ - base);
+    const size_t n = FilterBlock(phi_q, r, base, count, surv);
+    for (size_t j = 0; j < n; ++j) {
+      survivors->push_back(static_cast<uint32_t>(base) + surv[j]);
+    }
+  }
+}
+
+void PivotTable::RangeScanIndirect(const double* d_qp, double r,
+                                   std::vector<uint32_t>* survivors) const {
+  uint32_t surv[kScanBlock];
+  for (size_t base = 0; base < rows_; base += kScanBlock) {
+    const size_t count = std::min<size_t>(kScanBlock, rows_ - base);
+    const size_t n = FilterBlockIndirect(d_qp, r, base, count, surv);
+    for (size_t j = 0; j < n; ++j) {
+      survivors->push_back(static_cast<uint32_t>(base) + surv[j]);
+    }
+  }
+}
+
+}  // namespace pmi

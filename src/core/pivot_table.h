@@ -1,0 +1,196 @@
+// Columnar pivot-distance table -- the scan substrate of the flat
+// table-based indexes (LAESA, EPT/EPT*, CPT's in-memory half).
+//
+// The paper's cost model makes the n x l table scan the dominant CPU term
+// of the table indexes.  A row-major layout walks l-doubles-strided memory
+// and re-decides "pruned?" with a branchy per-row loop; since Lemma-1
+// pruning usually triggers on the *first* pivot, almost all of that
+// traffic is wasted.  This table stores the mapping column-major (one
+// contiguous array per pivot slot) and scans in blocks of kScanBlock rows:
+//
+//   1. pivot slot 0 sweeps one contiguous column, writing a byte-mask of
+//      block-local survivors (branchless, auto-vectorizable);
+//   2. the mask is compacted into a survivor index list;
+//   3. each later pivot slot refines only the survivor list (short,
+//      gather-indexed loops over its own contiguous column).
+//
+// The common case -- a row pruned by its first pivot -- therefore touches
+// 8 bytes instead of an 8*l-byte row, and the first-pivot sweep runs at
+// SIMD width.  Pruning decisions are *identical* to the row-major loop
+// (same comparisons, same order), so query results are byte-for-byte
+// unchanged; the conformance and pivot_table tests pin this.
+//
+// Two scan forms cover the two table families:
+//   - shared-pivot (LAESA/CPT): column p holds d(o, p_p); the query side
+//     is phi(q) = <d(q,p_1), ..., d(q,p_l)> computed once per query.
+//   - per-row-pivot (EPT/EPT*): column j holds d(o, p_{c_j(o)}) plus a
+//     parallel uint32 column of pool indices c_j(o); the query side
+//     gathers d(q, pool[c]) from a per-query pool mapping.
+
+#ifndef PMI_CORE_PIVOT_TABLE_H_
+#define PMI_CORE_PIVOT_TABLE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pmi {
+
+/// Column-major n x l pivot-distance table with blocked Lemma-1 scans.
+class PivotTable {
+ public:
+  /// Rows per scan block: 256 rows = one 2 KB column slab, small enough
+  /// that the pivot-0 slab plus the survivor scratch stay L1-resident.
+  static constexpr uint32_t kScanBlock = 256;
+
+  PivotTable() = default;
+
+  /// Clears the table and sets the number of pivot slots per row.
+  /// `per_row_pivots` selects the EPT-style layout with a parallel
+  /// pool-index column per slot.
+  void Reset(uint32_t width, bool per_row_pivots = false) {
+    width_ = width;
+    rows_ = 0;
+    cols_.assign(width, {});
+    pidx_cols_.assign(per_row_pivots ? width : 0, {});
+  }
+
+  void Reserve(size_t rows) {
+    for (auto& c : cols_) c.reserve(rows);
+    for (auto& c : pidx_cols_) c.reserve(rows);
+  }
+
+  uint32_t width() const { return width_; }
+  size_t rows() const { return rows_; }
+  bool per_row_pivots() const { return !pidx_cols_.empty(); }
+
+  /// Appends a row in shared-pivot form: phi[p] = d(o, p_p).
+  void AppendRow(const double* phi) {
+    for (uint32_t p = 0; p < width_; ++p) cols_[p].push_back(phi[p]);
+    ++rows_;
+  }
+
+  /// Appends a row in per-row-pivot form: slot j holds distance pdist[j]
+  /// to pool pivot pidx[j].
+  void AppendRow(const double* pdist, const uint32_t* pidx) {
+    for (uint32_t j = 0; j < width_; ++j) {
+      cols_[j].push_back(pdist[j]);
+      pidx_cols_[j].push_back(pidx[j]);
+    }
+    ++rows_;
+  }
+
+  /// Removes row `row` by moving the last row into its place (the scan
+  /// tables are order-independent, so deletion is O(l) instead of the
+  /// O(n*l) erase-and-shift of the row-major layout).
+  void RemoveRowSwap(size_t row) {
+    const size_t last = rows_ - 1;
+    for (auto& c : cols_) {
+      c[row] = c[last];
+      c.pop_back();
+    }
+    for (auto& c : pidx_cols_) {
+      c[row] = c[last];
+      c.pop_back();
+    }
+    rows_ = last;
+  }
+
+  double distance(size_t row, uint32_t slot) const {
+    return cols_[slot][row];
+  }
+  uint32_t pivot_index(size_t row, uint32_t slot) const {
+    return pidx_cols_[slot][row];
+  }
+  /// Contiguous per-slot distance column (length rows()).
+  const double* column(uint32_t slot) const { return cols_[slot].data(); }
+
+  /// Shared-pivot range scan: appends every row index whose mapped vector
+  /// intersects the Lemma-1 search region (|phi_o[p] - phi_q[p]| <= r for
+  /// all p) to `survivors`, in ascending row order.
+  void RangeScan(const double* phi_q, double r,
+                 std::vector<uint32_t>* survivors) const;
+
+  /// Per-row-pivot range scan; `d_qp` maps pool pivot index -> d(q, p).
+  void RangeScanIndirect(const double* d_qp, double r,
+                         std::vector<uint32_t>* survivors) const;
+
+  /// Blocked scan with a shrinking radius -- the MkNNQ form.  `radius()`
+  /// is read at block entry for the bulk filter, then re-read per
+  /// survivor for an exact re-check before `verify(row)` runs.  The
+  /// block-entry radius is never smaller than the row-by-row radius the
+  /// row-major loop used (the heap only tightens), so the bulk filter
+  /// keeps a superset; the per-survivor re-check then prunes with
+  /// *exactly* the radius the old loop would have seen at that row --
+  /// verification decisions, results, and compdists all match the
+  /// row-major scan bit for bit.  The re-check touches only the few
+  /// survivors, so the bulk of the scan still runs at column speed.
+  template <typename RadiusFn, typename VerifyFn>
+  void ScanDynamic(const double* phi_q, RadiusFn&& radius,
+                   VerifyFn&& verify) const {
+    uint32_t surv[kScanBlock];
+    for (size_t base = 0; base < rows_; base += kScanBlock) {
+      const size_t count = std::min<size_t>(kScanBlock, rows_ - base);
+      const size_t n = FilterBlock(phi_q, radius(), base, count, surv);
+      for (size_t j = 0; j < n; ++j) {
+        const size_t row = base + surv[j];
+        if (RowSurvives(row, phi_q, radius())) verify(row);
+      }
+    }
+  }
+
+  template <typename RadiusFn, typename VerifyFn>
+  void ScanDynamicIndirect(const double* d_qp, RadiusFn&& radius,
+                           VerifyFn&& verify) const {
+    uint32_t surv[kScanBlock];
+    for (size_t base = 0; base < rows_; base += kScanBlock) {
+      const size_t count = std::min<size_t>(kScanBlock, rows_ - base);
+      const size_t n = FilterBlockIndirect(d_qp, radius(), base, count, surv);
+      for (size_t j = 0; j < n; ++j) {
+        const size_t row = base + surv[j];
+        if (RowSurvivesIndirect(row, d_qp, radius())) verify(row);
+      }
+    }
+  }
+
+  size_t memory_bytes() const {
+    return size_t(rows_) * width_ *
+           (sizeof(double) + (per_row_pivots() ? sizeof(uint32_t) : 0));
+  }
+
+ private:
+  /// Single-row Lemma-1 test at radius `r` (the per-survivor re-check of
+  /// the dynamic scans).
+  bool RowSurvives(size_t row, const double* phi_q, double r) const {
+    for (uint32_t p = 0; p < width_; ++p) {
+      if (std::fabs(cols_[p][row] - phi_q[p]) > r) return false;
+    }
+    return true;
+  }
+  bool RowSurvivesIndirect(size_t row, const double* d_qp, double r) const {
+    for (uint32_t p = 0; p < width_; ++p) {
+      if (std::fabs(cols_[p][row] - d_qp[pidx_cols_[p][row]]) > r) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Writes the block-local indices (0-based within [base, base+count))
+  /// of rows surviving all pivot slots at radius `r` into `surv`;
+  /// returns how many.
+  size_t FilterBlock(const double* phi_q, double r, size_t base,
+                     size_t count, uint32_t* surv) const;
+  size_t FilterBlockIndirect(const double* d_qp, double r, size_t base,
+                             size_t count, uint32_t* surv) const;
+
+  uint32_t width_ = 0;
+  size_t rows_ = 0;
+  std::vector<std::vector<double>> cols_;        // width_ columns of rows_
+  std::vector<std::vector<uint32_t>> pidx_cols_; // per-row-pivot mode only
+};
+
+}  // namespace pmi
+
+#endif  // PMI_CORE_PIVOT_TABLE_H_

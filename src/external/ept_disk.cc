@@ -79,7 +79,7 @@ void EptDisk::RangeImpl(const ObjectView& q, double r,
     raf_->ReadRecord(ref, &buf);
     ObjectView obj =
         data().DeserializeObject(buf.data(), static_cast<uint32_t>(buf.size()));
-    if (d(q, obj) <= r) out->push_back(id);
+    if (d.Bounded(q, obj, r) <= r) out->push_back(id);
   }
 }
 
@@ -114,7 +114,7 @@ void EptDisk::KnnImpl(const ObjectView& q, size_t k,
     raf_->ReadRecord(ref, &buf);
     ObjectView obj =
         data().DeserializeObject(buf.data(), static_cast<uint32_t>(buf.size()));
-    heap.Push(id, d(q, obj));
+    heap.Push(id, d.Bounded(q, obj, heap.radius()));
   }
   heap.TakeSorted(out);
 }

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,12 +31,15 @@ std::vector<double> OmniBase::Map(const ObjectView& o) const {
   return phi;
 }
 
-double OmniBase::VerifyFromRaf(const ObjectView& q, const RafRef& ref) const {
+double OmniBase::VerifyFromRaf(const ObjectView& q, const RafRef& ref,
+                               double upper) const {
   std::vector<char> buf;
   raf_->ReadRecord(ref, &buf);
   DistanceComputer d = dist();
-  return d(q, data().DeserializeObject(buf.data(),
-                                       static_cast<uint32_t>(buf.size())));
+  return d.Bounded(q,
+                   data().DeserializeObject(buf.data(),
+                                            static_cast<uint32_t>(buf.size())),
+                   upper);
 }
 
 // -- Omni-sequential-file -------------------------------------------------------
@@ -91,7 +95,7 @@ void OmniSequential::RangeImpl(const ObjectView& q, double r,
     RafRef ref;
     std::memcpy(&ref.length, p + 4, 4);
     std::memcpy(&ref.offset, p + 8, 8);
-    if (VerifyFromRaf(q, ref) <= r) out->push_back(id);
+    if (VerifyFromRaf(q, ref, r) <= r) out->push_back(id);
   }
 }
 
@@ -112,7 +116,7 @@ void OmniSequential::KnnImpl(const ObjectView& q, size_t k,
     RafRef ref;
     std::memcpy(&ref.length, p + 4, 4);
     std::memcpy(&ref.offset, p + 8, 8);
-    heap.Push(id, VerifyFromRaf(q, ref));
+    heap.Push(id, VerifyFromRaf(q, ref, heap.radius()));
   }
   heap.TakeSorted(out);
 }
@@ -231,7 +235,7 @@ void OmniBTree::RangeImpl(const ObjectView& q, double r,
   std::vector<std::pair<ObjectId, RafRef>> candidates;
   CollectCandidates(phi_q, r, &candidates);
   for (const auto& [oid, ref] : candidates) {
-    if (VerifyFromRaf(q, ref) <= r) out->push_back(oid);
+    if (VerifyFromRaf(q, ref, r) <= r) out->push_back(oid);
   }
 }
 
@@ -248,7 +252,12 @@ void OmniBTree::KnnImpl(const ObjectView& q, size_t k,
     std::vector<std::pair<ObjectId, RafRef>> candidates;
     CollectCandidates(phi_q, r, &candidates);
     for (const auto& [oid, ref] : candidates) {
-      if (!verified.count(oid)) verified[oid] = VerifyFromRaf(q, ref);
+      // Cached full distances: later rounds re-test them at larger radii,
+      // so bounded verification would poison the cache.
+      if (!verified.count(oid)) {
+        verified[oid] = VerifyFromRaf(
+            q, ref, std::numeric_limits<double>::infinity());
+      }
     }
     size_t within = 0;
     for (const auto& [oid, dv] : verified) within += dv <= r;
@@ -323,7 +332,7 @@ void OmniRTree::RangeImpl(const ObjectView& q, double r,
         for (uint32_t j = 0; j < l && !pruned; ++j) {
           pruned = std::fabs(double(pt[j]) - phi_q[j]) > r + eps_;
         }
-        if (!pruned && VerifyFromRaf(q, node.ref(i)) <= r) {
+        if (!pruned && VerifyFromRaf(q, node.ref(i), r) <= r) {
           out->push_back(node.oid(i));
         }
       } else {
@@ -374,7 +383,8 @@ void OmniRTree::KnnImpl(const ObjectView& q, size_t k,
           lb = std::max(lb, std::fabs(double(pt[j]) - phi_q[j]));
         }
         if (lb - eps_ > heap.radius()) continue;
-        heap.Push(node.oid(i), VerifyFromRaf(q, node.ref(i)));
+        heap.Push(node.oid(i),
+                  VerifyFromRaf(q, node.ref(i), heap.radius()));
       } else {
         double lb = std::max(item.lb, mbb_bound(node.lo(i), node.hi(i)));
         if (lb <= heap.radius()) pq.push({lb, node.child(i)});

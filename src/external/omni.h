@@ -38,8 +38,11 @@ class OmniBase : public MetricIndex {
   void InitStorage();
   /// phi(o) as double vector (distance computations counted).
   std::vector<double> Map(const ObjectView& o) const;
-  /// Reads object `ref` from the RAF and returns d(q, object).
-  double VerifyFromRaf(const ObjectView& q, const RafRef& ref) const;
+  /// Reads object `ref` from the RAF and returns d(q, object), early-
+  /// abandoning once the partial distance exceeds `upper` (exact value
+  /// whenever it is <= upper; see Metric::BoundedDistance).
+  double VerifyFromRaf(const ObjectView& q, const RafRef& ref,
+                       double upper) const;
 
   std::unique_ptr<PagedFile> file_;
   std::unique_ptr<RandomAccessFile> raf_;

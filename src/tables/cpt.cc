@@ -2,7 +2,6 @@
 
 #include <cassert>
 
-#include "src/core/filtering.h"
 #include "src/core/knn_heap.h"
 
 namespace pmi {
@@ -11,7 +10,8 @@ void Cpt::BuildImpl() {
   const uint32_t l = pivots_.size();
   const uint32_t n = data().size();
   oids_.clear();
-  table_.clear();
+  table_.Reset(l);
+  table_.Reserve(n);
   leaf_of_.clear();
   file_ = std::make_unique<PagedFile>(options_.page_size,
                                       options_.cache_bytes, &counters_);
@@ -24,23 +24,23 @@ void Cpt::BuildImpl() {
   DistanceComputer d = dist();
   std::vector<double> phi;
   oids_.reserve(n);
-  table_.reserve(size_t(n) * l);
   for (ObjectId id = 0; id < n; ++id) {
     pivots_.Map(data().view(id), d, &phi);
     oids_.push_back(id);
-    table_.insert(table_.end(), phi.begin(), phi.end());
+    table_.AppendRow(phi.data());
     mtree_->Insert(id, {});
   }
   file_->Flush();
 }
 
-double Cpt::VerifyFromDisk(const ObjectView& q, ObjectId id) const {
+double Cpt::VerifyFromDisk(const ObjectView& q, ObjectId id,
+                           double upper) const {
   auto it = leaf_of_.find(id);
   assert(it != leaf_of_.end());
   MTreeNode node = mtree_->LoadNode(it->second);
   DistanceComputer d = dist();
   for (const auto& e : node.leaves) {
-    if (e.oid == id) return d(q, mtree_->ViewOf(e.obj));
+    if (e.oid == id) return d.Bounded(q, mtree_->ViewOf(e.obj), upper);
   }
   assert(false && "leaf pointer out of date");
   return 0;
@@ -48,27 +48,29 @@ double Cpt::VerifyFromDisk(const ObjectView& q, ObjectId id) const {
 
 void Cpt::RangeImpl(const ObjectView& q, double r,
                     std::vector<ObjectId>* out) const {
-  const uint32_t l = pivots_.size();
   DistanceComputer d = dist();
   std::vector<double> phi_q;
   pivots_.Map(q, d, &phi_q);
-  for (size_t i = 0; i < oids_.size(); ++i) {
-    if (PrunedByPivots(row(i), phi_q.data(), l, r)) continue;
-    if (VerifyFromDisk(q, oids_[i]) <= r) out->push_back(oids_[i]);
+  std::vector<uint32_t> candidates;
+  table_.RangeScan(phi_q.data(), r, &candidates);
+  for (uint32_t row : candidates) {
+    const ObjectId id = oids_[row];
+    if (VerifyFromDisk(q, id, r) <= r) out->push_back(id);
   }
 }
 
 void Cpt::KnnImpl(const ObjectView& q, size_t k,
                   std::vector<Neighbor>* out) const {
-  const uint32_t l = pivots_.size();
   DistanceComputer d = dist();
   std::vector<double> phi_q;
   pivots_.Map(q, d, &phi_q);
   KnnHeap heap(k);
-  for (size_t i = 0; i < oids_.size(); ++i) {
-    if (PrunedByPivots(row(i), phi_q.data(), l, heap.radius())) continue;
-    heap.Push(oids_[i], VerifyFromDisk(q, oids_[i]));
-  }
+  table_.ScanDynamic(
+      phi_q.data(), [&] { return heap.radius(); },
+      [&](size_t row) {
+        const ObjectId id = oids_[row];
+        heap.Push(id, VerifyFromDisk(q, id, heap.radius()));
+      });
   heap.TakeSorted(out);
 }
 
@@ -77,17 +79,17 @@ void Cpt::InsertImpl(ObjectId id) {
   std::vector<double> phi;
   pivots_.Map(data().view(id), d, &phi);
   oids_.push_back(id);
-  table_.insert(table_.end(), phi.begin(), phi.end());
+  table_.AppendRow(phi.data());
   mtree_->Insert(id, {});
   file_->Flush();
 }
 
 void Cpt::RemoveImpl(ObjectId id) {
-  const uint32_t l = pivots_.size();
   for (size_t i = 0; i < oids_.size(); ++i) {
     if (oids_[i] != id) continue;
-    oids_.erase(oids_.begin() + i);
-    table_.erase(table_.begin() + i * l, table_.begin() + (i + 1) * l);
+    oids_[i] = oids_.back();
+    oids_.pop_back();
+    table_.RemoveRowSwap(i);
     break;
   }
   mtree_->Remove(id);
@@ -96,7 +98,7 @@ void Cpt::RemoveImpl(ObjectId id) {
 }
 
 size_t Cpt::memory_bytes() const {
-  return table_.size() * sizeof(double) + oids_.size() * sizeof(ObjectId) +
+  return table_.memory_bytes() + oids_.size() * sizeof(ObjectId) +
          leaf_of_.size() * (sizeof(ObjectId) + sizeof(PageId) + 16) +
          pivots_.memory_bytes();
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/index.h"
+#include "src/core/pivot_table.h"
 #include "src/storage/mtree.h"
 #include "src/storage/paged_file.h"
 
@@ -41,14 +42,14 @@ class Cpt final : public MetricIndex {
   void RemoveImpl(ObjectId id) override;
 
  private:
-  const double* row(size_t i) const { return &table_[i * pivots_.size()]; }
-
   /// Reads object `id` from its M-tree leaf (charging the page access)
-  /// and returns its distance to `q`.
-  double VerifyFromDisk(const ObjectView& q, ObjectId id) const;
+  /// and returns its distance to `q`, early-abandoning past `upper` (see
+  /// Metric::BoundedDistance).
+  double VerifyFromDisk(const ObjectView& q, ObjectId id,
+                        double upper) const;
 
   std::vector<ObjectId> oids_;
-  std::vector<double> table_;
+  PivotTable table_;  // columnar in-memory half (same layout as LAESA)
   std::unordered_map<ObjectId, PageId> leaf_of_;  // the table's "ptr" column
 
   std::unique_ptr<PagedFile> file_;

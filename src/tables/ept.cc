@@ -5,7 +5,6 @@
 #include <cmath>
 #include <limits>
 
-#include "src/core/filtering.h"
 #include "src/core/knn_heap.h"
 #include "src/core/pivot_selection.h"
 #include "src/core/rng.h"
@@ -15,8 +14,7 @@ namespace pmi {
 void Ept::BuildImpl() {
   l_ = std::max<uint32_t>(1, pivots_.size());
   oids_.clear();
-  pidx_.clear();
-  pdist_.clear();
+  table_.Reset(l_, /*per_row_pivots=*/true);
   Rng rng(options_.seed ^ 0xe97u);
 
   if (variant_ == Variant::kClassic) {
@@ -30,10 +28,18 @@ void Ept::BuildImpl() {
     std::vector<ObjectId> ids =
         SelectPivotsRandom(data(), m_ * l_, rng);
     // Random selection may return fewer ids than requested on tiny
-    // datasets; shrink m to fit.
-    while (ids.size() < size_t(m_) * l_ && m_ > 1) {
-      --m_;
+    // datasets; shrink m to fit, then cut the surplus.  SelectClassic
+    // indexes the pool as g * m + j, so the pool must hold exactly m * l
+    // entries -- when even m = 1 cannot be satisfied (n < l), recycle
+    // ids to fill the remaining group slots.
+    while (size_t(m_) * l_ > ids.size() && m_ > 1) --m_;
+    if (size_t(m_) * l_ <= ids.size()) {
       ids.resize(size_t(m_) * l_);
+    } else if (!ids.empty()) {
+      const size_t base = ids.size();
+      for (size_t i = 0; ids.size() < size_t(m_) * l_; ++i) {
+        ids.push_back(ids[i % base]);
+      }
     }
     pool_ = PivotSet(data(), ids);
     EstimateMus();
@@ -47,8 +53,7 @@ void Ept::BuildImpl() {
   }
 
   oids_.reserve(data().size());
-  pidx_.reserve(size_t(data().size()) * l_);
-  pdist_.reserve(size_t(data().size()) * l_);
+  table_.Reserve(data().size());
   for (ObjectId id = 0; id < data().size(); ++id) AppendRow(id);
 }
 
@@ -162,15 +167,18 @@ void Ept::SelectStar(ObjectId id, uint32_t* pidx, double* pdist) {
 }
 
 void Ept::AppendRow(ObjectId id) {
-  size_t base = pidx_.size();
-  oids_.push_back(id);
-  pidx_.resize(base + l_);
-  pdist_.resize(base + l_);
+  // Member scratch: AppendRow runs once per object during Build, so
+  // per-call vector allocations would be n small mallocs on the timed
+  // construction path.
+  row_pidx_.resize(l_);
+  row_pdist_.resize(l_);
   if (variant_ == Variant::kClassic) {
-    SelectClassic(id, &pidx_[base], &pdist_[base]);
+    SelectClassic(id, row_pidx_.data(), row_pdist_.data());
   } else {
-    SelectStar(id, &pidx_[base], &pdist_[base]);
+    SelectStar(id, row_pidx_.data(), row_pdist_.data());
   }
+  oids_.push_back(id);
+  table_.AppendRow(row_pdist_.data(), row_pidx_.data());
 }
 
 void Ept::MapQueryToPool(const ObjectView& q, std::vector<double>* out) const {
@@ -185,15 +193,11 @@ void Ept::RangeImpl(const ObjectView& q, double r,
   DistanceComputer d = dist();
   std::vector<double> d_qp;
   MapQueryToPool(q, &d_qp);
-  for (size_t i = 0; i < oids_.size(); ++i) {
-    const uint32_t* pi = &pidx_[i * l_];
-    const double* pv = &pdist_[i * l_];
-    bool pruned = false;
-    for (uint32_t j = 0; j < l_ && !pruned; ++j) {
-      pruned = std::fabs(pv[j] - d_qp[pi[j]]) > r;
-    }
-    if (pruned) continue;
-    if (d(q, data().view(oids_[i])) <= r) out->push_back(oids_[i]);
+  std::vector<uint32_t> candidates;
+  table_.RangeScanIndirect(d_qp.data(), r, &candidates);
+  for (uint32_t row : candidates) {
+    const ObjectId id = oids_[row];
+    if (d.Bounded(q, data().view(id), r) <= r) out->push_back(id);
   }
 }
 
@@ -203,17 +207,12 @@ void Ept::KnnImpl(const ObjectView& q, size_t k,
   std::vector<double> d_qp;
   MapQueryToPool(q, &d_qp);
   KnnHeap heap(k);
-  for (size_t i = 0; i < oids_.size(); ++i) {
-    const uint32_t* pi = &pidx_[i * l_];
-    const double* pv = &pdist_[i * l_];
-    double radius = heap.radius();
-    bool pruned = false;
-    for (uint32_t j = 0; j < l_ && !pruned; ++j) {
-      pruned = std::fabs(pv[j] - d_qp[pi[j]]) > radius;
-    }
-    if (pruned) continue;
-    heap.Push(oids_[i], d(q, data().view(oids_[i])));
-  }
+  table_.ScanDynamicIndirect(
+      d_qp.data(), [&] { return heap.radius(); },
+      [&](size_t row) {
+        const ObjectId id = oids_[row];
+        heap.Push(id, d.Bounded(q, data().view(id), heap.radius()));
+      });
   heap.TakeSorted(out);
 }
 
@@ -228,19 +227,21 @@ void Ept::InsertImpl(ObjectId id) {
 }
 
 void Ept::RemoveImpl(ObjectId id) {
+  // O(n) victim scan, then O(l) swap-with-last compaction -- the scan
+  // table is order-independent.
   for (size_t i = 0; i < oids_.size(); ++i) {
     if (oids_[i] != id) continue;
-    oids_.erase(oids_.begin() + i);
-    pidx_.erase(pidx_.begin() + i * l_, pidx_.begin() + (i + 1) * l_);
-    pdist_.erase(pdist_.begin() + i * l_, pdist_.begin() + (i + 1) * l_);
+    oids_[i] = oids_.back();
+    oids_.pop_back();
+    table_.RemoveRowSwap(i);
     return;
   }
 }
 
 size_t Ept::memory_bytes() const {
-  return pdist_.size() * sizeof(double) + pidx_.size() * sizeof(uint32_t) +
-         oids_.size() * sizeof(ObjectId) + pool_.memory_bytes() +
-         psa_.memory_bytes() + data().total_payload_bytes();
+  return table_.memory_bytes() + oids_.size() * sizeof(ObjectId) +
+         pool_.memory_bytes() + psa_.memory_bytes() +
+         data().total_payload_bytes();
 }
 
 }  // namespace pmi

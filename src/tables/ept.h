@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/core/index.h"
+#include "src/core/pivot_table.h"
 #include "src/core/pivots.h"
 #include "src/tables/psa.h"
 
@@ -77,9 +78,12 @@ class Ept final : public MetricIndex {
     return variant_ == Variant::kClassic ? pool_ : psa_.pool();
   }
 
-  std::vector<ObjectId> oids_;   // row -> object id
-  std::vector<uint32_t> pidx_;   // rows x l pool indices
-  std::vector<double> pdist_;    // rows x l pre-computed distances
+  std::vector<ObjectId> oids_;  // row -> object id
+  /// Columnar rows x l table of (pool index, pre-computed distance) pairs
+  /// in the per-row-pivot layout (see src/core/pivot_table.h).
+  PivotTable table_;
+  std::vector<uint32_t> row_pidx_;  // AppendRow scratch
+  std::vector<double> row_pdist_;
 };
 
 }  // namespace pmi

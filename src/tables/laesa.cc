@@ -2,7 +2,6 @@
 
 #include <cassert>
 
-#include "src/core/filtering.h"
 #include "src/core/knn_heap.h"
 
 namespace pmi {
@@ -11,41 +10,43 @@ void Laesa::BuildImpl() {
   const uint32_t l = pivots_.size();
   const uint32_t n = data().size();
   oids_.clear();
-  table_.clear();
   oids_.reserve(n);
-  table_.reserve(size_t(n) * l);
+  table_.Reset(l);
+  table_.Reserve(n);
   DistanceComputer d = dist();
   std::vector<double> phi;
   for (ObjectId id = 0; id < n; ++id) {
     pivots_.Map(data().view(id), d, &phi);
     oids_.push_back(id);
-    table_.insert(table_.end(), phi.begin(), phi.end());
+    table_.AppendRow(phi.data());
   }
 }
 
 void Laesa::RangeImpl(const ObjectView& q, double r,
                       std::vector<ObjectId>* out) const {
-  const uint32_t l = pivots_.size();
   DistanceComputer d = dist();
   std::vector<double> phi_q;
   pivots_.Map(q, d, &phi_q);
-  for (size_t i = 0; i < oids_.size(); ++i) {
-    if (PrunedByPivots(row(i), phi_q.data(), l, r)) continue;
-    if (d(q, data().view(oids_[i])) <= r) out->push_back(oids_[i]);
+  std::vector<uint32_t> candidates;
+  table_.RangeScan(phi_q.data(), r, &candidates);
+  for (uint32_t row : candidates) {
+    const ObjectId id = oids_[row];
+    if (d.Bounded(q, data().view(id), r) <= r) out->push_back(id);
   }
 }
 
 void Laesa::KnnImpl(const ObjectView& q, size_t k,
                     std::vector<Neighbor>* out) const {
-  const uint32_t l = pivots_.size();
   DistanceComputer d = dist();
   std::vector<double> phi_q;
   pivots_.Map(q, d, &phi_q);
   KnnHeap heap(k);
-  for (size_t i = 0; i < oids_.size(); ++i) {
-    if (PrunedByPivots(row(i), phi_q.data(), l, heap.radius())) continue;
-    heap.Push(oids_[i], d(q, data().view(oids_[i])));
-  }
+  table_.ScanDynamic(
+      phi_q.data(), [&] { return heap.radius(); },
+      [&](size_t row) {
+        const ObjectId id = oids_[row];
+        heap.Push(id, d.Bounded(q, data().view(id), heap.radius()));
+      });
   heap.TakeSorted(out);
 }
 
@@ -54,23 +55,23 @@ void Laesa::InsertImpl(ObjectId id) {
   std::vector<double> phi;
   pivots_.Map(data().view(id), d, &phi);
   oids_.push_back(id);
-  table_.insert(table_.end(), phi.begin(), phi.end());
+  table_.AppendRow(phi.data());
 }
 
 void Laesa::RemoveImpl(ObjectId id) {
-  const uint32_t l = pivots_.size();
-  // Sequential scan for the victim row, then compaction -- the deletion
-  // behaviour of a scan table.
+  // Sequential scan for the victim row (the deletion behaviour of a scan
+  // table), then O(l) swap-with-last compaction.
   for (size_t i = 0; i < oids_.size(); ++i) {
     if (oids_[i] != id) continue;
-    oids_.erase(oids_.begin() + i);
-    table_.erase(table_.begin() + i * l, table_.begin() + (i + 1) * l);
+    oids_[i] = oids_.back();
+    oids_.pop_back();
+    table_.RemoveRowSwap(i);
     return;
   }
 }
 
 size_t Laesa::memory_bytes() const {
-  return table_.size() * sizeof(double) + oids_.size() * sizeof(ObjectId) +
+  return table_.memory_bytes() + oids_.size() * sizeof(ObjectId) +
          pivots_.memory_bytes() + data().total_payload_bytes();
 }
 

@@ -6,8 +6,15 @@
 // radius tightened by the running kth-NN distance -- the paper notes this
 // order is suboptimal, and the measured costs reflect that faithfully.
 //
-// Deletion scans the table for the victim row (the sequential-deletion
-// cost the paper attributes to the table-based indexes in Section 6.3).
+// The table is held in the columnar PivotTable layout and survivors are
+// verified with the threshold-aware distance kernels; both decisions and
+// results are identical to the naive row-major scan, only faster (see
+// src/core/pivot_table.h and bench/bench_micro_scan.cc).
+//
+// Deletion scans the id column for the victim row (the sequential-deletion
+// cost the paper attributes to the table-based indexes in Section 6.3),
+// then compacts by swapping the last row in -- scan tables are
+// order-independent, so no O(n) shift is needed.
 
 #ifndef PMI_TABLES_LAESA_H_
 #define PMI_TABLES_LAESA_H_
@@ -15,6 +22,7 @@
 #include <vector>
 
 #include "src/core/index.h"
+#include "src/core/pivot_table.h"
 
 namespace pmi {
 
@@ -37,10 +45,8 @@ class Laesa final : public MetricIndex {
   void RemoveImpl(ObjectId id) override;
 
  private:
-  const double* row(size_t i) const { return &table_[i * pivots_.size()]; }
-
   std::vector<ObjectId> oids_;  // row -> object id
-  std::vector<double> table_;   // row-major |rows| x |P|
+  PivotTable table_;            // columnar |rows| x |P|
 };
 
 }  // namespace pmi

@@ -20,12 +20,17 @@ void PsaSelector::Build(const Dataset& data, const DistanceComputer& dist,
   std::vector<ObjectId> sample_ids = SelectPivotsRandom(
       data, std::min<uint32_t>(sample_size, data.size()), rng);
   sample_ = PivotSet(data, sample_ids);
-  sample_cand_.assign(size_t(sample_.size()) * pool_.size(), 0);
+  // One table row per sample object; column c is then the contiguous
+  // vector <d(s, cp_c)> over all samples s, which is exactly the access
+  // pattern of SelectForObject's scoring loops.
+  sample_cand_.Reset(pool_.size());
+  sample_cand_.Reserve(sample_.size());
+  std::vector<double> row(pool_.size());
   for (uint32_t s = 0; s < sample_.size(); ++s) {
     for (uint32_t c = 0; c < pool_.size(); ++c) {
-      sample_cand_[size_t(s) * pool_.size() + c] =
-          dist(sample_.pivot(s), pool_.pivot(c));
+      row[c] = dist(sample_.pivot(s), pool_.pivot(c));
     }
+    sample_cand_.AppendRow(row.data());
   }
 }
 
@@ -45,10 +50,16 @@ void PsaSelector::SelectForObject(const ObjectView& o,
     uint32_t best_c = 0;
     for (uint32_t c = 0; c < nc; ++c) {
       if (used[c]) continue;
+      // The division (not a precomputed reciprocal) keeps the scores --
+      // and therefore the selected pivots -- bit-identical to the
+      // row-major implementation; the win here is the contiguous
+      // per-candidate column.
+      const double* __restrict col = sample_cand_.column(c);
+      const double d_oc_c = d_oc[c];
       double score = 0;
       for (uint32_t s = 0; s < ns; ++s) {
         if (d_os[s] <= 0) continue;
-        double diff = std::fabs(d_oc[c] - sample_cand_[size_t(s) * nc + c]);
+        double diff = std::fabs(d_oc_c - col[s]);
         score += std::max(current[s], diff) / d_os[s];
       }
       if (score > best_score) {
@@ -59,9 +70,9 @@ void PsaSelector::SelectForObject(const ObjectView& o,
     used[best_c] = true;
     pidx[round] = best_c;
     pdist[round] = d_oc[best_c];
+    const double* __restrict col = sample_cand_.column(best_c);
     for (uint32_t s = 0; s < ns; ++s) {
-      double diff =
-          std::fabs(d_oc[best_c] - sample_cand_[size_t(s) * nc + best_c]);
+      double diff = std::fabs(d_oc[best_c] - col[s]);
       current[s] = std::max(current[s], diff);
     }
   }

@@ -16,6 +16,7 @@
 
 #include "src/core/dataset.h"
 #include "src/core/metric.h"
+#include "src/core/pivot_table.h"
 #include "src/core/pivots.h"
 
 namespace pmi {
@@ -38,13 +39,16 @@ class PsaSelector {
 
   size_t memory_bytes() const {
     return pool_.memory_bytes() + sample_.memory_bytes() +
-           sample_cand_.size() * sizeof(double);
+           sample_cand_.memory_bytes();
   }
 
  private:
   PivotSet pool_;
   PivotSet sample_;
-  std::vector<double> sample_cand_;  // |S| x |CP|
+  /// |S| x |CP| memoized candidate-sample distances, columnar so the
+  /// greedy selection's per-candidate inner loops over the sample run on
+  /// contiguous memory (one column per candidate).
+  PivotTable sample_cand_;
 };
 
 }  // namespace pmi

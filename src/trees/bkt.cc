@@ -72,10 +72,11 @@ void Bkt::RangeImpl(const ObjectView& q, double r,
     stack.pop_back();
     if (node->leaf) {
       for (ObjectId id : node->members) {
-        if (d(q, data().view(id)) <= r) out->push_back(id);
+        if (d.Bounded(q, data().view(id), r) <= r) out->push_back(id);
       }
       continue;
     }
+    // Pivot distances route into buckets, so the full value is needed.
     double dq = d(q, data().view(node->pivot));
     if (node->pivot_live && dq <= r) out->push_back(node->pivot);
     for (uint32_t b = 0; b < node->kids.size(); ++b) {
@@ -101,7 +102,7 @@ void Bkt::KnnImpl(const ObjectView& q, size_t k,
     if (lb > heap.radius()) break;  // best-first: nothing closer remains
     if (node->leaf) {
       for (ObjectId id : node->members) {
-        heap.Push(id, d(q, data().view(id)));
+        heap.Push(id, d.Bounded(q, data().view(id), heap.radius()));
       }
       continue;
     }

@@ -91,7 +91,9 @@ void Fqa::RangeImpl(const ObjectView& q, double r,
     if (lo >= hi) continue;
     if (level == l) {
       for (size_t row = lo; row < hi; ++row) {
-        if (d(q, data().view(oids_[row])) <= r) out->push_back(oids_[row]);
+        if (d.Bounded(q, data().view(oids_[row]), r) <= r) {
+          out->push_back(oids_[row]);
+        }
       }
       continue;
     }
@@ -136,7 +138,8 @@ void Fqa::KnnImpl(const ObjectView& q, size_t k,
     if (f.lo >= f.hi || f.lb > heap.radius()) continue;
     if (f.level == l) {
       for (size_t row = f.lo; row < f.hi; ++row) {
-        heap.Push(oids_[row], d(q, data().view(oids_[row])));
+        heap.Push(oids_[row],
+                  d.Bounded(q, data().view(oids_[row]), heap.radius()));
       }
       continue;
     }

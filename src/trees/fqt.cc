@@ -73,7 +73,7 @@ void Fqt::RangeImpl(const ObjectView& q, double r,
     stack.pop_back();
     if (node->leaf) {
       for (ObjectId id : node->members) {
-        if (d(q, data().view(id)) <= r) out->push_back(id);
+        if (d.Bounded(q, data().view(id), r) <= r) out->push_back(id);
       }
       continue;
     }
@@ -109,7 +109,7 @@ void Fqt::KnnImpl(const ObjectView& q, size_t k,
     if (item.lb > heap.radius()) break;
     if (item.node->leaf) {
       for (ObjectId id : item.node->members) {
-        heap.Push(id, d(q, data().view(id)));
+        heap.Push(id, d.Bounded(q, data().view(id), heap.radius()));
       }
       continue;
     }

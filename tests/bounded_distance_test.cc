@@ -1,0 +1,184 @@
+// Property tests for the threshold-aware distance kernels (the
+// verification half of the vectorized query engine).  The contract under
+// test, for every metric the paper uses:
+//
+//   d(a, b) <= upper  =>  BoundedDistance(a, b, upper) == Distance(a, b)
+//                         (bit-identical, not approximately equal)
+//   d(a, b) >  upper  =>  BoundedDistance(a, b, upper) >  upper
+//
+// Every verification site in the library relies on this equivalence: the
+// conformance suite only proves end-to-end agreement, while these tests
+// pin the kernel-level contract directly, including adversarial bounds
+// sitting exactly on the true distance.
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/metric.h"
+#include "src/core/rng.h"
+#include "src/data/generators.h"
+
+namespace pmi {
+namespace {
+
+class BoundedDistanceTest : public ::testing::TestWithParam<BenchDatasetId> {};
+
+TEST_P(BoundedDistanceTest, AgreesWithDistanceUnderRandomBounds) {
+  BenchDataset bd = MakeBenchDataset(GetParam(), 400, /*seed=*/31);
+  const Metric& m = *bd.metric;
+  Rng rng(2077);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int trial = 0; trial < 4000; ++trial) {
+    ObjectView a = bd.data.view(rng() % bd.data.size());
+    ObjectView b = bd.data.view(rng() % bd.data.size());
+    double exact = m.Distance(a, b);
+    // Bounds spread over [0, 2 d]: half the draws force an abandon.
+    double upper = 2.0 * exact * unit(rng);
+    double got = m.BoundedDistance(a, b, upper);
+    if (exact <= upper) {
+      EXPECT_EQ(got, exact) << m.name() << ": completed run must be "
+                            << "bit-identical (upper=" << upper << ")";
+    } else {
+      EXPECT_GT(got, upper) << m.name() << ": abandoned run must report "
+                            << "> upper (exact=" << exact << ")";
+    }
+  }
+}
+
+TEST_P(BoundedDistanceTest, BoundExactlyAtDistanceCompletes) {
+  // upper == d(a, b) is the tightest completing bound; any rounding slack
+  // taken by an abandon test must not fire here.
+  BenchDataset bd = MakeBenchDataset(GetParam(), 200, /*seed=*/77);
+  const Metric& m = *bd.metric;
+  Rng rng(5);
+  for (int trial = 0; trial < 1000; ++trial) {
+    ObjectView a = bd.data.view(rng() % bd.data.size());
+    ObjectView b = bd.data.view(rng() % bd.data.size());
+    double exact = m.Distance(a, b);
+    EXPECT_EQ(m.BoundedDistance(a, b, exact), exact) << m.name();
+  }
+}
+
+TEST_P(BoundedDistanceTest, InfiniteBoundEqualsDistance) {
+  BenchDataset bd = MakeBenchDataset(GetParam(), 100, /*seed=*/13);
+  const Metric& m = *bd.metric;
+  Rng rng(9);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < 500; ++trial) {
+    ObjectView a = bd.data.view(rng() % bd.data.size());
+    ObjectView b = bd.data.view(rng() % bd.data.size());
+    EXPECT_EQ(m.BoundedDistance(a, b, inf), m.Distance(a, b)) << m.name();
+  }
+}
+
+TEST_P(BoundedDistanceTest, NegativeBoundAlwaysAbandons) {
+  BenchDataset bd = MakeBenchDataset(GetParam(), 50, /*seed=*/3);
+  const Metric& m = *bd.metric;
+  // KnnHeap::radius() is -inf for k = 0; every candidate must test > upper.
+  for (double upper : {-1.0, -std::numeric_limits<double>::infinity()}) {
+    for (ObjectId i = 0; i < 20; ++i) {
+      EXPECT_GT(m.BoundedDistance(bd.data.view(i), bd.data.view(49 - i),
+                                  upper),
+                upper)
+          << m.name();
+    }
+  }
+}
+
+TEST_P(BoundedDistanceTest, ZeroBoundIdentifiesDuplicates) {
+  BenchDataset bd = MakeBenchDataset(GetParam(), 60, /*seed=*/21);
+  const Metric& m = *bd.metric;
+  for (ObjectId i = 0; i < bd.data.size(); ++i) {
+    EXPECT_EQ(m.BoundedDistance(bd.data.view(i), bd.data.view(i), 0.0), 0.0)
+        << m.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, BoundedDistanceTest,
+    ::testing::Values(BenchDatasetId::kLa, BenchDatasetId::kWords,
+                      BenchDatasetId::kColor, BenchDatasetId::kSynthetic),
+    [](const auto& info) {
+      switch (info.param) {
+        case BenchDatasetId::kLa: return "L2_LA";
+        case BenchDatasetId::kWords: return "Edit_Words";
+        case BenchDatasetId::kColor: return "L1_Color";
+        case BenchDatasetId::kSynthetic: return "Linf_Synthetic";
+      }
+      return "unknown";
+    });
+
+// -- edit-distance band corner cases -----------------------------------------
+
+TEST(BoundedEditDistanceTest, HandCheckedBands) {
+  EditDistanceMetric m(34);
+  auto bounded = [&](std::string_view a, std::string_view b, double ub) {
+    return m.BoundedDistance(ObjectView::FromString(a),
+                             ObjectView::FromString(b), ub);
+  };
+  // Completing bands return the exact distance.
+  EXPECT_EQ(bounded("kitten", "sitting", 3.0), 3.0);
+  EXPECT_EQ(bounded("kitten", "sitting", 3.9), 3.0);
+  EXPECT_EQ(bounded("flaw", "lawn", 2.0), 2.0);
+  EXPECT_EQ(bounded("", "abc", 5.0), 3.0);
+  EXPECT_EQ(bounded("abc", "", 3.0), 3.0);
+  EXPECT_EQ(bounded("", "", 0.0), 0.0);
+  // Abandoning bands report > upper.
+  EXPECT_GT(bounded("kitten", "sitting", 2.0), 2.0);
+  EXPECT_GT(bounded("kitten", "sitting", 2.99), 2.99);
+  EXPECT_GT(bounded("abc", "", 2.0), 2.0);
+  EXPECT_GT(bounded("defoliate", "citrate", 3.0), 3.0);
+  // Length-difference shortcut.
+  EXPECT_GT(bounded("a", "aaaaaaaaaa", 4.0), 4.0);
+}
+
+TEST(BoundedEditDistanceTest, RandomizedStringsAllBands) {
+  // Dense sweep of every integer band for short random strings; catches
+  // off-by-one band-boundary bugs the dataset-driven test might miss.
+  EditDistanceMetric m(34);
+  Rng rng(4242);
+  auto random_word = [&](uint32_t max_len) {
+    std::string w(rng() % (max_len + 1), 'a');
+    for (char& c : w) c = static_cast<char>('a' + rng() % 4);
+    return w;
+  };
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string a = random_word(12), b = random_word(12);
+    ObjectView va = ObjectView::FromString(a);
+    ObjectView vb = ObjectView::FromString(b);
+    double exact = m.Distance(va, vb);
+    for (uint32_t ub = 0; ub <= 13; ++ub) {
+      double got = m.BoundedDistance(va, vb, ub);
+      if (exact <= ub) {
+        EXPECT_EQ(got, exact) << '"' << a << "\" vs \"" << b << "\" ub=" << ub;
+      } else {
+        EXPECT_GT(got, double(ub))
+            << '"' << a << "\" vs \"" << b << "\" ub=" << ub;
+      }
+    }
+  }
+}
+
+// -- DistanceComputer accounting ----------------------------------------------
+
+TEST(DistanceComputerBoundedTest, CountsAbandonedCallsAsOneComputation) {
+  // compdists measures examined pairs; an early abandon is still one
+  // examination.  The acceptance bar "speedup with compdists unchanged"
+  // depends on this.
+  L2Metric m(4, 10.0);
+  PerfCounters counters;
+  DistanceComputer dc(&m, &counters);
+  float a[4] = {0, 0, 0, 0}, b[4] = {9, 9, 9, 9};
+  ObjectView va = ObjectView::FromVector(a, 4);
+  ObjectView vb = ObjectView::FromVector(b, 4);
+  for (int i = 0; i < 5; ++i) dc.Bounded(va, vb, 0.5);   // abandons
+  for (int i = 0; i < 3; ++i) dc.Bounded(va, vb, 1e9);   // completes
+  EXPECT_EQ(counters.dist_computations, 8u);
+}
+
+}  // namespace
+}  // namespace pmi

@@ -1,0 +1,248 @@
+// Equivalence tests for the columnar PivotTable: every scan must make
+// byte-for-byte the same pruning decisions as the naive row-major
+// Lemma-1 loop it replaced (PrunedByPivots over an |P|-strided row), for
+// both the shared-pivot and the per-row-pivot (EPT) layouts, across
+// block-boundary row counts, radii, and swap-removals.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/filtering.h"
+#include "src/core/pivot_table.h"
+#include "src/core/rng.h"
+
+namespace pmi {
+namespace {
+
+// Reference model: the pre-columnar row-major table and scan loops.
+struct RowMajorTable {
+  uint32_t l = 0;
+  std::vector<double> dist;   // rows x l
+  std::vector<uint32_t> idx;  // rows x l (per-row-pivot only)
+
+  size_t rows() const { return l == 0 ? 0 : dist.size() / l; }
+
+  std::vector<uint32_t> RangeScan(const std::vector<double>& phi_q,
+                                  double r) const {
+    std::vector<uint32_t> out;
+    for (size_t i = 0; i < rows(); ++i) {
+      if (!PrunedByPivots(&dist[i * l], phi_q.data(), l, r)) {
+        out.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return out;
+  }
+
+  std::vector<uint32_t> RangeScanIndirect(const std::vector<double>& d_qp,
+                                          double r) const {
+    std::vector<uint32_t> out;
+    for (size_t i = 0; i < rows(); ++i) {
+      bool pruned = false;
+      for (uint32_t j = 0; j < l && !pruned; ++j) {
+        pruned = std::fabs(dist[i * l + j] - d_qp[idx[i * l + j]]) > r;
+      }
+      if (!pruned) out.push_back(static_cast<uint32_t>(i));
+    }
+    return out;
+  }
+};
+
+struct Tables {
+  RowMajorTable ref;
+  PivotTable columnar;
+};
+
+Tables MakeShared(size_t rows, uint32_t l, uint64_t seed) {
+  Tables t;
+  t.ref.l = l;
+  t.columnar.Reset(l);
+  Rng rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  std::vector<double> row(l);
+  for (size_t i = 0; i < rows; ++i) {
+    for (uint32_t p = 0; p < l; ++p) row[p] = u(rng);
+    t.ref.dist.insert(t.ref.dist.end(), row.begin(), row.end());
+    t.columnar.AppendRow(row.data());
+  }
+  return t;
+}
+
+Tables MakeIndirect(size_t rows, uint32_t l, uint32_t pool, uint64_t seed) {
+  Tables t;
+  t.ref.l = l;
+  t.columnar.Reset(l, /*per_row_pivots=*/true);
+  Rng rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  std::vector<double> rd(l);
+  std::vector<uint32_t> ri(l);
+  for (size_t i = 0; i < rows; ++i) {
+    for (uint32_t j = 0; j < l; ++j) {
+      rd[j] = u(rng);
+      ri[j] = rng() % pool;
+    }
+    t.ref.dist.insert(t.ref.dist.end(), rd.begin(), rd.end());
+    t.ref.idx.insert(t.ref.idx.end(), ri.begin(), ri.end());
+    t.columnar.AppendRow(rd.data(), ri.data());
+  }
+  return t;
+}
+
+// Row counts probing the 256-row block machinery: empty, single, partial
+// block, exact block, one over, multiple blocks with ragged tail.
+const size_t kRowCounts[] = {0, 1, 100, 255, 256, 257, 1000, 2048};
+
+TEST(PivotTableTest, SharedScanMatchesRowMajorReference) {
+  for (size_t rows : kRowCounts) {
+    for (uint32_t l : {1u, 3u, 5u, 8u}) {
+      Tables t = MakeShared(rows, l, 42 + rows + l);
+      Rng rng(7);
+      std::uniform_real_distribution<double> u(0.0, 100.0);
+      for (double r : {0.0, 3.0, 10.0, 40.0, 80.0, 120.0}) {
+        std::vector<double> phi_q(l);
+        for (auto& x : phi_q) x = u(rng);
+        std::vector<uint32_t> got;
+        t.columnar.RangeScan(phi_q.data(), r, &got);
+        EXPECT_EQ(got, t.ref.RangeScan(phi_q, r))
+            << "rows=" << rows << " l=" << l << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(PivotTableTest, IndirectScanMatchesRowMajorReference) {
+  const uint32_t kPool = 24;
+  for (size_t rows : kRowCounts) {
+    for (uint32_t l : {1u, 4u}) {
+      Tables t = MakeIndirect(rows, l, kPool, 99 + rows + l);
+      Rng rng(13);
+      std::uniform_real_distribution<double> u(0.0, 100.0);
+      for (double r : {0.0, 5.0, 25.0, 75.0}) {
+        std::vector<double> d_qp(kPool);
+        for (auto& x : d_qp) x = u(rng);
+        std::vector<uint32_t> got;
+        t.columnar.RangeScanIndirect(d_qp.data(), r, &got);
+        EXPECT_EQ(got, t.ref.RangeScanIndirect(d_qp, r))
+            << "rows=" << rows << " l=" << l << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(PivotTableTest, ScanDynamicWithFixedRadiusMatchesRangeScan) {
+  Tables t = MakeShared(1500, 4, 5);
+  std::vector<double> phi_q = {50, 20, 80, 44};
+  for (double r : {1.0, 15.0, 60.0}) {
+    std::vector<uint32_t> fixed, dynamic;
+    t.columnar.RangeScan(phi_q.data(), r, &fixed);
+    t.columnar.ScanDynamic(
+        phi_q.data(), [&] { return r; },
+        [&](size_t row) { dynamic.push_back(static_cast<uint32_t>(row)); });
+    EXPECT_EQ(dynamic, fixed) << "r=" << r;
+  }
+}
+
+TEST(PivotTableTest, ScanDynamicShrinkingRadiusYieldsSubset) {
+  // A radius that tightens mid-scan (the MkNNQ pattern) must only ever
+  // remove rows relative to the loosest radius, and keep everything the
+  // tightest radius keeps.
+  Tables t = MakeShared(3000, 3, 17);
+  std::vector<double> phi_q = {30, 60, 10};
+  const double r_start = 50, r_end = 10;
+  std::vector<uint32_t> loose, tight, shrinking;
+  t.columnar.RangeScan(phi_q.data(), r_start, &loose);
+  t.columnar.RangeScan(phi_q.data(), r_end, &tight);
+  size_t seen = 0;
+  t.columnar.ScanDynamic(
+      phi_q.data(),
+      [&] { return seen < 1000 ? r_start : r_end; },
+      [&](size_t row) {
+        seen = row;
+        shrinking.push_back(static_cast<uint32_t>(row));
+      });
+  for (uint32_t row : tight) {
+    if (row >= 1280) {  // strictly past every loose-radius block
+      EXPECT_TRUE(std::find(shrinking.begin(), shrinking.end(), row) !=
+                  shrinking.end());
+    }
+  }
+  for (uint32_t row : shrinking) {
+    EXPECT_TRUE(std::find(loose.begin(), loose.end(), row) != loose.end());
+  }
+}
+
+TEST(PivotTableTest, RemoveRowSwapMovesLastRow) {
+  Tables t = MakeIndirect(10, 2, 8, 3);
+  const double last_d0 = t.columnar.distance(9, 0);
+  const double last_d1 = t.columnar.distance(9, 1);
+  const uint32_t last_i0 = t.columnar.pivot_index(9, 0);
+  const uint32_t last_i1 = t.columnar.pivot_index(9, 1);
+  t.columnar.RemoveRowSwap(4);
+  ASSERT_EQ(t.columnar.rows(), 9u);
+  EXPECT_EQ(t.columnar.distance(4, 0), last_d0);
+  EXPECT_EQ(t.columnar.distance(4, 1), last_d1);
+  EXPECT_EQ(t.columnar.pivot_index(4, 0), last_i0);
+  EXPECT_EQ(t.columnar.pivot_index(4, 1), last_i1);
+  // Removing the final row needs no swap and must not read freed memory.
+  t.columnar.RemoveRowSwap(8);
+  EXPECT_EQ(t.columnar.rows(), 8u);
+}
+
+TEST(PivotTableTest, RemovalKeepsScansConsistent) {
+  Tables t = MakeShared(600, 3, 11);
+  Rng rng(1);
+  // Mirror removals in the reference (same swap-with-last order).
+  auto remove_both = [&](size_t row) {
+    const size_t last = t.ref.rows() - 1;
+    for (uint32_t p = 0; p < 3; ++p) {
+      t.ref.dist[row * 3 + p] = t.ref.dist[last * 3 + p];
+    }
+    t.ref.dist.resize(last * 3);
+    t.columnar.RemoveRowSwap(row);
+  };
+  for (int i = 0; i < 300; ++i) remove_both(rng() % t.columnar.rows());
+  std::vector<double> phi_q = {10, 90, 50};
+  for (double r : {5.0, 30.0, 70.0}) {
+    std::vector<uint32_t> got;
+    t.columnar.RangeScan(phi_q.data(), r, &got);
+    EXPECT_EQ(got, t.ref.RangeScan(phi_q, r)) << "r=" << r;
+  }
+}
+
+TEST(PivotTableTest, InfiniteAndNegativeRadii) {
+  Tables t = MakeShared(400, 2, 23);
+  std::vector<double> phi_q = {1, 2};
+  std::vector<uint32_t> got;
+  t.columnar.RangeScan(phi_q.data(),
+                       std::numeric_limits<double>::infinity(), &got);
+  EXPECT_EQ(got.size(), 400u);  // nothing prunes at r = inf
+  got.clear();
+  // KnnHeap::radius() is -inf for k = 0: everything must prune.
+  t.columnar.RangeScan(phi_q.data(),
+                       -std::numeric_limits<double>::infinity(), &got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(PivotTableTest, ZeroWidthTableNeverPrunes) {
+  PivotTable table;
+  table.Reset(0);
+  for (int i = 0; i < 300; ++i) table.AppendRow(nullptr);
+  std::vector<uint32_t> got;
+  table.RangeScan(nullptr, 1.0, &got);
+  EXPECT_EQ(got.size(), 300u);
+}
+
+TEST(PivotTableTest, MemoryAccounting) {
+  Tables shared = MakeShared(100, 4, 2);
+  EXPECT_EQ(shared.columnar.memory_bytes(), 100u * 4 * sizeof(double));
+  Tables indirect = MakeIndirect(100, 4, 8, 2);
+  EXPECT_EQ(indirect.columnar.memory_bytes(),
+            100u * 4 * (sizeof(double) + sizeof(uint32_t)));
+}
+
+}  // namespace
+}  // namespace pmi
