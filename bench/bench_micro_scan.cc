@@ -33,15 +33,11 @@
 #include "src/core/pivot_table.h"
 #include "src/data/distribution.h"
 #include "src/data/generators.h"
+#include "src/harness/workload.h"
 #include "src/tables/laesa.h"
 
 namespace pmi {
 namespace {
-
-uint32_t EnvOr(const char* name, uint32_t fallback) {
-  const char* v = std::getenv(name);
-  return v ? static_cast<uint32_t>(std::strtoul(v, nullptr, 10)) : fallback;
-}
 
 /// The pre-PR LAESA query path, verbatim: row-major table, branchy
 /// per-row Lemma-1 loop, full (non-threshold-aware) verification.
@@ -129,11 +125,11 @@ std::string Num(const char* key, double v) {
 
 int main() {
   using namespace pmi;
-  // Floors keep degenerate/garbage env values (strtoul("abc") == 0) from
-  // producing empty datasets or query sets.
-  const uint32_t n = std::max(EnvOr("PMI_SCAN_N", 20000), 512u);
-  const uint32_t num_queries = std::max(EnvOr("PMI_SCAN_QUERIES", 50), 1u);
-  const uint32_t repeats = std::max(EnvOr("PMI_SCAN_REPEATS", 3), 1u);
+  // Floors keep degenerate env values from producing empty datasets or
+  // query sets (EnvU32 already rejects garbage with a warning).
+  const uint32_t n = std::max(EnvU32("PMI_SCAN_N", 20000), 512u);
+  const uint32_t num_queries = std::max(EnvU32("PMI_SCAN_QUERIES", 50), 1u);
+  const uint32_t repeats = std::max(EnvU32("PMI_SCAN_REPEATS", 3), 1u);
   const uint32_t kPivots = 5;
 
   std::fprintf(stderr, "bench_micro_scan: n=%u queries=%u repeats=%u\n", n,

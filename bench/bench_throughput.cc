@@ -1,0 +1,276 @@
+// Throughput benchmark for the parallel execution engine: multi-threaded
+// index construction and the concurrent batch-query API
+// (MetricIndex::RangeQueryBatch / KnnQueryBatch) on the paper's 20-d
+// synthetic workload.
+//
+// For each index (LAESA, EPT*) and each thread count in a power-of-two
+// sweep, the run measures build wall time, batch MRQ and batch MkNNQ wall
+// time (best-of repeats), and reports QPS plus speedup vs. the 1-thread
+// run.  Before timing, it pins the engine's equivalence contract: per
+// -query result sets and total compdists must be identical at every
+// thread count.  Exit status reflects the equivalence checks only --
+// speedup depends on the hardware (a single-core container measures ~1x
+// by construction) and is reported, not asserted.
+//
+// Emits one JSON document to stdout (progress chatter on stderr):
+//
+//   ./bench_throughput --threads 8 | python3 -m json.tool
+//
+// Environment: PMI_TP_N (cardinality, default 20000), PMI_TP_QUERIES
+// (batch size, default 200), PMI_TP_REPEATS (best-of, default 3),
+// PMI_TP_THREADS (max thread count, default 4; --threads overrides).
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/counters.h"
+#include "src/core/pivot_selection.h"
+#include "src/core/rng.h"
+#include "src/core/thread_pool.h"
+#include "src/data/distribution.h"
+#include "src/data/generators.h"
+#include "src/harness/workload.h"
+#include "src/tables/ept.h"
+#include "src/tables/laesa.h"
+
+namespace pmi {
+namespace {
+
+struct JsonWriter {
+  bool first = true;
+  void Begin() { std::printf("{\n  \"results\": [\n"); }
+  void Result(const std::string& name, const std::string& fields) {
+    std::printf("%s    {\"name\": \"%s\", %s}", first ? "" : ",\n",
+                name.c_str(), fields.c_str());
+    first = false;
+  }
+  void End(const std::string& trailer) {
+    std::printf("\n  ],\n%s\n}\n", trailer.c_str());
+  }
+};
+
+std::string Num(const char* key, double v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6g", key, v);
+  return buf;
+}
+
+/// Reference answers (built once at 1 thread) every other thread count
+/// must reproduce exactly.
+struct Reference {
+  std::vector<std::vector<ObjectId>> mrq;  // sorted per query
+  std::vector<std::vector<Neighbor>> knn;
+  uint64_t build_compdists = 0;
+  uint64_t mrq_compdists = 0;
+  uint64_t knn_compdists = 0;
+};
+
+struct SweepPoint {
+  unsigned threads = 1;
+  double build_s = 0;
+  double mrq_ms = 0;
+  double knn_ms = 0;
+  bool results_match = true;
+  bool compdists_match = true;
+};
+
+template <typename MakeIndexFn>
+SweepPoint RunAtThreads(MakeIndexFn&& make_index, const BenchDataset& bd,
+                        const PivotSet& pivots,
+                        const std::vector<ObjectView>& queries, double r,
+                        uint32_t k, uint32_t repeats, unsigned threads,
+                        Reference* ref) {
+  ThreadPool::SetGlobalThreads(threads);
+  SweepPoint p;
+  p.threads = threads;
+
+  auto index = make_index();
+  OpStats build = index->Build(bd.data, *bd.metric, pivots);
+  p.build_s = build.seconds;
+
+  std::vector<std::vector<ObjectId>> mrq;
+  std::vector<std::vector<Neighbor>> knn;
+  OpStats mrq_stats = index->RangeQueryBatch(queries, r, &mrq);
+  OpStats knn_stats = index->KnnQueryBatch(queries, k, &knn);
+  for (auto& out : mrq) std::sort(out.begin(), out.end());
+
+  if (ref->mrq.empty()) {  // first (1-thread) run defines the reference
+    ref->mrq = mrq;
+    ref->knn = knn;
+    ref->build_compdists = build.dist_computations;
+    ref->mrq_compdists = mrq_stats.dist_computations;
+    ref->knn_compdists = knn_stats.dist_computations;
+  } else {
+    p.compdists_match = build.dist_computations == ref->build_compdists &&
+                        mrq_stats.dist_computations == ref->mrq_compdists &&
+                        knn_stats.dist_computations == ref->knn_compdists;
+    p.results_match = mrq == ref->mrq && knn.size() == ref->knn.size();
+    for (size_t i = 0; p.results_match && i < knn.size(); ++i) {
+      p.results_match = knn[i].size() == ref->knn[i].size();
+      for (size_t j = 0; p.results_match && j < knn[i].size(); ++j) {
+        p.results_match = knn[i][j].id == ref->knn[i][j].id &&
+                          knn[i][j].dist == ref->knn[i][j].dist;
+      }
+    }
+  }
+
+  // Timed passes: best-of to shed scheduler noise.
+  std::vector<std::vector<ObjectId>> mrq_sink;
+  std::vector<std::vector<Neighbor>> knn_sink;
+  double best_mrq = 1e300, best_knn = 1e300;
+  for (uint32_t rep = 0; rep < repeats; ++rep) {
+    best_mrq = std::min(
+        best_mrq, index->RangeQueryBatch(queries, r, &mrq_sink).seconds);
+    best_knn = std::min(
+        best_knn, index->KnnQueryBatch(queries, k, &knn_sink).seconds);
+  }
+  p.mrq_ms = best_mrq * 1e3;
+  p.knn_ms = best_knn * 1e3;
+  return p;
+}
+
+}  // namespace
+}  // namespace pmi
+
+int main(int argc, char** argv) {
+  using namespace pmi;
+  const uint32_t n = std::max(EnvU32("PMI_TP_N", 20000), 512u);
+  const uint32_t num_queries = std::max(EnvU32("PMI_TP_QUERIES", 200), 1u);
+  const uint32_t repeats = std::max(EnvU32("PMI_TP_REPEATS", 3), 1u);
+  const uint32_t k = 10;
+  // Same [1, 1024] bound as --threads below: an oversized env value must
+  // not drive SetGlobalThreads into exhausting OS threads.
+  unsigned max_threads = std::min(EnvU32("PMI_TP_THREADS", 4), 1024u);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      // Same strict parse as the env knobs: whole-string, in range, warn
+      // on garbage instead of silently running at a different width.
+      const char* v = argv[i + 1];
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v, &end, 10);
+      if (end != v && *end == '\0' && parsed >= 1 && parsed <= 1024) {
+        max_threads = static_cast<unsigned>(parsed);
+      } else {
+        std::fprintf(stderr,
+                     "bench_throughput: ignoring --threads '%s' (want an "
+                     "integer in [1, 1024]); using %u\n",
+                     v, max_threads);
+      }
+      ++i;
+    }
+  }
+  std::vector<unsigned> sweep;
+  for (unsigned t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
+
+  std::fprintf(stderr,
+               "bench_throughput: n=%u queries=%u repeats=%u max_threads=%u "
+               "(hardware: %u)\n",
+               n, num_queries, repeats, max_threads,
+               std::thread::hardware_concurrency());
+
+  // The acceptance workload: 20-d synthetic integers under L-infinity.
+  ThreadPool::SetGlobalThreads(1);  // workload setup is thread-invariant,
+                                    // but keep the baseline honest
+  BenchDataset bd = MakeBenchDataset(BenchDatasetId::kSynthetic, n, 7);
+  PivotSelectionOptions po;
+  po.sample_size = std::min<uint32_t>(n, 1000);
+  po.pair_sample = 400;
+  PivotSet pivots = SelectSharedPivots(bd.data, *bd.metric, 5, po);
+  DistanceDistribution distribution =
+      EstimateDistribution(bd.data, *bd.metric, 4000, 3);
+  const double r = distribution.RadiusForSelectivity(0.01);
+
+  Rng rng(99);
+  std::vector<uint32_t> qids = SampleDistinct(n, num_queries, rng);
+  std::vector<ObjectView> queries;
+  queries.reserve(qids.size());
+  for (uint32_t q : qids) queries.push_back(bd.data.view(q));
+
+  struct IndexCase {
+    const char* name;
+    std::function<std::unique_ptr<MetricIndex>()> make;
+  };
+  const std::vector<IndexCase> cases = {
+      {"LAESA", [] { return std::make_unique<Laesa>(); }},
+      {"EPT*", [] { return std::make_unique<Ept>(Ept::Variant::kStar); }},
+  };
+
+  JsonWriter json;
+  json.Begin();
+  bool results_match = true, compdists_match = true;
+  // Best batch-query speedup at the tracked point: 4 threads when the
+  // sweep reaches it (the acceptance metric), else the sweep maximum --
+  // never a misleading 0 for "not measured".
+  const unsigned tracked_threads = max_threads >= 4 ? 4u : max_threads;
+  double tracked_speedup = max_threads == 1 ? 1.0 : 0.0;
+
+  for (const IndexCase& c : cases) {
+    Reference ref;
+    double base_build_s = 0, base_mrq_ms = 0, base_knn_ms = 0;
+    for (unsigned t : sweep) {
+      SweepPoint p = RunAtThreads(c.make, bd, pivots, queries, r, k, repeats,
+                                  t, &ref);
+      results_match &= p.results_match;
+      compdists_match &= p.compdists_match;
+      if (t == 1) {
+        base_build_s = p.build_s;
+        base_mrq_ms = p.mrq_ms;
+        base_knn_ms = p.knn_ms;
+      }
+      const double mrq_speedup = p.mrq_ms > 0 ? base_mrq_ms / p.mrq_ms : 0;
+      const double knn_speedup = p.knn_ms > 0 ? base_knn_ms / p.knn_ms : 0;
+      if (t == tracked_threads) {
+        tracked_speedup = std::max({tracked_speedup, mrq_speedup, knn_speedup});
+      }
+      char extra[512];
+      std::snprintf(
+          extra, sizeof(extra),
+          "\"index\": \"%s\", \"threads\": %u, %s, %s, %s, %s, %s, %s, %s, "
+          "%s",
+          c.name, t, Num("build_s", p.build_s).c_str(),
+          Num("build_speedup", p.build_s > 0 ? base_build_s / p.build_s : 0)
+              .c_str(),
+          Num("mrq_ms", p.mrq_ms).c_str(),
+          Num("mrq_qps", p.mrq_ms > 0 ? num_queries / (p.mrq_ms / 1e3) : 0)
+              .c_str(),
+          Num("mrq_speedup", mrq_speedup).c_str(),
+          Num("knn_ms", p.knn_ms).c_str(),
+          Num("knn_qps", p.knn_ms > 0 ? num_queries / (p.knn_ms / 1e3) : 0)
+              .c_str(),
+          Num("knn_speedup", knn_speedup).c_str());
+      json.Result("throughput", extra);
+      std::fprintf(stderr,
+                   "  %-6s %u threads: build %.3fs, MRQ %.1f ms (%.2fx), "
+                   "kNN %.1f ms (%.2fx)\n",
+                   c.name, t, p.build_s, p.mrq_ms, mrq_speedup, p.knn_ms,
+                   knn_speedup);
+    }
+  }
+  ThreadPool::SetGlobalThreads(0);  // back to PMI_THREADS / hardware default
+
+  char trailer[512];
+  std::snprintf(
+      trailer, sizeof(trailer),
+      "  \"config\": {\"dataset\": \"Synthetic\", \"dim\": 20, \"n\": %u, "
+      "\"queries\": %u, \"repeats\": %u, \"max_threads\": %u, "
+      "\"hardware_threads\": %u},\n"
+      "  \"checks\": {\"results_match\": %s, \"compdists_match\": %s, "
+      "\"batch_speedup_threads\": %u, \"batch_speedup\": %.3f}",
+      n, num_queries, repeats, max_threads,
+      std::thread::hardware_concurrency(),
+      results_match ? "true" : "false", compdists_match ? "true" : "false",
+      tracked_threads, tracked_speedup);
+  json.End(trailer);
+
+  const bool ok = results_match && compdists_match;
+  if (!ok) std::fprintf(stderr, "bench_throughput: EQUIVALENCE CHECK FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <vector>
 
 namespace pmi {
 
@@ -36,7 +37,62 @@ struct PerfCounters {
     d.page_writes = page_writes - rhs.page_writes;
     return d;
   }
+
+  PerfCounters& operator+=(const PerfCounters& rhs) {
+    dist_computations += rhs.dist_computations;
+    page_reads += rhs.page_reads;
+    page_writes += rhs.page_writes;
+    return *this;
+  }
 };
+
+/// RAII redirection of this thread's counter sink, the heart of the
+/// thread-safe cost accounting (see README "Execution model").
+///
+/// Counting must stay a plain non-atomic increment on the hot path, yet
+/// parallel build and batch-query regions have many threads counting on
+/// behalf of one index.  Each worker task opens a CounterScope over its
+/// own PerfCounters shard; MetricIndex::dist() consults Active() so every
+/// DistanceComputer created inside the task counts into the shard.  At
+/// the task boundary (the ParallelFor barrier) the shard deltas are
+/// folded into the index's counters with FoldCounters -- uint64 addition
+/// is exact and order-free, so totals are identical at any thread count.
+class CounterScope {
+ public:
+  explicit CounterScope(PerfCounters* shard) : prev_(current_) {
+    current_ = shard;
+  }
+  ~CounterScope() { current_ = prev_; }
+
+  CounterScope(const CounterScope&) = delete;
+  CounterScope& operator=(const CounterScope&) = delete;
+
+  /// The shard of the innermost open scope on this thread, or `fallback`
+  /// when none is open (the serial path).
+  static PerfCounters* Active(PerfCounters* fallback) {
+    return current_ != nullptr ? current_ : fallback;
+  }
+
+ private:
+  PerfCounters* prev_;
+  static inline thread_local PerfCounters* current_ = nullptr;
+};
+
+/// Cache-line-isolated per-slot counter shard for parallel regions.
+/// Adjacent PerfCounters in a plain vector would share 64-byte lines,
+/// and the hot-path increment (one read-modify-write per distance
+/// computation) would ping-pong those lines between cores -- the
+/// alignment keeps each slot's counting genuinely private.
+struct alignas(64) CounterShard {
+  PerfCounters counters;
+};
+
+/// Folds per-slot counter shards into `total` -- the task-boundary
+/// aggregation of the parallel execution engine.
+inline void FoldCounters(const std::vector<CounterShard>& shards,
+                         PerfCounters* total) {
+  for (const CounterShard& s : shards) *total += s.counters;
+}
 
 /// Wall-clock stopwatch used for the CPU-time measurements.
 class Stopwatch {

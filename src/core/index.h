@@ -24,6 +24,7 @@
 #include "src/core/metric.h"
 #include "src/core/object.h"
 #include "src/core/pivots.h"
+#include "src/core/thread_pool.h"
 
 namespace pmi {
 
@@ -125,6 +126,45 @@ class MetricIndex {
     return Measure([&] { KnnImpl(q, k, out); });
   }
 
+  /// True when independent queries may run concurrently on this index.
+  /// Fail-safe default: false.  An index opts in only after an audit
+  /// shows its query path shares no mutable state beyond the cost
+  /// counters (which the batch entry points redirect to per-thread
+  /// shards via CounterScope) -- per-query member scratch, query-path
+  /// RNGs, or any disk buffer pool disqualify it.  Non-opted-in indexes
+  /// keep the identical batch API and accounting; their batches just run
+  /// through the serial loop.
+  virtual bool concurrent_queries() const { return false; }
+
+  /// Batch MRQ: answers MRQ(queries[i], r) into (*out)[i] for every i,
+  /// fanning the batch across the global ThreadPool when
+  /// concurrent_queries() allows.  Per-query result buffers are
+  /// element-private and per-thread counter shards are folded at the
+  /// barrier, so results and total compdists are identical to looping
+  /// RangeQuery -- at any thread count.  `seconds` is the wall-clock time
+  /// of the whole batch (the figure QPS derives from), not a per-thread
+  /// sum.  Like every MetricIndex operation, this is externally
+  /// synchronized: one operation per index instance at a time (the
+  /// non-atomic counters_ bookkeeping would race otherwise).  Concurrent
+  /// batches on *distinct* indexes are fine -- their pool regions
+  /// serialize, their accounting does not interleave.
+  OpStats RangeQueryBatch(const std::vector<ObjectView>& queries, double r,
+                          std::vector<std::vector<ObjectId>>* out) const {
+    out->assign(queries.size(), {});
+    return MeasureBatch(queries.size(), [&](size_t i) {
+      RangeImpl(queries[i], r, &(*out)[i]);
+    });
+  }
+
+  /// Batch MkNNQ; same contract as RangeQueryBatch.
+  OpStats KnnQueryBatch(const std::vector<ObjectView>& queries, size_t k,
+                        std::vector<std::vector<Neighbor>>* out) const {
+    out->assign(queries.size(), {});
+    return MeasureBatch(queries.size(), [&](size_t i) {
+      KnnImpl(queries[i], k, &(*out)[i]);
+    });
+  }
+
   /// Re-inserts dataset object `id` (previously removed).
   OpStats Insert(ObjectId id) {
     return Measure([&] { InsertImpl(id); });
@@ -154,9 +194,11 @@ class MetricIndex {
   virtual void InsertImpl(ObjectId id) = 0;
   virtual void RemoveImpl(ObjectId id) = 0;
 
-  /// Counting distance computer bound to this index's counters.
+  /// Counting distance computer bound to this index's counters -- or, on
+  /// a worker thread inside a parallel region, to that thread's
+  /// CounterScope shard (folded back at the task boundary).
   DistanceComputer dist() const {
-    return DistanceComputer(metric_, &counters_);
+    return DistanceComputer(metric_, CounterScope::Active(&counters_));
   }
 
   const Dataset& data() const { return *data_; }
@@ -174,6 +216,39 @@ class MetricIndex {
     PerfCounters before = counters_;
     Stopwatch watch;
     fn();
+    return Finish(before, watch);
+  }
+
+  /// Batch template method: runs per_query(i) for i in [0, count), in
+  /// parallel over fixed chunks when allowed, serially otherwise.  The
+  /// parallel path counts into per-slot shards (every *Impl reaches its
+  /// counters through dist(), which honors the CounterScope each worker
+  /// opens) and folds them into counters_ at the barrier.
+  template <typename PerQuery>
+  OpStats MeasureBatch(size_t count, PerQuery&& per_query) const {
+    PerfCounters before = counters_;
+    Stopwatch watch;
+    // Serial cases never touch Global(): a process that only runs
+    // serial batches stays worker-thread-free.
+    if (!concurrent_queries() || count <= 1) {
+      for (size_t i = 0; i < count; ++i) per_query(i);
+      return Finish(before, watch);
+    }
+    ThreadPool& pool = ThreadPool::Global();
+    if (pool.size() <= 1) {
+      for (size_t i = 0; i < count; ++i) per_query(i);
+      return Finish(before, watch);
+    }
+    std::vector<CounterShard> shards(pool.size());
+    ParallelFor(pool, count, [&](size_t begin, size_t end, unsigned slot) {
+      CounterScope scope(&shards[slot].counters);
+      for (size_t i = begin; i < end; ++i) per_query(i);
+    });
+    FoldCounters(shards, &counters_);
+    return Finish(before, watch);
+  }
+
+  OpStats Finish(const PerfCounters& before, const Stopwatch& watch) const {
     PerfCounters delta = counters_ - before;
     OpStats s;
     s.dist_computations = delta.dist_computations;

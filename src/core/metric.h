@@ -147,6 +147,11 @@ class DistanceComputer {
 
   const Metric& metric() const { return *metric_; }
 
+  /// The counter sink this computer is bound to.  Parallel helpers that
+  /// receive a DistanceComputer spawn per-thread shard-bound copies and
+  /// fold the shard deltas back into this sink at the task boundary.
+  PerfCounters* counters() const { return counters_; }
+
  private:
   const Metric* metric_;
   PerfCounters* counters_;

@@ -2,26 +2,60 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
+
+#include "src/core/thread_pool.h"
 
 namespace pmi {
 namespace {
 
-/// Index of the sampled object farthest from `from`, distances through `d`.
+/// Per-slot copy of a DistanceComputer counting into `shard`; the shards
+/// are folded back into the original sink at each task boundary so the
+/// selection cost attribution is exact at any thread count.
+DistanceComputer ShardComputer(const DistanceComputer& d,
+                               PerfCounters* shard) {
+  return DistanceComputer(&d.metric(), shard);
+}
+
+/// Index of the sampled object farthest from `from`, distances through
+/// `d`.  Parallel max-reduction: each slot keeps a first-wins local
+/// maximum over its contiguous chunk; combining in ascending slot order
+/// with a strict `>` then reproduces the serial loop's
+/// first-maximum-wins tie-break exactly.
 uint32_t FarthestInSample(const Dataset& data,
                           const std::vector<uint32_t>& sample,
                           const DistanceComputer& d, ObjectId from) {
-  double best = -1;
-  uint32_t best_i = 0;
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<double> best(pool.size(), -1);
+  std::vector<uint32_t> best_i(pool.size(), 0);
+  std::vector<CounterShard> shards(pool.size());
   ObjectView fv = data.view(from);
-  for (uint32_t i = 0; i < sample.size(); ++i) {
-    double dd = d(fv, data.view(sample[i]));
-    if (dd > best) {
-      best = dd;
-      best_i = i;
+  ParallelFor(pool, sample.size(),
+              [&](size_t begin, size_t end, unsigned slot) {
+                DistanceComputer local = ShardComputer(d, &shards[slot].counters);
+                double b = -1;
+                uint32_t bi = 0;
+                for (size_t i = begin; i < end; ++i) {
+                  double dd = local(fv, data.view(sample[i]));
+                  if (dd > b) {
+                    b = dd;
+                    bi = static_cast<uint32_t>(i);
+                  }
+                }
+                best[slot] = b;
+                best_i[slot] = bi;
+              });
+  FoldCounters(shards, d.counters());
+  double g = -1;
+  uint32_t gi = 0;
+  for (unsigned s = 0; s < pool.size(); ++s) {
+    if (best[s] > g) {
+      g = best[s];
+      gi = best_i[s];
     }
   }
-  return best_i;
+  return gi;
 }
 
 }  // namespace
@@ -54,14 +88,25 @@ std::vector<ObjectId> SelectPivotsHF(const Dataset& data,
   double edge = dist.metric().Distance(data.view(f1), data.view(f2));
   foci.push_back(f2);
 
+  ThreadPool& pool = ThreadPool::Global();
   std::vector<double> error(sample.size(), 0);
   std::vector<bool> used(sample.size(), false);
+  // Each error[i] belongs to exactly one chunk and receives exactly one
+  // += per focus, so the accumulation order per element matches the
+  // serial loop; `used` is only read inside the region.
   auto accumulate = [&](ObjectId focus) {
     ObjectView fv = data.view(focus);
-    for (uint32_t i = 0; i < sample.size(); ++i) {
-      if (used[i]) continue;
-      error[i] += std::fabs(dist(data.view(sample[i]), fv) - edge);
-    }
+    std::vector<CounterShard> shards(pool.size());
+    ParallelFor(pool, sample.size(),
+                [&](size_t begin, size_t end, unsigned slot) {
+                  DistanceComputer local = ShardComputer(dist, &shards[slot].counters);
+                  for (size_t i = begin; i < end; ++i) {
+                    if (used[i]) continue;
+                    error[i] +=
+                        std::fabs(local(data.view(sample[i]), fv) - edge);
+                  }
+                });
+    FoldCounters(shards, dist.counters());
   };
   for (uint32_t i = 0; i < sample.size(); ++i) {
     if (sample[i] == f1 || sample[i] == f2) used[i] = true;
@@ -121,43 +166,77 @@ std::vector<ObjectId> SelectPivotsHFI(const Dataset& data,
     return candidates;
   }
 
-  // diff[c][j] = |d(a_j, p_c) - d(b_j, p_c)|, the pivot-space Linf
-  // contribution of candidate c on pair j.
-  std::vector<std::vector<double>> diff(candidates.size());
-  for (uint32_t c = 0; c < candidates.size(); ++c) {
-    diff[c].resize(np);
-    ObjectView pv = data.view(candidates[c]);
-    for (uint32_t j = 0; j < np; ++j) {
-      double da = dist(data.view(a_ids[j]), pv);
-      double db = dist(data.view(b_ids[j]), pv);
-      diff[c][j] = std::fabs(da - db);
-    }
+  // diff[c * np + j] = |d(a_j, p_c) - d(b_j, p_c)|, the pivot-space Linf
+  // contribution of candidate c on pair j -- one contiguous candidates x
+  // pairs buffer (row stride np), so the per-round gain scan below walks
+  // candidate rows linearly and the fill parallelizes over candidates
+  // with no shared writes.
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t nc = candidates.size();
+  std::vector<double> diff(nc * np);
+  {
+    std::vector<CounterShard> shards(pool.size());
+    ParallelFor(pool, nc, [&](size_t begin, size_t end, unsigned slot) {
+      DistanceComputer local = ShardComputer(dist, &shards[slot].counters);
+      for (size_t c = begin; c < end; ++c) {
+        ObjectView pv = data.view(candidates[c]);
+        double* row = &diff[c * np];
+        for (uint32_t j = 0; j < np; ++j) {
+          double da = local(data.view(a_ids[j]), pv);
+          double db = local(data.view(b_ids[j]), pv);
+          row[j] = std::fabs(da - db);
+        }
+      }
+    });
+    FoldCounters(shards, dist.counters());
   }
 
-  // Greedy forward selection on the mean D(a,b)/d(a,b) objective.
+  // Greedy forward selection on the mean D(a,b)/d(a,b) objective.  Each
+  // round's argmax fans out over candidate chunks; per-candidate scores
+  // accumulate over j in serial order and the ascending-slot combine
+  // keeps the serial first-wins tie-break, so the chosen pivots are
+  // bit-identical at any thread count.
   std::vector<double> current(np, 0);  // best per-pair lower bound so far
-  std::vector<bool> used(candidates.size(), false);
+  std::vector<bool> used(nc, false);
   std::vector<ObjectId> chosen;
   chosen.reserve(count);
+  std::vector<double> slot_gain(pool.size());
+  std::vector<uint32_t> slot_c(pool.size());
   while (chosen.size() < count) {
+    std::fill(slot_gain.begin(), slot_gain.end(), -1.0);
+    std::fill(slot_c.begin(), slot_c.end(), UINT32_MAX);
+    ParallelFor(pool, nc, [&](size_t begin, size_t end, unsigned slot) {
+      double bg = -1;
+      uint32_t bc = UINT32_MAX;
+      for (size_t c = begin; c < end; ++c) {
+        if (used[c]) continue;
+        const double* row = &diff[c * np];
+        double score = 0;
+        for (uint32_t j = 0; j < np; ++j) {
+          score += std::max(current[j], row[j]) / d_ab[j];
+        }
+        if (score > bg) {
+          bg = score;
+          bc = static_cast<uint32_t>(c);
+        }
+      }
+      slot_gain[slot] = bg;
+      slot_c[slot] = bc;
+    });
     double best_gain = -1;
     uint32_t best_c = UINT32_MAX;
-    for (uint32_t c = 0; c < candidates.size(); ++c) {
-      if (used[c]) continue;
-      double score = 0;
-      for (uint32_t j = 0; j < np; ++j) {
-        score += std::max(current[j], diff[c][j]) / d_ab[j];
-      }
-      if (score > best_gain) {
-        best_gain = score;
-        best_c = c;
+    for (unsigned s = 0; s < pool.size(); ++s) {
+      if (slot_gain[s] > best_gain) {
+        best_gain = slot_gain[s];
+        best_c = slot_c[s];
       }
     }
     if (best_c == UINT32_MAX) break;
     used[best_c] = true;
     chosen.push_back(candidates[best_c]);
+    const double* row = &diff[size_t(best_c) * np];
     for (uint32_t j = 0; j < np; ++j) {
-      current[j] = std::max(current[j], diff[best_c][j]);
+      current[j] = std::max(current[j], row[j]);
     }
   }
   return chosen;

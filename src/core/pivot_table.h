@@ -61,6 +61,15 @@ class PivotTable {
     for (auto& c : pidx_cols_) c.reserve(rows);
   }
 
+  /// Preallocates `rows` zeroed rows for index-addressed filling via
+  /// SetRow -- the parallel-build form of AppendRow.  rows() becomes
+  /// `rows` immediately.
+  void ResizeRows(size_t rows) {
+    for (auto& c : cols_) c.assign(rows, 0.0);
+    for (auto& c : pidx_cols_) c.assign(rows, 0);
+    rows_ = rows;
+  }
+
   uint32_t width() const { return width_; }
   size_t rows() const { return rows_; }
   bool per_row_pivots() const { return !pidx_cols_.empty(); }
@@ -79,6 +88,22 @@ class PivotTable {
       pidx_cols_[j].push_back(pidx[j]);
     }
     ++rows_;
+  }
+
+  /// Writes row `row` (< rows(), preallocated via ResizeRows) in
+  /// shared-pivot form.  A row's cells are element-private, so concurrent
+  /// SetRow calls on distinct rows are race-free -- the contract the
+  /// parallel table fills rely on.
+  void SetRow(size_t row, const double* phi) {
+    for (uint32_t p = 0; p < width_; ++p) cols_[p][row] = phi[p];
+  }
+
+  /// Per-row-pivot form of SetRow.
+  void SetRow(size_t row, const double* pdist, const uint32_t* pidx) {
+    for (uint32_t j = 0; j < width_; ++j) {
+      cols_[j][row] = pdist[j];
+      pidx_cols_[j][row] = pidx[j];
+    }
   }
 
   /// Removes row `row` by moving the last row into its place (the scan

@@ -1,0 +1,109 @@
+#include "src/core/thread_pool.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace pmi {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads <= 1) return;
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this, slot = i + 1] { WorkerLoop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(unsigned slot) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    if (slot >= job_slots_) continue;  // this region uses fewer slots
+    const std::function<void(unsigned)>* job = job_;
+    lock.unlock();
+    (*job)(slot);
+    lock.lock();
+    if (--running_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::Dispatch(unsigned slots,
+                          const std::function<void(unsigned)>& fn) {
+  if (slots <= 1 || workers_.empty()) {
+    for (unsigned s = 0; s < slots; ++s) fn(s);
+    return;
+  }
+  std::lock_guard<std::mutex> region(dispatch_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_slots_ = slots;
+    running_ = slots - 1;  // workers serve slots 1..slots-1
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+unsigned ThreadPool::DefaultThreads() {
+  if (const char* v = std::getenv("PMI_THREADS"); v != nullptr && *v != '\0') {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(v, &end, 10);
+    if (errno == 0 && end != v && *end == '\0' && parsed >= 1 &&
+        parsed <= 1024) {
+      return static_cast<unsigned>(parsed);
+    }
+    std::fprintf(stderr,
+                 "pmi: ignoring PMI_THREADS='%s' (want an integer in "
+                 "[1, 1024])\n",
+                 v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+std::mutex& GlobalPoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& pool = GlobalPoolSlot();
+  if (!pool) pool = std::make_unique<ThreadPool>(DefaultThreads());
+  return *pool;
+}
+
+void ThreadPool::SetGlobalThreads(unsigned threads) {
+  if (threads == 0) threads = DefaultThreads();
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& pool = GlobalPoolSlot();
+  if (pool && pool->size() == threads) return;
+  pool.reset();  // join the old workers before spawning the new pool
+  pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace pmi

@@ -1,0 +1,121 @@
+// Parallel execution engine: a fork-join thread pool and ParallelFor.
+//
+// The construction phase (the n x l pivot-table fill, the HF/HFI scoring
+// loops) and batch query workloads are embarrassingly parallel, but the
+// paper's cost accounting demands *exact* compdists totals and this
+// repository additionally promises bit-identical results at any thread
+// count.  The engine therefore stays deliberately simple:
+//
+//   - Fork-join, no work stealing: Dispatch(slots, fn) runs fn(slot) for
+//     each slot -- slot 0 on the calling thread, the rest on dedicated
+//     workers -- and returns after all complete.  Every parallel region
+//     is a single barrier; there is no task queue whose drain order could
+//     leak into results.
+//   - Fixed arithmetic partitioning: ParallelFor splits [0, n) into one
+//     contiguous chunk per slot.  Which thread runs a chunk never matters
+//     because bodies write only to element-indexed or slot-indexed state;
+//     reductions are combined in ascending slot order so first-wins
+//     tie-breaks match the serial loop.
+//   - Counters stay non-atomic: workers count into per-slot PerfCounters
+//     shards, folded into the owner's counters at the barrier (see
+//     CounterScope / FoldCounters in src/core/counters.h).
+//
+// The pool size defaults to PMI_THREADS (validated) or the hardware
+// concurrency; a pool of size 1 runs every region inline, making the
+// serial path the literal special case of the parallel one.
+
+#ifndef PMI_CORE_THREAD_POOL_H_
+#define PMI_CORE_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pmi {
+
+/// Fork-join worker pool.  One instance is shared process-wide via
+/// Global(); benchmarks reconfigure it with SetGlobalThreads.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller of Dispatch is the
+  /// remaining execution slot).  `threads` of 0 or 1 spawns none.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution slots available to Dispatch (workers + the caller).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs fn(slot) for every slot in [0, slots) -- slot 0 on the calling
+  /// thread -- and returns when all invocations have finished.  `slots`
+  /// must not exceed size().  Concurrent top-level Dispatch calls (e.g.
+  /// two application threads issuing batch queries against *distinct*
+  /// indexes through the shared Global() pool) serialize on an internal
+  /// mutex -- each region still runs fully parallel, the regions just run
+  /// one after another.  (A MetricIndex instance itself is externally
+  /// synchronized: concurrent operations on the *same* index race on its
+  /// cost counters.)  Not reentrant: fn must not call Dispatch on the
+  /// same pool.
+  void Dispatch(unsigned slots, const std::function<void(unsigned)>& fn);
+
+  /// PMI_THREADS if set to a valid positive integer (a warning goes to
+  /// stderr otherwise), else std::thread::hardware_concurrency(), else 1.
+  static unsigned DefaultThreads();
+
+  /// The process-wide pool, created on first use with DefaultThreads().
+  static ThreadPool& Global();
+
+  /// Replaces the global pool with one of `threads` slots (0 = back to
+  /// DefaultThreads()).  Call only between parallel regions -- e.g. the
+  /// benchmark harness sweeping thread counts.
+  static void SetGlobalThreads(unsigned threads);
+
+ private:
+  void WorkerLoop(unsigned slot);
+
+  std::mutex dispatch_mu_;  // serializes whole regions (one at a time)
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;  // valid during a region
+  unsigned job_slots_ = 0;
+  unsigned running_ = 0;     // workers still inside the current job
+  uint64_t generation_ = 0;  // bumped per Dispatch; wakes the workers
+  bool stop_ = false;
+  std::vector<std::thread> workers_;  // worker i serves slot i + 1
+};
+
+/// Splits [0, n) into one contiguous chunk per execution slot -- chunk s
+/// is [n*s/slots, n*(s+1)/slots) -- and runs body(begin, end, slot) on
+/// each, returning after all complete.  The body may write only to
+/// element-indexed state (each element belongs to exactly one chunk) and
+/// slot-indexed scratch such as PerfCounters shards; under that contract
+/// results are bit-identical at any thread count.  n of 0 or 1 slot runs
+/// the body inline on the calling thread.
+template <typename Body>
+void ParallelFor(ThreadPool& pool, size_t n, Body&& body) {
+  if (n == 0) return;
+  const unsigned slots =
+      static_cast<unsigned>(std::min<size_t>(pool.size(), n));
+  if (slots <= 1) {
+    body(size_t{0}, n, 0u);
+    return;
+  }
+  const std::function<void(unsigned)> task = [&](unsigned s) {
+    const size_t begin = n * s / slots;
+    const size_t end = n * (s + 1) / slots;
+    if (begin < end) body(begin, end, s);
+  };
+  pool.Dispatch(slots, task);
+}
+
+}  // namespace pmi
+
+#endif  // PMI_CORE_THREAD_POOL_H_

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/core/thread_pool.h"
+
 namespace pmi {
 
 double DistanceDistribution::RadiusForSelectivity(double fraction) const {
@@ -19,13 +21,30 @@ DistanceDistribution EstimateDistribution(const Dataset& data,
   DistanceDistribution out;
   if (data.size() < 2) return out;
   Rng rng(seed);
+  // The pair ids are drawn serially from the single seeded RNG (the draw
+  // sequence never depends on thread count); only the distance
+  // evaluations -- the expensive part -- fan out, each writing its own
+  // slot.  The moment accumulation below then re-walks the results in
+  // draw order, so sample, sum, and max are bit-identical to the fully
+  // serial loop.
+  std::vector<ObjectId> as(pairs), bs(pairs);
+  for (uint32_t i = 0; i < pairs; ++i) {
+    as[i] = rng() % data.size();
+    bs[i] = rng() % data.size();
+  }
+  std::vector<double> dists(pairs, 0);
+  ParallelFor(ThreadPool::Global(), pairs,
+              [&](size_t begin, size_t end, unsigned /*slot*/) {
+                for (size_t i = begin; i < end; ++i) {
+                  if (as[i] == bs[i]) continue;  // skipped below too
+                  dists[i] = metric.Distance(data.view(as[i]), data.view(bs[i]));
+                }
+              });
   out.sample.reserve(pairs);
   double sum = 0, sum2 = 0;
   for (uint32_t i = 0; i < pairs; ++i) {
-    ObjectId a = rng() % data.size();
-    ObjectId b = rng() % data.size();
-    if (a == b) continue;
-    double d = metric.Distance(data.view(a), data.view(b));
+    if (as[i] == bs[i]) continue;
+    double d = dists[i];
     out.sample.push_back(d);
     sum += d;
     sum2 += d * d;

@@ -1,21 +1,33 @@
 #include "src/harness/workload.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "src/core/pivot_selection.h"
 #include "src/core/rng.h"
 
 namespace pmi {
-namespace {
 
+// atol would silently truncate "10x" to 10 and wrap out-of-range
+// values; parse strictly instead.
 uint32_t EnvU32(const char* name, uint32_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
-  long parsed = std::atol(v);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' ||
+      parsed > std::numeric_limits<uint32_t>::max()) {
+    std::fprintf(stderr,
+                 "pmi: ignoring %s='%s' (want a non-negative 32-bit "
+                 "integer); using %u\n",
+                 name, v, fallback);
+    return fallback;
+  }
   return parsed > 0 ? static_cast<uint32_t>(parsed) : fallback;
 }
-
-}  // namespace
 
 BenchConfig BenchConfig::FromEnv() {
   BenchConfig c;
@@ -59,11 +71,12 @@ Workload MakeWorkload(BenchDatasetId id, const BenchConfig& config,
   PivotSelectionOptions po;
   po.sample_size = std::min(n, 2000u);
   w.pivots = SelectSharedPivots(w.bd.data, *w.bd.metric, pivot_count, po);
+  // Distinct query ids: rng() % n can repeat, and a duplicated query
+  // would double-weight its cost in the averaged measurements.  (When
+  // config.queries >= n, every object becomes a query exactly once.)
   Rng rng(0x9dcba);
-  w.query_ids.reserve(config.queries);
-  for (uint32_t i = 0; i < config.queries; ++i) {
-    w.query_ids.push_back(rng() % n);
-  }
+  std::vector<uint32_t> qids = SampleDistinct(n, config.queries, rng);
+  w.query_ids.assign(qids.begin(), qids.end());
   return w;
 }
 

@@ -22,7 +22,17 @@
 
 namespace pmi {
 
-/// Environment-controlled benchmark configuration.
+/// Strict environment uint parse shared by the harness and the bench
+/// binaries: the whole value must be one base-10 integer that fits in
+/// uint32.  Malformed or out-of-range values warn to stderr and fall
+/// back; a parsed 0 falls back silently (every knob is "positive or
+/// unset").
+uint32_t EnvU32(const char* name, uint32_t fallback);
+
+/// Environment-controlled benchmark configuration.  (The parallel
+/// engine's thread count is not part of this struct: the global
+/// ThreadPool reads PMI_THREADS itself, and bench_throughput's --threads
+/// flag drives ThreadPool::SetGlobalThreads directly.)
 struct BenchConfig {
   uint32_t scale_pct = 100;
   uint32_t queries = 20;

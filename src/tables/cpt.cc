@@ -3,15 +3,13 @@
 #include <cassert>
 
 #include "src/core/knn_heap.h"
+#include "src/core/thread_pool.h"
 
 namespace pmi {
 
 void Cpt::BuildImpl() {
   const uint32_t l = pivots_.size();
   const uint32_t n = data().size();
-  oids_.clear();
-  table_.Reset(l);
-  table_.Reserve(n);
   leaf_of_.clear();
   file_ = std::make_unique<PagedFile>(options_.page_size,
                                       options_.cache_bytes, &counters_);
@@ -21,15 +19,27 @@ void Cpt::BuildImpl() {
       file_.get(), data_, dist(), mo,
       [this](ObjectId oid, PageId page) { leaf_of_[oid] = page; });
 
-  DistanceComputer d = dist();
-  std::vector<double> phi;
-  oids_.reserve(n);
-  for (ObjectId id = 0; id < n; ++id) {
-    pivots_.Map(data().view(id), d, &phi);
-    oids_.push_back(id);
-    table_.AppendRow(phi.data());
-    mtree_->Insert(id, {});
-  }
+  // The in-memory pivot-table half fills in parallel (same fixed
+  // partitioning as LAESA); the M-tree half stays serial because every
+  // insert mutates the shared buffer pool and the split sampling RNG.
+  // The insert sequence is unchanged, so tree shape, leaf pointers, and
+  // total build cost are identical at any thread count.
+  oids_.resize(n);
+  table_.Reset(l);
+  table_.ResizeRows(n);
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<CounterShard> shards(pool.size());
+  ParallelFor(pool, n, [&](size_t begin, size_t end, unsigned slot) {
+    DistanceComputer d(&metric(), &shards[slot].counters);
+    std::vector<double> phi;
+    for (size_t id = begin; id < end; ++id) {
+      pivots_.Map(data().view(ObjectId(id)), d, &phi);
+      oids_[id] = ObjectId(id);
+      table_.SetRow(id, phi.data());
+    }
+  });
+  FoldCounters(shards, &counters_);
+  for (ObjectId id = 0; id < n; ++id) mtree_->Insert(id, {});
   file_->Flush();
 }
 

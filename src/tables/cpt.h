@@ -32,6 +32,9 @@ class Cpt final : public MetricIndex {
   size_t memory_bytes() const override;
   size_t disk_bytes() const override;
 
+  /// Read-only view of the in-memory distance table (see Laesa).
+  const PivotTable& table() const { return table_; }
+
  protected:
   void BuildImpl() override;
   void RangeImpl(const ObjectView& q, double r,

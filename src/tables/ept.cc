@@ -8,6 +8,7 @@
 #include "src/core/knn_heap.h"
 #include "src/core/pivot_selection.h"
 #include "src/core/rng.h"
+#include "src/core/thread_pool.h"
 
 namespace pmi {
 
@@ -52,9 +53,26 @@ void Ept::BuildImpl() {
                options_.seed);
   }
 
-  oids_.reserve(data().size());
-  table_.Reserve(data().size());
-  for (ObjectId id = 0; id < data().size(); ++id) AppendRow(id);
+  // The per-object pivot selection (the dominant construction cost) only
+  // reads the pool/mu/PSA state fixed above, so the row fill fans out
+  // over fixed object chunks with per-thread scratch and counter shards;
+  // rows land by index and are bit-identical to the serial fill.
+  const uint32_t n = data().size();
+  oids_.resize(n);
+  table_.ResizeRows(n);
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<CounterShard> shards(pool.size());
+  ParallelFor(pool, n, [&](size_t begin, size_t end, unsigned slot) {
+    DistanceComputer d(&metric(), &shards[slot].counters);
+    std::vector<uint32_t> pidx(l_);
+    std::vector<double> pdist(l_);
+    for (size_t id = begin; id < end; ++id) {
+      ComputeRow(ObjectId(id), d, pidx.data(), pdist.data());
+      oids_[id] = ObjectId(id);
+      table_.SetRow(id, pdist.data(), pidx.data());
+    }
+  });
+  FoldCounters(shards, &counters_);
 }
 
 // Equation (1): cost(m) = m*l + n * Pr(object survives all l groups).
@@ -140,8 +158,8 @@ void Ept::EstimateMus() {
   }
 }
 
-void Ept::SelectClassic(ObjectId id, uint32_t* pidx, double* pdist) {
-  DistanceComputer d = dist();
+void Ept::SelectClassic(ObjectId id, const DistanceComputer& d,
+                        uint32_t* pidx, double* pdist) const {
   ObjectView o = data().view(id);
   for (uint32_t g = 0; g < l_; ++g) {
     uint32_t best = g * m_;
@@ -161,22 +179,29 @@ void Ept::SelectClassic(ObjectId id, uint32_t* pidx, double* pdist) {
   }
 }
 
-void Ept::SelectStar(ObjectId id, uint32_t* pidx, double* pdist) {
-  DistanceComputer d = dist();
+void Ept::SelectStar(ObjectId id, const DistanceComputer& d, uint32_t* pidx,
+                     double* pdist) const {
   psa_.SelectForObject(data().view(id), d, l_, pidx, pdist);
 }
 
+void Ept::ComputeRow(ObjectId id, const DistanceComputer& d, uint32_t* pidx,
+                     double* pdist) const {
+  if (variant_ == Variant::kClassic) {
+    SelectClassic(id, d, pidx, pdist);
+  } else {
+    SelectStar(id, d, pidx, pdist);
+  }
+}
+
 void Ept::AppendRow(ObjectId id) {
-  // Member scratch: AppendRow runs once per object during Build, so
-  // per-call vector allocations would be n small mallocs on the timed
-  // construction path.
+  // Member scratch: the serial insert path is timed per operation, so
+  // per-call vector allocations would show up as malloc noise in the
+  // update measurements.  (The parallel build uses per-thread locals
+  // instead -- this scratch is never touched concurrently.)
+  DistanceComputer d = dist();
   row_pidx_.resize(l_);
   row_pdist_.resize(l_);
-  if (variant_ == Variant::kClassic) {
-    SelectClassic(id, row_pidx_.data(), row_pdist_.data());
-  } else {
-    SelectStar(id, row_pidx_.data(), row_pdist_.data());
-  }
+  ComputeRow(id, d, row_pidx_.data(), row_pdist_.data());
   oids_.push_back(id);
   table_.AppendRow(row_pdist_.data(), row_pidx_.data());
 }

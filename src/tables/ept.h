@@ -41,10 +41,16 @@ class Ept final : public MetricIndex {
     return variant_ == Variant::kClassic ? "EPT" : "EPT*";
   }
   bool disk_based() const override { return false; }
+  // Audited: the query path uses only local state + dist() (counters
+  // are redirected per thread by the batch entry points).
+  bool concurrent_queries() const override { return true; }
   size_t memory_bytes() const override;
 
   /// Group size m actually used (after Equation (1) estimation).
   uint32_t group_size() const { return m_; }
+
+  /// Read-only view of the per-row-pivot distance table (see Laesa).
+  const PivotTable& table() const { return table_; }
 
  protected:
   void BuildImpl() override;
@@ -60,8 +66,17 @@ class Ept final : public MetricIndex {
 
   void EstimateGroupSize();
   void EstimateMus();
-  void SelectClassic(ObjectId id, uint32_t* pidx, double* pdist);
-  void SelectStar(ObjectId id, uint32_t* pidx, double* pdist);
+  /// Selects the l (pool index, distance) pairs of one row.  Distances go
+  /// through `d`, which the parallel build binds to a per-thread counter
+  /// shard; the selection reads only build-time-constant state
+  /// (pool_/pool_mu_/psa_), so concurrent calls on distinct ids are safe
+  /// and the row contents are independent of thread count.
+  void ComputeRow(ObjectId id, const DistanceComputer& d, uint32_t* pidx,
+                  double* pdist) const;
+  void SelectClassic(ObjectId id, const DistanceComputer& d, uint32_t* pidx,
+                     double* pdist) const;
+  void SelectStar(ObjectId id, const DistanceComputer& d, uint32_t* pidx,
+                  double* pdist) const;
   void AppendRow(ObjectId id);
   void MapQueryToPool(const ObjectView& q, std::vector<double>* out) const;
 
@@ -82,7 +97,7 @@ class Ept final : public MetricIndex {
   /// Columnar rows x l table of (pool index, pre-computed distance) pairs
   /// in the per-row-pivot layout (see src/core/pivot_table.h).
   PivotTable table_;
-  std::vector<uint32_t> row_pidx_;  // AppendRow scratch
+  std::vector<uint32_t> row_pidx_;  // AppendRow (serial insert) scratch
   std::vector<double> row_pdist_;
 };
 

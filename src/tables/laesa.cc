@@ -3,23 +3,33 @@
 #include <cassert>
 
 #include "src/core/knn_heap.h"
+#include "src/core/thread_pool.h"
 
 namespace pmi {
 
 void Laesa::BuildImpl() {
   const uint32_t l = pivots_.size();
   const uint32_t n = data().size();
-  oids_.clear();
-  oids_.reserve(n);
+  // The n x l fill is embarrassingly parallel: rows are preallocated and
+  // each worker maps its contiguous chunk of objects into its own rows,
+  // counting into a per-slot shard folded at the barrier.  Table
+  // contents, oids_, and build compdists are identical at any thread
+  // count.
+  oids_.resize(n);
   table_.Reset(l);
-  table_.Reserve(n);
-  DistanceComputer d = dist();
-  std::vector<double> phi;
-  for (ObjectId id = 0; id < n; ++id) {
-    pivots_.Map(data().view(id), d, &phi);
-    oids_.push_back(id);
-    table_.AppendRow(phi.data());
-  }
+  table_.ResizeRows(n);
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<CounterShard> shards(pool.size());
+  ParallelFor(pool, n, [&](size_t begin, size_t end, unsigned slot) {
+    DistanceComputer d(&metric(), &shards[slot].counters);
+    std::vector<double> phi;
+    for (size_t id = begin; id < end; ++id) {
+      pivots_.Map(data().view(ObjectId(id)), d, &phi);
+      oids_[id] = ObjectId(id);
+      table_.SetRow(id, phi.data());
+    }
+  });
+  FoldCounters(shards, &counters_);
 }
 
 void Laesa::RangeImpl(const ObjectView& q, double r,

@@ -33,7 +33,14 @@ class Laesa final : public MetricIndex {
 
   std::string name() const override { return "LAESA"; }
   bool disk_based() const override { return false; }
+  // Audited: the query path uses only local state + dist() (counters
+  // are redirected per thread by the batch entry points).
+  bool concurrent_queries() const override { return true; }
   size_t memory_bytes() const override;
+
+  /// Read-only view of the distance table (thread-invariance tests pin
+  /// its contents bit-for-bit against the serial build).
+  const PivotTable& table() const { return table_; }
 
  protected:
   void BuildImpl() override;

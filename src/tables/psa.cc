@@ -5,6 +5,7 @@
 
 #include "src/core/pivot_selection.h"
 #include "src/core/rng.h"
+#include "src/core/thread_pool.h"
 
 namespace pmi {
 
@@ -22,16 +23,26 @@ void PsaSelector::Build(const Dataset& data, const DistanceComputer& dist,
   sample_ = PivotSet(data, sample_ids);
   // One table row per sample object; column c is then the contiguous
   // vector <d(s, cp_c)> over all samples s, which is exactly the access
-  // pattern of SelectForObject's scoring loops.
+  // pattern of SelectForObject's scoring loops.  The |S| x |CP| memo fill
+  // fans out over sample chunks -- rows land by index, shards fold into
+  // the caller's counter sink at the barrier.
   sample_cand_.Reset(pool_.size());
-  sample_cand_.Reserve(sample_.size());
-  std::vector<double> row(pool_.size());
-  for (uint32_t s = 0; s < sample_.size(); ++s) {
-    for (uint32_t c = 0; c < pool_.size(); ++c) {
-      row[c] = dist(sample_.pivot(s), pool_.pivot(c));
-    }
-    sample_cand_.AppendRow(row.data());
-  }
+  sample_cand_.ResizeRows(sample_.size());
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<CounterShard> shards(pool.size());
+  ParallelFor(pool, sample_.size(),
+              [&](size_t begin, size_t end, unsigned slot) {
+                DistanceComputer local(&dist.metric(), &shards[slot].counters);
+                std::vector<double> row(pool_.size());
+                for (size_t s = begin; s < end; ++s) {
+                  for (uint32_t c = 0; c < pool_.size(); ++c) {
+                    row[c] = local(sample_.pivot(static_cast<uint32_t>(s)),
+                                   pool_.pivot(c));
+                  }
+                  sample_cand_.SetRow(s, row.data());
+                }
+              });
+  FoldCounters(shards, dist.counters());
 }
 
 void PsaSelector::SelectForObject(const ObjectView& o,
