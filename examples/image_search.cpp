@@ -1,16 +1,16 @@
 // Multimedia retrieval scenario: similarity search over MPEG-7-style
-// image feature vectors (282-d, L1), the paper's Color workload.
-// Contrasts the index the paper recommends for complex distance
-// functions (EPT*, lowest compdists) with the one it recommends for
-// large datasets (SPB-tree, lowest I/O), and shows the pivot-validation
-// effect on range queries.
+// image feature vectors (282-d, L1), the paper's Color workload, through
+// the pmi::MetricDB facade.  Contrasts the index the paper recommends
+// for complex distance functions (EPT*, lowest compdists) with the one
+// it recommends for large datasets (SPB-tree, lowest I/O), and shows the
+// batch query API: all 15 "find similar images" requests go out as one
+// QueryRequest.
 
 #include <cstdio>
 
-#include "src/core/pivot_selection.h"
+#include "src/api/metric_db.h"
 #include "src/data/distribution.h"
 #include "src/data/generators.h"
-#include "src/harness/registry.h"
 
 int main() {
   using namespace pmi;
@@ -19,40 +19,45 @@ int main() {
   std::printf("image library: %u feature vectors (282-d, L1)\n",
               bd.data.size());
   DistanceDistribution dist = EstimateDistribution(bd.data, *bd.metric);
-  PivotSet pivots = SelectSharedPivots(bd.data, *bd.metric, 5);
 
-  IndexOptions opts;
-  auto ept = MakeIndex("EPT*", opts);
-  auto spb = MakeIndex("SPB-tree", opts);
-  OpStats be = ept->Build(bd.data, *bd.metric, pivots);
-  OpStats bs = spb->Build(bd.data, *bd.metric, pivots);
-  std::printf("EPT* build: %.2fs  SPB-tree build: %.2fs\n", be.seconds,
-              bs.seconds);
-
-  // "Find images similar to this one": 1%-selectivity range query.
-  double r = dist.RadiusForSelectivity(0.01);
-  std::printf("\nrange r = %.0f (~1%% of library)\n", r);
-  double total_e = 0, total_s = 0, pa_s = 0;
-  size_t hits = 0;
-  for (ObjectId q = 0; q < 15; ++q) {
-    std::vector<ObjectId> out;
-    OpStats se = ept->RangeQuery(bd.data.view(q), r, &out);
-    OpStats ss = spb->RangeQuery(bd.data.view(q), r, &out);
-    total_e += double(se.dist_computations);
-    total_s += double(ss.dist_computations);
-    pa_s += double(ss.page_accesses());
-    hits += out.size();
+  auto ept = MetricDB::Create(
+      MetricDBConfig().WithMetric("L1").WithIndex("EPT*").WithPivots(5),
+      bd.data);
+  auto spb = MetricDB::Create(
+      MetricDBConfig().WithMetric("L1").WithIndex("SPB-tree").WithPivots(5),
+      bd.data);
+  if (!ept.ok() || !spb.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 (!ept.ok() ? ept.status() : spb.status()).ToString().c_str());
+    return 1;
   }
+  std::printf("EPT* build: %.2fs  SPB-tree build: %.2fs\n",
+              ept->build_stats().seconds, spb->build_stats().seconds);
+
+  // "Find images similar to this one": 1%-selectivity range queries,
+  // batched -- one request, one result, whole-batch costs.
+  double r = dist.RadiusForSelectivity(0.01);
+  std::printf("\nrange r = %.0f (~1%% of library), batch of 15 queries\n", r);
+  std::vector<ObjectView> queries;
+  for (ObjectId q = 0; q < 15; ++q) queries.push_back(ept->dataset().view(q));
+  auto re = ept->Query(QueryRequest::RangeBatch(queries, r));
+  auto rs = spb->Query(QueryRequest::RangeBatch(queries, r));
+  if (!re.ok() || !rs.ok()) return 1;
+  size_t hits = 0;
+  for (const auto& ids : re->ids) hits += ids.size();
   std::printf("avg per query: EPT* %.0f compdists (in memory) | SPB-tree "
               "%.0f compdists + %.0f page accesses | %.1f hits\n",
-              total_e / 15, total_s / 15, pa_s / 15, double(hits) / 15);
+              double(re->stats.dist_computations) / queries.size(),
+              double(rs->stats.dist_computations) / queries.size(),
+              double(rs->stats.page_accesses()) / queries.size(),
+              double(hits) / queries.size());
 
   // "Show the 10 most similar images".
-  std::vector<Neighbor> knn;
-  OpStats ke = ept->KnnQuery(bd.data.view(42), 10, &knn);
+  auto ke = ept->KnnQuery(ept->dataset().view(42), 10);
+  if (!ke.ok()) return 1;
   std::printf("\n10-NN of image 42 via EPT* (%llu compdists):\n",
-              (unsigned long long)ke.dist_computations);
-  for (const Neighbor& nb : knn) {
+              (unsigned long long)ke->stats.dist_computations);
+  for (const Neighbor& nb : ke->neighbors[0]) {
     std::printf("  image %-6u distance %.1f\n", nb.id, nb.dist);
   }
   std::printf("\nPaper guidance (Section 7): EPT* for small datasets with\n"

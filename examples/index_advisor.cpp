@@ -1,17 +1,21 @@
-// Index advisor: builds every applicable surveyed index on a workload,
-// measures construction/query/update costs, and prints a recommendation
-// following the selection guidance of the paper's Section 7:
+// Index advisor: builds every applicable surveyed index on a workload
+// through the pmi::MetricDB facade, measures construction/query costs,
+// and prints a recommendation following the selection guidance of the
+// paper's Section 7:
 //   - small dataset + complex distance  -> EPT*
 //   - small dataset + cheap distance    -> MVPT
 //   - large dataset / low memory        -> SPB-tree or M-index*
+// Indexes whose preconditions fail (BKT/FQT on a continuous metric) are
+// skipped via the facade's recoverable errors -- no special-casing.
 // Usage: example_index_advisor [la|words|color|synthetic]
 
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "src/core/pivot_selection.h"
+#include "src/api/metric_db.h"
 #include "src/data/distribution.h"
 #include "src/data/generators.h"
 #include "src/harness/registry.h"
@@ -37,7 +41,6 @@ int main(int argc, char** argv) {
   std::printf("workload: %s, %u objects, %s metric, intrinsic dim %.1f\n\n",
               bd.name.c_str(), bd.data.size(), bd.metric->name().c_str(),
               distribution.intrinsic_dim);
-  PivotSet pivots = SelectSharedPivots(bd.data, *bd.metric, 5);
   double r = distribution.RadiusForSelectivity(0.05);
 
   TablePrinter table({"Index", "Build (s)", "MRQ compdists", "MRQ PA",
@@ -49,36 +52,63 @@ int main(int argc, char** argv) {
     bool disk;
   };
   std::vector<Score> scores;
+  const int kQ = 10;
+  std::vector<ObjectView> mrq_queries, knn_queries;
+  for (int q = 0; q < kQ; ++q) {
+    mrq_queries.push_back(bd.data.view(q * 37 % bd.data.size()));
+    knn_queries.push_back(bd.data.view(q * 53 % bd.data.size()));
+  }
+  // The paper's equal footing: every index gets the SAME shared pivot
+  // set.  The first Create runs the HFI selection; the rest reuse it via
+  // WithPivotSet instead of re-selecting identical pivots 15 more times.
+  std::optional<PivotSet> shared_pivots;
   for (const IndexSpec& spec : AllIndexSpecs()) {
     if (spec.name == "AESA") continue;  // quadratic storage: advisory skip
-    if (spec.discrete_only && !bd.metric->discrete()) continue;
     IndexOptions opts;
     opts.page_size =
         (ds == BenchDatasetId::kColor || ds == BenchDatasetId::kSynthetic) &&
                 (spec.name == "CPT" || spec.name == "PM-tree")
             ? 40960
             : 4096;
-    auto index = spec.make(opts);
-    OpStats build = index->Build(bd.data, *bd.metric, pivots);
-    double mrq_cd = 0, mrq_pa = 0, knn_cd = 0, knn_ms = 0;
-    const int kQ = 10;
-    for (int q = 0; q < kQ; ++q) {
-      std::vector<ObjectId> out;
-      OpStats s = index->RangeQuery(bd.data.view(q * 37 % bd.data.size()), r,
-                                    &out);
-      mrq_cd += double(s.dist_computations) / kQ;
-      mrq_pa += double(s.page_accesses()) / kQ;
-      std::vector<Neighbor> nn;
-      OpStats t =
-          index->KnnQuery(bd.data.view(q * 53 % bd.data.size()), 20, &nn);
-      knn_cd += double(t.dist_computations) / kQ;
-      knn_ms += t.seconds * 1000 / kQ;
+    MetricDBConfig config = MetricDBConfig()
+                                .WithMetric(bd.metric->name())
+                                .WithIndex(spec.name)
+                                .WithPivots(5)
+                                .WithOptions(opts);
+    if (shared_pivots.has_value()) config.WithPivotSet(*shared_pivots);
+    auto db = MetricDB::Create(config, bd.data);
+    if (!db.ok()) {
+      // kFailedPrecondition is the expected applicability skip (BKT/FQT
+      // need a discrete metric); anything else is a real problem and
+      // must not silently vanish from the comparison table.
+      if (db.status().code() != StatusCode::kFailedPrecondition) {
+        std::fprintf(stderr, "skipping %s: %s\n", spec.name.c_str(),
+                     db.status().ToString().c_str());
+      }
+      continue;
     }
-    table.AddRow({spec.name, FormatF(build.seconds, 2), FormatCount(mrq_cd),
+    if (!shared_pivots.has_value()) shared_pivots = db->pivots();
+    auto mrq = db->Query(QueryRequest::RangeBatch(mrq_queries, r));
+    auto knn = db->Query(QueryRequest::KnnBatch(knn_queries, 20));
+    if (!mrq.ok() || !knn.ok()) {
+      std::fprintf(stderr, "skipping %s: query failed: %s\n",
+                   spec.name.c_str(),
+                   (!mrq.ok() ? mrq.status() : knn.status())
+                       .ToString()
+                       .c_str());
+      continue;
+    }
+    double mrq_cd = double(mrq->stats.dist_computations) / kQ;
+    double mrq_pa = double(mrq->stats.page_accesses()) / kQ;
+    double knn_cd = double(knn->stats.dist_computations) / kQ;
+    double knn_ms = knn->stats.seconds * 1000 / kQ;
+    table.AddRow({spec.name, FormatF(db->build_stats().seconds, 2),
+                  FormatCount(mrq_cd),
                   spec.uses_disk ? FormatCount(mrq_pa) : "-",
                   FormatCount(knn_cd), FormatMs(knn_ms),
-                  FormatBytes(index->memory_bytes()),
-                  spec.uses_disk ? FormatBytes(index->disk_bytes()) : "-"});
+                  FormatBytes(db->index().memory_bytes()),
+                  spec.uses_disk ? FormatBytes(db->index().disk_bytes())
+                                 : "-"});
     scores.push_back({spec.name, knn_cd, knn_ms, spec.uses_disk});
   }
   table.Print();

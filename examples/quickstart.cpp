@@ -1,65 +1,115 @@
-// Quickstart: build a metric index and run similarity queries.
+// Quickstart: build a metric database, run similarity queries, persist
+// it, and reopen it -- all through the stable pmi::MetricDB facade.
 //
-// Demonstrates the core public API in ~60 lines: create a dataset,
-// choose a metric, select shared pivots (HFI), build two indexes (an
-// in-memory MVPT and a disk-based SPB-tree), and compare their costs on
-// the same range and kNN queries.
+// MetricDB owns the dataset, metric, pivots, and index; every call
+// returns pmi::Status / pmi::StatusOr instead of aborting, and
+// Save/Open round-trip the whole database through one snapshot file.
+// (The internal survey harness -- MetricIndex, the registry -- stays
+// available for benchmarks; see README "API layers".)
 
 #include <cstdio>
+#include <cstdlib>
 
-#include "src/core/linear_scan.h"
-#include "src/core/pivot_selection.h"
+#include "src/api/metric_db.h"
 #include "src/data/generators.h"
-#include "src/harness/registry.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmi;
 
-  // 1. A dataset and its metric.  Generators for the paper's four
-  //    workloads ship with the library; your own data goes through
-  //    Dataset::Vectors / Dataset::Strings the same way.
+  // 1. A dataset.  Generators for the paper's four workloads ship with
+  //    the library; your own data goes through Dataset::Vectors /
+  //    Dataset::Strings the same way.  MetricDB consumes the dataset --
+  //    no lifetimes to hand-manage.
   BenchDataset bd = MakeBenchDataset(BenchDatasetId::kLa, 20000);
-  std::printf("dataset: %s, %u objects, metric %s\n", bd.name.c_str(),
-              bd.data.size(), bd.metric->name().c_str());
+  std::printf("dataset: %s, %u objects\n", bd.name.c_str(), bd.data.size());
 
-  // 2. Shared pivots -- the paper's equal footing: every index uses the
-  //    same HFI-selected pivot set.
-  PivotSet pivots = SelectSharedPivots(bd.data, *bd.metric, /*count=*/5);
-
-  // 3. Build two very different indexes through one interface.
-  auto mvpt = MakeIndex("MVPT");
-  auto spb = MakeIndex("SPB-tree");
-  OpStats b1 = mvpt->Build(bd.data, *bd.metric, pivots);
-  OpStats b2 = spb->Build(bd.data, *bd.metric, pivots);
+  // 2. Two very different indexes behind the same facade.  The config
+  //    names the metric and index; the L2 domain width is derived from
+  //    the data.  Each database owns its copy of the dataset.
+  auto mvpt = MetricDB::Create(
+      MetricDBConfig().WithMetric("L2").WithIndex("MVPT").WithPivots(5),
+      bd.data);
+  auto spb = MetricDB::Create(
+      MetricDBConfig().WithMetric("L2").WithIndex("SPB-tree").WithPivots(5),
+      bd.data);
+  if (!mvpt.ok() || !spb.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 (!mvpt.ok() ? mvpt.status() : spb.status()).ToString().c_str());
+    return 1;
+  }
   std::printf("built MVPT      in %.3fs (%llu distance computations)\n",
-              b1.seconds, (unsigned long long)b1.dist_computations);
+              mvpt->build_stats().seconds,
+              (unsigned long long)mvpt->build_stats().dist_computations);
   std::printf("built SPB-tree  in %.3fs (%llu distance computations, %llu "
               "page writes)\n",
-              b2.seconds, (unsigned long long)b2.dist_computations,
-              (unsigned long long)b2.page_writes);
+              spb->build_stats().seconds,
+              (unsigned long long)spb->build_stats().dist_computations,
+              (unsigned long long)spb->build_stats().page_writes);
 
-  // 4. A range query: everything within distance 200 of object 0.
-  ObjectView q = bd.data.view(0);
-  std::vector<ObjectId> in_range;
-  OpStats r1 = mvpt->RangeQuery(q, 200.0, &in_range);
+  // 3. Errors are values, not aborts: a bad index name is recoverable.
+  auto bad = MetricDB::Create(MetricDBConfig().WithIndex("B-tree"), bd.data);
+  std::printf("\nCreate(index=\"B-tree\") -> %s\n",
+              bad.status().ToString().c_str());
+
+  // 4. One query descriptor covers range and kNN, single and batch.
+  ObjectView q = mvpt->dataset().view(0);
+  auto r1 = mvpt->RangeQuery(q, 200.0);
+  auto r2 = spb->RangeQuery(q, 200.0);
+  if (!r1.ok() || !r2.ok()) return 1;
   std::printf("\nMRQ(q, 200): %zu results; MVPT used %llu compdists\n",
-              in_range.size(), (unsigned long long)r1.dist_computations);
-  OpStats r2 = spb->RangeQuery(q, 200.0, &in_range);
+              r1->ids[0].size(),
+              (unsigned long long)r1->stats.dist_computations);
   std::printf("MRQ(q, 200): %zu results; SPB-tree used %llu compdists, "
               "%llu page accesses\n",
-              in_range.size(), (unsigned long long)r2.dist_computations,
-              (unsigned long long)r2.page_accesses());
+              r2->ids[0].size(),
+              (unsigned long long)r2->stats.dist_computations,
+              (unsigned long long)r2->stats.page_accesses());
 
-  // 5. A 10-nearest-neighbor query, checked against brute force.
-  std::vector<Neighbor> knn, truth;
-  mvpt->KnnQuery(q, 10, &knn);
-  LinearScan oracle;
-  oracle.Build(bd.data, *bd.metric, pivots);
-  oracle.KnnQuery(q, 10, &truth);
+  // 5. A 10-nearest-neighbor query, checked against brute force -- the
+  //    LinearScan baseline is just another index name.  WithPivotSet
+  //    reuses the pivots already selected for the MVPT (LinearScan never
+  //    reads them, so this skips a pointless selection pass).
+  auto oracle = MetricDB::Create(MetricDBConfig()
+                                     .WithMetric("L2")
+                                     .WithIndex("LinearScan")
+                                     .WithPivotSet(mvpt->pivots()),
+                                 bd.data);
+  if (!oracle.ok()) return 1;
+  auto knn = mvpt->KnnQuery(q, 10);
+  auto truth = oracle->KnnQuery(q, 10);
+  if (!knn.ok() || !truth.ok()) return 1;
   std::printf("\n10-NN of q (MVPT vs brute force):\n");
-  for (size_t i = 0; i < knn.size(); ++i) {
+  for (size_t i = 0; i < knn->neighbors[0].size(); ++i) {
+    const Neighbor& a = knn->neighbors[0][i];
+    const Neighbor& b = truth->neighbors[0][i];
     std::printf("  #%zu: id=%u dist=%.2f  (oracle: id=%u dist=%.2f)\n", i + 1,
-                knn[i].id, knn[i].dist, truth[i].id, truth[i].dist);
+                a.id, a.dist, b.id, b.dist);
   }
-  return 0;
+
+  // 6. Persistence: save the database, reopen it in a fresh handle, and
+  //    note that the MVPT restores without recomputing any distances.
+  const char* path = argc > 1 ? argv[1] : "quickstart.pmidb";
+  if (Status s = mvpt->Save(path); !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto reopened = MetricDB::Open(path);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  auto knn2 = reopened->KnnQuery(reopened->dataset().view(0), 10);
+  if (!knn2.ok()) return 1;
+  bool identical = knn2->neighbors[0].size() == knn->neighbors[0].size();
+  for (size_t i = 0; identical && i < knn2->neighbors[0].size(); ++i) {
+    identical = knn2->neighbors[0][i].id == knn->neighbors[0][i].id &&
+                knn2->neighbors[0][i].dist == knn->neighbors[0][i].dist;
+  }
+  std::printf("\nsaved to %s, reopened: restored=%s, open compdists=%llu, "
+              "10-NN identical=%s\n",
+              path, reopened->restored_from_snapshot() ? "yes" : "no",
+              (unsigned long long)reopened->build_stats().dist_computations,
+              identical ? "yes" : "no");
+  return identical ? 0 : 1;
 }

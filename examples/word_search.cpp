@@ -1,15 +1,15 @@
 // Fuzzy dictionary search -- the paper's introduction scenario, with the
-// edit distance over a word corpus.  Compares the three pivot-based
-// trees (BKT, FQT, MVPT) on the same typo-correction workload: given a
-// misspelled word, find all dictionary words within edit distance 2 and
-// the 5 most similar words.
+// edit distance over a word corpus, through the pmi::MetricDB facade.
+// Compares the three pivot-based trees (BKT, FQT, MVPT) on the same
+// typo-correction workload: given a misspelled word, find all dictionary
+// words within edit distance 2 and the 5 most similar words.
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "src/core/pivot_selection.h"
+#include "src/api/metric_db.h"
 #include "src/data/generators.h"
-#include "src/harness/registry.h"
 
 int main() {
   using namespace pmi;
@@ -21,46 +21,55 @@ int main() {
                            "defoliating", "defoliation", "citrate",
                            "search",     "searched",   "searches"};
   for (const char* w : planted) dict.AddString(w);
-  EditDistanceMetric metric(34);
   std::printf("dictionary: %u words\n", dict.size());
 
-  PivotSet pivots = SelectSharedPivots(dict, metric, 5);
-  struct Built {
-    std::string name;
-    std::unique_ptr<MetricIndex> index;
-  };
-  std::vector<Built> indexes;
+  // Three databases, one per tree index; each owns a dictionary copy and
+  // its own edit-distance metric (max length derived from the data).
+  std::vector<std::pair<std::string, MetricDB>> dbs;
   for (const char* name : {"BKT", "FQT", "MVPT"}) {
-    Built b{name, MakeIndex(name)};
-    OpStats s = b.index->Build(dict, metric, pivots);
+    auto db = MetricDB::Create(
+        MetricDBConfig().WithMetric("edit").WithIndex(name).WithPivots(5),
+        dict);
+    if (!db.ok()) {
+      std::fprintf(stderr, "create %s failed: %s\n", name,
+                   db.status().ToString().c_str());
+      return 1;
+    }
     std::printf("built %-4s in %.2fs (%llu distance computations)\n", name,
-                s.seconds, (unsigned long long)s.dist_computations);
-    indexes.push_back(std::move(b));
+                db->build_stats().seconds,
+                (unsigned long long)db->build_stats().dist_computations);
+    dbs.emplace_back(name, std::move(db).value());
   }
 
   for (const char* typo : {"defoliatd", "serach", "citratee"}) {
     std::printf("\nquery: \"%s\"\n", typo);
     ObjectView q = ObjectView::FromString(typo);
-    for (const auto& b : indexes) {
-      std::vector<ObjectId> hits;
-      OpStats s = b.index->RangeQuery(q, 2.0, &hits);
+    for (const auto& [name, db] : dbs) {
+      auto res = db.RangeQuery(q, 2.0);
+      if (!res.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+      const std::vector<ObjectId>& hits = res->ids[0];
       std::printf("  %-4s MRQ(r=2): %zu hits, %llu compdists --",
-                  b.name.c_str(), hits.size(),
-                  (unsigned long long)s.dist_computations);
+                  name.c_str(), hits.size(),
+                  (unsigned long long)res->stats.dist_computations);
       size_t shown = 0;
       for (ObjectId id : hits) {
         if (shown++ == 4) break;
-        std::string w(dict.view(id).AsString());
+        std::string w(db.dataset().view(id).AsString());
         std::printf(" %s", w.c_str());
       }
       std::printf("%s\n", hits.size() > 4 ? " ..." : "");
     }
     // 5-NN through the best-performing tree.
-    std::vector<Neighbor> knn;
-    indexes.back().index->KnnQuery(q, 5, &knn);
+    const MetricDB& mvpt = dbs.back().second;
+    auto knn = mvpt.KnnQuery(q, 5);
+    if (!knn.ok()) return 1;
     std::printf("  MVPT 5-NN:");
-    for (const Neighbor& nb : knn) {
-      std::string w(dict.view(nb.id).AsString());
+    for (const Neighbor& nb : knn->neighbors[0]) {
+      std::string w(mvpt.dataset().view(nb.id).AsString());
       std::printf(" %s(%.0f)", w.c_str(), nb.dist);
     }
     std::printf("\n");

@@ -1,0 +1,230 @@
+// MetricDB -- the stable public facade over the survey harness.
+//
+// The inner MetricIndex API is built for the paper's equal-footing
+// experiments: it borrows the dataset, metric, and pivots from the
+// caller, aborts on programmer error, and reports results through
+// out-params.  That contract is exactly right for benchmarks and exactly
+// wrong for a service: callers must hand-manage four lifetimes, cannot
+// recover from bad input, and must rebuild every index on process start.
+//
+// MetricDB closes that gap without touching the harness:
+//   * it OWNS its Dataset, Metric, PivotSet, and MetricIndex -- build one
+//     from a config plus a dataset and the dangling-reference footgun is
+//     gone;
+//   * every entry point returns Status / StatusOr instead of aborting,
+//     with options validated up front (ValidateOptions, TryMakeIndex);
+//   * queries go through one descriptor pair -- QueryRequest in,
+//     QueryResult (by value) out -- with batches fanning out over the
+//     parallel batch engine;
+//   * Save/Open persist the whole database as one versioned snapshot
+//     file (src/api/snapshot.h), so indexes that implement persistence
+//     restore with zero distance computations.
+//
+// Like every MetricIndex operation, MetricDB is externally synchronized:
+// one operation at a time per instance (concurrency lives inside batch
+// queries).  Instances of distinct databases are fully independent.
+
+#ifndef PMI_API_METRIC_DB_H_
+#define PMI_API_METRIC_DB_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/index.h"
+#include "src/core/metric.h"
+#include "src/core/pivots.h"
+#include "src/core/status.h"
+
+namespace pmi {
+
+/// Build recipe for a MetricDB.  Plain fields plus chainable setters:
+///
+///   MetricDB::Create(MetricDBConfig()
+///                        .WithMetric("L2")
+///                        .WithIndex("MVPT")
+///                        .WithPivots(5),
+///                    std::move(dataset));
+struct MetricDBConfig {
+  /// Metric name: "L1", "L2", "Linf" (vector datasets) or "edit"
+  /// (string datasets).
+  std::string metric_name = "L2";
+  /// Per-coordinate domain width (vector metrics) or maximum string
+  /// length (edit).  0 = derive from the dataset at build time -- a
+  /// coordinate scan, no distance computations.
+  double metric_param = 0;
+  /// Index display name as known to the registry ("LAESA", "EPT*",
+  /// "MVPT", "SPB-tree", ..., or "LinearScan" for the brute-force
+  /// baseline).
+  std::string index_name = "MVPT";
+  /// Shared pivots: how many and how to pick them ("hfi" -- the paper's
+  /// shared strategy -- or "hf" or "random").
+  uint32_t pivot_count = 5;
+  std::string pivot_method = "hfi";
+  /// When set, this exact pivot set is used (copied -- a PivotSet owns
+  /// its objects) and pivot_count/pivot_method are ignored.  Lets
+  /// several databases over the same data share one selection pass, and
+  /// pivot-free baselines (LinearScan) skip selection entirely.
+  std::optional<PivotSet> pivot_set;
+  IndexOptions options;
+
+  MetricDBConfig& WithMetric(std::string name, double param = 0) {
+    metric_name = std::move(name);
+    metric_param = param;
+    return *this;
+  }
+  MetricDBConfig& WithIndex(std::string name) {
+    index_name = std::move(name);
+    return *this;
+  }
+  MetricDBConfig& WithPivots(uint32_t count) {
+    pivot_count = count;
+    return *this;
+  }
+  MetricDBConfig& WithPivotMethod(std::string method) {
+    pivot_method = std::move(method);
+    return *this;
+  }
+  MetricDBConfig& WithPivotSet(PivotSet set) {
+    pivot_set = std::move(set);
+    return *this;
+  }
+  MetricDBConfig& WithOptions(const IndexOptions& o) {
+    options = o;
+    return *this;
+  }
+};
+
+/// What a query asks for.  One descriptor covers single and batch,
+/// range and kNN -- facade callers never touch out-param pairs.
+enum class QueryType { kRange, kKnn };
+
+struct QueryRequest {
+  QueryType type = QueryType::kRange;
+  /// Range queries: the search radius (>= 0, finite).
+  double radius = 0;
+  /// kNN queries: the neighbor count (>= 1).
+  size_t k = 0;
+  /// The query objects; views must stay valid for the duration of the
+  /// Query call.  An empty batch is a valid no-op.
+  std::vector<ObjectView> batch;
+
+  static QueryRequest Range(const ObjectView& q, double radius) {
+    QueryRequest r;
+    r.type = QueryType::kRange;
+    r.radius = radius;
+    r.batch = {q};
+    return r;
+  }
+  static QueryRequest RangeBatch(std::vector<ObjectView> qs, double radius) {
+    QueryRequest r;
+    r.type = QueryType::kRange;
+    r.radius = radius;
+    r.batch = std::move(qs);
+    return r;
+  }
+  static QueryRequest Knn(const ObjectView& q, size_t k) {
+    QueryRequest r;
+    r.type = QueryType::kKnn;
+    r.k = k;
+    r.batch = {q};
+    return r;
+  }
+  static QueryRequest KnnBatch(std::vector<ObjectView> qs, size_t k) {
+    QueryRequest r;
+    r.type = QueryType::kKnn;
+    r.k = k;
+    r.batch = std::move(qs);
+    return r;
+  }
+};
+
+/// Everything a query returns, by value.  ids[i] / neighbors[i] answers
+/// batch[i]; only the member matching the request type is populated.
+/// `stats` covers the whole batch (seconds is wall clock, the QPS
+/// denominator).
+struct QueryResult {
+  std::vector<std::vector<ObjectId>> ids;        // kRange
+  std::vector<std::vector<Neighbor>> neighbors;  // kKnn
+  OpStats stats;
+};
+
+/// An owned, persistable metric database: dataset + metric + pivots +
+/// index behind one handle.
+class MetricDB {
+ public:
+  /// Builds a database from scratch: derives the metric, selects pivots,
+  /// constructs and builds the index.  `data` is consumed.  Errors:
+  /// kInvalidArgument (empty dataset, bad options, metric/dataset kind
+  /// mismatch, pivot recipe), kNotFound (unknown metric or index name),
+  /// kFailedPrecondition (index needs a discrete metric).
+  static StatusOr<MetricDB> Create(const MetricDBConfig& config,
+                                   Dataset data);
+
+  /// Restores a database from a Save()d snapshot.  Indexes implementing
+  /// persistence restore without recomputing distances (see
+  /// build_stats()); the rest rebuild from the persisted dataset.
+  static StatusOr<MetricDB> Open(const std::string& path);
+
+  /// Persists the database (config, dataset, pivots, index state) to one
+  /// snapshot file.  kUnimplemented index persistence degrades to a
+  /// "rebuild on open" snapshot, never to an error.
+  Status Save(const std::string& path) const;
+
+  /// Answers `request`; batches fan out across the thread pool when the
+  /// index supports concurrent queries.
+  StatusOr<QueryResult> Query(const QueryRequest& request) const;
+
+  /// Single-query conveniences.
+  StatusOr<QueryResult> RangeQuery(const ObjectView& q, double radius) const {
+    return Query(QueryRequest::Range(q, radius));
+  }
+  StatusOr<QueryResult> KnnQuery(const ObjectView& q, size_t k) const {
+    return Query(QueryRequest::Knn(q, k));
+  }
+
+  const MetricDBConfig& config() const { return config_; }
+  const Dataset& dataset() const { return *data_; }
+  const Metric& metric() const { return *metric_; }
+  const PivotSet& pivots() const { return *pivots_; }
+  const MetricIndex& index() const { return *index_; }
+
+  /// Cost of Create's index build -- or of Open (zero distance
+  /// computations when the index restored from persisted state).
+  const OpStats& build_stats() const { return build_stats_; }
+
+  /// True when this database was restored from persisted index state
+  /// rather than (re)built.
+  bool restored_from_snapshot() const { return restored_; }
+
+  MetricDB(MetricDB&&) = default;
+  MetricDB& operator=(MetricDB&&) = default;
+  MetricDB(const MetricDB&) = delete;
+  MetricDB& operator=(const MetricDB&) = delete;
+
+ private:
+  MetricDB() = default;
+
+  Status ValidateRequest(const QueryRequest& request) const;
+
+  MetricDBConfig config_;
+  // Metric parameters as actually instantiated (param derived from the
+  // data when config_.metric_param == 0); persisted so Open rebuilds the
+  // exact same metric without re-deriving.
+  double metric_param_used_ = 0;
+  bool metric_discrete_ = false;
+  // unique_ptrs keep the addresses the index borrowed stable across
+  // moves of the facade object.
+  std::unique_ptr<Dataset> data_;
+  std::unique_ptr<Metric> metric_;
+  std::unique_ptr<PivotSet> pivots_;
+  std::unique_ptr<MetricIndex> index_;
+  OpStats build_stats_;
+  bool restored_ = false;
+};
+
+}  // namespace pmi
+
+#endif  // PMI_API_METRIC_DB_H_

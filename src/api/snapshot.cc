@@ -1,0 +1,92 @@
+#include "src/api/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/core/serialize.h"
+
+namespace pmi {
+
+namespace {
+constexpr size_t kEnvelopeHead = 8 + 4 + 8;  // magic + version + length
+constexpr size_t kEnvelopeTail = 8;          // checksum
+}  // namespace
+
+Status WriteSnapshotFile(const std::string& path,
+                         const std::string& payload) {
+  ByteSink head;
+  head.Raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  head.PutU32(kSnapshotFormatVersion);
+  head.PutU64(payload.size());
+
+  // Write-then-rename: a crash or full disk mid-write must never destroy
+  // an existing good snapshot at `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return NotFoundError("cannot open \"" + tmp + "\" for writing");
+    }
+    out.write(head.bytes().data(), head.bytes().size());
+    out.write(payload.data(), payload.size());
+    ByteSink tail;
+    tail.PutU64(Fnv1a64(payload));
+    out.write(tail.bytes().data(), tail.bytes().size());
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return DataLossError("write to \"" + tmp + "\" failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return DataLossError("cannot move snapshot into place at \"" + path +
+                         "\"");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open snapshot \"" + path + "\"");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return DataLossError("read of snapshot \"" + path + "\" failed");
+  }
+  if (bytes.size() < kEnvelopeHead + kEnvelopeTail) {
+    return DataLossError("snapshot \"" + path + "\" is too short to be valid");
+  }
+  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return InvalidArgumentError("\"" + path + "\" is not a MetricDB snapshot");
+  }
+  ByteSource head(std::string_view(bytes).substr(sizeof(kSnapshotMagic)));
+  uint32_t version = 0;
+  uint64_t length = 0;
+  PMI_RETURN_IF_ERROR(head.GetU32(&version));
+  PMI_RETURN_IF_ERROR(head.GetU64(&length));
+  if (version != kSnapshotFormatVersion) {
+    return FailedPreconditionError(
+        "snapshot format version " + std::to_string(version) +
+        " is not supported (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  if (length != bytes.size() - kEnvelopeHead - kEnvelopeTail) {
+    return DataLossError("snapshot \"" + path +
+                         "\" is truncated or has trailing garbage");
+  }
+  std::string_view payload =
+      std::string_view(bytes).substr(kEnvelopeHead, length);
+  uint64_t stored_sum = 0;
+  ByteSource tail(std::string_view(bytes).substr(kEnvelopeHead + length));
+  PMI_RETURN_IF_ERROR(tail.GetU64(&stored_sum));
+  if (stored_sum != Fnv1a64(payload)) {
+    return DataLossError("snapshot \"" + path + "\" failed its checksum");
+  }
+  return std::string(payload);
+}
+
+}  // namespace pmi

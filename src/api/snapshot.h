@@ -1,0 +1,48 @@
+// MetricDB snapshot file format (version 1).
+//
+// A snapshot is one self-contained binary file holding everything needed
+// to reconstruct a MetricDB in a fresh process:
+//
+//   [ 8] magic "PMIDBSNP"
+//   [ 4] u32 format version (kSnapshotFormatVersion)
+//   [ 8] u64 payload length
+//   [ *] payload (composed by MetricDB::Save in src/api/metric_db.cc:
+//        metric spec, index name, pivot recipe, IndexOptions, dataset,
+//        pivots, and -- when the index implements persistence -- its
+//        serialized state)
+//   [ 8] u64 FNV-1a checksum of the payload
+//
+// Version policy: the version is bumped on ANY incompatible change to the
+// payload layout; readers reject other versions with kFailedPrecondition
+// rather than guessing.  Compatible extensions append to the payload tail
+// within a version.  Corruption (bad magic length, short file, checksum
+// mismatch, implausible section sizes) is kDataLoss; an unknown index or
+// metric name inside a well-formed snapshot is kNotFound.
+//
+// This header owns only the envelope; MetricDB composes the payload.
+
+#ifndef PMI_API_SNAPSHOT_H_
+#define PMI_API_SNAPSHOT_H_
+
+#include <string>
+
+#include "src/core/status.h"
+
+namespace pmi {
+
+inline constexpr char kSnapshotMagic[8] = {'P', 'M', 'I', 'D',
+                                           'B', 'S', 'N', 'P'};
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Wraps `payload` in the envelope and writes it to `path` via a
+/// temporary file renamed into place, so a crash or full disk mid-write
+/// never destroys an existing snapshot at `path`.
+Status WriteSnapshotFile(const std::string& path, const std::string& payload);
+
+/// Reads `path`, verifies magic, version, length, and checksum, and
+/// returns the payload bytes.
+StatusOr<std::string> ReadSnapshotFile(const std::string& path);
+
+}  // namespace pmi
+
+#endif  // PMI_API_SNAPSHOT_H_

@@ -1,0 +1,44 @@
+#include "src/core/index.h"
+
+namespace pmi {
+
+namespace {
+// Every paged structure (B+-tree, R-tree, M-tree) uses an 8-byte node
+// header; a page must additionally fit at least one entry, and the
+// smallest fixed-size entries are tens of bytes.  64 is the smallest
+// page size at which every storage structure can make progress.
+constexpr uint32_t kMinPageSize = 64;
+}  // namespace
+
+Status ValidateOptions(const IndexOptions& options) {
+  if (options.page_size == 0) {
+    return InvalidArgumentError("page_size must be nonzero");
+  }
+  if (options.page_size < kMinPageSize) {
+    return InvalidArgumentError(
+        "page_size " + std::to_string(options.page_size) +
+        " is smaller than a page header plus one entry (min " +
+        std::to_string(kMinPageSize) + ")");
+  }
+  if (options.cache_bytes < options.page_size) {
+    return InvalidArgumentError(
+        "cache_bytes " + std::to_string(options.cache_bytes) +
+        " cannot hold a single page of page_size " +
+        std::to_string(options.page_size));
+  }
+  if (options.mvpt_arity < 2) {
+    return InvalidArgumentError("mvpt_arity must be >= 2, got " +
+                                std::to_string(options.mvpt_arity));
+  }
+  if (options.tree_leaf_capacity == 0) {
+    return InvalidArgumentError("tree_leaf_capacity must be nonzero");
+  }
+  if (options.tree_fanout == 0) {
+    // BKT/FQT size their distance buckets as max_distance / tree_fanout
+    // and clamp bucket picks to tree_fanout - 1: zero underflows both.
+    return InvalidArgumentError("tree_fanout must be nonzero");
+  }
+  return OkStatus();
+}
+
+}  // namespace pmi

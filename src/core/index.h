@@ -24,6 +24,8 @@
 #include "src/core/metric.h"
 #include "src/core/object.h"
 #include "src/core/pivots.h"
+#include "src/core/serialize.h"
+#include "src/core/status.h"
 #include "src/core/thread_pool.h"
 
 namespace pmi {
@@ -68,6 +70,13 @@ struct IndexOptions {
   /// Bits per pivot dimension for the SFC grid. 0 = auto (<= 63 total).
   uint32_t spb_bits_per_dim = 0;
 };
+
+/// The single validation point for IndexOptions: every facade entry point
+/// (and TryMakeIndex) routes options through here so bad knobs surface as
+/// kInvalidArgument instead of undefined behavior deep in the storage
+/// layer.  The harness constructors stay unchecked by design -- experiment
+/// code uses the defaults.
+Status ValidateOptions(const IndexOptions& options);
 
 /// Costs of one build / query / update operation.
 struct OpStats {
@@ -165,6 +174,36 @@ class MetricIndex {
     });
   }
 
+  /// Serializes the post-build state of this index into `out` so a later
+  /// LoadState can restore it without recomputing any distances.  Indexes
+  /// that have not implemented persistence return kUnimplemented (the
+  /// facade then marks the snapshot "rebuild on open").  The dataset,
+  /// metric, and shared pivots are NOT part of this payload -- the caller
+  /// persists those once at the database level.
+  Status SaveState(ByteSink* out) const { return SaveImpl(out); }
+
+  /// Counterpart of Build for a persisted snapshot: binds the index to
+  /// (data, metric, pivots) -- which must outlive it, exactly as with
+  /// Build -- and restores the state written by SaveState.  On success
+  /// the index answers queries identically to the instance that was
+  /// saved; table indexes restore with zero distance computations (the
+  /// optional `stats` out-param measures the restore like Build measures
+  /// construction, so callers can verify that).  On failure the index is
+  /// left unbuilt and must not be queried.
+  Status LoadState(const Dataset& data, const Metric& metric,
+                   const PivotSet& pivots, ByteSource* in,
+                   OpStats* stats = nullptr) {
+    data_ = &data;
+    metric_ = &metric;
+    pivots_ = pivots;
+    PerfCounters before = counters_;
+    Stopwatch watch;
+    Status status = LoadImpl(in);
+    OpStats op = Finish(before, watch);
+    if (stats != nullptr) *stats = op;
+    return status;
+  }
+
   /// Re-inserts dataset object `id` (previously removed).
   OpStats Insert(ObjectId id) {
     return Measure([&] { InsertImpl(id); });
@@ -193,6 +232,18 @@ class MetricIndex {
                        std::vector<Neighbor>* out) const = 0;
   virtual void InsertImpl(ObjectId id) = 0;
   virtual void RemoveImpl(ObjectId id) = 0;
+
+  /// Snapshot hooks (see SaveState/LoadState).  Implemented by LAESA,
+  /// EPT/EPT*, CPT, VPT/MVPT, and LinearScan; the default keeps every
+  /// other index snapshot-free without touching it.
+  virtual Status SaveImpl(ByteSink* out) const {
+    (void)out;
+    return UnimplementedError(name() + " does not implement snapshots");
+  }
+  virtual Status LoadImpl(ByteSource* in) {
+    (void)in;
+    return UnimplementedError(name() + " does not implement snapshots");
+  }
 
   /// Counting distance computer bound to this index's counters -- or, on
   /// a worker thread inside a parallel region, to that thread's

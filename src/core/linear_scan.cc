@@ -37,4 +37,25 @@ void LinearScan::InsertImpl(ObjectId id) { live_[id] = true; }
 
 void LinearScan::RemoveImpl(ObjectId id) { live_[id] = false; }
 
+Status LinearScan::SaveImpl(ByteSink* out) const {
+  out->PutU64(live_.size());
+  for (bool b : live_) out->PutU8(b ? 1 : 0);
+  return OkStatus();
+}
+
+Status LinearScan::LoadImpl(ByteSource* in) {
+  uint64_t n = 0;
+  PMI_RETURN_IF_ERROR(in->GetU64(&n));
+  if (n != data().size()) {
+    return DataLossError("LinearScan snapshot size does not match dataset");
+  }
+  live_.assign(n, false);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t b = 0;
+    PMI_RETURN_IF_ERROR(in->GetU8(&b));
+    live_[i] = b != 0;
+  }
+  return OkStatus();
+}
+
 }  // namespace pmi

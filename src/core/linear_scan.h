@@ -32,6 +32,8 @@ class LinearScan final : public MetricIndex {
                std::vector<Neighbor>* out) const override;
   void InsertImpl(ObjectId id) override;
   void RemoveImpl(ObjectId id) override;
+  Status SaveImpl(ByteSink* out) const override;
+  Status LoadImpl(ByteSource* in) override;
 
  private:
   std::vector<bool> live_;

@@ -122,6 +122,12 @@ class PivotTable {
     rows_ = last;
   }
 
+  /// Cell-level writers (snapshot loading); row must be < rows().
+  void SetCell(size_t row, uint32_t slot, double v) { cols_[slot][row] = v; }
+  void SetPivotIndex(size_t row, uint32_t slot, uint32_t v) {
+    pidx_cols_[slot][row] = v;
+  }
+
   double distance(size_t row, uint32_t slot) const {
     return cols_[slot][row];
   }

@@ -1,7 +1,9 @@
 #include "src/harness/registry.h"
 
 #include <cassert>
+#include <cstdlib>
 
+#include "src/core/linear_scan.h"
 #include "src/external/ept_disk.h"
 #include "src/external/m_index.h"
 #include "src/external/omni.h"
@@ -124,14 +126,44 @@ const IndexSpec* FindIndexSpec(const std::string& name) {
   for (const IndexSpec& s : AllIndexSpecs()) {
     if (s.name == name) return &s;
   }
+  // Baseline specs constructible by name but excluded from the survey
+  // lists (AllIndexSpecs drives the equal-footing experiments; adding
+  // LinearScan there would perturb every figure and table).
+  static const std::vector<IndexSpec>* extras = new std::vector<IndexSpec>{
+      {"LinearScan", false, false, 0, true,
+       [](const IndexOptions& o) { return std::make_unique<LinearScan>(o); }},
+  };
+  for (const IndexSpec& s : *extras) {
+    if (s.name == name) return &s;
+  }
   return nullptr;
+}
+
+StatusOr<std::unique_ptr<MetricIndex>> TryMakeIndex(
+    const std::string& name, const IndexOptions& options,
+    uint32_t pivot_count) {
+  const IndexSpec* spec = FindIndexSpec(name);
+  if (spec == nullptr) {
+    return NotFoundError("unknown index name: \"" + name + "\"");
+  }
+  PMI_RETURN_IF_ERROR(ValidateOptions(options));
+  if (pivot_count != kAnyPivotCount && pivot_count < spec->min_pivots) {
+    return InvalidArgumentError(
+        name + " requires at least " + std::to_string(spec->min_pivots) +
+        " pivots, got " + std::to_string(pivot_count));
+  }
+  return spec->make(options);
 }
 
 std::unique_ptr<MetricIndex> MakeIndex(const std::string& name,
                                        const IndexOptions& options) {
-  const IndexSpec* spec = FindIndexSpec(name);
-  assert(spec != nullptr && "unknown index name");
-  return spec->make(options);
+  auto index = TryMakeIndex(name, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "MakeIndex(%s): %s\n", name.c_str(),
+                 index.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(index).value();
 }
 
 }  // namespace pmi

@@ -41,11 +41,25 @@ const std::vector<IndexSpec>& AllIndexSpecs();
 /// PM-tree, OmniR-tree.
 const std::vector<IndexSpec>& FigureIndexSpecs();
 
-/// Factory by display name; aborts on unknown names.
+/// Recoverable factory by display name: kNotFound for unknown names,
+/// kInvalidArgument when `options` fail ValidateOptions or when
+/// `pivot_count` (if given) violates the index's min_pivots.  This is the
+/// constructor the facade layer uses; pass kAnyPivotCount to skip the
+/// pivot check when the pivot set is not known yet.
+inline constexpr uint32_t kAnyPivotCount = UINT32_MAX;
+StatusOr<std::unique_ptr<MetricIndex>> TryMakeIndex(
+    const std::string& name, const IndexOptions& options = {},
+    uint32_t pivot_count = kAnyPivotCount);
+
+/// Factory by display name; aborts on unknown names (the harness/bench
+/// contract).  Routed through TryMakeIndex.
 std::unique_ptr<MetricIndex> MakeIndex(const std::string& name,
                                        const IndexOptions& options = {});
 
-/// Spec by display name, or nullptr.
+/// Spec by display name, or nullptr.  Covers every spec of AllIndexSpecs
+/// plus "LinearScan" (the brute-force baseline -- constructible by name
+/// for the facade, but deliberately absent from the survey spec lists so
+/// the paper-reproduction harness is unchanged).
 const IndexSpec* FindIndexSpec(const std::string& name);
 
 }  // namespace pmi

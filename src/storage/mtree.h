@@ -90,6 +90,17 @@ class MTree {
   /// absent.
   bool Remove(ObjectId oid);
 
+  /// Snapshot restore: points the tree at pages already reloaded into the
+  /// backing PagedFile.  The split-sampling RNG restarts from the seed,
+  /// so inserts after a restore may pick different promotion candidates
+  /// than the original instance would have; queries and removes read only
+  /// the restored pages and are unaffected.
+  void RestoreState(PageId root, uint32_t height, size_t size) {
+    root_ = root;
+    height_ = height;
+    size_ = size;
+  }
+
   /// Reads and decodes a node, charging one page read (modulo pool hits).
   MTreeNode LoadNode(PageId page) const;
 

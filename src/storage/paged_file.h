@@ -12,6 +12,7 @@
 #define PMI_STORAGE_PAGED_FILE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <list>
 #include <memory>
 #include <unordered_map>
@@ -54,6 +55,29 @@ class PagedFile {
 
   /// Flush + empty the pool; used to cold-start a measurement phase.
   void DropCache();
+
+  // -- snapshot access --------------------------------------------------------
+  // Raw page bytes bypass the buffer pool and charge no PA: snapshot
+  // serialization models copying the file wholesale, not a paged workload.
+
+  /// Read-only raw bytes of page `id` (page_size() bytes).
+  const char* RawPage(PageId id) const { return pages_[id].get(); }
+
+  /// Drops every page and the whole buffer pool (dirty frames are
+  /// discarded, not written back); the caller refills via AppendRawPage.
+  void ResetPages() {
+    pages_.clear();
+    lru_.clear();
+    resident_.clear();
+  }
+
+  /// Appends one zeroed page and returns its writable raw buffer.
+  char* AppendRawPage() {
+    pages_.push_back(std::make_unique<char[]>(page_size_));
+    char* p = pages_.back().get();
+    std::memset(p, 0, page_size_);
+    return p;
+  }
 
  private:
   void Touch(PageId id, bool dirty) const;

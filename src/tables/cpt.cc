@@ -107,6 +107,94 @@ void Cpt::RemoveImpl(ObjectId id) {
   file_->Flush();
 }
 
+Status Cpt::SaveImpl(ByteSink* out) const {
+  out->PutVector(oids_);
+  SerializePivotTable(table_, out);
+  out->PutU64(leaf_of_.size());
+  for (const auto& [oid, page] : leaf_of_) {
+    out->PutU32(oid);
+    out->PutU32(page);
+  }
+  // The disk half is copied wholesale: raw page images plus the M-tree's
+  // root/height/size.  Raw access bypasses the buffer pool, so saving
+  // charges no page accesses.
+  out->PutU32(file_->page_size());
+  out->PutU32(file_->num_pages());
+  for (PageId p = 0; p < file_->num_pages(); ++p) {
+    out->Raw(file_->RawPage(p), file_->page_size());
+  }
+  out->PutU32(mtree_->root());
+  out->PutU32(mtree_->height());
+  out->PutU64(mtree_->size());
+  return OkStatus();
+}
+
+Status Cpt::LoadImpl(ByteSource* in) {
+  PMI_RETURN_IF_ERROR(in->GetVector(&oids_));
+  PMI_RETURN_IF_ERROR(DeserializePivotTable(in, &table_));
+  if (table_.per_row_pivots() || table_.width() != pivots_.size() ||
+      table_.rows() != oids_.size()) {
+    return DataLossError("CPT snapshot state is inconsistent");
+  }
+  uint64_t entries = 0;
+  PMI_RETURN_IF_ERROR(in->GetU64(&entries));
+  if (entries > data().size()) {
+    return DataLossError("CPT snapshot has more leaf pointers than objects");
+  }
+  leaf_of_.clear();
+  leaf_of_.reserve(entries);
+  for (uint64_t i = 0; i < entries; ++i) {
+    uint32_t oid = 0, page = 0;
+    PMI_RETURN_IF_ERROR(in->GetU32(&oid));
+    PMI_RETURN_IF_ERROR(in->GetU32(&page));
+    leaf_of_[oid] = page;
+  }
+  uint32_t page_size = 0, num_pages = 0;
+  PMI_RETURN_IF_ERROR(in->GetU32(&page_size));
+  PMI_RETURN_IF_ERROR(in->GetU32(&num_pages));
+  if (page_size != options_.page_size) {
+    return DataLossError("CPT snapshot page_size does not match options");
+  }
+  file_ = std::make_unique<PagedFile>(options_.page_size,
+                                      options_.cache_bytes, &counters_);
+  MTree::Options mo;
+  mo.seed = options_.seed;
+  mtree_ = std::make_unique<MTree>(
+      file_.get(), data_, dist(), mo,
+      [this](ObjectId oid, PageId page) { leaf_of_[oid] = page; });
+  // The MTree constructor allocates a fresh root; drop it and refill the
+  // file with the snapshot's page images (no PA charged), then point the
+  // tree at the restored root.
+  file_->ResetPages();
+  for (uint32_t p = 0; p < num_pages; ++p) {
+    PMI_RETURN_IF_ERROR(in->Raw(file_->AppendRawPage(), page_size));
+  }
+  uint32_t root = 0, height = 0;
+  uint64_t size = 0;
+  PMI_RETURN_IF_ERROR(in->GetU32(&root));
+  PMI_RETURN_IF_ERROR(in->GetU32(&height));
+  PMI_RETURN_IF_ERROR(in->GetU64(&size));
+  if (root >= num_pages) {
+    return DataLossError("CPT snapshot M-tree root outside the page file");
+  }
+  for (const auto& [oid, page] : leaf_of_) {
+    if (page >= num_pages || oid >= data().size()) {
+      return DataLossError("CPT snapshot leaf pointer is out of range");
+    }
+  }
+  // Every table row is verified through its leaf pointer at query time
+  // (VerifyFromDisk dereferences the map hit unchecked under NDEBUG), so
+  // a row without one must fail here, not at the first query.
+  for (ObjectId id : oids_) {
+    if (id >= data().size() || leaf_of_.find(id) == leaf_of_.end()) {
+      return DataLossError(
+          "CPT snapshot row references an object without a leaf pointer");
+    }
+  }
+  mtree_->RestoreState(root, height, size);
+  return OkStatus();
+}
+
 size_t Cpt::memory_bytes() const {
   return table_.memory_bytes() + oids_.size() * sizeof(ObjectId) +
          leaf_of_.size() * (sizeof(ObjectId) + sizeof(PageId) + 16) +

@@ -43,6 +43,8 @@ class Cpt final : public MetricIndex {
                std::vector<Neighbor>* out) const override;
   void InsertImpl(ObjectId id) override;
   void RemoveImpl(ObjectId id) override;
+  Status SaveImpl(ByteSink* out) const override;
+  Status LoadImpl(ByteSource* in) override;
 
  private:
   /// Reads object `id` from its M-tree leaf (charging the page access)

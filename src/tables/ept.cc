@@ -263,6 +263,57 @@ void Ept::RemoveImpl(ObjectId id) {
   }
 }
 
+Status Ept::SaveImpl(ByteSink* out) const {
+  out->PutU8(variant_ == Variant::kClassic ? 0 : 1);
+  out->PutU32(l_);
+  out->PutU32(m_);
+  SerializePivotSet(pool_, out);
+  out->PutVector(pool_mu_);
+  psa_.SerializeTo(out);
+  out->PutVector(oids_);
+  SerializePivotTable(table_, out);
+  return OkStatus();
+}
+
+Status Ept::LoadImpl(ByteSource* in) {
+  // Restores the pivot pool (own or PSA's), the per-pivot means, and the
+  // per-row-pivot table verbatim -- no distance computations.
+  uint8_t variant = 0;
+  PMI_RETURN_IF_ERROR(in->GetU8(&variant));
+  if (variant != (variant_ == Variant::kClassic ? 0 : 1)) {
+    return DataLossError("EPT snapshot variant does not match this index");
+  }
+  PMI_RETURN_IF_ERROR(in->GetU32(&l_));
+  PMI_RETURN_IF_ERROR(in->GetU32(&m_));
+  PMI_ASSIGN_OR_RETURN(pool_, DeserializePivotSet(in));
+  PMI_RETURN_IF_ERROR(in->GetVector(&pool_mu_));
+  PMI_RETURN_IF_ERROR(psa_.DeserializeFrom(in));
+  PMI_RETURN_IF_ERROR(in->GetVector(&oids_));
+  PMI_RETURN_IF_ERROR(DeserializePivotTable(in, &table_));
+  if (!table_.per_row_pivots() || table_.width() != l_ ||
+      table_.rows() != oids_.size() || pool_mu_.size() != pool_.size()) {
+    return DataLossError("EPT snapshot state is inconsistent");
+  }
+  // The query scan gathers d(q, pool[c]) by stored pool index; an
+  // out-of-range index in a damaged snapshot must fail the load, not the
+  // first query.
+  const uint32_t pool_size = query_pool().size();
+  for (uint32_t slot = 0; slot < table_.width(); ++slot) {
+    for (size_t row = 0; row < table_.rows(); ++row) {
+      if (table_.pivot_index(row, slot) >= pool_size) {
+        return DataLossError("EPT snapshot references a pivot outside pool");
+      }
+    }
+  }
+  for (ObjectId id : oids_) {
+    if (id >= data().size()) {
+      return DataLossError("EPT snapshot references object " +
+                           std::to_string(id) + " outside the dataset");
+    }
+  }
+  return OkStatus();
+}
+
 size_t Ept::memory_bytes() const {
   return table_.memory_bytes() + oids_.size() * sizeof(ObjectId) +
          pool_.memory_bytes() + psa_.memory_bytes() +

@@ -60,6 +60,8 @@ class Ept final : public MetricIndex {
                std::vector<Neighbor>* out) const override;
   void InsertImpl(ObjectId id) override;
   void RemoveImpl(ObjectId id) override;
+  Status SaveImpl(ByteSink* out) const override;
+  Status LoadImpl(ByteSource* in) override;
 
  private:
   uint32_t per_object() const { return l_; }

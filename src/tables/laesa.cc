@@ -80,6 +80,30 @@ void Laesa::RemoveImpl(ObjectId id) {
   }
 }
 
+Status Laesa::SaveImpl(ByteSink* out) const {
+  out->PutVector(oids_);
+  SerializePivotTable(table_, out);
+  return OkStatus();
+}
+
+Status Laesa::LoadImpl(ByteSource* in) {
+  // Pure state restore: the distance table is read back verbatim, so a
+  // load performs zero distance computations.
+  PMI_RETURN_IF_ERROR(in->GetVector(&oids_));
+  PMI_RETURN_IF_ERROR(DeserializePivotTable(in, &table_));
+  if (table_.per_row_pivots() || table_.width() != pivots_.size() ||
+      table_.rows() != oids_.size()) {
+    return DataLossError("LAESA snapshot state is inconsistent");
+  }
+  for (ObjectId id : oids_) {
+    if (id >= data().size()) {
+      return DataLossError("LAESA snapshot references object " +
+                           std::to_string(id) + " outside the dataset");
+    }
+  }
+  return OkStatus();
+}
+
 size_t Laesa::memory_bytes() const {
   return table_.memory_bytes() + oids_.size() * sizeof(ObjectId) +
          pivots_.memory_bytes() + data().total_payload_bytes();

@@ -50,6 +50,8 @@ class Laesa final : public MetricIndex {
                std::vector<Neighbor>* out) const override;
   void InsertImpl(ObjectId id) override;
   void RemoveImpl(ObjectId id) override;
+  Status SaveImpl(ByteSink* out) const override;
+  Status LoadImpl(ByteSource* in) override;
 
  private:
   std::vector<ObjectId> oids_;  // row -> object id

@@ -45,6 +45,23 @@ void PsaSelector::Build(const Dataset& data, const DistanceComputer& dist,
   FoldCounters(shards, dist.counters());
 }
 
+void PsaSelector::SerializeTo(ByteSink* out) const {
+  SerializePivotSet(pool_, out);
+  SerializePivotSet(sample_, out);
+  SerializePivotTable(sample_cand_, out);
+}
+
+Status PsaSelector::DeserializeFrom(ByteSource* in) {
+  PMI_ASSIGN_OR_RETURN(pool_, DeserializePivotSet(in));
+  PMI_ASSIGN_OR_RETURN(sample_, DeserializePivotSet(in));
+  PMI_RETURN_IF_ERROR(DeserializePivotTable(in, &sample_cand_));
+  if (sample_cand_.per_row_pivots() || sample_cand_.width() != pool_.size() ||
+      sample_cand_.rows() != sample_.size()) {
+    return DataLossError("PSA snapshot state is inconsistent");
+  }
+  return OkStatus();
+}
+
 void PsaSelector::SelectForObject(const ObjectView& o,
                                   const DistanceComputer& dist, uint32_t l,
                                   uint32_t* pidx, double* pdist) const {

@@ -18,6 +18,8 @@
 #include "src/core/metric.h"
 #include "src/core/pivot_table.h"
 #include "src/core/pivots.h"
+#include "src/core/serialize.h"
+#include "src/core/status.h"
 
 namespace pmi {
 
@@ -41,6 +43,12 @@ class PsaSelector {
     return pool_.memory_bytes() + sample_.memory_bytes() +
            sample_cand_.memory_bytes();
   }
+
+  /// Snapshot support: persists the candidate pool, the object sample,
+  /// and the memoized distance matrix, so a restored selector computes no
+  /// distances until the next SelectForObject call.
+  void SerializeTo(ByteSink* out) const;
+  Status DeserializeFrom(ByteSource* in);
 
  private:
   PivotSet pool_;

@@ -186,6 +186,80 @@ void Mvpt::RemoveImpl(ObjectId id) {
   RemoveFrom(root_.get(), id, data().view(id), 0);
 }
 
+void Mvpt::SaveNode(const Node& node, ByteSink* out) const {
+  out->PutU8(node.leaf ? 1 : 0);
+  if (node.leaf) {
+    out->PutVector(node.members);
+    return;
+  }
+  out->PutVector(node.bounds);
+  out->PutU32(static_cast<uint32_t>(node.kids.size()));
+  for (const auto& kid : node.kids) {
+    out->PutU8(kid ? 1 : 0);
+    if (kid) SaveNode(*kid, out);
+  }
+}
+
+Status Mvpt::LoadNode(Node* node, ByteSource* in, uint32_t depth) {
+  // Tree depth is bounded by the pivot count (BuildNode stops splitting
+  // at level == pivots_.size()); a deeper snapshot is damage, and the
+  // bound keeps the recursion safe against a crafted cycle.
+  if (depth > pivots_.size() + 1) {
+    return DataLossError("MVPT snapshot deeper than the pivot count allows");
+  }
+  uint8_t leaf = 0;
+  PMI_RETURN_IF_ERROR(in->GetU8(&leaf));
+  node->leaf = leaf != 0;
+  if (node->leaf) {
+    PMI_RETURN_IF_ERROR(in->GetVector(&node->members));
+    for (ObjectId id : node->members) {
+      if (id >= data().size()) {
+        return DataLossError("MVPT snapshot references object " +
+                             std::to_string(id) + " outside the dataset");
+      }
+    }
+    return OkStatus();
+  }
+  PMI_RETURN_IF_ERROR(in->GetVector(&node->bounds));
+  uint32_t kids = 0;
+  PMI_RETURN_IF_ERROR(in->GetU32(&kids));
+  if (kids != arity_ || node->bounds.size() != size_t(arity_) + 1) {
+    return DataLossError("MVPT snapshot node shape does not match arity");
+  }
+  node->kids.resize(kids);
+  for (uint32_t i = 0; i < kids; ++i) {
+    uint8_t present = 0;
+    PMI_RETURN_IF_ERROR(in->GetU8(&present));
+    if (present == 0) continue;
+    node->kids[i] = std::make_unique<Node>();
+    PMI_RETURN_IF_ERROR(LoadNode(node->kids[i].get(), in, depth + 1));
+  }
+  return OkStatus();
+}
+
+Status Mvpt::SaveImpl(ByteSink* out) const {
+  out->PutU32(arity_);
+  out->PutU8(root_ ? 1 : 0);
+  if (root_) SaveNode(*root_, out);
+  return OkStatus();
+}
+
+Status Mvpt::LoadImpl(ByteSource* in) {
+  uint32_t arity = 0;
+  PMI_RETURN_IF_ERROR(in->GetU32(&arity));
+  if (arity != arity_) {
+    return DataLossError("MVPT snapshot arity does not match this index");
+  }
+  uint8_t has_root = 0;
+  PMI_RETURN_IF_ERROR(in->GetU8(&has_root));
+  root_.reset();
+  if (has_root != 0) {
+    root_ = std::make_unique<Node>();
+    PMI_RETURN_IF_ERROR(LoadNode(root_.get(), in, 0));
+  }
+  return OkStatus();
+}
+
 size_t Mvpt::NodeBytes(const Node& node) const {
   size_t n = sizeof(Node) + node.members.capacity() * sizeof(ObjectId) +
              node.bounds.capacity() * sizeof(double) +

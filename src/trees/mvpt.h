@@ -42,6 +42,8 @@ class Mvpt final : public MetricIndex {
                std::vector<Neighbor>* out) const override;
   void InsertImpl(ObjectId id) override;
   void RemoveImpl(ObjectId id) override;
+  Status SaveImpl(ByteSink* out) const override;
+  Status LoadImpl(ByteSource* in) override;
 
  private:
   struct Node {
@@ -54,6 +56,8 @@ class Mvpt final : public MetricIndex {
   };
 
   void BuildNode(Node* node, std::vector<ObjectId> ids, uint32_t level);
+  void SaveNode(const Node& node, ByteSink* out) const;
+  Status LoadNode(Node* node, ByteSource* in, uint32_t depth);
   void InsertInto(Node* node, ObjectId id, uint32_t level);
   bool RemoveFrom(Node* node, ObjectId id, const ObjectView& obj,
                   uint32_t level);

@@ -1,0 +1,327 @@
+// Facade-layer tests: Status/StatusOr semantics, ValidateOptions as the
+// single options gate, TryMakeIndex's recoverable errors, and the
+// MetricDB owned-lifetime + unified-query contract.
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "src/api/metric_db.h"
+#include "src/core/linear_scan.h"
+#include "src/core/pivot_selection.h"
+#include "src/data/generators.h"
+#include "src/harness/registry.h"
+
+namespace pmi {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(OkStatus().ok());
+  EXPECT_EQ(OkStatus().ToString(), "OK");
+  Status s = InvalidArgumentError("bad knob");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad knob");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad knob");
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrStatus) {
+  StatusOr<int> ok_value(7);
+  ASSERT_TRUE(ok_value.ok());
+  EXPECT_EQ(*ok_value, 7);
+
+  StatusOr<int> err(NotFoundError("nope"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+
+  // Move-only payloads work (the TryMakeIndex return type).
+  StatusOr<std::unique_ptr<int>> moved(std::make_unique<int>(3));
+  ASSERT_TRUE(moved.ok());
+  std::unique_ptr<int> taken = std::move(moved).value();
+  EXPECT_EQ(*taken, 3);
+}
+
+TEST(ValidateOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateOptions(IndexOptions{}).ok());
+}
+
+TEST(ValidateOptionsTest, RejectsEachBadKnob) {
+  {
+    IndexOptions o;
+    o.page_size = 0;
+    EXPECT_EQ(ValidateOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    IndexOptions o;
+    o.page_size = 16;  // smaller than a page header + one entry
+    EXPECT_EQ(ValidateOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    IndexOptions o;
+    o.cache_bytes = o.page_size - 1;  // pool cannot hold one page
+    EXPECT_EQ(ValidateOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    IndexOptions o;
+    o.mvpt_arity = 1;
+    EXPECT_EQ(ValidateOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    IndexOptions o;
+    o.tree_leaf_capacity = 0;
+    EXPECT_EQ(ValidateOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    IndexOptions o;
+    o.tree_fanout = 0;  // would SEGV inside BKT/FQT bucket sizing
+    EXPECT_EQ(ValidateOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(TryMakeIndexTest, UnknownNameIsRecoverable) {
+  auto r = TryMakeIndex("no-such-index");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TryMakeIndexTest, BadOptionsAreRecoverable) {
+  IndexOptions o;
+  o.page_size = 0;
+  auto r = TryMakeIndex("LAESA", o);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TryMakeIndexTest, MinPivotsViolationIsRecoverable) {
+  // M-index* needs >= 2 pivots for hyperplane partitioning.
+  auto r = TryMakeIndex("M-index*", IndexOptions{}, /*pivot_count=*/1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(TryMakeIndex("M-index*", IndexOptions{}, 2).ok());
+}
+
+TEST(TryMakeIndexTest, MakesEveryRegisteredIndexAndLinearScan) {
+  for (const IndexSpec& spec : AllIndexSpecs()) {
+    auto r = TryMakeIndex(spec.name, IndexOptions{}, spec.min_pivots);
+    ASSERT_TRUE(r.ok()) << spec.name << ": " << r.status().ToString();
+    EXPECT_NE(*r, nullptr);
+  }
+  auto scan = TryMakeIndex("LinearScan");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ((*scan)->name(), "LinearScan");
+  // ... without perturbing the survey spec lists.
+  for (const IndexSpec& spec : AllIndexSpecs()) {
+    EXPECT_NE(spec.name, "LinearScan");
+  }
+}
+
+// -- MetricDB -----------------------------------------------------------------
+
+Dataset SmallVectors(uint32_t n = 400) {
+  return MakeLaLike(n, /*seed=*/17);
+}
+
+TEST(MetricDBTest, CreateRejectsBadInput) {
+  EXPECT_EQ(MetricDB::Create(MetricDBConfig(), Dataset::Vectors(2))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // empty dataset
+  EXPECT_EQ(MetricDB::Create(MetricDBConfig().WithMetric("cosine"),
+                             SmallVectors())
+                .status()
+                .code(),
+            StatusCode::kNotFound);  // unknown metric
+  EXPECT_EQ(MetricDB::Create(MetricDBConfig().WithMetric("edit"),
+                             SmallVectors())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // metric/dataset kind mismatch
+  EXPECT_EQ(MetricDB::Create(MetricDBConfig().WithIndex("no-such-index"),
+                             SmallVectors())
+                .status()
+                .code(),
+            StatusCode::kNotFound);  // unknown index
+  EXPECT_EQ(MetricDB::Create(MetricDBConfig().WithIndex("BKT"),
+                             SmallVectors())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);  // BKT needs a discrete metric
+  EXPECT_EQ(MetricDB::Create(MetricDBConfig().WithPivots(0), SmallVectors())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // no pivots
+  EXPECT_EQ(MetricDB::Create(MetricDBConfig().WithPivotMethod("psychic"),
+                             SmallVectors())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // unknown pivot method
+  IndexOptions bad;
+  bad.mvpt_arity = 0;
+  EXPECT_EQ(MetricDB::Create(MetricDBConfig().WithOptions(bad),
+                             SmallVectors())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // options gate
+  EXPECT_EQ(MetricDB::Create(MetricDBConfig().WithIndex("M-index*")
+                                 .WithPivots(1),
+                             SmallVectors())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // min_pivots via the facade
+}
+
+TEST(MetricDBTest, QueriesMatchTheRawHarness) {
+  Dataset data = SmallVectors();
+  auto db = MetricDB::Create(
+      MetricDBConfig().WithMetric("L2").WithIndex("LAESA").WithPivots(3),
+      data);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_GT(db->build_stats().dist_computations, 0u);
+
+  // Ground truth through the raw harness on the facade's own members --
+  // the facade owns everything the oracle needs.
+  LinearScan oracle;
+  oracle.Build(db->dataset(), db->metric(), db->pivots());
+
+  for (ObjectId q : {0u, 7u, 201u}) {
+    auto range = db->RangeQuery(db->dataset().view(q), 900.0);
+    ASSERT_TRUE(range.ok());
+    std::vector<ObjectId> truth;
+    oracle.RangeQuery(db->dataset().view(q), 900.0, &truth);
+    std::vector<ObjectId> got = range->ids[0];
+    std::sort(got.begin(), got.end());
+    std::sort(truth.begin(), truth.end());
+    EXPECT_EQ(got, truth);
+
+    auto knn = db->KnnQuery(db->dataset().view(q), 9);
+    ASSERT_TRUE(knn.ok());
+    std::vector<Neighbor> knn_truth;
+    oracle.KnnQuery(db->dataset().view(q), 9, &knn_truth);
+    ASSERT_EQ(knn->neighbors[0].size(), knn_truth.size());
+    for (size_t i = 0; i < knn_truth.size(); ++i) {
+      EXPECT_EQ(knn->neighbors[0][i].id, knn_truth[i].id);
+      EXPECT_EQ(knn->neighbors[0][i].dist, knn_truth[i].dist);
+    }
+  }
+}
+
+TEST(MetricDBTest, FacadeSurvivesMoves) {
+  // The index borrows the facade-owned dataset/metric/pivots; moving the
+  // facade must not invalidate those borrows (unique_ptr members keep
+  // the addresses stable).
+  auto created = MetricDB::Create(
+      MetricDBConfig().WithMetric("L2").WithIndex("MVPT"), SmallVectors());
+  ASSERT_TRUE(created.ok());
+  auto first = std::move(created).value();
+  auto before = first.KnnQuery(first.dataset().view(3), 5);
+  ASSERT_TRUE(before.ok());
+
+  MetricDB second = std::move(first);
+  auto after = second.KnnQuery(second.dataset().view(3), 5);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->neighbors[0].size(), before->neighbors[0].size());
+  for (size_t i = 0; i < after->neighbors[0].size(); ++i) {
+    EXPECT_EQ(after->neighbors[0][i].id, before->neighbors[0][i].id);
+  }
+}
+
+TEST(MetricDBTest, QueryValidation) {
+  auto db = MetricDB::Create(
+      MetricDBConfig().WithMetric("L2").WithIndex("LAESA"), SmallVectors());
+  ASSERT_TRUE(db.ok());
+  ObjectView q = db->dataset().view(0);
+
+  EXPECT_EQ(db->RangeQuery(q, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db->KnnQuery(q, 0).status().code(), StatusCode::kInvalidArgument);
+
+  // Wrong payload kind / dimensionality.
+  EXPECT_EQ(db->RangeQuery(ObjectView::FromString("hi"), 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  float tiny[1] = {0};
+  EXPECT_EQ(db->RangeQuery(ObjectView::FromVector(tiny, 1), 1.0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // k > n is graceful: every live object comes back, sorted.
+  auto all = db->KnnQuery(q, db->dataset().size() + 50);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->neighbors[0].size(), db->dataset().size());
+
+  // An empty batch is a valid no-op.
+  auto empty = db->Query(QueryRequest::RangeBatch({}, 1.0));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->ids.empty());
+  EXPECT_EQ(empty->stats.dist_computations, 0u);
+}
+
+TEST(MetricDBTest, WithPivotSetSkipsSelectionAndShares) {
+  Dataset data = SmallVectors();
+  auto first = MetricDB::Create(
+      MetricDBConfig().WithMetric("L2").WithIndex("LAESA").WithPivots(3),
+      data);
+  ASSERT_TRUE(first.ok());
+  // Reuse the first database's pivots; the two databases then share the
+  // paper's equal footing without a second selection pass.
+  auto second = MetricDB::Create(MetricDBConfig()
+                                     .WithMetric("L2")
+                                     .WithIndex("MVPT")
+                                     .WithPivotSet(first->pivots()),
+                                 data);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(second->pivots().size(), first->pivots().size());
+  for (uint32_t i = 0; i < first->pivots().size(); ++i) {
+    EXPECT_TRUE(second->pivots().pivot(i).PayloadEquals(
+        first->pivots().pivot(i)));
+  }
+  // min_pivots is still enforced against the provided set...
+  EXPECT_EQ(MetricDB::Create(MetricDBConfig()
+                                 .WithMetric("L2")
+                                 .WithIndex("MVPT")
+                                 .WithPivotSet(PivotSet()),
+                             data)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // ...while a pivot-free baseline accepts an empty set (no selection).
+  EXPECT_TRUE(MetricDB::Create(MetricDBConfig()
+                                   .WithMetric("L2")
+                                   .WithIndex("LinearScan")
+                                   .WithPivotSet(PivotSet()),
+                               data)
+                  .ok());
+  // A kind-mismatched injected pivot set is an error, not UB in the
+  // metric kernels.
+  Dataset words = MakeWordsLike(20, /*seed=*/1);
+  PivotSet string_pivots(words, {0, 1});
+  EXPECT_EQ(MetricDB::Create(MetricDBConfig()
+                                 .WithMetric("L2")
+                                 .WithIndex("LAESA")
+                                 .WithPivotSet(string_pivots),
+                             data)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MetricDBTest, StringWorkloadEndToEnd) {
+  Dataset dict = MakeWordsLike(600, /*seed=*/3);
+  dict.AddString("metric");
+  auto db = MetricDB::Create(
+      MetricDBConfig().WithMetric("edit").WithIndex("MVPT").WithPivots(4),
+      dict);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto res = db->RangeQuery(ObjectView::FromString("metricz"), 1.0);
+  ASSERT_TRUE(res.ok());
+  bool found = false;
+  for (ObjectId id : res->ids[0]) {
+    found = found || db->dataset().view(id).AsString() == "metric";
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace pmi

@@ -1,0 +1,267 @@
+// Save/Open round-trip conformance: for every index implementing
+// persistence, a database restored from a snapshot must answer exactly
+// like the instance that was saved -- identical results, identical
+// per-request compdists, identical memory/disk footprints -- and the
+// table indexes must restore without a single distance computation.
+// Damaged files (truncation, bit flips, version bumps, wrong magic) must
+// come back as errors, never as crashes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/metric_db.h"
+#include "src/api/snapshot.h"
+#include "src/core/serialize.h"
+#include "src/data/generators.h"
+
+namespace pmi {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "pmi_" + name + ".pmidb";
+}
+
+std::string SafeName(std::string n) {
+  for (char& c : n) {
+    if (c == '*') c = 'S';
+    if (c == '-' || c == '+') c = '_';
+  }
+  return n;
+}
+
+struct Case {
+  std::string index;
+  bool persists;      // SaveState implemented (vs rebuild-on-open)
+  bool zero_compdist; // Open must compute no distances at all
+};
+
+class SnapshotRoundTripTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SnapshotRoundTripTest, RoundTripsExactly) {
+  const Case& c = GetParam();
+  Dataset data = MakeLaLike(1500, /*seed=*/11);
+  auto built = MetricDB::Create(MetricDBConfig()
+                                    .WithMetric("L2")
+                                    .WithIndex(c.index)
+                                    .WithPivots(4),
+                                data);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  std::vector<ObjectView> queries;
+  for (ObjectId q = 0; q < 12; ++q) queries.push_back(data.view(q * 101 % data.size()));
+  auto range0 = built->Query(QueryRequest::RangeBatch(queries, 650.0));
+  auto knn0 = built->Query(QueryRequest::KnnBatch(queries, 10));
+  ASSERT_TRUE(range0.ok() && knn0.ok());
+
+  const std::string path = TempPath(SafeName(c.index));
+  ASSERT_TRUE(built->Save(path).ok());
+
+  auto reopened = MetricDB::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->restored_from_snapshot(), c.persists);
+  if (c.zero_compdist) {
+    EXPECT_EQ(reopened->build_stats().dist_computations, 0u)
+        << c.index << " must restore without distance computations";
+  }
+  if (!c.persists) {
+    // Rebuild-on-open recomputes exactly what Create computed.
+    EXPECT_EQ(reopened->build_stats().dist_computations,
+              built->build_stats().dist_computations);
+  }
+
+  // Footprints carry over exactly.
+  EXPECT_EQ(reopened->index().memory_bytes(), built->index().memory_bytes());
+  EXPECT_EQ(reopened->index().disk_bytes(), built->index().disk_bytes());
+
+  // Bit-identical results and compdists, query by query.  Queries come
+  // from the REOPENED dataset to prove the snapshot's own data serves.
+  std::vector<ObjectView> queries2;
+  for (ObjectId q = 0; q < 12; ++q) {
+    queries2.push_back(reopened->dataset().view(q * 101 % data.size()));
+  }
+  auto range1 = reopened->Query(QueryRequest::RangeBatch(queries2, 650.0));
+  auto knn1 = reopened->Query(QueryRequest::KnnBatch(queries2, 10));
+  ASSERT_TRUE(range1.ok() && knn1.ok());
+  EXPECT_EQ(range1->ids, range0->ids);
+  EXPECT_EQ(range1->stats.dist_computations, range0->stats.dist_computations);
+  ASSERT_EQ(knn1->neighbors.size(), knn0->neighbors.size());
+  for (size_t i = 0; i < knn0->neighbors.size(); ++i) {
+    ASSERT_EQ(knn1->neighbors[i].size(), knn0->neighbors[i].size());
+    for (size_t j = 0; j < knn0->neighbors[i].size(); ++j) {
+      EXPECT_EQ(knn1->neighbors[i][j].id, knn0->neighbors[i][j].id);
+      EXPECT_EQ(knn1->neighbors[i][j].dist, knn0->neighbors[i][j].dist);
+    }
+  }
+  EXPECT_EQ(knn1->stats.dist_computations, knn0->stats.dist_computations);
+
+  // CI artifact hook: keep one snapshot around for upload when asked.
+  if (const char* artifact = std::getenv("PMI_SNAPSHOT_ARTIFACT");
+      artifact != nullptr && c.index == "LAESA") {
+    EXPECT_TRUE(built->Save(artifact).ok());
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPersistingIndexes, SnapshotRoundTripTest,
+    ::testing::Values(Case{"LAESA", true, true},
+                      Case{"EPT", true, true},
+                      Case{"EPT*", true, true},
+                      Case{"CPT", true, true},
+                      Case{"MVPT", true, true},
+                      Case{"VPT", true, true},
+                      Case{"LinearScan", true, true},
+                      // No SaveImpl: the snapshot degrades to
+                      // rebuild-on-open and must still round-trip.
+                      Case{"SPB-tree", false, false}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return SafeName(info.param.index);
+    });
+
+TEST(SnapshotRoundTripTest, StringDatasetRoundTrips) {
+  Dataset dict = MakeWordsLike(900, /*seed=*/6);
+  auto built = MetricDB::Create(
+      MetricDBConfig().WithMetric("edit").WithIndex("MVPT").WithPivots(3),
+      dict);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::string path = TempPath("words_mvpt");
+  ASSERT_TRUE(built->Save(path).ok());
+  auto reopened = MetricDB::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->build_stats().dist_computations, 0u);
+  ObjectView q = dict.view(42);
+  auto a = built->RangeQuery(q, 2.0);
+  auto b = reopened->RangeQuery(q, 2.0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ids, b->ids);
+  EXPECT_EQ(a->stats.dist_computations, b->stats.dist_computations);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundTripTest, UpdatesSurviveTheRoundTrip) {
+  // Persistence must capture the CURRENT state, not the built state:
+  // remove some objects, snapshot, and check the hole is still there.
+  Dataset data = MakeLaLike(500, /*seed=*/23);
+  auto built = MetricDB::Create(
+      MetricDBConfig().WithMetric("L2").WithIndex("LinearScan"), data);
+  ASSERT_TRUE(built.ok());
+  // Facade keeps update surface minimal; drive the owned index directly.
+  const_cast<MetricIndex&>(built->index()).Remove(7);
+  const std::string path = TempPath("after_update");
+  ASSERT_TRUE(built->Save(path).ok());
+  auto reopened = MetricDB::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  auto res = reopened->RangeQuery(reopened->dataset().view(7), 0.0);
+  ASSERT_TRUE(res.ok());
+  for (ObjectId id : res->ids[0]) EXPECT_NE(id, 7u);
+  std::remove(path.c_str());
+}
+
+// -- damage -------------------------------------------------------------------
+
+class SnapshotDamageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dataset data = MakeLaLike(300, /*seed=*/9);
+    auto db = MetricDB::Create(
+        MetricDBConfig().WithMetric("L2").WithIndex("LAESA").WithPivots(3),
+        data);
+    ASSERT_TRUE(db.ok());
+    path_ = TempPath("damage");
+    ASSERT_TRUE(db->Save(path_).ok());
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void Rewrite(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), bytes.size());
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotDamageTest, MissingFileIsNotFound) {
+  auto r = MetricDB::Open(TempPath("does_not_exist"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotDamageTest, WrongMagicIsInvalidArgument) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  Rewrite(bad);
+  auto r = MetricDB::Open(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotDamageTest, VersionBumpIsFailedPrecondition) {
+  std::string bad = bytes_;
+  bad[8] = char(kSnapshotFormatVersion + 1);  // u32 version, little-endian
+  Rewrite(bad);
+  auto r = MetricDB::Open(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SnapshotDamageTest, EveryTruncationErrorsOutCleanly) {
+  // Chop the file at many lengths; every prefix must produce an error --
+  // no crash, no bogus success.
+  for (size_t len : {0ul, 5ul, 12ul, 19ul, 20ul, 64ul, bytes_.size() / 2,
+                     bytes_.size() - 9, bytes_.size() - 1}) {
+    Rewrite(bytes_.substr(0, len));
+    auto r = MetricDB::Open(path_);
+    EXPECT_FALSE(r.ok()) << "truncation at " << len << " bytes";
+  }
+}
+
+TEST_F(SnapshotDamageTest, PayloadBitFlipIsDataLoss) {
+  for (size_t pos : {21ul, bytes_.size() / 2, bytes_.size() - 9}) {
+    std::string bad = bytes_;
+    bad[pos] = char(bad[pos] ^ 0x5a);
+    Rewrite(bad);
+    auto r = MetricDB::Open(path_);
+    ASSERT_FALSE(r.ok()) << "bit flip at " << pos;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(SnapshotDamageUnitTest, AbsurdPivotTableHeaderIsDataLossNotBadAlloc) {
+  // A crafted (checksum-valid) snapshot can claim any table geometry;
+  // implausible width/rows must be rejected before any allocation.
+  struct Geometry {
+    uint32_t width;
+    uint64_t rows;
+  };
+  for (Geometry g : {Geometry{0xFFFFFFFFu, 0}, Geometry{0xFFFFFFFFu, 1},
+                     Geometry{50000, 1u << 20}}) {
+    ByteSink sink;
+    sink.PutU8(0);
+    sink.PutU32(g.width);
+    sink.PutU64(g.rows);
+    ByteSource source(sink.bytes());
+    PivotTable table;
+    Status s = DeserializePivotTable(&source, &table);
+    ASSERT_FALSE(s.ok()) << "width=" << g.width << " rows=" << g.rows;
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST_F(SnapshotDamageTest, TrailingGarbageIsDataLoss) {
+  Rewrite(bytes_ + "extra");
+  auto r = MetricDB::Open(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace pmi
