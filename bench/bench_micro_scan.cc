@@ -1,8 +1,12 @@
 // Micro-benchmark for the vectorized pivot-table query engine.  Compares
-// the pre-columnar implementations (kept alive here as reference code)
+// the superseded implementations (kept alive here as reference code)
 // against the shipping ones on the paper's 20-d synthetic workload:
 //
-//   table_scan   row-major PrunedByPivots loop  vs  columnar PivotTable
+//   table_scan   row-major PrunedByPivots loop  vs  shipping PivotTable
+//   simd_filter  PR-3 f64 columnar filter       vs  f32 SIMD filter,
+//                per dispatch level, with filter selectivity and
+//                bytes-touched-per-row so bandwidth wins are separable
+//                from compute wins
 //   kernel       full Distance                  vs  BoundedDistance
 //   laesa_range  end-to-end MRQ, pre-PR LAESA   vs  shipping LAESA
 //
@@ -12,9 +16,11 @@
 //   ./bench_micro_scan | python3 -m json.tool
 //
 // Environment: PMI_SCAN_N (cardinality, default 20000), PMI_SCAN_QUERIES
-// (default 50), PMI_SCAN_REPEATS (timing repeats, best-of, default 3).
+// (default 50), PMI_SCAN_REPEATS (timing repeats, best-of, default 3),
+// PMI_SIMD (pins the dispatch level the shipping sections run at).
 // The run self-checks the engine's equivalence claims (same survivors,
-// same results, same compdists) and reports them under "checks".
+// same results, same compdists, at every supported dispatch level) and
+// reports them under "checks".
 
 #include <algorithm>
 #include <cinttypes>
@@ -31,6 +37,7 @@
 #include "src/core/linear_scan.h"
 #include "src/core/pivot_selection.h"
 #include "src/core/pivot_table.h"
+#include "src/core/simd.h"
 #include "src/data/distribution.h"
 #include "src/data/generators.h"
 #include "src/harness/workload.h"
@@ -87,6 +94,128 @@ struct RowMajorLaesa {
     heap.TakeSorted(out);
   }
 };
+
+/// The PR-3 columnar filter, verbatim: blocked double-column MaskSweep +
+/// Compact + Refine.  Frozen here as the baseline the f32 SIMD engine is
+/// measured against ("filter-throughput improvement over the PR 3
+/// baseline").
+struct F64ColumnarRef {
+  uint32_t l = 0;
+  std::vector<std::vector<double>> cols;
+
+  void Build(const std::vector<double>& row_major, uint32_t width) {
+    l = width;
+    cols.assign(width, {});
+    const size_t n = width == 0 ? 0 : row_major.size() / width;
+    for (uint32_t p = 0; p < width; ++p) {
+      cols[p].resize(n);
+      for (size_t i = 0; i < n; ++i) cols[p][i] = row_major[i * width + p];
+    }
+  }
+
+  size_t rows() const { return l == 0 ? 0 : cols[0].size(); }
+
+  void RangeScan(const double* phi_q, double r,
+                 std::vector<uint32_t>* survivors) const {
+    constexpr size_t kBlock = 256;
+    uint8_t keep[kBlock];
+    uint32_t surv[kBlock];
+    const size_t n_rows = rows();
+    for (size_t base = 0; base < n_rows; base += kBlock) {
+      const size_t count = std::min<size_t>(kBlock, n_rows - base);
+      const double* __restrict c0 = cols[0].data() + base;
+      for (size_t i = 0; i < count; ++i) {
+        keep[i] = std::fabs(c0[i] - phi_q[0]) <= r;
+      }
+      size_t n = 0;
+      for (size_t i = 0; i < count; ++i) {
+        surv[n] = static_cast<uint32_t>(i);
+        n += keep[i];
+      }
+      for (uint32_t p = 1; p < l && n > 0; ++p) {
+        const double* __restrict c = cols[p].data() + base;
+        size_t m = 0;
+        for (size_t j = 0; j < n; ++j) {
+          const uint32_t i = surv[j];
+          surv[m] = i;
+          m += std::fabs(c[i] - phi_q[p]) <= r;
+        }
+        n = m;
+      }
+      for (size_t j = 0; j < n; ++j) {
+        survivors->push_back(static_cast<uint32_t>(base) + surv[j]);
+      }
+    }
+  }
+};
+
+/// Untimed replay of the exact adaptive cascade, accounting the filter
+/// bytes each stage touches -- the bandwidth half of the story.
+struct FilterTraffic {
+  double bytes_per_row = 0;  // filter bytes / rows scanned
+  double selectivity = 0;    // filter survivors / rows
+};
+
+// `sweep_cell_bytes` is what the contiguous sweep/AND stages read per
+// cell: 4 on the vector levels (f32 filter columns), 8 on the scalar
+// level (it works the double columns directly).
+FilterTraffic MeasureTraffic(const PivotTable& t,
+                             const std::vector<std::vector<double>>& phis,
+                             double r, unsigned dense_divisor,
+                             size_t sweep_cell_bytes) {
+  FilterTraffic ft;
+  const uint32_t l = t.width();
+  const size_t rows = t.rows();
+  if (l == 0 || rows == 0 || phis.empty()) return ft;
+  uint64_t bytes = 0, survivors = 0;
+  constexpr size_t kBlock = PivotTable::kScanBlock;
+  std::vector<uint32_t> surv;
+  for (const auto& phi : phis) {
+    for (size_t base = 0; base < rows; base += kBlock) {
+      const size_t count = std::min<size_t>(kBlock, rows - base);
+      // Replays the engine's adaptive cascade byte-for-byte: f32 mask
+      // sweeps over the whole block while dense, f64 refines over the
+      // survivor list once sparse.  The exact-decision property means
+      // the survivor trajectory can be modeled on the double columns.
+      surv.clear();
+      const double* c0 = t.column(0) + base;
+      bytes += count * sweep_cell_bytes;  // slot-0 sweep
+      for (size_t i = 0; i < count; ++i) {
+        if (std::fabs(c0[i] - phi[0]) <= r) {
+          surv.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      uint32_t p = 1;
+      for (; p < l && !surv.empty() && dense_divisor != 0 &&
+             surv.size() * dense_divisor >= count;
+           ++p) {
+        bytes += count * sweep_cell_bytes;  // dense: whole-block mask AND
+        const double* c = t.column(p) + base;
+        size_t m = 0;
+        for (uint32_t i : surv) {
+          surv[m] = i;
+          m += std::fabs(c[i] - phi[p]) <= r;
+        }
+        surv.resize(m);
+      }
+      for (; p < l && !surv.empty(); ++p) {
+        bytes += surv.size() * sizeof(double);  // sparse: f64 survivors
+        const double* c = t.column(p) + base;
+        size_t m = 0;
+        for (uint32_t i : surv) {
+          surv[m] = i;
+          m += std::fabs(c[i] - phi[p]) <= r;
+        }
+        surv.resize(m);
+      }
+      survivors += surv.size();
+    }
+  }
+  const double scanned = double(rows) * phis.size();
+  ft.bytes_per_row = double(bytes) / scanned;
+  ft.selectivity = double(survivors) / scanned;
+  return ft;
+}
 
 struct Timer {
   Stopwatch watch;
@@ -170,11 +299,11 @@ int main() {
     columnar.AppendRow(&ref.table[i * l]);
   }
 
+  std::vector<std::vector<double>> query_phis;
   {
     PerfCounters scratch;
     DistanceComputer d(bd.metric.get(), &scratch);
     std::vector<double> phi_q;
-    std::vector<std::vector<double>> query_phis;
     for (ObjectId q : queries) {
       pivots.Map(bd.data.view(q), d, &phi_q);
       query_phis.push_back(phi_q);
@@ -212,6 +341,105 @@ int main() {
                     columnar_survivors);
       json.Result("table_scan", extra);
     }
+  }
+
+  // -- 1b. f32 SIMD filter vs the PR-3 f64 columnar filter, per level --------
+  // The f64 reference produces the exact survivor set directly; the
+  // shipping engine produces it via the f32 superset + double re-check.
+  // Both are timed end-to-end (exact survivors out), so the speedup is
+  // the honest filter-throughput ratio.  Selectivity and bytes-per-row
+  // ride along so bandwidth wins are separable from compute wins.
+  double simd_best_speedup = 0;
+  bool simd_levels_match = true;
+  {
+    const char* prev_env = std::getenv("PMI_SIMD");
+    const std::string saved = prev_env ? prev_env : "";
+    // Two vector workloads: the paper's default pivot count and a wide
+    // table (more refine stages -- where the lane-parallel mask path
+    // pulls furthest ahead of the per-survivor cascade).
+    for (uint32_t num_pivots : {l, 16u}) {
+      PivotSet wl_pivots =
+          num_pivots == l
+              ? pivots
+              : SelectSharedPivots(bd.data, *bd.metric, num_pivots, po);
+      PivotTable wl_table;
+      wl_table.Reset(wl_pivots.size());
+      F64ColumnarRef f64;
+      std::vector<std::vector<double>> wl_phis;
+      {
+        PerfCounters scratch;
+        DistanceComputer d(bd.metric.get(), &scratch);
+        std::vector<double> phi;
+        std::vector<double> row_major;
+        for (ObjectId id = 0; id < bd.data.size(); ++id) {
+          wl_pivots.Map(bd.data.view(id), d, &phi);
+          row_major.insert(row_major.end(), phi.begin(), phi.end());
+          wl_table.AppendRow(phi.data());
+        }
+        f64.Build(row_major, wl_pivots.size());
+        for (ObjectId q : queries) {
+          wl_pivots.Map(bd.data.view(q), d, &phi);
+          wl_phis.push_back(phi);
+        }
+      }
+      for (double selectivity : {0.002, 0.01, 0.05}) {
+        const double r = distribution.RadiusForSelectivity(selectivity);
+        std::vector<uint32_t> surv;
+        size_t f64_survivors = 0;
+        const double f64_ms = timer.BestOfMs(repeats, [&] {
+          f64_survivors = 0;
+          for (const auto& pq : wl_phis) {
+            surv.clear();
+            f64.RangeScan(pq.data(), r, &surv);
+            f64_survivors += surv.size();
+          }
+        });
+        for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kNeon,
+                                SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+          if (!SimdLevelSupported(level)) continue;
+          setenv("PMI_SIMD", SimdLevelName(level), 1);
+          ReinitSimdDispatch();
+          const FilterTraffic traffic = MeasureTraffic(
+              wl_table, wl_phis, r, SimdDispatch().dense_divisor,
+              SimdDispatch().level == SimdLevel::kScalar ? sizeof(double)
+                                                         : sizeof(float));
+          size_t level_survivors = 0;
+          const double level_ms = timer.BestOfMs(repeats, [&] {
+            level_survivors = 0;
+            for (const auto& pq : wl_phis) {
+              surv.clear();
+              wl_table.RangeScan(pq.data(), r, &surv);
+              level_survivors += surv.size();
+            }
+          });
+          simd_levels_match &= level_survivors == f64_survivors;
+          const double speedup = level_ms > 0 ? f64_ms / level_ms : 0;
+          const double rows_per_sec =
+              level_ms > 0 ? double(wl_table.rows()) * wl_phis.size() /
+                                 (level_ms / 1e3)
+                           : 0;
+          simd_best_speedup = std::max(simd_best_speedup, speedup);
+          char extra[420];
+          std::snprintf(
+              extra, sizeof(extra),
+              "\"level\": \"%s\", \"pivots\": %u, \"selectivity\": %g, %s, "
+              "%s, %s, %s, %s, %s",
+              SimdLevelName(level), wl_pivots.size(), selectivity,
+              Num("f64_ms", f64_ms).c_str(), Num("ms", level_ms).c_str(),
+              Num("speedup_vs_f64", speedup).c_str(),
+              Num("rows_per_sec", rows_per_sec).c_str(),
+              Num("filter_selectivity", traffic.selectivity).c_str(),
+              Num("filter_bytes_per_row", traffic.bytes_per_row).c_str());
+          json.Result("simd_filter", extra);
+        }
+      }
+    }
+    if (saved.empty()) {
+      unsetenv("PMI_SIMD");
+    } else {
+      setenv("PMI_SIMD", saved.c_str(), 1);
+    }
+    ReinitSimdDispatch();
   }
 
   // -- 2. distance kernels: full vs threshold-aware --------------------------
@@ -307,19 +535,23 @@ int main() {
     json.Result("laesa_range", extra);
   }
 
-  char trailer[512];
+  char trailer[768];
   std::snprintf(
       trailer, sizeof(trailer),
       "  \"config\": {\"dataset\": \"Synthetic\", \"dim\": 20, \"n\": %u, "
-      "\"pivots\": %u, \"queries\": %u, \"repeats\": %u},\n"
+      "\"pivots\": %u, \"queries\": %u, \"repeats\": %u, \"simd\": \"%s\"},\n"
       "  \"checks\": {\"survivors_match\": %s, \"results_match\": %s, "
-      "\"compdists_match\": %s, \"laesa_range_speedup\": %.3f}",
-      n, l, num_queries, repeats, survivors_match ? "true" : "false",
-      results_match ? "true" : "false", compdists_match ? "true" : "false",
-      laesa_speedup);
+      "\"compdists_match\": %s, \"simd_levels_match\": %s, "
+      "\"laesa_range_speedup\": %.3f, \"simd_best_speedup_vs_f64\": %.3f}",
+      n, l, num_queries, repeats, SimdLevelName(SimdLevelInUse()),
+      survivors_match ? "true" : "false", results_match ? "true" : "false",
+      compdists_match ? "true" : "false",
+      simd_levels_match ? "true" : "false", laesa_speedup,
+      simd_best_speedup);
   json.End(trailer);
 
-  const bool ok = survivors_match && results_match && compdists_match;
+  const bool ok =
+      survivors_match && results_match && compdists_match && simd_levels_match;
   if (!ok) std::fprintf(stderr, "bench_micro_scan: EQUIVALENCE CHECK FAILED\n");
   return ok ? 0 : 1;
 }

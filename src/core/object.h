@@ -58,6 +58,13 @@ struct ObjectView {
 
   std::string_view AsString() const { return std::string_view(str, len); }
 
+  /// First byte of the payload, whichever family it is -- the address
+  /// the batched verification paths prefetch before computing distances.
+  const void* payload_ptr() const {
+    return kind == ObjectKind::kVector ? static_cast<const void*>(vec)
+                                       : static_cast<const void*>(str);
+  }
+
   /// Number of payload bytes when serialized (see Dataset::SerializeObject).
   uint32_t payload_bytes() const {
     return kind == ObjectKind::kVector

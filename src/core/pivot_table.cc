@@ -3,111 +3,174 @@
 #include <cmath>
 
 namespace pmi {
+
+// Scan-side query preparation.  The f32 casts are made once per scan;
+// the two-sided (wide/narrow) radii depend on the (possibly shrinking)
+// radius, so UpdateFilterRadius refreshes them at block entry and
+// short-circuits when the radius has not moved -- the common case, since
+// a kNN heap tightens only when a closer neighbor is found.
+
+void PivotTable::PrepareFilterQuery(const double* phi_q,
+                                    FilterQuery* fq) const {
+  fq->ops = &SimdDispatch();
+  fq->indirect = false;
+  fq->qd = phi_q;
+  fq->qf.resize(width_);
+  fq->rw.resize(width_);
+  fq->rn.resize(width_);
+  for (uint32_t p = 0; p < width_; ++p) fq->qf[p] = FilterValue(phi_q[p]);
+}
+
+void PivotTable::PrepareFilterQueryIndirect(const double* d_qp,
+                                            uint32_t pool_size,
+                                            FilterQuery* fq) const {
+  fq->ops = &SimdDispatch();
+  fq->indirect = true;
+  fq->qd = d_qp;
+  fq->qf.resize(pool_size);
+  fq->rw.resize(1);
+  fq->rn.resize(1);
+  fq->qmax_abs = 0;
+  for (uint32_t p = 0; p < pool_size; ++p) {
+    fq->qf[p] = FilterValue(d_qp[p]);
+    fq->qmax_abs = std::max(fq->qmax_abs, std::fabs(d_qp[p]));
+  }
+}
+
+void PivotTable::UpdateFilterRadius(double r, FilterQuery* fq) {
+  if (r == fq->r_cached) return;
+  fq->r_cached = r;
+  if (fq->indirect) {
+    // One radius pair covers every row: the per-row query value is
+    // bounded by the largest pool distance.
+    if (!fq->rw.empty()) {
+      fq->rw[0] = ConservativeFilterRadius(fq->qmax_abs, r);
+      fq->rn[0] = CertificateFilterRadius(fq->qmax_abs, r);
+    }
+    return;
+  }
+  for (size_t p = 0; p < fq->rw.size(); ++p) {
+    const double qa = std::fabs(fq->qd[p]);
+    fq->rw[p] = ConservativeFilterRadius(qa, r);
+    fq->rn[p] = CertificateFilterRadius(qa, r);
+  }
+}
+
 namespace {
 
-// Pivot-slot-0 sweep: one contiguous column slab -> byte mask.  Branchless
-// compare-and-store over restrict-qualified flat arrays; GCC/Clang turn
-// this into packed SIMD compares at -O2.
-inline void MaskSweep(const double* __restrict col, double q, double r,
-                      size_t count, uint8_t* __restrict keep) {
-  for (size_t i = 0; i < count; ++i) {
-    keep[i] = std::fabs(col[i] - q) <= r;
-  }
-}
-
-// Mask -> survivor index list (branch-free compaction).
-inline size_t Compact(const uint8_t* __restrict keep, size_t count,
-                      uint32_t* __restrict surv) {
-  size_t n = 0;
-  for (size_t i = 0; i < count; ++i) {
-    surv[n] = static_cast<uint32_t>(i);
-    n += keep[i];
-  }
-  return n;
-}
-
-// Later pivot slots only touch the current survivors: a short gather loop
-// over that slot's contiguous column, compacting in place.
-inline size_t Refine(const double* __restrict col, double q, double r,
-                     uint32_t* __restrict surv, size_t n) {
-  size_t m = 0;
-  for (size_t j = 0; j < n; ++j) {
-    const uint32_t i = surv[j];
-    surv[m] = i;
-    m += std::fabs(col[i] - q) <= r;
-  }
-  return m;
+// Dense/sparse strategy switch: while enough of the block survives
+// (per-level dense_divisor), narrowing by contiguous lane-parallel f32
+// mask-ANDs beats walking the survivor list (which pays a gather per
+// survivor); below that the short list is cheaper to refine directly
+// against the double columns -- a sparse access pulls a whole cache
+// line either way, so f32 saves nothing there.  The threshold only
+// picks the evaluation strategy: both paths make the exact
+// double-predicate decision per row, so the output is identical either
+// way.
+inline bool DenseEnough(unsigned divisor, size_t n, size_t count) {
+  return divisor != 0 && n * divisor >= count;
 }
 
 }  // namespace
 
-size_t PivotTable::FilterBlock(const double* phi_q, double r, size_t base,
+size_t PivotTable::FilterBlock(const FilterQuery& fq, size_t base,
                                size_t count, uint32_t* surv) const {
   if (width_ == 0) {  // no pivots: nothing prunes
     for (size_t i = 0; i < count; ++i) surv[i] = static_cast<uint32_t>(i);
     return count;
   }
+  const SimdOps& ops = *fq.ops;
   uint8_t keep[kScanBlock];
-  MaskSweep(cols_[0].data() + base, phi_q[0], r, count, keep);
-  size_t n = Compact(keep, count, surv);
-  for (uint32_t p = 1; p < width_ && n > 0; ++p) {
-    n = Refine(cols_[p].data() + base, phi_q[p], r, surv, n);
+  ExactSlot s;
+  s.colf = fcols_[0].data() + base;
+  s.cold = cols_[0].data() + base;
+  s.qf = fq.qf[0];
+  s.rw = fq.rw[0];
+  s.rn = fq.rn[0];
+  s.qd = fq.qd[0];
+  s.rd = fq.r_cached;
+  size_t n = ops.mask_sweep(s, count, keep);
+  if (n == 0) return 0;
+  uint32_t p = 1;
+  for (; p < width_ && DenseEnough(ops.dense_divisor, n, count); ++p) {
+    s.colf = fcols_[p].data() + base;
+    s.cold = cols_[p].data() + base;
+    s.qf = fq.qf[p];
+    s.rw = fq.rw[p];
+    s.rn = fq.rn[p];
+    s.qd = fq.qd[p];
+    n = ops.mask_and(s, count, keep);
+    if (n == 0) return 0;
+  }
+  n = ops.compact(keep, count, surv);
+  for (; p < width_ && n > 0; ++p) {
+    n = ops.refine_f64(cols_[p].data() + base, fq.qd[p], fq.r_cached, surv,
+                       n);
   }
   return n;
 }
 
-size_t PivotTable::FilterBlockIndirect(const double* d_qp, double r,
-                                       size_t base, size_t count,
-                                       uint32_t* surv) const {
+size_t PivotTable::FilterBlockIndirect(const FilterQuery& fq, size_t base,
+                                       size_t count, uint32_t* surv) const {
   if (width_ == 0) {
     for (size_t i = 0; i < count; ++i) surv[i] = static_cast<uint32_t>(i);
     return count;
   }
-  // Slot 0: gather the per-row query-pivot distance, then the same mask +
-  // compact dance as the shared form.  The gather keeps this sweep off the
-  // pure-SIMD path, but both indexed arrays are contiguous column slabs,
-  // so it still runs at cache-line speed.
+  const SimdOps& ops = *fq.ops;
   uint8_t keep[kScanBlock];
-  {
-    const double* __restrict col = cols_[0].data() + base;
-    const uint32_t* __restrict idx = pidx_cols_[0].data() + base;
-    for (size_t i = 0; i < count; ++i) {
-      keep[i] = std::fabs(col[i] - d_qp[idx[i]]) <= r;
-    }
+  ExactSlotGather s;
+  s.colf = fcols_[0].data() + base;
+  s.cold = cols_[0].data() + base;
+  s.idx = pidx_cols_[0].data() + base;
+  s.qf_pool = fq.qf.data();
+  s.qd_pool = fq.qd;
+  s.rw = fq.rw[0];
+  s.rn = fq.rn[0];
+  s.rd = fq.r_cached;
+  size_t n = ops.mask_sweep_gather(s, count, keep);
+  if (n == 0) return 0;
+  uint32_t p = 1;
+  for (; p < width_ && DenseEnough(ops.dense_divisor_gather, n, count); ++p) {
+    s.colf = fcols_[p].data() + base;
+    s.cold = cols_[p].data() + base;
+    s.idx = pidx_cols_[p].data() + base;
+    n = ops.mask_and_gather(s, count, keep);
+    if (n == 0) return 0;
   }
-  size_t n = Compact(keep, count, surv);
-  for (uint32_t p = 1; p < width_ && n > 0; ++p) {
-    const double* __restrict col = cols_[p].data() + base;
-    const uint32_t* __restrict idx = pidx_cols_[p].data() + base;
-    size_t m = 0;
-    for (size_t j = 0; j < n; ++j) {
-      const uint32_t i = surv[j];
-      surv[m] = i;
-      m += std::fabs(col[i] - d_qp[idx[i]]) <= r;
-    }
-    n = m;
+  n = ops.compact(keep, count, surv);
+  for (; p < width_ && n > 0; ++p) {
+    n = ops.refine_f64_gather(cols_[p].data() + base,
+                              pidx_cols_[p].data() + base, fq.qd,
+                              fq.r_cached, surv, n);
   }
   return n;
 }
 
 void PivotTable::RangeScan(const double* phi_q, double r,
                            std::vector<uint32_t>* survivors) const {
-  uint32_t surv[kScanBlock];
+  uint32_t surv[kScanBlock + kSurvWriteSlack];
+  FilterQuery fq;
+  PrepareFilterQuery(phi_q, &fq);
+  UpdateFilterRadius(r, &fq);
   for (size_t base = 0; base < rows_; base += kScanBlock) {
     const size_t count = std::min<size_t>(kScanBlock, rows_ - base);
-    const size_t n = FilterBlock(phi_q, r, base, count, surv);
+    const size_t n = FilterBlock(fq, base, count, surv);
     for (size_t j = 0; j < n; ++j) {
       survivors->push_back(static_cast<uint32_t>(base) + surv[j]);
     }
   }
 }
 
-void PivotTable::RangeScanIndirect(const double* d_qp, double r,
+void PivotTable::RangeScanIndirect(const double* d_qp, uint32_t pool_size,
+                                   double r,
                                    std::vector<uint32_t>* survivors) const {
-  uint32_t surv[kScanBlock];
+  uint32_t surv[kScanBlock + kSurvWriteSlack];
+  FilterQuery fq;
+  PrepareFilterQueryIndirect(d_qp, pool_size, &fq);
+  UpdateFilterRadius(r, &fq);
   for (size_t base = 0; base < rows_; base += kScanBlock) {
     const size_t count = std::min<size_t>(kScanBlock, rows_ - base);
-    const size_t n = FilterBlockIndirect(d_qp, r, base, count, surv);
+    const size_t n = FilterBlockIndirect(fq, base, count, surv);
     for (size_t j = 0; j < n; ++j) {
       survivors->push_back(static_cast<uint32_t>(base) + surv[j]);
     }

@@ -6,26 +6,36 @@
 // and re-decides "pruned?" with a branchy per-row loop; since Lemma-1
 // pruning usually triggers on the *first* pivot, almost all of that
 // traffic is wasted.  This table stores the mapping column-major (one
-// contiguous array per pivot slot) and scans in blocks of kScanBlock rows:
+// contiguous array per pivot slot) and scans in blocks of kScanBlock rows.
 //
-//   1. pivot slot 0 sweeps one contiguous column, writing a byte-mask of
-//      block-local survivors (branchless, auto-vectorizable);
-//   2. the mask is compacted into a survivor index list;
-//   3. each later pivot slot refines only the survivor list (short,
-//      gather-indexed loops over its own contiguous column).
+// Query engine v2 adds a derived float32 *filter column* per double
+// column (64-byte-aligned, conservatively comparable -- see
+// src/core/simd.h) and runs the bulk filter over those with the
+// runtime-dispatched SIMD kernels:
 //
-// The common case -- a row pruned by its first pivot -- therefore touches
-// 8 bytes instead of an 8*l-byte row, and the first-pivot sweep runs at
-// SIMD width.  Pruning decisions are *identical* to the row-major loop
-// (same comparisons, same order), so query results are byte-for-byte
-// unchanged; the conformance and pivot_table tests pin this.
+//   1. pivot slot 0 sweeps one contiguous f32 column slab 4-16 lanes at
+//      a time, compacting block-local survivors as it goes;
+//   2. each later pivot slot refines the survivor list against its own
+//      f32 column (short, gather-indexed loops);
+//   3. every float survivor is re-checked against the *double* columns
+//      (RowSurvives*) before it escapes the table.
+//
+// The float filter uses a radius widened by ConservativeFilterRadius, so
+// it keeps a strict superset of the exact double survivors; step 3 then
+// narrows that superset back to exactly the set the pre-v2 double scan
+// produced.  Survivor lists, query results, verification decisions, and
+// compdists are therefore bit-identical to the row-major double loop at
+// every dispatch level -- while the bulk of the scan touches 4 bytes per
+// row instead of 8 and runs 8-16 lanes wide (half the memory traffic,
+// the win bench_micro_scan measures).
 //
 // Two scan forms cover the two table families:
 //   - shared-pivot (LAESA/CPT): column p holds d(o, p_p); the query side
 //     is phi(q) = <d(q,p_1), ..., d(q,p_l)> computed once per query.
 //   - per-row-pivot (EPT/EPT*): column j holds d(o, p_{c_j(o)}) plus a
 //     parallel uint32 column of pool indices c_j(o); the query side
-//     gathers d(q, pool[c]) from a per-query pool mapping.
+//     gathers d(q, pool[c]) from a per-query pool mapping of `pool_size`
+//     entries.
 
 #ifndef PMI_CORE_PIVOT_TABLE_H_
 #define PMI_CORE_PIVOT_TABLE_H_
@@ -35,13 +45,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/simd.h"
+
 namespace pmi {
 
-/// Column-major n x l pivot-distance table with blocked Lemma-1 scans.
+/// Column-major n x l pivot-distance table with blocked, SIMD-filtered
+/// Lemma-1 scans.
 class PivotTable {
  public:
-  /// Rows per scan block: 256 rows = one 2 KB column slab, small enough
-  /// that the pivot-0 slab plus the survivor scratch stay L1-resident.
+  /// Rows per scan block: 256 rows = one 1 KB f32 column slab, small
+  /// enough that the pivot-0 slab plus the survivor scratch stay
+  /// L1-resident.
   static constexpr uint32_t kScanBlock = 256;
 
   PivotTable() = default;
@@ -53,11 +67,13 @@ class PivotTable {
     width_ = width;
     rows_ = 0;
     cols_.assign(width, {});
+    fcols_.assign(width, {});
     pidx_cols_.assign(per_row_pivots ? width : 0, {});
   }
 
   void Reserve(size_t rows) {
     for (auto& c : cols_) c.reserve(rows);
+    for (auto& c : fcols_) c.reserve(rows);
     for (auto& c : pidx_cols_) c.reserve(rows);
   }
 
@@ -66,6 +82,7 @@ class PivotTable {
   /// `rows` immediately.
   void ResizeRows(size_t rows) {
     for (auto& c : cols_) c.assign(rows, 0.0);
+    for (auto& c : fcols_) c.assign(rows, 0.0f);
     for (auto& c : pidx_cols_) c.assign(rows, 0);
     rows_ = rows;
   }
@@ -76,7 +93,10 @@ class PivotTable {
 
   /// Appends a row in shared-pivot form: phi[p] = d(o, p_p).
   void AppendRow(const double* phi) {
-    for (uint32_t p = 0; p < width_; ++p) cols_[p].push_back(phi[p]);
+    for (uint32_t p = 0; p < width_; ++p) {
+      cols_[p].push_back(phi[p]);
+      fcols_[p].push_back(FilterValue(phi[p]));
+    }
     ++rows_;
   }
 
@@ -85,23 +105,29 @@ class PivotTable {
   void AppendRow(const double* pdist, const uint32_t* pidx) {
     for (uint32_t j = 0; j < width_; ++j) {
       cols_[j].push_back(pdist[j]);
+      fcols_[j].push_back(FilterValue(pdist[j]));
       pidx_cols_[j].push_back(pidx[j]);
     }
     ++rows_;
   }
 
   /// Writes row `row` (< rows(), preallocated via ResizeRows) in
-  /// shared-pivot form.  A row's cells are element-private, so concurrent
-  /// SetRow calls on distinct rows are race-free -- the contract the
-  /// parallel table fills rely on.
+  /// shared-pivot form.  A row's cells are element-private (including
+  /// the derived f32 mirror), so concurrent SetRow calls on distinct
+  /// rows are race-free -- the contract the parallel table fills rely
+  /// on.
   void SetRow(size_t row, const double* phi) {
-    for (uint32_t p = 0; p < width_; ++p) cols_[p][row] = phi[p];
+    for (uint32_t p = 0; p < width_; ++p) {
+      cols_[p][row] = phi[p];
+      fcols_[p][row] = FilterValue(phi[p]);
+    }
   }
 
   /// Per-row-pivot form of SetRow.
   void SetRow(size_t row, const double* pdist, const uint32_t* pidx) {
     for (uint32_t j = 0; j < width_; ++j) {
       cols_[j][row] = pdist[j];
+      fcols_[j][row] = FilterValue(pdist[j]);
       pidx_cols_[j][row] = pidx[j];
     }
   }
@@ -115,6 +141,10 @@ class PivotTable {
       c[row] = c[last];
       c.pop_back();
     }
+    for (auto& c : fcols_) {
+      c[row] = c[last];
+      c.pop_back();
+    }
     for (auto& c : pidx_cols_) {
       c[row] = c[last];
       c.pop_back();
@@ -122,8 +152,14 @@ class PivotTable {
     rows_ = last;
   }
 
-  /// Cell-level writers (snapshot loading); row must be < rows().
-  void SetCell(size_t row, uint32_t slot, double v) { cols_[slot][row] = v; }
+  /// Cell-level writers (snapshot loading); row must be < rows().  The
+  /// f32 filter cell is derived here too, which is what keeps snapshot
+  /// loads format-free: the filter columns are never serialized, only
+  /// rebuilt.
+  void SetCell(size_t row, uint32_t slot, double v) {
+    cols_[slot][row] = v;
+    fcols_[slot][row] = FilterValue(v);
+  }
   void SetPivotIndex(size_t row, uint32_t slot, uint32_t v) {
     pidx_cols_[slot][row] = v;
   }
@@ -136,34 +172,55 @@ class PivotTable {
   }
   /// Contiguous per-slot distance column (length rows()).
   const double* column(uint32_t slot) const { return cols_[slot].data(); }
+  /// Derived f32 filter column (length rows(), 64-byte-aligned slab).
+  const float* filter_column(uint32_t slot) const {
+    return fcols_[slot].data();
+  }
 
   /// Shared-pivot range scan: appends every row index whose mapped vector
   /// intersects the Lemma-1 search region (|phi_o[p] - phi_q[p]| <= r for
-  /// all p) to `survivors`, in ascending row order.
+  /// all p) to `survivors`, in ascending row order.  Decisions are made
+  /// on the double columns (the f32 filter only pre-narrows), so the
+  /// output is bit-identical at every SIMD dispatch level.
   void RangeScan(const double* phi_q, double r,
                  std::vector<uint32_t>* survivors) const;
 
-  /// Per-row-pivot range scan; `d_qp` maps pool pivot index -> d(q, p).
-  void RangeScanIndirect(const double* d_qp, double r,
+  /// Per-row-pivot range scan; `d_qp` maps pool pivot index -> d(q, p)
+  /// and has `pool_size` entries (every stored pivot index is < that).
+  void RangeScanIndirect(const double* d_qp, uint32_t pool_size, double r,
                          std::vector<uint32_t>* survivors) const;
 
   /// Blocked scan with a shrinking radius -- the MkNNQ form.  `radius()`
-  /// is read at block entry for the bulk filter, then re-read per
-  /// survivor for an exact re-check before `verify(row)` runs.  The
-  /// block-entry radius is never smaller than the row-by-row radius the
-  /// row-major loop used (the heap only tightens), so the bulk filter
-  /// keeps a superset; the per-survivor re-check then prunes with
-  /// *exactly* the radius the old loop would have seen at that row --
-  /// verification decisions, results, and compdists all match the
-  /// row-major scan bit for bit.  The re-check touches only the few
-  /// survivors, so the bulk of the scan still runs at column speed.
-  template <typename RadiusFn, typename VerifyFn>
-  void ScanDynamic(const double* phi_q, RadiusFn&& radius,
-                   VerifyFn&& verify) const {
-    uint32_t surv[kScanBlock];
+  /// is read at block entry for the bulk f32 filter, then re-read per
+  /// survivor for an exact double re-check before `verify(row)` runs.
+  /// The block-entry radius is never smaller than the row-by-row radius
+  /// the row-major loop used (the heap only tightens), and the f32
+  /// filter keeps a superset of the double test at that radius, so the
+  /// bulk filter keeps a superset; the per-survivor re-check then prunes
+  /// with *exactly* the radius the old loop would have seen at that row
+  /// -- verification decisions, results, and compdists all match the
+  /// row-major double scan bit for bit.  The re-check touches only the
+  /// few survivors, so the bulk of the scan still runs at f32 column
+  /// speed.
+  ///
+  /// `prefetch(row)` runs for every f32-filter survivor of a block
+  /// before any of the block's re-checks/verifications: the batched
+  /// verification hook.  Callers use it to pull the survivors' objects
+  /// toward cache while the re-check loop runs ahead of the
+  /// BoundedDistance calls; since it is only a hint, prefetching the
+  /// f32 superset (including rows the re-check later drops) is
+  /// harmless.
+  template <typename RadiusFn, typename VerifyFn, typename PrefetchFn>
+  void ScanDynamic(const double* phi_q, RadiusFn&& radius, VerifyFn&& verify,
+                   PrefetchFn&& prefetch) const {
+    uint32_t surv[kScanBlock + kSurvWriteSlack];
+    FilterQuery fq;
+    PrepareFilterQuery(phi_q, &fq);
     for (size_t base = 0; base < rows_; base += kScanBlock) {
       const size_t count = std::min<size_t>(kScanBlock, rows_ - base);
-      const size_t n = FilterBlock(phi_q, radius(), base, count, surv);
+      UpdateFilterRadius(radius(), &fq);
+      const size_t n = FilterBlock(fq, base, count, surv);
+      for (size_t j = 0; j < n; ++j) prefetch(base + surv[j]);
       for (size_t j = 0; j < n; ++j) {
         const size_t row = base + surv[j];
         if (RowSurvives(row, phi_q, radius())) verify(row);
@@ -172,12 +229,23 @@ class PivotTable {
   }
 
   template <typename RadiusFn, typename VerifyFn>
-  void ScanDynamicIndirect(const double* d_qp, RadiusFn&& radius,
-                           VerifyFn&& verify) const {
-    uint32_t surv[kScanBlock];
+  void ScanDynamic(const double* phi_q, RadiusFn&& radius,
+                   VerifyFn&& verify) const {
+    ScanDynamic(phi_q, radius, verify, [](size_t) {});
+  }
+
+  template <typename RadiusFn, typename VerifyFn, typename PrefetchFn>
+  void ScanDynamicIndirect(const double* d_qp, uint32_t pool_size,
+                           RadiusFn&& radius, VerifyFn&& verify,
+                           PrefetchFn&& prefetch) const {
+    uint32_t surv[kScanBlock + kSurvWriteSlack];
+    FilterQuery fq;
+    PrepareFilterQueryIndirect(d_qp, pool_size, &fq);
     for (size_t base = 0; base < rows_; base += kScanBlock) {
       const size_t count = std::min<size_t>(kScanBlock, rows_ - base);
-      const size_t n = FilterBlockIndirect(d_qp, radius(), base, count, surv);
+      UpdateFilterRadius(radius(), &fq);
+      const size_t n = FilterBlockIndirect(fq, base, count, surv);
+      for (size_t j = 0; j < n; ++j) prefetch(base + surv[j]);
       for (size_t j = 0; j < n; ++j) {
         const size_t row = base + surv[j];
         if (RowSurvivesIndirect(row, d_qp, radius())) verify(row);
@@ -185,14 +253,43 @@ class PivotTable {
     }
   }
 
+  template <typename RadiusFn, typename VerifyFn>
+  void ScanDynamicIndirect(const double* d_qp, uint32_t pool_size,
+                           RadiusFn&& radius, VerifyFn&& verify) const {
+    ScanDynamicIndirect(d_qp, pool_size, radius, verify, [](size_t) {});
+  }
+
   size_t memory_bytes() const {
     return size_t(rows_) * width_ *
-           (sizeof(double) + (per_row_pivots() ? sizeof(uint32_t) : 0));
+           (sizeof(double) + sizeof(float) +
+            (per_row_pivots() ? sizeof(uint32_t) : 0));
   }
 
  private:
-  /// Single-row Lemma-1 test at radius `r` (the per-survivor re-check of
-  /// the dynamic scans).
+  /// Per-query float-filter state: f32 casts of the query-side values
+  /// plus the two-sided (wide/narrow) radii of the exact f32 filter.
+  /// Prepared once per scan; the radii are refreshed per block when the
+  /// dynamic radius moves.
+  struct FilterQuery {
+    std::vector<float> qf;   // shared: per-slot phi_q; indirect: d_qp pool
+    std::vector<float> rw;   // wide radii (shared per-slot; indirect [0])
+    std::vector<float> rn;   // narrow radii, same shape
+    const double* qd = nullptr;     // phi_q (shared) or d_qp (indirect)
+    double qmax_abs = 0;            // indirect form only: max |d_qp|
+    double r_cached = std::numeric_limits<double>::quiet_NaN();
+    bool indirect = false;
+    const SimdOps* ops = nullptr;   // dispatch table, fetched once per scan
+  };
+
+  void PrepareFilterQuery(const double* phi_q, FilterQuery* fq) const;
+  void PrepareFilterQueryIndirect(const double* d_qp, uint32_t pool_size,
+                                  FilterQuery* fq) const;
+  /// Recomputes the two-sided radii for radius `r` (no-op when
+  /// unchanged).
+  static void UpdateFilterRadius(double r, FilterQuery* fq);
+
+  /// Single-row Lemma-1 test at radius `r` on the exact double columns
+  /// (the per-survivor re-check of every scan).
   bool RowSurvives(size_t row, const double* phi_q, double r) const {
     for (uint32_t p = 0; p < width_; ++p) {
       if (std::fabs(cols_[p][row] - phi_q[p]) > r) return false;
@@ -208,17 +305,23 @@ class PivotTable {
     return true;
   }
 
-  /// Writes the block-local indices (0-based within [base, base+count))
-  /// of rows surviving all pivot slots at radius `r` into `surv`;
-  /// returns how many.
-  size_t FilterBlock(const double* phi_q, double r, size_t base,
-                     size_t count, uint32_t* surv) const;
-  size_t FilterBlockIndirect(const double* d_qp, double r, size_t base,
+  /// Exact block filter: writes the block-local indices (0-based within
+  /// [base, base+count)) of the rows surviving all pivot slots at the
+  /// prepared radius into `surv` (ascending); returns how many.  The
+  /// decisions equal the double predicate row for row -- the f32
+  /// columns are only the fast path (see src/core/simd.h) -- so the
+  /// output is bit-identical to the row-major double loop at every
+  /// dispatch level.  `surv` needs kSurvWriteSlack extra capacity past
+  /// `count`.
+  size_t FilterBlock(const FilterQuery& fq, size_t base, size_t count,
+                     uint32_t* surv) const;
+  size_t FilterBlockIndirect(const FilterQuery& fq, size_t base,
                              size_t count, uint32_t* surv) const;
 
   uint32_t width_ = 0;
   size_t rows_ = 0;
   std::vector<std::vector<double>> cols_;        // width_ columns of rows_
+  std::vector<FilterColumn> fcols_;              // derived f32 mirrors
   std::vector<std::vector<uint32_t>> pidx_cols_; // per-row-pivot mode only
 };
 

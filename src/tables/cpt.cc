@@ -62,6 +62,9 @@ void Cpt::RangeImpl(const ObjectView& q, double r,
   std::vector<double> phi_q;
   pivots_.Map(q, d, &phi_q);
   std::vector<uint32_t> candidates;
+  // The bulk filter runs on the f32 SIMD path like LAESA's, but CPT
+  // verifies from M-tree leaf pages through the buffer pool, so the
+  // in-memory object-prefetch batching does not apply here.
   table_.RangeScan(phi_q.data(), r, &candidates);
   for (uint32_t row : candidates) {
     const ObjectId id = oids_[row];

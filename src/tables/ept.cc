@@ -7,6 +7,7 @@
 
 #include "src/core/knn_heap.h"
 #include "src/core/pivot_selection.h"
+#include "src/core/simd.h"
 #include "src/core/rng.h"
 #include "src/core/thread_pool.h"
 
@@ -219,11 +220,10 @@ void Ept::RangeImpl(const ObjectView& q, double r,
   std::vector<double> d_qp;
   MapQueryToPool(q, &d_qp);
   std::vector<uint32_t> candidates;
-  table_.RangeScanIndirect(d_qp.data(), r, &candidates);
-  for (uint32_t row : candidates) {
-    const ObjectId id = oids_[row];
-    if (d.Bounded(q, data().view(id), r) <= r) out->push_back(id);
-  }
+  table_.RangeScanIndirect(d_qp.data(),
+                           static_cast<uint32_t>(d_qp.size()), r,
+                           &candidates);
+  VerifyCandidatesWithPrefetch(candidates, oids_, data(), d, q, r, out);
 }
 
 void Ept::KnnImpl(const ObjectView& q, size_t k,
@@ -233,10 +233,14 @@ void Ept::KnnImpl(const ObjectView& q, size_t k,
   MapQueryToPool(q, &d_qp);
   KnnHeap heap(k);
   table_.ScanDynamicIndirect(
-      d_qp.data(), [&] { return heap.radius(); },
+      d_qp.data(), static_cast<uint32_t>(d_qp.size()),
+      [&] { return heap.radius(); },
       [&](size_t row) {
         const ObjectId id = oids_[row];
         heap.Push(id, d.Bounded(q, data().view(id), heap.radius()));
+      },
+      [&](size_t row) {
+        PrefetchRead(data().view(oids_[row]).payload_ptr());
       });
   heap.TakeSorted(out);
 }

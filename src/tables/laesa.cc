@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/core/knn_heap.h"
+#include "src/core/simd.h"
 #include "src/core/thread_pool.h"
 
 namespace pmi {
@@ -39,10 +40,7 @@ void Laesa::RangeImpl(const ObjectView& q, double r,
   pivots_.Map(q, d, &phi_q);
   std::vector<uint32_t> candidates;
   table_.RangeScan(phi_q.data(), r, &candidates);
-  for (uint32_t row : candidates) {
-    const ObjectId id = oids_[row];
-    if (d.Bounded(q, data().view(id), r) <= r) out->push_back(id);
-  }
+  VerifyCandidatesWithPrefetch(candidates, oids_, data(), d, q, r, out);
 }
 
 void Laesa::KnnImpl(const ObjectView& q, size_t k,
@@ -56,6 +54,9 @@ void Laesa::KnnImpl(const ObjectView& q, size_t k,
       [&](size_t row) {
         const ObjectId id = oids_[row];
         heap.Push(id, d.Bounded(q, data().view(id), heap.radius()));
+      },
+      [&](size_t row) {
+        PrefetchRead(data().view(oids_[row]).payload_ptr());
       });
   heap.TakeSorted(out);
 }

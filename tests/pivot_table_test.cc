@@ -125,7 +125,7 @@ TEST(PivotTableTest, IndirectScanMatchesRowMajorReference) {
         std::vector<double> d_qp(kPool);
         for (auto& x : d_qp) x = u(rng);
         std::vector<uint32_t> got;
-        t.columnar.RangeScanIndirect(d_qp.data(), r, &got);
+        t.columnar.RangeScanIndirect(d_qp.data(), kPool, r, &got);
         EXPECT_EQ(got, t.ref.RangeScanIndirect(d_qp, r))
             << "rows=" << rows << " l=" << l << " r=" << r;
       }
@@ -237,11 +237,72 @@ TEST(PivotTableTest, ZeroWidthTableNeverPrunes) {
 }
 
 TEST(PivotTableTest, MemoryAccounting) {
+  // Each cell carries its double plus the derived f32 filter mirror
+  // (plus the pool-index column in per-row-pivot mode).
   Tables shared = MakeShared(100, 4, 2);
-  EXPECT_EQ(shared.columnar.memory_bytes(), 100u * 4 * sizeof(double));
+  EXPECT_EQ(shared.columnar.memory_bytes(),
+            100u * 4 * (sizeof(double) + sizeof(float)));
   Tables indirect = MakeIndirect(100, 4, 8, 2);
   EXPECT_EQ(indirect.columnar.memory_bytes(),
-            100u * 4 * (sizeof(double) + sizeof(uint32_t)));
+            100u * 4 * (sizeof(double) + sizeof(float) + sizeof(uint32_t)));
+}
+
+// Every mutator must keep the derived f32 filter columns cell-coherent
+// with the double columns: fcol[row] == FilterValue(col[row]) always.
+void ExpectFilterCoherent(const PivotTable& t) {
+  for (uint32_t p = 0; p < t.width(); ++p) {
+    const float* fcol = t.filter_column(p);
+    for (size_t row = 0; row < t.rows(); ++row) {
+      EXPECT_EQ(fcol[row], FilterValue(t.distance(row, p)))
+          << "slot=" << p << " row=" << row;
+    }
+  }
+}
+
+TEST(PivotTableTest, FilterColumnsStayCoherentUnderMutation) {
+  PivotTable t;
+  t.Reset(3);
+  // ResizeRows + SetRow (the parallel-build path).
+  t.ResizeRows(600);
+  Rng rng(5);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  std::vector<double> row(3);
+  for (size_t i = 0; i < 600; ++i) {
+    for (auto& x : row) x = u(rng);
+    t.SetRow(i, row.data());
+  }
+  ExpectFilterCoherent(t);
+  // AppendRow, including values past the float range and denormals.
+  const double specials[][3] = {{1e300, -1e300, 5e-324},
+                               {1e-40, 3.4028235e38, 0.0}};
+  for (const auto& s : specials) t.AppendRow(s);
+  ExpectFilterCoherent(t);
+  // SetCell (the snapshot-load path).
+  t.SetCell(3, 1, 7e205);
+  t.SetCell(0, 0, 1e-320);
+  ExpectFilterCoherent(t);
+  // RemoveRowSwap keeps the moved row's mirror.
+  for (int i = 0; i < 250; ++i) t.RemoveRowSwap(rng() % t.rows());
+  ExpectFilterCoherent(t);
+  // Shrinking ResizeRows resets to zeroed coherent state.
+  t.ResizeRows(10);
+  ExpectFilterCoherent(t);
+
+  // Per-row-pivot layout through the same mutations.
+  PivotTable ti;
+  ti.Reset(2, /*per_row_pivots=*/true);
+  double rd[2];
+  uint32_t ri[2];
+  for (size_t i = 0; i < 300; ++i) {
+    rd[0] = u(rng);
+    rd[1] = i % 7 == 0 ? 1e39 : u(rng);
+    ri[0] = rng() % 8;
+    ri[1] = rng() % 8;
+    ti.AppendRow(rd, ri);
+  }
+  ExpectFilterCoherent(ti);
+  for (int i = 0; i < 120; ++i) ti.RemoveRowSwap(rng() % ti.rows());
+  ExpectFilterCoherent(ti);
 }
 
 }  // namespace

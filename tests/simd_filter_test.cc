@@ -1,0 +1,343 @@
+// SIMD/scalar equivalence fuzz for the f32 filter engine.
+//
+// The engine's exactness contract (src/core/simd.h, pivot_table.h) is
+// that survivor lists are bit-identical to the row-major *double* loop
+// at every dispatch level PMI_SIMD can force: the f32 bulk filter may
+// only ever keep a superset, and the double re-check must narrow it back
+// to exactly the reference set.  This suite fuzzes that contract across
+//   - widths 1..32 (every lane-tail shape of the 8/16-wide kernels),
+//   - block-tail row counts (0, 1, kScanBlock-1, kScanBlock,
+//     kScanBlock+1, multi-block + ragged tail),
+//   - extreme radii (0, denormal, huge, +/-inf),
+//   - denormal / huge / float-overflowing cell distances,
+// and pins end-to-end index conformance (results + compdists) across
+// dispatch levels.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/filtering.h"
+#include "src/core/pivot_selection.h"
+#include "src/core/pivot_table.h"
+#include "src/core/rng.h"
+#include "src/core/simd.h"
+#include "src/data/generators.h"
+#include "src/harness/workload.h"
+#include "src/tables/ept.h"
+#include "src/tables/laesa.h"
+
+namespace pmi {
+namespace {
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> out;
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kNeon,
+                          SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (SimdLevelSupported(level)) out.push_back(level);
+  }
+  return out;
+}
+
+void ForceLevel(SimdLevel level) {
+  ASSERT_EQ(setenv("PMI_SIMD", SimdLevelName(level), 1), 0);
+  ReinitSimdDispatch();
+  ASSERT_EQ(SimdLevelInUse(), level) << SimdLevelName(level);
+}
+
+// The CI scalar-dispatch leg pins PMI_SIMD for the whole ctest run, so
+// tests that force levels must restore the value the process inherited
+// -- clearing it would silently re-widen every later test.
+struct InheritedSimdEnv {
+  bool had;
+  std::string value;
+  InheritedSimdEnv() {
+    const char* e = getenv("PMI_SIMD");
+    had = e != nullptr;
+    if (had) value = e;
+  }
+};
+const InheritedSimdEnv kInheritedEnv;
+
+void RestoreDefaultLevel() {
+  if (kInheritedEnv.had) {
+    setenv("PMI_SIMD", kInheritedEnv.value.c_str(), 1);
+  } else {
+    unsetenv("PMI_SIMD");
+  }
+  ReinitSimdDispatch();
+}
+
+// Interesting magnitudes for cells / queries: denormals (double and
+// float), values that round to float denormals, float-overflowing
+// doubles, and plain mid-range values.
+double SpecialValue(Rng* rng) {
+  static const double kSpecials[] = {
+      0.0,      5e-324,  1e-310, 1.4e-45, 1e-38,   1e-20,
+      1.0,      100.0,   1e20,   3.4e38,  7e38,    1e300,
+  };
+  return kSpecials[(*rng)() % (sizeof(kSpecials) / sizeof(kSpecials[0]))];
+}
+
+struct FuzzTable {
+  PivotTable table;
+  std::vector<double> rows;  // row-major reference copy
+  uint32_t l = 0;
+
+  std::vector<uint32_t> ReferenceScan(const double* phi_q, double r) const {
+    std::vector<uint32_t> out;
+    const size_t n = l == 0 ? 0 : rows.size() / l;
+    for (size_t i = 0; i < n; ++i) {
+      if (!PrunedByPivots(&rows[i * l], phi_q, l, r)) {
+        out.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return out;
+  }
+};
+
+FuzzTable MakeFuzzShared(size_t n, uint32_t l, uint64_t seed) {
+  FuzzTable t;
+  t.l = l;
+  t.table.Reset(l);
+  Rng rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  std::vector<double> row(l);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& x : row) x = rng() % 8 == 0 ? SpecialValue(&rng) : u(rng);
+    t.rows.insert(t.rows.end(), row.begin(), row.end());
+    t.table.AppendRow(row.data());
+  }
+  return t;
+}
+
+const double kFuzzRadii[] = {
+    0.0,    5e-324, 1e-300, 1e-40, 0.25,
+    3.0,    40.0,   1e20,   1e300, std::numeric_limits<double>::infinity(),
+    -std::numeric_limits<double>::infinity(),
+};
+
+// Widths 1..32: every tail shape of the 4/8/16-lane sweeps and of the
+// refine cascade, at a multi-block row count with a ragged tail.
+TEST(SimdFilterTest, SharedScanBitIdenticalAcrossLevelsAllWidths) {
+  for (uint32_t l = 1; l <= 32; ++l) {
+    FuzzTable t = MakeFuzzShared(600, l, 1000 + l);
+    Rng rng(l * 7 + 1);
+    std::uniform_real_distribution<double> u(0.0, 100.0);
+    std::vector<double> phi_q(l);
+    for (auto& x : phi_q) x = rng() % 6 == 0 ? SpecialValue(&rng) : u(rng);
+    for (double r : kFuzzRadii) {
+      const std::vector<uint32_t> want = t.ReferenceScan(phi_q.data(), r);
+      for (SimdLevel level : SupportedLevels()) {
+        ForceLevel(level);
+        std::vector<uint32_t> got;
+        t.table.RangeScan(phi_q.data(), r, &got);
+        EXPECT_EQ(got, want) << "level=" << SimdLevelName(level)
+                             << " l=" << l << " r=" << r;
+      }
+    }
+  }
+  RestoreDefaultLevel();
+}
+
+// Block-tail row counts around kScanBlock, including empty and single.
+TEST(SimdFilterTest, SharedScanBitIdenticalAcrossLevelsBlockTails) {
+  const size_t kRowCounts[] = {0,
+                               1,
+                               PivotTable::kScanBlock - 1,
+                               PivotTable::kScanBlock,
+                               PivotTable::kScanBlock + 1,
+                               3 * PivotTable::kScanBlock + 17};
+  for (size_t n : kRowCounts) {
+    FuzzTable t = MakeFuzzShared(n, 5, 2000 + n);
+    Rng rng(n * 3 + 5);
+    std::uniform_real_distribution<double> u(0.0, 100.0);
+    std::vector<double> phi_q(5);
+    for (auto& x : phi_q) x = u(rng);
+    for (double r : kFuzzRadii) {
+      const std::vector<uint32_t> want = t.ReferenceScan(phi_q.data(), r);
+      for (SimdLevel level : SupportedLevels()) {
+        ForceLevel(level);
+        std::vector<uint32_t> got;
+        t.table.RangeScan(phi_q.data(), r, &got);
+        EXPECT_EQ(got, want) << "level=" << SimdLevelName(level)
+                             << " rows=" << n << " r=" << r;
+      }
+    }
+  }
+  RestoreDefaultLevel();
+}
+
+// Per-row-pivot (EPT) layout: the gathered query values go through the
+// same conservative-radius machinery, with one widened radius bounding
+// the whole pool.
+TEST(SimdFilterTest, IndirectScanBitIdenticalAcrossLevels) {
+  const uint32_t kPool = 24;
+  for (uint32_t l : {1u, 2u, 3u, 4u, 7u, 8u, 15u, 16u, 31u, 32u}) {
+    PivotTable table;
+    table.Reset(l, /*per_row_pivots=*/true);
+    std::vector<double> ref_d;
+    std::vector<uint32_t> ref_i;
+    Rng rng(4000 + l);
+    std::uniform_real_distribution<double> u(0.0, 100.0);
+    std::vector<double> rd(l);
+    std::vector<uint32_t> ri(l);
+    const size_t n = 2 * PivotTable::kScanBlock + 9;
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < l; ++j) {
+        rd[j] = rng() % 8 == 0 ? SpecialValue(&rng) : u(rng);
+        ri[j] = rng() % kPool;
+      }
+      ref_d.insert(ref_d.end(), rd.begin(), rd.end());
+      ref_i.insert(ref_i.end(), ri.begin(), ri.end());
+      table.AppendRow(rd.data(), ri.data());
+    }
+    std::vector<double> d_qp(kPool);
+    for (auto& x : d_qp) x = rng() % 6 == 0 ? SpecialValue(&rng) : u(rng);
+
+    for (double r : kFuzzRadii) {
+      std::vector<uint32_t> want;
+      for (size_t i = 0; i < n; ++i) {
+        bool pruned = false;
+        for (uint32_t j = 0; j < l && !pruned; ++j) {
+          pruned = std::fabs(ref_d[i * l + j] - d_qp[ref_i[i * l + j]]) > r;
+        }
+        if (!pruned) want.push_back(static_cast<uint32_t>(i));
+      }
+      for (SimdLevel level : SupportedLevels()) {
+        ForceLevel(level);
+        std::vector<uint32_t> got;
+        table.RangeScanIndirect(d_qp.data(), kPool, r, &got);
+        EXPECT_EQ(got, want) << "level=" << SimdLevelName(level)
+                             << " l=" << l << " r=" << r;
+      }
+    }
+  }
+  RestoreDefaultLevel();
+}
+
+// Adversarial cells clustered exactly around the query +/- r boundary,
+// where a one-ulp filter mistake would flip a decision.
+TEST(SimdFilterTest, BoundaryValuesNeverFlipDecisions) {
+  const uint32_t l = 3;
+  const double q0 = 12.345678901234567;
+  const double r = 1.0000000000000002;
+  FuzzTable t;
+  t.l = l;
+  t.table.Reset(l);
+  std::vector<double> row(l);
+  for (int k = -40; k <= 40; ++k) {
+    for (double base : {q0 - r, q0 + r, q0}) {
+      double v = base;
+      for (int s = 0; s < std::abs(k); ++s) {
+        v = std::nextafter(v, k < 0 ? -1e30 : 1e30);
+      }
+      row[0] = v;
+      row[1] = q0;  // always inside on later slots
+      row[2] = q0;
+      t.rows.insert(t.rows.end(), row.begin(), row.end());
+      t.table.AppendRow(row.data());
+    }
+  }
+  std::vector<double> phi_q = {q0, q0, q0};
+  const std::vector<uint32_t> want = t.ReferenceScan(phi_q.data(), r);
+  EXPECT_FALSE(want.empty());
+  EXPECT_LT(want.size(), t.table.rows());  // both sides of the boundary hit
+  for (SimdLevel level : SupportedLevels()) {
+    ForceLevel(level);
+    std::vector<uint32_t> got;
+    t.table.RangeScan(phi_q.data(), r, &got);
+    EXPECT_EQ(got, want) << "level=" << SimdLevelName(level);
+  }
+  RestoreDefaultLevel();
+}
+
+// End-to-end conformance: LAESA (shared) and EPT/EPT* (indirect) must
+// produce bit-identical query results, survivor-driven verification
+// orders, and compdists at every dispatch level.
+TEST(SimdFilterTest, IndexQueriesBitIdenticalAcrossLevels) {
+  BenchDataset bd = MakeBenchDataset(BenchDatasetId::kSynthetic, 1500, 7);
+  PivotSelectionOptions po;
+  po.sample_size = 400;
+  po.pair_sample = 200;
+  PivotSet pivots = SelectSharedPivots(bd.data, *bd.metric, 5, po);
+  Rng rng(31);
+  std::vector<ObjectId> queries(8);
+  for (auto& q : queries) q = rng() % bd.data.size();
+  const double kRadii[] = {5.0, 60.0, 400.0};
+
+  Laesa laesa;
+  laesa.Build(bd.data, *bd.metric, pivots);
+  Ept ept(Ept::Variant::kClassic);
+  ept.Build(bd.data, *bd.metric, pivots);
+  Ept ept_star(Ept::Variant::kStar);
+  ept_star.Build(bd.data, *bd.metric, pivots);
+  MetricIndex* indexes[] = {&laesa, &ept, &ept_star};
+
+  struct Capture {
+    std::vector<std::vector<ObjectId>> range;
+    std::vector<std::vector<Neighbor>> knn;
+    std::vector<uint64_t> compdists;
+  };
+  std::vector<Capture> captures;
+  for (SimdLevel level : SupportedLevels()) {
+    ForceLevel(level);
+    Capture c;
+    for (MetricIndex* index : indexes) {
+      for (ObjectId q : queries) {
+        ObjectView qv = bd.data.view(q);
+        for (double r : kRadii) {
+          std::vector<ObjectId> out;
+          OpStats s = index->RangeQuery(qv, r, &out);
+          c.range.push_back(std::move(out));
+          c.compdists.push_back(s.dist_computations);
+        }
+        std::vector<Neighbor> nn;
+        OpStats s = index->KnnQuery(qv, 10, &nn);
+        c.knn.push_back(std::move(nn));
+        c.compdists.push_back(s.dist_computations);
+      }
+    }
+    captures.push_back(std::move(c));
+  }
+  RestoreDefaultLevel();
+
+  ASSERT_GE(captures.size(), 1u);
+  for (size_t i = 1; i < captures.size(); ++i) {
+    EXPECT_EQ(captures[i].compdists, captures[0].compdists);
+    ASSERT_EQ(captures[i].range.size(), captures[0].range.size());
+    // Survivor order is part of the contract: compare unsorted.
+    for (size_t j = 0; j < captures[0].range.size(); ++j) {
+      EXPECT_EQ(captures[i].range[j], captures[0].range[j]);
+    }
+    ASSERT_EQ(captures[i].knn.size(), captures[0].knn.size());
+    for (size_t j = 0; j < captures[0].knn.size(); ++j) {
+      ASSERT_EQ(captures[i].knn[j].size(), captures[0].knn[j].size());
+      for (size_t k = 0; k < captures[0].knn[j].size(); ++k) {
+        EXPECT_EQ(captures[i].knn[j][k].id, captures[0].knn[j][k].id);
+        EXPECT_EQ(captures[i].knn[j][k].dist, captures[0].knn[j][k].dist);
+      }
+    }
+  }
+}
+
+// The PMI_SIMD knob itself: unknown values fall back to a supported
+// level instead of crashing, and "scalar" always pins the scalar table.
+TEST(SimdFilterTest, EnvKnobFallsBackSafely) {
+  ASSERT_EQ(setenv("PMI_SIMD", "warp9", 1), 0);
+  ReinitSimdDispatch();
+  EXPECT_TRUE(SimdLevelSupported(SimdLevelInUse()));
+  ForceLevel(SimdLevel::kScalar);
+  EXPECT_EQ(SimdLevelInUse(), SimdLevel::kScalar);
+  RestoreDefaultLevel();
+  EXPECT_TRUE(SimdLevelSupported(SimdLevelInUse()));
+}
+
+}  // namespace
+}  // namespace pmi

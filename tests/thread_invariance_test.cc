@@ -10,11 +10,14 @@
 // single-query calls exactly.
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/core/pivot_selection.h"
+#include "src/core/simd.h"
 #include "src/core/thread_pool.h"
 #include "src/data/distribution.h"
 #include "src/data/generators.h"
@@ -218,6 +221,62 @@ TEST_F(ThreadInvarianceTest, EstimateDistributionIsIdentical) {
     EXPECT_EQ(dists[i].mean, dists[0].mean);
     EXPECT_EQ(dists[i].variance, dists[0].variance);
     EXPECT_EQ(dists[i].max_distance, dists[0].max_distance);
+  }
+}
+
+TEST_F(ThreadInvarianceTest, ResultsInvariantAcrossSimdLevelsAndThreads) {
+  // The SIMD dispatch level must be as invisible as the thread count:
+  // identical batch results and compdists whether the filter runs
+  // scalar, AVX2, or AVX-512, at any pool size.  (The dispatch table is
+  // only swapped between batches -- ReinitSimdDispatch is not
+  // query-concurrent-safe.)
+  // The CI scalar-dispatch leg pins PMI_SIMD for the whole run: restore
+  // the inherited value afterward rather than clearing it.
+  const char* inherited_env = getenv("PMI_SIMD");
+  const std::string inherited = inherited_env ? inherited_env : "";
+  const bool had_inherited = inherited_env != nullptr;
+  Laesa laesa;
+  laesa.Build(world_->bd.data, *world_->bd.metric, world_->pivots);
+  const double r = world_->distribution.RadiusForSelectivity(kRadiusSel);
+  std::vector<std::vector<std::vector<ObjectId>>> mrq;
+  std::vector<std::vector<std::vector<Neighbor>>> knn;
+  std::vector<uint64_t> compdists;
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kNeon,
+                          SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (!SimdLevelSupported(level)) continue;
+    ASSERT_EQ(setenv("PMI_SIMD", SimdLevelName(level), 1), 0);
+    ReinitSimdDispatch();
+    for (unsigned t : kThreadCounts) {
+      ThreadPool::SetGlobalThreads(t);
+      std::vector<std::vector<ObjectId>> range_out;
+      OpStats rs = laesa.RangeQueryBatch(world_->queries, r, &range_out);
+      for (auto& out : range_out) std::sort(out.begin(), out.end());
+      std::vector<std::vector<Neighbor>> knn_out;
+      OpStats ks = laesa.KnnQueryBatch(world_->queries, 10, &knn_out);
+      mrq.push_back(std::move(range_out));
+      knn.push_back(std::move(knn_out));
+      compdists.push_back(rs.dist_computations + ks.dist_computations);
+    }
+  }
+  if (had_inherited) {
+    setenv("PMI_SIMD", inherited.c_str(), 1);
+  } else {
+    unsetenv("PMI_SIMD");
+  }
+  ReinitSimdDispatch();
+  ASSERT_GE(mrq.size(), kThreadCounts.size());
+  for (size_t i = 1; i < mrq.size(); ++i) {
+    EXPECT_EQ(compdists[i], compdists[0]);
+    ASSERT_EQ(mrq[i].size(), mrq[0].size());
+    for (size_t j = 0; j < mrq[0].size(); ++j) EXPECT_EQ(mrq[i][j], mrq[0][j]);
+    ASSERT_EQ(knn[i].size(), knn[0].size());
+    for (size_t j = 0; j < knn[0].size(); ++j) {
+      ASSERT_EQ(knn[i][j].size(), knn[0][j].size());
+      for (size_t k = 0; k < knn[0][j].size(); ++k) {
+        EXPECT_EQ(knn[i][j][k].id, knn[0][j][k].id);
+        EXPECT_EQ(knn[i][j][k].dist, knn[0][j][k].dist);
+      }
+    }
   }
 }
 
