@@ -12,13 +12,23 @@
 // speedup depends on the hardware (a single-core container measures ~1x
 // by construction) and is reported, not asserted.
 //
+// A second section, batch_blocking, pits the frozen query-major path
+// (BatchMode::kQueryMajor) against the block-major batch engine across
+// batch sizes {1, 8, 64, 256} on LAESA and EPT*, single-threaded so the
+// measured ratio is pure cache blocking.  Before timing, it asserts the
+// engine's exactness contract: per-query results AND per-query
+// compdists must be bit-identical between the two modes.  The
+// acceptance target is >= 1.3x MRQ/kNN QPS at batch >= 64.
+//
 // Emits one JSON document to stdout (progress chatter on stderr):
 //
 //   ./bench_throughput --threads 8 | python3 -m json.tool
 //
 // Environment: PMI_TP_N (cardinality, default 20000), PMI_TP_QUERIES
 // (batch size, default 200), PMI_TP_REPEATS (best-of, default 3),
-// PMI_TP_THREADS (max thread count, default 4; --threads overrides).
+// PMI_TP_THREADS (max thread count, default 4; --threads overrides),
+// PMI_TP_BATCH_N (batch_blocking cardinality, default 60000 -- sized so
+// the pivot table overflows L2 and the re-streaming cost is visible).
 
 #include <algorithm>
 #include <cinttypes>
@@ -133,6 +143,90 @@ SweepPoint RunAtThreads(MakeIndexFn&& make_index, const BenchDataset& bd,
   }
   p.mrq_ms = best_mrq * 1e3;
   p.knn_ms = best_knn * 1e3;
+  return p;
+}
+
+/// One batch_blocking measurement: query-major vs block-major for one
+/// (index, batch size) cell, single-threaded.
+struct BlockingPoint {
+  double mrq_qm_ms = 0, mrq_bm_ms = 0;  // query-major / block-major
+  double knn_qm_ms = 0, knn_bm_ms = 0;
+  bool match = true;  // results + per-query compdists identical
+};
+
+bool SameResults(const std::vector<std::vector<ObjectId>>& a,
+                 const std::vector<std::vector<ObjectId>>& b) {
+  return a == b;
+}
+
+bool SameResults(const std::vector<std::vector<Neighbor>>& a,
+                 const std::vector<std::vector<Neighbor>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (a[i][j].id != b[i][j].id || a[i][j].dist != b[i][j].dist) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SamePerQuery(const std::vector<OpStats>& a,
+                  const std::vector<OpStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].dist_computations != b[i].dist_computations ||
+        a[i].page_reads != b[i].page_reads ||
+        a[i].page_writes != b[i].page_writes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BlockingPoint RunBlockingPoint(MetricIndex* index,
+                               const std::vector<ObjectView>& queries,
+                               double r, uint32_t k, uint32_t repeats) {
+  BlockingPoint p;
+  const std::vector<double> radii(queries.size(), r);
+  const std::vector<size_t> ks(queries.size(), k);
+
+  // Equivalence first: the two modes must agree on results and
+  // per-query compdists before their timings mean anything.
+  std::vector<std::vector<ObjectId>> mrq_qm, mrq_bm;
+  std::vector<std::vector<Neighbor>> knn_qm, knn_bm;
+  std::vector<OpStats> pq_qm, pq_bm;
+  index->RangeQueryBatch(queries, radii, &mrq_qm, &pq_qm,
+                         BatchMode::kQueryMajor);
+  index->RangeQueryBatch(queries, radii, &mrq_bm, &pq_bm, BatchMode::kAuto);
+  p.match = SameResults(mrq_qm, mrq_bm) && SamePerQuery(pq_qm, pq_bm);
+  index->KnnQueryBatch(queries, ks, &knn_qm, &pq_qm, BatchMode::kQueryMajor);
+  index->KnnQueryBatch(queries, ks, &knn_bm, &pq_bm, BatchMode::kAuto);
+  p.match = p.match && SameResults(knn_qm, knn_bm) && SamePerQuery(pq_qm, pq_bm);
+
+  double best_mrq_qm = 1e300, best_mrq_bm = 1e300;
+  double best_knn_qm = 1e300, best_knn_bm = 1e300;
+  for (uint32_t rep = 0; rep < repeats; ++rep) {
+    best_mrq_qm = std::min(
+        best_mrq_qm, index->RangeQueryBatch(queries, radii, &mrq_qm, nullptr,
+                                            BatchMode::kQueryMajor)
+                         .seconds);
+    best_mrq_bm = std::min(
+        best_mrq_bm,
+        index->RangeQueryBatch(queries, radii, &mrq_bm).seconds);
+    best_knn_qm = std::min(
+        best_knn_qm, index->KnnQueryBatch(queries, ks, &knn_qm, nullptr,
+                                          BatchMode::kQueryMajor)
+                         .seconds);
+    best_knn_bm = std::min(best_knn_bm,
+                           index->KnnQueryBatch(queries, ks, &knn_bm).seconds);
+  }
+  p.mrq_qm_ms = best_mrq_qm * 1e3;
+  p.mrq_bm_ms = best_mrq_bm * 1e3;
+  p.knn_qm_ms = best_knn_qm * 1e3;
+  p.knn_bm_ms = best_knn_bm * 1e3;
   return p;
 }
 
@@ -254,23 +348,97 @@ int main(int argc, char** argv) {
                    knn_speedup);
     }
   }
+  // ---- batch_blocking: query-major (frozen) vs block-major ----------------
+  // Single-threaded on its own, larger dataset: the pivot table must
+  // overflow the cache hierarchy levels that a per-query re-stream can
+  // hide in before the block-major win is measurable.
+  ThreadPool::SetGlobalThreads(1);
+  const uint32_t batch_n = std::max(EnvU32("PMI_TP_BATCH_N", 60000), 512u);
+  std::fprintf(stderr, "batch_blocking: n=%u (single-threaded)\n", batch_n);
+  BenchDataset bbd = MakeBenchDataset(BenchDatasetId::kSynthetic, batch_n, 7);
+  PivotSelectionOptions bpo;
+  bpo.sample_size = std::min<uint32_t>(batch_n, 1000);
+  bpo.pair_sample = 400;
+  PivotSet bpivots = SelectSharedPivots(bbd.data, *bbd.metric, 5, bpo);
+  DistanceDistribution bdist =
+      EstimateDistribution(bbd.data, *bbd.metric, 4000, 3);
+  const double br = bdist.RadiusForSelectivity(0.01);
+  Rng brng(1234);
+  std::vector<uint32_t> bqids = SampleDistinct(batch_n, 256, brng);
+  std::vector<ObjectView> bqueries;
+  bqueries.reserve(bqids.size());
+  for (uint32_t q : bqids) bqueries.push_back(bbd.data.view(q));
+
+  bool blocking_match = true;
+  // Per index: best speedup observed at batch >= 64 (the acceptance
+  // point); the summary reports the minimum across indexes, i.e. "every
+  // index reaches at least this".
+  double blocking_speedup = 1e300;
+  for (const IndexCase& c : cases) {
+    auto index = c.make();
+    index->Build(bbd.data, *bbd.metric, bpivots);
+    double best64 = 0;
+    for (uint32_t batch : {1u, 8u, 64u, 256u}) {
+      const std::vector<ObjectView> sub(bqueries.begin(),
+                                        bqueries.begin() + batch);
+      BlockingPoint p = RunBlockingPoint(index.get(), sub, br, k, repeats);
+      blocking_match &= p.match;
+      const double mrq_speedup =
+          p.mrq_bm_ms > 0 ? p.mrq_qm_ms / p.mrq_bm_ms : 0;
+      const double knn_speedup =
+          p.knn_bm_ms > 0 ? p.knn_qm_ms / p.knn_bm_ms : 0;
+      if (batch >= 64) {
+        best64 = std::max({best64, mrq_speedup, knn_speedup});
+      }
+      char extra[768];
+      std::snprintf(
+          extra, sizeof(extra),
+          "\"index\": \"%s\", \"batch\": %u, %s, %s, %s, %s, %s, %s, %s, %s, "
+          "%s, %s",
+          c.name, batch, Num("mrq_qm_ms", p.mrq_qm_ms).c_str(),
+          Num("mrq_bm_ms", p.mrq_bm_ms).c_str(),
+          Num("mrq_bm_qps",
+              p.mrq_bm_ms > 0 ? batch / (p.mrq_bm_ms / 1e3) : 0)
+              .c_str(),
+          Num("mrq_speedup", mrq_speedup).c_str(),
+          Num("knn_qm_ms", p.knn_qm_ms).c_str(),
+          Num("knn_bm_ms", p.knn_bm_ms).c_str(),
+          Num("knn_bm_qps",
+              p.knn_bm_ms > 0 ? batch / (p.knn_bm_ms / 1e3) : 0)
+              .c_str(),
+          Num("knn_speedup", knn_speedup).c_str(),
+          Num("n", batch_n).c_str(),
+          p.match ? "\"match\": true" : "\"match\": false");
+      json.Result("batch_blocking", extra);
+      std::fprintf(stderr,
+                   "  %-6s batch %3u: MRQ %8.2f -> %8.2f ms (%.2fx), "
+                   "kNN %8.2f -> %8.2f ms (%.2fx)%s\n",
+                   c.name, batch, p.mrq_qm_ms, p.mrq_bm_ms, mrq_speedup,
+                   p.knn_qm_ms, p.knn_bm_ms, knn_speedup,
+                   p.match ? "" : "  MISMATCH");
+    }
+    blocking_speedup = std::min(blocking_speedup, best64);
+  }
   ThreadPool::SetGlobalThreads(0);  // back to PMI_THREADS / hardware default
 
-  char trailer[512];
+  char trailer[768];
   std::snprintf(
       trailer, sizeof(trailer),
       "  \"config\": {\"dataset\": \"Synthetic\", \"dim\": 20, \"n\": %u, "
       "\"queries\": %u, \"repeats\": %u, \"max_threads\": %u, "
-      "\"hardware_threads\": %u},\n"
+      "\"hardware_threads\": %u, \"batch_blocking_n\": %u},\n"
       "  \"checks\": {\"results_match\": %s, \"compdists_match\": %s, "
-      "\"batch_speedup_threads\": %u, \"batch_speedup\": %.3f}",
+      "\"batch_speedup_threads\": %u, \"batch_speedup\": %.3f, "
+      "\"batch_blocking_match\": %s, "
+      "\"batch_blocking_min_speedup_batch64\": %.3f}",
       n, num_queries, repeats, max_threads,
-      std::thread::hardware_concurrency(),
+      std::thread::hardware_concurrency(), batch_n,
       results_match ? "true" : "false", compdists_match ? "true" : "false",
-      tracked_threads, tracked_speedup);
+      tracked_threads, tracked_speedup, blocking_match ? "true" : "false",
+      blocking_speedup);
   json.End(trailer);
 
-  const bool ok = results_match && compdists_match;
+  const bool ok = results_match && compdists_match && blocking_match;
   if (!ok) std::fprintf(stderr, "bench_throughput: EQUIVALENCE CHECK FAILED\n");
   return ok ? 0 : 1;
 }

@@ -1,5 +1,8 @@
 #include "src/core/index.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace pmi {
 
 namespace {
@@ -9,6 +12,90 @@ namespace {
 // page size at which every storage structure can make progress.
 constexpr uint32_t kMinPageSize = 64;
 }  // namespace
+
+namespace {
+
+// Converts per-query counter shards into per-query OpStats.  `seconds`
+// stays 0: per-query wall time is not well defined once queries
+// interleave block by block, and the bit-identical contract between
+// execution modes could never hold for a timing anyway.
+void ShardsToStats(const std::vector<PerfCounters>& shards,
+                   std::vector<OpStats>* out) {
+  out->resize(shards.size());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    (*out)[i] = OpStats{};
+    (*out)[i].dist_computations = shards[i].dist_computations;
+    (*out)[i].page_reads = shards[i].page_reads;
+    (*out)[i].page_writes = shards[i].page_writes;
+  }
+}
+
+// Batch descriptors are parallel vectors; a length mismatch is a
+// programmer error at the harness layer (the facade validates its
+// requests before reaching here), but letting it through would read
+// past the threshold vector in release builds -- abort with a message
+// instead, matching MakeIndex's contract for unrecoverable misuse.
+void CheckBatchSizes(size_t queries, size_t thresholds, const char* what) {
+  if (queries != thresholds) {
+    std::fprintf(stderr,
+                 "MetricIndex batch: %zu queries but %zu %s -- the batch "
+                 "descriptor vectors must be parallel\n",
+                 queries, thresholds, what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+OpStats MetricIndex::RangeQueryBatch(const std::vector<ObjectView>& queries,
+                                     const std::vector<double>& radii,
+                                     std::vector<std::vector<ObjectId>>* out,
+                                     std::vector<OpStats>* per_query,
+                                     BatchMode mode) const {
+  CheckBatchSizes(queries.size(), radii.size(), "radii");
+  const size_t n = queries.size();
+  out->assign(n, {});
+  PerfCounters before = counters_;
+  Stopwatch watch;
+  std::vector<PerfCounters> shards(n);
+  bool handled = false;
+  if (mode == BatchMode::kAuto && n > 0 && block_major_batches()) {
+    handled = RangeBatchBlockImpl(queries, radii.data(), out, shards.data());
+  }
+  if (!handled) {
+    RunQueryMajor(n, shards.data(), [&](size_t i) {
+      RangeImpl(queries[i], radii[i], &(*out)[i]);
+    });
+  }
+  for (const PerfCounters& s : shards) counters_ += s;
+  if (per_query != nullptr) ShardsToStats(shards, per_query);
+  return Finish(before, watch);
+}
+
+OpStats MetricIndex::KnnQueryBatch(const std::vector<ObjectView>& queries,
+                                   const std::vector<size_t>& ks,
+                                   std::vector<std::vector<Neighbor>>* out,
+                                   std::vector<OpStats>* per_query,
+                                   BatchMode mode) const {
+  CheckBatchSizes(queries.size(), ks.size(), "neighbor counts");
+  const size_t n = queries.size();
+  out->assign(n, {});
+  PerfCounters before = counters_;
+  Stopwatch watch;
+  std::vector<PerfCounters> shards(n);
+  bool handled = false;
+  if (mode == BatchMode::kAuto && n > 0 && block_major_batches()) {
+    handled = KnnBatchBlockImpl(queries, ks.data(), out, shards.data());
+  }
+  if (!handled) {
+    RunQueryMajor(n, shards.data(), [&](size_t i) {
+      KnnImpl(queries[i], ks[i], &(*out)[i]);
+    });
+  }
+  for (const PerfCounters& s : shards) counters_ += s;
+  if (per_query != nullptr) ShardsToStats(shards, per_query);
+  return Finish(before, watch);
+}
 
 Status ValidateOptions(const IndexOptions& options) {
   if (options.page_size == 0) {

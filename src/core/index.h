@@ -79,6 +79,18 @@ struct IndexOptions {
 /// code uses the defaults.
 Status ValidateOptions(const IndexOptions& options);
 
+/// How a batch entry point executes its queries.
+enum class BatchMode : uint8_t {
+  /// Block-major (one pivot-table pass amortized over the whole batch)
+  /// when the index implements it, query-major otherwise.
+  kAuto = 0,
+  /// Force the query-major reference path: a loop of per-query *Impl
+  /// calls (parallelized over queries when allowed).  This is the frozen
+  /// baseline the batch-equivalence tests and bench_throughput's
+  /// batch_blocking section compare the block-major engine against.
+  kQueryMajor = 1,
+};
+
 /// Costs of one build / query / update operation.
 struct OpStats {
   uint64_t dist_computations = 0;
@@ -146,33 +158,60 @@ class MetricIndex {
   /// through the serial loop.
   virtual bool concurrent_queries() const { return false; }
 
-  /// Batch MRQ: answers MRQ(queries[i], r) into (*out)[i] for every i,
-  /// fanning the batch across the global ThreadPool when
-  /// concurrent_queries() allows.  Per-query result buffers are
-  /// element-private and per-thread counter shards are folded at the
-  /// barrier, so results and total compdists are identical to looping
-  /// RangeQuery -- at any thread count.  `seconds` is the wall-clock time
-  /// of the whole batch (the figure QPS derives from), not a per-thread
-  /// sum.  Like every MetricIndex operation, this is externally
-  /// synchronized: one operation per index instance at a time (the
-  /// non-atomic counters_ bookkeeping would race otherwise).  Concurrent
-  /// batches on *distinct* indexes are fine -- their pool regions
-  /// serialize, their accounting does not interleave.
+  /// True when this index implements the block-major batch engine
+  /// (RangeBatchBlockImpl / KnnBatchBlockImpl): batch queries walk the
+  /// pivot table block by block with every query of the batch filtered
+  /// against each cache-resident column slab, instead of re-streaming
+  /// the table once per query.  Results, compdists, and per-query stats
+  /// are bit-identical to the query-major path by contract
+  /// (tests/batch_invariance_test.cc pins this).
+  virtual bool block_major_batches() const { return false; }
+
+  /// Batch MRQ descriptor form: answers MRQ(queries[i], radii[i]) into
+  /// (*out)[i] for every i -- per-query thresholds, so callers can mix
+  /// selectivities in one batch.  Executes block-major when `mode`
+  /// allows and the index supports it, otherwise fans the query-major
+  /// loop across the global ThreadPool when concurrent_queries() allows.
+  /// Per-query result buffers are element-private and every distance
+  /// computation is counted into a per-query shard (folded into the
+  /// index total at the end), so results, total compdists, and the
+  /// optional `per_query` stats are identical across execution modes,
+  /// thread counts, and SIMD dispatch levels.  Per-query stats carry
+  /// compdists; `seconds` is meaningful only on the batch total (wall
+  /// clock of the whole batch, the QPS denominator) and page accesses of
+  /// a shared buffer pool (CPT) are accounted on the index total only.
+  /// Like every MetricIndex operation, this is externally synchronized:
+  /// one operation per index instance at a time (the non-atomic
+  /// counters_ bookkeeping would race otherwise).  Concurrent batches on
+  /// *distinct* indexes are fine -- their pool regions serialize, their
+  /// accounting does not interleave.
+  OpStats RangeQueryBatch(const std::vector<ObjectView>& queries,
+                          const std::vector<double>& radii,
+                          std::vector<std::vector<ObjectId>>* out,
+                          std::vector<OpStats>* per_query = nullptr,
+                          BatchMode mode = BatchMode::kAuto) const;
+
+  /// Uniform-radius convenience form of the batch MRQ descriptor.
   OpStats RangeQueryBatch(const std::vector<ObjectView>& queries, double r,
                           std::vector<std::vector<ObjectId>>* out) const {
-    out->assign(queries.size(), {});
-    return MeasureBatch(queries.size(), [&](size_t i) {
-      RangeImpl(queries[i], r, &(*out)[i]);
-    });
+    return RangeQueryBatch(queries, std::vector<double>(queries.size(), r),
+                           out);
   }
 
-  /// Batch MkNNQ; same contract as RangeQueryBatch.
+  /// Batch MkNNQ descriptor form; same contract as RangeQueryBatch, with
+  /// per-query neighbor counts.  The block-major path re-enters each
+  /// block with every query's current (shrinking) heap radius.
+  OpStats KnnQueryBatch(const std::vector<ObjectView>& queries,
+                        const std::vector<size_t>& ks,
+                        std::vector<std::vector<Neighbor>>* out,
+                        std::vector<OpStats>* per_query = nullptr,
+                        BatchMode mode = BatchMode::kAuto) const;
+
+  /// Uniform-k convenience form of the batch MkNNQ descriptor.
   OpStats KnnQueryBatch(const std::vector<ObjectView>& queries, size_t k,
                         std::vector<std::vector<Neighbor>>* out) const {
-    out->assign(queries.size(), {});
-    return MeasureBatch(queries.size(), [&](size_t i) {
-      KnnImpl(queries[i], k, &(*out)[i]);
-    });
+    return KnnQueryBatch(queries, std::vector<size_t>(queries.size(), k),
+                         out);
   }
 
   /// Serializes the post-build state of this index into `out` so a later
@@ -246,6 +285,36 @@ class MetricIndex {
     return UnimplementedError(name() + " does not implement snapshots");
   }
 
+  /// Block-major batch hooks.  An index that returns true from
+  /// block_major_batches() overrides these to answer the whole batch in
+  /// one block-major pass; returning false (the default) sends the batch
+  /// down the query-major loop.  `per_query` points at one PerfCounters
+  /// shard per query: every distance computation must be counted into
+  /// its query's shard (the entry point folds them into counters_ and
+  /// derives the per-query stats), and query i's results must be
+  /// bit-identical -- contents and order -- to what RangeImpl/KnnImpl
+  /// would produce for that query alone.
+  virtual bool RangeBatchBlockImpl(const std::vector<ObjectView>& queries,
+                                   const double* radii,
+                                   std::vector<std::vector<ObjectId>>* out,
+                                   PerfCounters* per_query) const {
+    (void)queries;
+    (void)radii;
+    (void)out;
+    (void)per_query;
+    return false;
+  }
+  virtual bool KnnBatchBlockImpl(const std::vector<ObjectView>& queries,
+                                 const size_t* ks,
+                                 std::vector<std::vector<Neighbor>>* out,
+                                 PerfCounters* per_query) const {
+    (void)queries;
+    (void)ks;
+    (void)out;
+    (void)per_query;
+    return false;
+  }
+
   /// Counting distance computer bound to this index's counters -- or, on
   /// a worker thread inside a parallel region, to that thread's
   /// CounterScope shard (folded back at the task boundary).
@@ -271,33 +340,43 @@ class MetricIndex {
     return Finish(before, watch);
   }
 
-  /// Batch template method: runs per_query(i) for i in [0, count), in
-  /// parallel over fixed chunks when allowed, serially otherwise.  The
-  /// parallel path counts into per-slot shards (every *Impl reaches its
-  /// counters through dist(), which honors the CounterScope each worker
-  /// opens) and folds them into counters_ at the barrier.
+  /// Query-major batch loop: runs per_query(i) for i in [0, count), in
+  /// parallel over fixed chunks when allowed, serially otherwise.  Each
+  /// query runs under a CounterScope over its own per_query shard (every
+  /// *Impl reaches its counters through dist(), which honors the
+  /// innermost scope), so the attribution is per query -- exact at any
+  /// thread count, since shards are element-indexed, not slot-indexed.
+  /// The caller folds the shards into counters_.
   template <typename PerQuery>
-  OpStats MeasureBatch(size_t count, PerQuery&& per_query) const {
-    PerfCounters before = counters_;
-    Stopwatch watch;
+  void RunQueryMajor(size_t count, PerfCounters* per_query,
+                     PerQuery&& fn) const {
     // Serial cases never touch Global(): a process that only runs
     // serial batches stays worker-thread-free.
-    if (!concurrent_queries() || count <= 1) {
-      for (size_t i = 0; i < count; ++i) per_query(i);
-      return Finish(before, watch);
+    if (concurrent_queries() && count > 1) {
+      ThreadPool& pool = ThreadPool::Global();
+      if (pool.size() > 1) {
+        ParallelFor(pool, count, [&](size_t begin, size_t end, unsigned) {
+          for (size_t i = begin; i < end; ++i) {
+            // Count into a stack-local shard and store once: adjacent
+            // per_query elements share cache lines across chunk
+            // boundaries, and a per-distance increment there would
+            // ping-pong the line between workers (the false sharing
+            // CounterShard's alignas(64) exists to avoid).
+            PerfCounters local;
+            {
+              CounterScope scope(&local);
+              fn(i);
+            }
+            per_query[i] += local;
+          }
+        });
+        return;
+      }
     }
-    ThreadPool& pool = ThreadPool::Global();
-    if (pool.size() <= 1) {
-      for (size_t i = 0; i < count; ++i) per_query(i);
-      return Finish(before, watch);
+    for (size_t i = 0; i < count; ++i) {
+      CounterScope scope(&per_query[i]);
+      fn(i);
     }
-    std::vector<CounterShard> shards(pool.size());
-    ParallelFor(pool, count, [&](size_t begin, size_t end, unsigned slot) {
-      CounterScope scope(&shards[slot].counters);
-      for (size_t i = begin; i < end; ++i) per_query(i);
-    });
-    FoldCounters(shards, &counters_);
-    return Finish(before, watch);
   }
 
   OpStats Finish(const PerfCounters& before, const Stopwatch& watch) const {

@@ -14,6 +14,11 @@ void PivotTable::PrepareFilterQuery(const double* phi_q,
                                     FilterQuery* fq) const {
   fq->ops = &SimdDispatch();
   fq->indirect = false;
+  // NaN compares unequal to every radius, so the first UpdateFilterRadius
+  // after a (re-)prepare always recomputes rw/rn -- a reused FilterQuery
+  // (the batch tiling loop) must never keep radii derived from the
+  // previous occupant's query values.
+  fq->r_cached = std::numeric_limits<double>::quiet_NaN();
   fq->qd = phi_q;
   fq->qf.resize(width_);
   fq->rw.resize(width_);
@@ -26,6 +31,7 @@ void PivotTable::PrepareFilterQueryIndirect(const double* d_qp,
                                             FilterQuery* fq) const {
   fq->ops = &SimdDispatch();
   fq->indirect = true;
+  fq->r_cached = std::numeric_limits<double>::quiet_NaN();  // see above
   fq->qd = d_qp;
   fq->qf.resize(pool_size);
   fq->rw.resize(1);
@@ -73,24 +79,13 @@ inline bool DenseEnough(unsigned divisor, size_t n, size_t count) {
 
 }  // namespace
 
-size_t PivotTable::FilterBlock(const FilterQuery& fq, size_t base,
-                               size_t count, uint32_t* surv) const {
-  if (width_ == 0) {  // no pivots: nothing prunes
-    for (size_t i = 0; i < count; ++i) surv[i] = static_cast<uint32_t>(i);
-    return count;
-  }
-  const SimdOps& ops = *fq.ops;
-  uint8_t keep[kScanBlock];
-  ExactSlot s;
-  s.colf = fcols_[0].data() + base;
-  s.cold = cols_[0].data() + base;
-  s.qf = fq.qf[0];
-  s.rw = fq.rw[0];
-  s.rn = fq.rn[0];
-  s.qd = fq.qd[0];
-  s.rd = fq.r_cached;
-  size_t n = ops.mask_sweep(s, count, keep);
+size_t PivotTable::ContinueCascade(const FilterQuery& fq, size_t base,
+                                   size_t count, size_t n, uint8_t* keep,
+                                   uint32_t* surv) const {
   if (n == 0) return 0;
+  const SimdOps& ops = *fq.ops;
+  ExactSlot s;
+  s.rd = fq.r_cached;
   uint32_t p = 1;
   for (; p < width_ && DenseEnough(ops.dense_divisor, n, count); ++p) {
     s.colf = fcols_[p].data() + base;
@@ -110,6 +105,55 @@ size_t PivotTable::FilterBlock(const FilterQuery& fq, size_t base,
   return n;
 }
 
+size_t PivotTable::ContinueCascadeIndirect(const FilterQuery& fq,
+                                           size_t base, size_t count,
+                                           size_t n, uint8_t* keep,
+                                           uint32_t* surv) const {
+  if (n == 0) return 0;
+  const SimdOps& ops = *fq.ops;
+  ExactSlotGather s;
+  s.qf_pool = fq.qf.data();
+  s.qd_pool = fq.qd;
+  s.rw = fq.rw[0];
+  s.rn = fq.rn[0];
+  s.rd = fq.r_cached;
+  uint32_t p = 1;
+  for (; p < width_ && DenseEnough(ops.dense_divisor_gather, n, count); ++p) {
+    s.colf = fcols_[p].data() + base;
+    s.cold = cols_[p].data() + base;
+    s.idx = pidx_cols_[p].data() + base;
+    n = ops.mask_and_gather(s, count, keep);
+    if (n == 0) return 0;
+  }
+  n = ops.compact(keep, count, surv);
+  for (; p < width_ && n > 0; ++p) {
+    n = ops.refine_f64_gather(cols_[p].data() + base,
+                              pidx_cols_[p].data() + base, fq.qd,
+                              fq.r_cached, surv, n);
+  }
+  return n;
+}
+
+size_t PivotTable::FilterBlock(const FilterQuery& fq, size_t base,
+                               size_t count, uint32_t* surv) const {
+  if (width_ == 0) {  // no pivots: nothing prunes
+    for (size_t i = 0; i < count; ++i) surv[i] = static_cast<uint32_t>(i);
+    return count;
+  }
+  const SimdOps& ops = *fq.ops;
+  uint8_t keep[kScanBlock];
+  ExactSlot s;
+  s.colf = fcols_[0].data() + base;
+  s.cold = cols_[0].data() + base;
+  s.qf = fq.qf[0];
+  s.rw = fq.rw[0];
+  s.rn = fq.rn[0];
+  s.qd = fq.qd[0];
+  s.rd = fq.r_cached;
+  const size_t n = ops.mask_sweep(s, count, keep);
+  return ContinueCascade(fq, base, count, n, keep, surv);
+}
+
 size_t PivotTable::FilterBlockIndirect(const FilterQuery& fq, size_t base,
                                        size_t count, uint32_t* surv) const {
   if (width_ == 0) {
@@ -127,23 +171,90 @@ size_t PivotTable::FilterBlockIndirect(const FilterQuery& fq, size_t base,
   s.rw = fq.rw[0];
   s.rn = fq.rn[0];
   s.rd = fq.r_cached;
-  size_t n = ops.mask_sweep_gather(s, count, keep);
-  if (n == 0) return 0;
-  uint32_t p = 1;
-  for (; p < width_ && DenseEnough(ops.dense_divisor_gather, n, count); ++p) {
-    s.colf = fcols_[p].data() + base;
-    s.cold = cols_[p].data() + base;
-    s.idx = pidx_cols_[p].data() + base;
-    n = ops.mask_and_gather(s, count, keep);
-    if (n == 0) return 0;
+  const size_t n = ops.mask_sweep_gather(s, count, keep);
+  return ContinueCascadeIndirect(fq, base, count, n, keep, surv);
+}
+
+void PivotTable::FilterBlockMulti(const FilterQuery* fqs, size_t nq,
+                                  size_t base, size_t count, uint8_t* keep,
+                                  uint32_t* surv, size_t* counts) const {
+  const size_t sstride = kScanBlock + kSurvWriteSlack;
+  if (width_ == 0) {  // no pivots: nothing prunes, for any query
+    for (size_t qi = 0; qi < nq; ++qi) {
+      uint32_t* sq = surv + qi * sstride;
+      for (size_t i = 0; i < count; ++i) sq[i] = static_cast<uint32_t>(i);
+      counts[qi] = count;
+    }
+    return;
   }
-  n = ops.compact(keep, count, surv);
-  for (; p < width_ && n > 0; ++p) {
-    n = ops.refine_f64_gather(cols_[p].data() + base,
-                              pidx_cols_[p].data() + base, fq.qd,
-                              fq.r_cached, surv, n);
+  const SimdOps& ops = *fqs[0].ops;
+  // Stage 0: the pivot-0 sweep for every query, one kMultiQueryTile
+  // group at a time -- the slab-load amortization the block-major
+  // engine exists for.
+  ExactSlot slots[kMultiQueryTile];
+  for (size_t t = 0; t < nq; t += kMultiQueryTile) {
+    const size_t m = std::min(kMultiQueryTile, nq - t);
+    for (size_t j = 0; j < m; ++j) {
+      const FilterQuery& fq = fqs[t + j];
+      ExactSlot& s = slots[j];
+      s.colf = fcols_[0].data() + base;
+      s.cold = cols_[0].data() + base;
+      s.qf = fq.qf[0];
+      s.rw = fq.rw[0];
+      s.rn = fq.rn[0];
+      s.qd = fq.qd[0];
+      s.rd = fq.r_cached;
+    }
+    ops.mask_sweep_multi(slots, m, count, keep + t * size_t(kScanBlock),
+                         kScanBlock, counts + t);
   }
-  return n;
+  // Per-query continuation: the exact FilterBlock cascade, over column
+  // slabs the stage-0 pass just made block-resident.
+  for (size_t qi = 0; qi < nq; ++qi) {
+    counts[qi] =
+        ContinueCascade(fqs[qi], base, count, counts[qi],
+                        keep + qi * size_t(kScanBlock), surv + qi * sstride);
+  }
+}
+
+void PivotTable::FilterBlockIndirectMulti(const FilterQuery* fqs, size_t nq,
+                                          size_t base, size_t count,
+                                          uint8_t* keep, uint32_t* surv,
+                                          size_t* counts) const {
+  const size_t sstride = kScanBlock + kSurvWriteSlack;
+  if (width_ == 0) {
+    for (size_t qi = 0; qi < nq; ++qi) {
+      uint32_t* sq = surv + qi * sstride;
+      for (size_t i = 0; i < count; ++i) sq[i] = static_cast<uint32_t>(i);
+      counts[qi] = count;
+    }
+    return;
+  }
+  const SimdOps& ops = *fqs[0].ops;
+  ExactSlotGather slots[kMultiQueryTile];
+  for (size_t t = 0; t < nq; t += kMultiQueryTile) {
+    const size_t m = std::min(kMultiQueryTile, nq - t);
+    for (size_t j = 0; j < m; ++j) {
+      const FilterQuery& fq = fqs[t + j];
+      ExactSlotGather& s = slots[j];
+      s.colf = fcols_[0].data() + base;
+      s.cold = cols_[0].data() + base;
+      s.idx = pidx_cols_[0].data() + base;
+      s.qf_pool = fq.qf.data();
+      s.qd_pool = fq.qd;
+      s.rw = fq.rw[0];
+      s.rn = fq.rn[0];
+      s.rd = fq.r_cached;
+    }
+    ops.mask_sweep_gather_multi(slots, m, count,
+                                keep + t * size_t(kScanBlock), kScanBlock,
+                                counts + t);
+  }
+  for (size_t qi = 0; qi < nq; ++qi) {
+    counts[qi] = ContinueCascadeIndirect(fqs[qi], base, count, counts[qi],
+                                         keep + qi * size_t(kScanBlock),
+                                         surv + qi * sstride);
+  }
 }
 
 void PivotTable::RangeScan(const double* phi_q, double r,

@@ -58,6 +58,15 @@ class PivotTable {
   /// L1-resident.
   static constexpr uint32_t kScanBlock = 256;
 
+  /// Queries per block-major scan tile.  The block-major scans carry
+  /// ~1.4 KB of mask + survivor scratch per query; an unbounded batch
+  /// would grow that working set past the caches the engine exists to
+  /// exploit (and thrash every block against it).  Batches larger than
+  /// this stream the table once per tile instead -- the amortization
+  /// saturates long before 256 queries, so the extra passes cost
+  /// nothing measurable while the scratch stays ~350 KB.
+  static constexpr size_t kScanBatchTile = 256;
+
   PivotTable() = default;
 
   /// Clears the table and sets the number of pivot slots per row.
@@ -259,6 +268,112 @@ class PivotTable {
     ScanDynamicIndirect(d_qp, pool_size, radius, verify, [](size_t) {});
   }
 
+  /// Block-major batch scan (shared-pivot form), the core of the batch
+  /// query engine: for each kScanBlock row block, runs the filter
+  /// cascade for ALL `nq` queries while the block's column slabs are
+  /// cache-resident -- one slab load amortized over the whole batch
+  /// (FilterBlockMulti), instead of re-streaming every column once per
+  /// query as a query-major loop does.
+  ///
+  /// Per query the execution is EXACTLY the ScanDynamic sequence:
+  /// radius(qi) is read at block entry for the bulk f32 filter (the
+  /// MkNNQ re-entry point -- a shrinking heap radius is picked up block
+  /// by block), and each filter survivor is re-checked against the
+  /// double columns at the CURRENT radius(qi) before verify(qi, row)
+  /// runs.  Queries only interleave at block boundaries and share no
+  /// state, so per-query filter decisions, verification calls (count
+  /// and order), and results are bit-identical to running the
+  /// single-query scans query by query, at every SIMD dispatch level.
+  /// MRQ callers pass a constant radius (the re-check then passes every
+  /// survivor, matching RangeScan's candidate list); prefetch(qi, row)
+  /// runs for every f32 survivor of a (block, query) pair before that
+  /// pair's re-checks, mirroring ScanDynamic's batched-verification
+  /// hook.  phi(qi) must return a pointer that stays valid for the
+  /// whole scan.  Batches beyond kScanBatchTile are tiled: each tile
+  /// runs the full block loop on its own bounded scratch (a query's own
+  /// block order -- the MkNNQ radius chain -- is untouched by tiling).
+  template <typename PhiFn, typename RadiusFn, typename VerifyFn,
+            typename PrefetchFn>
+  void ScanBlockMajor(size_t nq, PhiFn&& phi, RadiusFn&& radius,
+                      VerifyFn&& verify, PrefetchFn&& prefetch) const {
+    if (nq == 0 || rows_ == 0) return;
+    const size_t sstride = kScanBlock + kSurvWriteSlack;
+    const size_t tile = std::min(nq, kScanBatchTile);
+    std::vector<FilterQuery> fqs(tile);
+    std::vector<const double*> phis(tile);
+    std::vector<uint8_t> keep(tile * size_t(kScanBlock));
+    std::vector<uint32_t> surv(tile * sstride);
+    std::vector<size_t> counts(tile);
+    for (size_t t0 = 0; t0 < nq; t0 += tile) {
+      const size_t m = std::min(tile, nq - t0);
+      for (size_t j = 0; j < m; ++j) {
+        phis[j] = phi(t0 + j);
+        PrepareFilterQuery(phis[j], &fqs[j]);
+      }
+      for (size_t base = 0; base < rows_; base += kScanBlock) {
+        const size_t count = std::min<size_t>(kScanBlock, rows_ - base);
+        for (size_t j = 0; j < m; ++j) {
+          UpdateFilterRadius(radius(t0 + j), &fqs[j]);
+        }
+        FilterBlockMulti(fqs.data(), m, base, count, keep.data(),
+                         surv.data(), counts.data());
+        for (size_t j = 0; j < m; ++j) {
+          const size_t qi = t0 + j;
+          const uint32_t* s = surv.data() + j * sstride;
+          for (size_t i = 0; i < counts[j]; ++i) prefetch(qi, base + s[i]);
+          for (size_t i = 0; i < counts[j]; ++i) {
+            const size_t row = base + s[i];
+            if (RowSurvives(row, phis[j], radius(qi))) verify(qi, row);
+          }
+        }
+      }
+    }
+  }
+
+  /// Per-row-pivot form of ScanBlockMajor; d_qp(qi) maps pool pivot
+  /// index -> d(q_qi, p) with `pool_size` entries (one pool shared by
+  /// the batch, per-query distances).
+  template <typename DqpFn, typename RadiusFn, typename VerifyFn,
+            typename PrefetchFn>
+  void ScanBlockMajorIndirect(size_t nq, uint32_t pool_size, DqpFn&& d_qp,
+                              RadiusFn&& radius, VerifyFn&& verify,
+                              PrefetchFn&& prefetch) const {
+    if (nq == 0 || rows_ == 0) return;
+    const size_t sstride = kScanBlock + kSurvWriteSlack;
+    const size_t tile = std::min(nq, kScanBatchTile);
+    std::vector<FilterQuery> fqs(tile);
+    std::vector<const double*> dqps(tile);
+    std::vector<uint8_t> keep(tile * size_t(kScanBlock));
+    std::vector<uint32_t> surv(tile * sstride);
+    std::vector<size_t> counts(tile);
+    for (size_t t0 = 0; t0 < nq; t0 += tile) {
+      const size_t m = std::min(tile, nq - t0);
+      for (size_t j = 0; j < m; ++j) {
+        dqps[j] = d_qp(t0 + j);
+        PrepareFilterQueryIndirect(dqps[j], pool_size, &fqs[j]);
+      }
+      for (size_t base = 0; base < rows_; base += kScanBlock) {
+        const size_t count = std::min<size_t>(kScanBlock, rows_ - base);
+        for (size_t j = 0; j < m; ++j) {
+          UpdateFilterRadius(radius(t0 + j), &fqs[j]);
+        }
+        FilterBlockIndirectMulti(fqs.data(), m, base, count, keep.data(),
+                                 surv.data(), counts.data());
+        for (size_t j = 0; j < m; ++j) {
+          const size_t qi = t0 + j;
+          const uint32_t* s = surv.data() + j * sstride;
+          for (size_t i = 0; i < counts[j]; ++i) prefetch(qi, base + s[i]);
+          for (size_t i = 0; i < counts[j]; ++i) {
+            const size_t row = base + s[i];
+            if (RowSurvivesIndirect(row, dqps[j], radius(qi))) {
+              verify(qi, row);
+            }
+          }
+        }
+      }
+    }
+  }
+
   size_t memory_bytes() const {
     return size_t(rows_) * width_ *
            (sizeof(double) + sizeof(float) +
@@ -317,6 +432,33 @@ class PivotTable {
                      uint32_t* surv) const;
   size_t FilterBlockIndirect(const FilterQuery& fq, size_t base,
                              size_t count, uint32_t* surv) const;
+
+  /// The cascade stages after the pivot-0 sweep -- dense mask-ANDs while
+  /// profitable, compaction, then f64 refines over the sparse survivor
+  /// list.  ONE implementation shared by the single-query FilterBlock*
+  /// and the per-query continuations of FilterBlockMulti*, so the
+  /// block-major == query-major bit-identity holds by construction, not
+  /// by parallel maintenance.  `n` is the pivot-0 survivor count over
+  /// `keep`; returns the final count with survivors in `surv`.
+  size_t ContinueCascade(const FilterQuery& fq, size_t base, size_t count,
+                         size_t n, uint8_t* keep, uint32_t* surv) const;
+  size_t ContinueCascadeIndirect(const FilterQuery& fq, size_t base,
+                                 size_t count, size_t n, uint8_t* keep,
+                                 uint32_t* surv) const;
+
+  /// Batch forms of FilterBlock: one block, `nq` prepared queries.  The
+  /// pivot-0 sweep runs through the multi-query kernels in tiles of
+  /// kMultiQueryTile (one slab load per row chunk for the whole tile);
+  /// each query's cascade then continues exactly as in FilterBlock, so
+  /// query qi's survivor row (surv + qi * (kScanBlock + kSurvWriteSlack),
+  /// count in counts[qi]) is identical to what FilterBlock would return
+  /// for that query alone.  `keep` is nq * kScanBlock scratch bytes.
+  void FilterBlockMulti(const FilterQuery* fqs, size_t nq, size_t base,
+                        size_t count, uint8_t* keep, uint32_t* surv,
+                        size_t* counts) const;
+  void FilterBlockIndirectMulti(const FilterQuery* fqs, size_t nq,
+                                size_t base, size_t count, uint8_t* keep,
+                                uint32_t* surv, size_t* counts) const;
 
   uint32_t width_ = 0;
   size_t rows_ = 0;

@@ -158,6 +158,26 @@ size_t RefineF64GatherScalar(const double* __restrict col,
   return m;
 }
 
+// Scalar multi-query sweeps: without vector registers there is nothing
+// to share per load (the block's double column is L1-resident either
+// way), so the multi form is simply the single-query sweep per tile
+// query -- same predicate, same masks, minimal code.
+void MaskSweepMultiScalar(const ExactSlot* slots, size_t nq, size_t count,
+                          uint8_t* keep, size_t keep_stride, size_t* counts) {
+  for (size_t qi = 0; qi < nq; ++qi) {
+    counts[qi] = MaskSweepScalar(slots[qi], count, keep + qi * keep_stride);
+  }
+}
+
+void MaskSweepGatherMultiScalar(const ExactSlotGather* slots, size_t nq,
+                                size_t count, uint8_t* keep,
+                                size_t keep_stride, size_t* counts) {
+  for (size_t qi = 0; qi < nq; ++qi) {
+    counts[qi] =
+        MaskSweepGatherScalar(slots[qi], count, keep + qi * keep_stride);
+  }
+}
+
 #if PMI_SIMD_X86
 
 // ---------------------------------------------------------------------------
@@ -334,6 +354,302 @@ __attribute__((target("avx2,fma"))) size_t MaskAndGatherAvx2(
   }
   if (amb != 0) n = ResolveAmbiguousGather(s, count, keep);
   return n;
+}
+
+// Multi-query sweep: one slab load per 8 rows serves every query of a
+// register-resident group -- the register-level form of the block-major
+// amortization.  The group size G is a compile-time constant chosen so
+// the 3 broadcast registers per query (query value, wide radius, narrow
+// radius) all stay in ymm registers across the row loop; a dynamic
+// query count would spill them to the stack and the reloads would cost
+// more than the shared column load saves.  Groups walk the same
+// L1-resident slab, so re-streaming it tile/G times is nearly free.
+// Mask bytes and counts per query match MaskSweepAvx2 exactly (same
+// lane expressions, same resolver).
+template <size_t G>
+__attribute__((target("avx2,fma"))) void MaskSweepMultiAvx2Group(
+    const ExactSlot* slots, size_t count, uint8_t* keep, size_t keep_stride,
+    size_t* counts) {
+  __m256 vq[G], vrw[G], vrn[G];
+  unsigned amb[G];
+  size_t cnt[G];
+  for (size_t j = 0; j < G; ++j) {
+    vq[j] = _mm256_set1_ps(slots[j].qf);
+    vrw[j] = _mm256_set1_ps(slots[j].rw);
+    vrn[j] = _mm256_set1_ps(slots[j].rn);
+    amb[j] = 0;
+    cnt[j] = 0;
+  }
+  const __m256 vmax = _mm256_set1_ps(kFltMax);
+  const float* colf = slots[0].colf;
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256 x = _mm256_loadu_ps(colf + i);
+    for (size_t j = 0; j < G; ++j) {
+      unsigned mw, mc;
+      Masks8(x, vq[j], vrw[j], vrn[j], vmax, &mw, &mc);
+      const uint64_t bytes = kByteExpand.v[mw];
+      std::memcpy(keep + j * keep_stride + i, &bytes, 8);
+      cnt[j] += static_cast<size_t>(__builtin_popcount(mw));
+      amb[j] |= mw & ~mc;
+    }
+  }
+  for (; i < count; ++i) {
+    const float x = colf[i];
+    for (size_t j = 0; j < G; ++j) {
+      const float d = std::fabs(x - slots[j].qf);
+      const uint8_t kw = d <= slots[j].rw;
+      const uint8_t kc = (d <= slots[j].rn) & (std::fabs(x) < kFltMax);
+      keep[j * keep_stride + i] = kw;
+      cnt[j] += kw;
+      amb[j] |= kw & (kc ^ 1);
+    }
+  }
+  for (size_t j = 0; j < G; ++j) {
+    counts[j] = amb[j] != 0
+                    ? ResolveAmbiguous(slots[j], count, keep + j * keep_stride)
+                    : cnt[j];
+  }
+}
+
+void MaskSweepMultiAvx2(const ExactSlot* slots, size_t nq, size_t count,
+                        uint8_t* keep, size_t keep_stride, size_t* counts) {
+  size_t t = 0;
+  for (; t + 4 <= nq; t += 4) {
+    MaskSweepMultiAvx2Group<4>(slots + t, count, keep + t * keep_stride,
+                               keep_stride, counts + t);
+  }
+  for (; t < nq; ++t) {
+    counts[t] = MaskSweepAvx2(slots[t], count, keep + t * keep_stride);
+  }
+}
+
+// Per-row-pivot multi sweep: the cell and pool-index loads are shared
+// across the group; only the per-query pool gather differs.
+template <size_t G>
+__attribute__((target("avx2,fma"))) void MaskSweepGatherMultiAvx2Group(
+    const ExactSlotGather* slots, size_t count, uint8_t* keep,
+    size_t keep_stride, size_t* counts) {
+  __m256 vrw[G], vrn[G];
+  unsigned amb[G];
+  size_t cnt[G];
+  for (size_t j = 0; j < G; ++j) {
+    vrw[j] = _mm256_set1_ps(slots[j].rw);
+    vrn[j] = _mm256_set1_ps(slots[j].rn);
+    amb[j] = 0;
+    cnt[j] = 0;
+  }
+  const __m256 vmax = _mm256_set1_ps(kFltMax);
+  const float* colf = slots[0].colf;
+  const uint32_t* idx = slots[0].idx;
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256 x = _mm256_loadu_ps(colf + i);
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    for (size_t j = 0; j < G; ++j) {
+      const __m256 vq = _mm256_i32gather_ps(slots[j].qf_pool, vidx, 4);
+      unsigned mw, mc;
+      Masks8(x, vq, vrw[j], vrn[j], vmax, &mw, &mc);
+      const uint64_t bytes = kByteExpand.v[mw];
+      std::memcpy(keep + j * keep_stride + i, &bytes, 8);
+      cnt[j] += static_cast<size_t>(__builtin_popcount(mw));
+      amb[j] |= mw & ~mc;
+    }
+  }
+  for (; i < count; ++i) {
+    const float x = colf[i];
+    for (size_t j = 0; j < G; ++j) {
+      const float d = std::fabs(x - slots[j].qf_pool[idx[i]]);
+      const uint8_t kw = d <= slots[j].rw;
+      const uint8_t kc = (d <= slots[j].rn) & (std::fabs(x) < kFltMax);
+      keep[j * keep_stride + i] = kw;
+      cnt[j] += kw;
+      amb[j] |= kw & (kc ^ 1);
+    }
+  }
+  for (size_t j = 0; j < G; ++j) {
+    counts[j] = amb[j] != 0 ? ResolveAmbiguousGather(slots[j], count,
+                                                     keep + j * keep_stride)
+                            : cnt[j];
+  }
+}
+
+void MaskSweepGatherMultiAvx2(const ExactSlotGather* slots, size_t nq,
+                              size_t count, uint8_t* keep,
+                              size_t keep_stride, size_t* counts) {
+  size_t t = 0;
+  for (; t + 4 <= nq; t += 4) {
+    MaskSweepGatherMultiAvx2Group<4>(slots + t, count, keep + t * keep_stride,
+                                     keep_stride, counts + t);
+  }
+  for (; t < nq; ++t) {
+    counts[t] = MaskSweepGatherAvx2(slots[t], count, keep + t * keep_stride);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 compress-store emulation.  AVX2 has no compress instruction, so
+// compaction and the refine kernels previously fell back to scalar; a
+// 256-entry shuffle LUT closes most of that gap: each 8-bit survivor
+// mask maps to the packed lane ids of its set bits, which
+// vpermd (permutevar8x32) applies to left-pack 8 dword indices in two
+// instructions.  Stores always write a full 8-lane register and advance
+// by popcount, exactly like the AVX-512 compress-stores -- callers
+// already guarantee kSurvWriteSlack lanes of slack past the survivor
+// count.
+// ---------------------------------------------------------------------------
+
+struct CompressLutTable {
+  alignas(64) uint64_t v[256];
+};
+
+const CompressLutTable kCompressLut = [] {
+  CompressLutTable t{};
+  for (int m = 0; m < 256; ++m) {
+    uint64_t packed = 0;
+    int pos = 0;
+    for (int b = 0; b < 8; ++b) {
+      if (m & (1 << b)) packed |= uint64_t(b) << (8 * pos++);
+    }
+    t.v[m] = packed;
+  }
+  return t;
+}();
+
+// Left-packs the 8 dwords of `ids` selected by mask `m` (LSB = lane 0)
+// to the front of the returned register.
+__attribute__((target("avx2"))) inline __m256i Compress8(__m256i ids,
+                                                         unsigned m) {
+  const __m256i perm =
+      _mm256_cvtepu8_epi32(_mm_cvtsi64_si128(int64_t(kCompressLut.v[m])));
+  return _mm256_permutevar8x32_epi32(ids, perm);
+}
+
+__attribute__((target("avx2"))) size_t CompactAvx2(const uint8_t* keep,
+                                                   size_t count,
+                                                   uint32_t* surv) {
+  const __m256i iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m128i zero = _mm_setzero_si128();
+  size_t n = 0, i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keep + i));
+    const unsigned m16 = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpgt_epi8(b, zero)));
+    const unsigned lo = m16 & 0xff, hi = m16 >> 8;
+    if (lo != 0) {
+      const __m256i ids =
+          _mm256_add_epi32(iota, _mm256_set1_epi32(static_cast<int>(i)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(surv + n),
+                          Compress8(ids, lo));
+      n += static_cast<size_t>(__builtin_popcount(lo));
+    }
+    if (hi != 0) {
+      const __m256i ids =
+          _mm256_add_epi32(iota, _mm256_set1_epi32(static_cast<int>(i + 8)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(surv + n),
+                          Compress8(ids, hi));
+      n += static_cast<size_t>(__builtin_popcount(hi));
+    }
+  }
+  for (; i < count; ++i) {
+    surv[n] = static_cast<uint32_t>(i);
+    n += keep[i];
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) inline __m256d AbsPd(__m256d v) {
+  return _mm256_and_pd(
+      v, _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL)));
+}
+
+// Full-mask gathers with a zeroed source register: identical lanes to
+// the plain gather intrinsics, without the undefined source operand
+// that trips -Wmaybe-uninitialized.
+__attribute__((target("avx2"))) inline __m256d GatherPd(const double* base,
+                                                        __m128i idx) {
+  return _mm256_mask_i32gather_pd(
+      _mm256_setzero_pd(), base, idx,
+      _mm256_castsi256_pd(_mm256_set1_epi64x(-1)), 8);
+}
+
+__attribute__((target("avx2"))) inline __m256i GatherEpi32(
+    const uint32_t* base, __m256i idx) {
+  return _mm256_mask_i32gather_epi32(_mm256_setzero_si256(),
+                                     reinterpret_cast<const int*>(base), idx,
+                                     _mm256_set1_epi32(-1), 4);
+}
+
+// In-place survivor refinement against a double column: two 4-double
+// gathers per 8 survivors, one LUT compress per verdict byte.  The
+// write cursor never passes the read cursor (m <= j), and each store's
+// source lanes were loaded before the store, so in-place narrowing is
+// safe exactly as in the AVX-512 kernels.
+__attribute__((target("avx2"))) size_t RefineF64Avx2(const double* col,
+                                                     double q, double r,
+                                                     uint32_t* surv,
+                                                     size_t n) {
+  const __m256d vq = _mm256_set1_pd(q);
+  const __m256d vr = _mm256_set1_pd(r);
+  size_t m = 0, j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256i sv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(surv + j));
+    const __m128i sv_lo = _mm256_castsi256_si128(sv);
+    const __m128i sv_hi = _mm256_extracti128_si256(sv, 1);
+    const __m256d v0 = GatherPd(col, sv_lo);
+    const __m256d v1 = GatherPd(col, sv_hi);
+    const unsigned k0 = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_cmp_pd(AbsPd(_mm256_sub_pd(v0, vq)), vr, _CMP_LE_OQ)));
+    const unsigned k1 = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_cmp_pd(AbsPd(_mm256_sub_pd(v1, vq)), vr, _CMP_LE_OQ)));
+    const unsigned k = k0 | (k1 << 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(surv + m),
+                        Compress8(sv, k));
+    m += static_cast<size_t>(__builtin_popcount(k));
+  }
+  for (; j < n; ++j) {
+    const uint32_t i = surv[j];
+    surv[m] = i;
+    m += std::fabs(col[i] - q) <= r;
+  }
+  return m;
+}
+
+__attribute__((target("avx2"))) size_t RefineF64GatherAvx2(
+    const double* col, const uint32_t* idx, const double* q_of_pivot,
+    double r, uint32_t* surv, size_t n) {
+  const __m256d vr = _mm256_set1_pd(r);
+  size_t m = 0, j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256i sv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(surv + j));
+    const __m128i sv_lo = _mm256_castsi256_si128(sv);
+    const __m128i sv_hi = _mm256_extracti128_si256(sv, 1);
+    const __m256i vidx = GatherEpi32(idx, sv);
+    const __m128i vidx_lo = _mm256_castsi256_si128(vidx);
+    const __m128i vidx_hi = _mm256_extracti128_si256(vidx, 1);
+    const __m256d q0 = GatherPd(q_of_pivot, vidx_lo);
+    const __m256d q1 = GatherPd(q_of_pivot, vidx_hi);
+    const __m256d v0 = GatherPd(col, sv_lo);
+    const __m256d v1 = GatherPd(col, sv_hi);
+    const unsigned k0 = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_cmp_pd(AbsPd(_mm256_sub_pd(v0, q0)), vr, _CMP_LE_OQ)));
+    const unsigned k1 = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_cmp_pd(AbsPd(_mm256_sub_pd(v1, q1)), vr, _CMP_LE_OQ)));
+    const unsigned k = k0 | (k1 << 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(surv + m),
+                        Compress8(sv, k));
+    m += static_cast<size_t>(__builtin_popcount(k));
+  }
+  for (; j < n; ++j) {
+    const uint32_t i = surv[j];
+    surv[m] = i;
+    m += std::fabs(col[i] - q_of_pivot[idx[i]]) <= r;
+  }
+  return m;
 }
 
 // ---------------------------------------------------------------------------
@@ -572,6 +888,153 @@ PMI_AVX512_TARGET size_t RefineF64GatherAvx512(const double* col,
   return m;
 }
 
+// Multi-query sweeps: one 16-lane slab load per row chunk shared by a
+// register-resident group of 8 queries (3 zmm broadcasts per query,
+// well under the 32-register file); per-query masks/counts equal
+// MaskSweepAvx512's.  See the AVX2 group kernels for why G is a
+// compile-time constant.
+template <size_t G>
+PMI_AVX512_TARGET void MaskSweepMultiAvx512Group(const ExactSlot* slots,
+                                                 size_t count, uint8_t* keep,
+                                                 size_t keep_stride,
+                                                 size_t* counts) {
+  __m512 vq[G], vrw[G], vrn[G];
+  unsigned amb[G];
+  size_t cnt[G];
+  for (size_t j = 0; j < G; ++j) {
+    vq[j] = _mm512_set1_ps(slots[j].qf);
+    vrw[j] = _mm512_set1_ps(slots[j].rw);
+    vrn[j] = _mm512_set1_ps(slots[j].rn);
+    amb[j] = 0;
+    cnt[j] = 0;
+  }
+  const __m512 vmax = _mm512_set1_ps(kFltMax);
+  const float* colf = slots[0].colf;
+  size_t i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m512 x = _mm512_loadu_ps(colf + i);
+    const __m512 xabs = _mm512_abs_ps(x);
+    for (size_t j = 0; j < G; ++j) {
+      const __m512 d = _mm512_abs_ps(_mm512_sub_ps(x, vq[j]));
+      const __mmask16 mw = _mm512_cmp_ps_mask(d, vrw[j], _CMP_LE_OQ);
+      const __mmask16 mc = _mm512_cmp_ps_mask(d, vrn[j], _CMP_LE_OQ) &
+                           _mm512_cmp_ps_mask(xabs, vmax, _CMP_LT_OQ);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(keep + j * keep_stride + i),
+                       _mm_maskz_set1_epi8(mw, 1));
+      cnt[j] +=
+          static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(mw)));
+      amb[j] |= mw & ~mc;
+    }
+  }
+  for (; i < count; ++i) {
+    const float x = colf[i];
+    for (size_t j = 0; j < G; ++j) {
+      const float d = std::fabs(x - slots[j].qf);
+      const uint8_t kw = d <= slots[j].rw;
+      const uint8_t kc = (d <= slots[j].rn) & (std::fabs(x) < kFltMax);
+      keep[j * keep_stride + i] = kw;
+      cnt[j] += kw;
+      amb[j] |= kw & (kc ^ 1);
+    }
+  }
+  for (size_t j = 0; j < G; ++j) {
+    counts[j] = amb[j] != 0
+                    ? ResolveAmbiguous(slots[j], count, keep + j * keep_stride)
+                    : cnt[j];
+  }
+}
+
+void MaskSweepMultiAvx512(const ExactSlot* slots, size_t nq, size_t count,
+                          uint8_t* keep, size_t keep_stride, size_t* counts) {
+  size_t t = 0;
+  for (; t + 8 <= nq; t += 8) {
+    MaskSweepMultiAvx512Group<8>(slots + t, count, keep + t * keep_stride,
+                                 keep_stride, counts + t);
+  }
+  if (nq - t >= 4) {
+    MaskSweepMultiAvx512Group<4>(slots + t, count, keep + t * keep_stride,
+                                 keep_stride, counts + t);
+    t += 4;
+  }
+  for (; t < nq; ++t) {
+    counts[t] = MaskSweepAvx512(slots[t], count, keep + t * keep_stride);
+  }
+}
+
+template <size_t G>
+PMI_AVX512_TARGET void MaskSweepGatherMultiAvx512Group(
+    const ExactSlotGather* slots, size_t count, uint8_t* keep,
+    size_t keep_stride, size_t* counts) {
+  __m512 vrw[G], vrn[G];
+  unsigned amb[G];
+  size_t cnt[G];
+  for (size_t j = 0; j < G; ++j) {
+    vrw[j] = _mm512_set1_ps(slots[j].rw);
+    vrn[j] = _mm512_set1_ps(slots[j].rn);
+    amb[j] = 0;
+    cnt[j] = 0;
+  }
+  const __m512 vmax = _mm512_set1_ps(kFltMax);
+  const float* colf = slots[0].colf;
+  const uint32_t* idx = slots[0].idx;
+  size_t i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m512 x = _mm512_loadu_ps(colf + i);
+    const __m512 xabs = _mm512_abs_ps(x);
+    const __m512i vidx = _mm512_loadu_si512(idx + i);
+    for (size_t j = 0; j < G; ++j) {
+      const __m512 vq = _mm512_mask_i32gather_ps(_mm512_setzero_ps(), 0xffff,
+                                                 vidx, slots[j].qf_pool, 4);
+      const __m512 d = _mm512_abs_ps(_mm512_sub_ps(x, vq));
+      const __mmask16 mw = _mm512_cmp_ps_mask(d, vrw[j], _CMP_LE_OQ);
+      const __mmask16 mc = _mm512_cmp_ps_mask(d, vrn[j], _CMP_LE_OQ) &
+                           _mm512_cmp_ps_mask(xabs, vmax, _CMP_LT_OQ);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(keep + j * keep_stride + i),
+                       _mm_maskz_set1_epi8(mw, 1));
+      cnt[j] +=
+          static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(mw)));
+      amb[j] |= mw & ~mc;
+    }
+  }
+  for (; i < count; ++i) {
+    const float x = colf[i];
+    for (size_t j = 0; j < G; ++j) {
+      const float d = std::fabs(x - slots[j].qf_pool[idx[i]]);
+      const uint8_t kw = d <= slots[j].rw;
+      const uint8_t kc = (d <= slots[j].rn) & (std::fabs(x) < kFltMax);
+      keep[j * keep_stride + i] = kw;
+      cnt[j] += kw;
+      amb[j] |= kw & (kc ^ 1);
+    }
+  }
+  for (size_t j = 0; j < G; ++j) {
+    counts[j] = amb[j] != 0 ? ResolveAmbiguousGather(slots[j], count,
+                                                     keep + j * keep_stride)
+                            : cnt[j];
+  }
+}
+
+void MaskSweepGatherMultiAvx512(const ExactSlotGather* slots, size_t nq,
+                                size_t count, uint8_t* keep,
+                                size_t keep_stride, size_t* counts) {
+  size_t t = 0;
+  for (; t + 8 <= nq; t += 8) {
+    MaskSweepGatherMultiAvx512Group<8>(slots + t, count,
+                                       keep + t * keep_stride, keep_stride,
+                                       counts + t);
+  }
+  if (nq - t >= 4) {
+    MaskSweepGatherMultiAvx512Group<4>(slots + t, count,
+                                       keep + t * keep_stride, keep_stride,
+                                       counts + t);
+    t += 4;
+  }
+  for (; t < nq; ++t) {
+    counts[t] =
+        MaskSweepGatherAvx512(slots[t], count, keep + t * keep_stride);
+  }
+}
+
 #undef PMI_AVX512_TARGET
 
 bool CpuSupportsAvx512() {
@@ -667,6 +1130,75 @@ size_t MaskAndNeon(const ExactSlot& s, size_t count, uint8_t* keep) {
   return n;
 }
 
+// Multi-query sweep: the 4-lane x load is shared across a
+// register-resident group of 4 queries (12 broadcast q-registers of the
+// 32 available); the per-lane expressions match MaskSweepNeon exactly.
+template <size_t G>
+void MaskSweepMultiNeonGroup(const ExactSlot* slots, size_t count,
+                             uint8_t* keep, size_t keep_stride,
+                             size_t* counts) {
+  float32x4_t vq[G], vrw[G], vrn[G];
+  uint32_t amb[G];
+  size_t cnt[G];
+  for (size_t j = 0; j < G; ++j) {
+    vq[j] = vdupq_n_f32(slots[j].qf);
+    vrw[j] = vdupq_n_f32(slots[j].rw);
+    vrn[j] = vdupq_n_f32(slots[j].rn);
+    amb[j] = 0;
+    cnt[j] = 0;
+  }
+  const float32x4_t vmax = vdupq_n_f32(kFltMax);
+  const float* colf = slots[0].colf;
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float32x4_t x = vld1q_f32(colf + i);
+    const uint32x4_t xok = vcltq_f32(vabsq_f32(x), vmax);
+    for (size_t j = 0; j < G; ++j) {
+      const float32x4_t d = vabdq_f32(x, vq[j]);
+      const uint32x4_t mw = vcleq_f32(d, vrw[j]);
+      const uint32x4_t mc = vandq_u32(vcleq_f32(d, vrn[j]), xok);
+      const uint32x4_t a = vbicq_u32(mw, mc);
+      uint32_t w[4], av[4];
+      vst1q_u32(w, mw);
+      vst1q_u32(av, a);
+      for (int t = 0; t < 4; ++t) {
+        const uint8_t kb = w[t] & 1u;
+        keep[j * keep_stride + i + t] = kb;
+        cnt[j] += kb;
+        amb[j] |= av[t];
+      }
+    }
+  }
+  for (; i < count; ++i) {
+    const float x = colf[i];
+    for (size_t j = 0; j < G; ++j) {
+      const float d = std::fabs(x - slots[j].qf);
+      const uint8_t kw = d <= slots[j].rw;
+      const uint8_t kc = (d <= slots[j].rn) & (std::fabs(x) < kFltMax);
+      keep[j * keep_stride + i] = kw;
+      cnt[j] += kw;
+      amb[j] |= kw & (kc ^ 1);
+    }
+  }
+  for (size_t j = 0; j < G; ++j) {
+    counts[j] = amb[j] != 0
+                    ? ResolveAmbiguous(slots[j], count, keep + j * keep_stride)
+                    : cnt[j];
+  }
+}
+
+void MaskSweepMultiNeon(const ExactSlot* slots, size_t nq, size_t count,
+                        uint8_t* keep, size_t keep_stride, size_t* counts) {
+  size_t t = 0;
+  for (; t + 4 <= nq; t += 4) {
+    MaskSweepMultiNeonGroup<4>(slots + t, count, keep + t * keep_stride,
+                               keep_stride, counts + t);
+  }
+  for (; t < nq; ++t) {
+    counts[t] = MaskSweepNeon(slots[t], count, keep + t * keep_stride);
+  }
+}
+
 #endif  // PMI_SIMD_NEON
 
 // ---------------------------------------------------------------------------
@@ -691,6 +1223,8 @@ SimdOps MakeOps(SimdLevel level) {
   ops.dense_divisor = 0;
   ops.mask_sweep = MaskSweepScalar;
   ops.mask_sweep_gather = MaskSweepGatherScalar;
+  ops.mask_sweep_multi = MaskSweepMultiScalar;
+  ops.mask_sweep_gather_multi = MaskSweepGatherMultiScalar;
   ops.mask_and = MaskAndScalar;
   ops.mask_and_gather = MaskAndGatherScalar;
   ops.compact = CompactScalar;
@@ -706,10 +1240,14 @@ SimdOps MakeOps(SimdLevel level) {
       ops.dense_divisor_gather = 8;
       ops.mask_sweep = MaskSweepAvx2;
       ops.mask_sweep_gather = MaskSweepGatherAvx2;
+      ops.mask_sweep_multi = MaskSweepMultiAvx2;
+      ops.mask_sweep_gather_multi = MaskSweepGatherMultiAvx2;
       ops.mask_and = MaskAndAvx2;
       ops.mask_and_gather = MaskAndGatherAvx2;
-      // compaction/refines stay scalar: survivor lists are short and
-      // AVX2 lacks compress-stores.
+      // Compress-store emulation via the 256-entry shuffle LUT.
+      ops.compact = CompactAvx2;
+      ops.refine_f64 = RefineF64Avx2;
+      ops.refine_f64_gather = RefineF64GatherAvx2;
       break;
     case SimdLevel::kAvx512:
       ops.level = SimdLevel::kAvx512;
@@ -717,6 +1255,8 @@ SimdOps MakeOps(SimdLevel level) {
       ops.dense_divisor_gather = 8;
       ops.mask_sweep = MaskSweepAvx512;
       ops.mask_sweep_gather = MaskSweepGatherAvx512;
+      ops.mask_sweep_multi = MaskSweepMultiAvx512;
+      ops.mask_sweep_gather_multi = MaskSweepGatherMultiAvx512;
       ops.mask_and = MaskAndAvx512;
       ops.mask_and_gather = MaskAndGatherAvx512;
       ops.compact = CompactAvx512;
@@ -731,6 +1271,7 @@ SimdOps MakeOps(SimdLevel level) {
       // survivor walk (dense_divisor_gather = 0) -- no NEON gathers.
       ops.dense_divisor = 8;
       ops.mask_sweep = MaskSweepNeon;
+      ops.mask_sweep_multi = MaskSweepMultiNeon;
       ops.mask_and = MaskAndNeon;
       break;
 #endif

@@ -10,6 +10,8 @@
 //   filter_sweep_gather   per-row-pivot (EPT) form: the query value is
 //                         gathered per row via a parallel index column
 //   refine / refine_gather  later pivot slots narrowing a survivor list
+//   *_multi               batch forms: the same cells evaluated for
+//                         several queries per load (block-major engine)
 //
 // One implementation set exists per SimdLevel (scalar, AVX2, AVX-512,
 // NEON).  The level is resolved ONCE, at first use: the widest set the
@@ -86,6 +88,13 @@ struct ExactSlotGather {
   double rd = 0;
 };
 
+/// Queries per multi-kernel call.  The batch entry points hand the
+/// kernels at most this many queries at a time (FilterBlockMulti tiles
+/// larger batches), which bounds the kernels' per-query scratch (lane
+/// registers, ambiguity flags) at a compile-time constant and keeps one
+/// tile's mask rows inside a few cache lines per row chunk.
+inline constexpr size_t kMultiQueryTile = 16;
+
 /// Kernel table for one dispatch level.  Two kernel families cover the
 /// two survivor-density regimes of a filter cascade:
 ///
@@ -132,6 +141,22 @@ struct SimdOps {
   size_t (*mask_and)(const ExactSlot& s, size_t count, uint8_t* keep);
   size_t (*mask_and_gather)(const ExactSlotGather& s, size_t count,
                             uint8_t* keep);
+
+  /// Multi-query sweeps, the register-level half of the block-major
+  /// batch engine: evaluate the exact predicate of `nq` queries
+  /// (1 <= nq <= kMultiQueryTile) over the SAME contiguous cells --
+  /// slots[qi].colf / .cold must all point at one column block -- in a
+  /// single pass, so one cell load serves every query in the tile.
+  /// Query qi's 0/1 mask bytes land at keep + qi * keep_stride and its
+  /// survivor count in counts[qi].  Each mask row equals what mask_sweep
+  /// would produce for that query alone (the exact double predicate), so
+  /// the batch engine inherits the single-query exactness contract
+  /// unchanged -- the two-sided rounding argument needs no new analysis.
+  void (*mask_sweep_multi)(const ExactSlot* slots, size_t nq, size_t count,
+                           uint8_t* keep, size_t keep_stride, size_t* counts);
+  void (*mask_sweep_gather_multi)(const ExactSlotGather* slots, size_t nq,
+                                  size_t count, uint8_t* keep,
+                                  size_t keep_stride, size_t* counts);
 
   /// surv[0..ret) = ascending i < count with keep[i] != 0.
   size_t (*compact)(const uint8_t* keep, size_t count, uint32_t* surv);

@@ -116,6 +116,34 @@ void ParallelFor(ThreadPool& pool, size_t n, Body&& body) {
   pool.Dispatch(slots, task);
 }
 
+/// Partitioning helper of the block-major batch engine: runs
+/// body(begin, end) over one contiguous chunk of [0, n) per execution
+/// slot of the global pool when `parallel` is set, inline on the calling
+/// thread otherwise (and Global() is never touched in that case, so
+/// serial-only processes stay worker-thread-free).  Unlike ParallelFor
+/// the body receives no slot id: the batch engine attributes every count
+/// to element-indexed per-query state, so slot-indexed scratch never
+/// enters the picture and results cannot depend on which thread ran a
+/// chunk.  The engine parallelizes over *query* chunks and keeps the
+/// block loop inside each chunk -- a blocks x queries tiling where each
+/// worker streams the pivot table once for its whole query subset --
+/// because the MkNNQ shrinking-radius chain makes a query's blocks
+/// sequentially dependent while distinct queries stay independent.
+template <typename Body>
+void ParallelQueryChunks(bool parallel, size_t n, Body&& body) {
+  if (n == 0) return;
+  if (parallel && n > 1) {
+    ThreadPool& pool = ThreadPool::Global();
+    if (pool.size() > 1) {
+      ParallelFor(pool, n, [&](size_t begin, size_t end, unsigned) {
+        body(begin, end);
+      });
+      return;
+    }
+  }
+  body(size_t{0}, n);
+}
+
 }  // namespace pmi
 
 #endif  // PMI_CORE_THREAD_POOL_H_

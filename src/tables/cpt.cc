@@ -87,6 +87,47 @@ void Cpt::KnnImpl(const ObjectView& q, size_t k,
   heap.TakeSorted(out);
 }
 
+// Block-major batch MRQ, in two phases.  Phase 1 (pure main memory, no
+// page accesses): map every query, then stream the in-memory table once
+// for the whole batch, collecting each query's exact candidate rows.
+// Phase 2: verify from disk query by query, in batch order -- the same
+// VerifyFromDisk calls, in the same order, as a query-major loop, so
+// the buffer-pool hit/miss pattern and the PA accounting are replayed
+// exactly, not just the results.  The whole batch runs on the calling
+// thread: CPT has one buffer pool (concurrent_queries() stays false).
+bool Cpt::RangeBatchBlockImpl(const std::vector<ObjectView>& queries,
+                              const double* radii,
+                              std::vector<std::vector<ObjectId>>* out,
+                              PerfCounters* per_query) const {
+  const size_t nq = queries.size();
+  std::vector<std::vector<double>> phi(nq);
+  for (size_t i = 0; i < nq; ++i) {
+    DistanceComputer d(&metric(), &per_query[i]);
+    pivots_.Map(queries[i], d, &phi[i]);
+  }
+  std::vector<std::vector<uint32_t>> candidates(nq);
+  table_.ScanBlockMajor(
+      nq, [&](size_t i) { return phi[i].data(); },
+      [&](size_t i) { return radii[i]; },
+      [&](size_t i, size_t row) {
+        candidates[i].push_back(static_cast<uint32_t>(row));
+      },
+      [](size_t, size_t) {});
+  for (size_t i = 0; i < nq; ++i) {
+    // VerifyFromDisk counts distances through dist(); the scope routes
+    // them to this query's shard (page accesses go to the index total
+    // through the buffer pool, as in every CPT operation).
+    CounterScope scope(&per_query[i]);
+    for (uint32_t row : candidates[i]) {
+      const ObjectId id = oids_[row];
+      if (VerifyFromDisk(queries[i], id, radii[i]) <= radii[i]) {
+        (*out)[i].push_back(id);
+      }
+    }
+  }
+  return true;
+}
+
 void Cpt::InsertImpl(ObjectId id) {
   DistanceComputer d = dist();
   std::vector<double> phi;

@@ -44,6 +44,8 @@ class Ept final : public MetricIndex {
   // Audited: the query path uses only local state + dist() (counters
   // are redirected per thread by the batch entry points).
   bool concurrent_queries() const override { return true; }
+  // Batches run block-major over the per-row-pivot table (see Laesa).
+  bool block_major_batches() const override { return true; }
   size_t memory_bytes() const override;
 
   /// Group size m actually used (after Equation (1) estimation).
@@ -60,6 +62,14 @@ class Ept final : public MetricIndex {
                std::vector<Neighbor>* out) const override;
   void InsertImpl(ObjectId id) override;
   void RemoveImpl(ObjectId id) override;
+  bool RangeBatchBlockImpl(const std::vector<ObjectView>& queries,
+                           const double* radii,
+                           std::vector<std::vector<ObjectId>>* out,
+                           PerfCounters* per_query) const override;
+  bool KnnBatchBlockImpl(const std::vector<ObjectView>& queries,
+                         const size_t* ks,
+                         std::vector<std::vector<Neighbor>>* out,
+                         PerfCounters* per_query) const override;
   Status SaveImpl(ByteSink* out) const override;
   Status LoadImpl(ByteSource* in) override;
 
@@ -81,6 +91,10 @@ class Ept final : public MetricIndex {
                   double* pdist) const;
   void AppendRow(ObjectId id);
   void MapQueryToPool(const ObjectView& q, std::vector<double>* out) const;
+  /// Batch form: the pool mapping counted through an explicit computer
+  /// (the block-major paths bind one per query shard).
+  void MapQueryToPool(const ObjectView& q, const DistanceComputer& d,
+                      std::vector<double>* out) const;
 
   Variant variant_;
   uint32_t l_ = 0;  // pivots per object (= |P| of the shared setting)

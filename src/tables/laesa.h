@@ -36,6 +36,10 @@ class Laesa final : public MetricIndex {
   // Audited: the query path uses only local state + dist() (counters
   // are redirected per thread by the batch entry points).
   bool concurrent_queries() const override { return true; }
+  // Batches run block-major: one pivot-table pass for the whole batch
+  // (src/core/pivot_table.h ScanBlockMajor), bit-identical to the
+  // query-major loop.
+  bool block_major_batches() const override { return true; }
   size_t memory_bytes() const override;
 
   /// Read-only view of the distance table (thread-invariance tests pin
@@ -50,6 +54,14 @@ class Laesa final : public MetricIndex {
                std::vector<Neighbor>* out) const override;
   void InsertImpl(ObjectId id) override;
   void RemoveImpl(ObjectId id) override;
+  bool RangeBatchBlockImpl(const std::vector<ObjectView>& queries,
+                           const double* radii,
+                           std::vector<std::vector<ObjectId>>* out,
+                           PerfCounters* per_query) const override;
+  bool KnnBatchBlockImpl(const std::vector<ObjectView>& queries,
+                         const size_t* ks,
+                         std::vector<std::vector<Neighbor>>* out,
+                         PerfCounters* per_query) const override;
   Status SaveImpl(ByteSink* out) const override;
   Status LoadImpl(ByteSource* in) override;
 

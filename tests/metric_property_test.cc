@@ -1,0 +1,186 @@
+// Metric-axiom and BoundedDistance fuzz for every registered metric.
+//
+// Every pruning lemma in this library is sound only if the metric axioms
+// hold, and the threshold-aware BoundedDistance kernels (early-abandon
+// norms, banded edit DP) are only exact under their contract: when
+// d(a, b) <= tau the bounded kernel returns the Distance value
+// BIT-IDENTICAL, otherwise it returns *some* value certified > tau.
+// This suite fuzzes both on the four paper metrics (L2/LA, edit/Words,
+// L1/Color, Linf/Synthetic) plus the continuous-Linf variant, over
+// generated objects and adversarial ones (duplicates, domain extremes,
+// single-coordinate spikes, empty/long strings) -- with tau swept
+// through the adversarial one-ulp band around the true distance, where
+// an off-by-one-rounding kernel would flip verification decisions.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/dataset.h"
+#include "src/core/metric.h"
+#include "src/core/rng.h"
+#include "src/data/generators.h"
+
+namespace pmi {
+namespace {
+
+constexpr uint32_t kObjects = 160;
+constexpr uint32_t kTriples = 600;
+constexpr uint32_t kBoundedPairs = 250;
+
+/// One metric under test with its object pool (dataset objects plus
+/// adversarial additions of the same kind/dimension).
+struct MetricCase {
+  std::string label;
+  std::unique_ptr<Metric> metric;
+  Dataset pool;
+  bool adversarial_in_domain = true;  // extras respect max_distance()
+
+  MetricCase(std::string l, std::unique_ptr<Metric> m, Dataset p)
+      : label(std::move(l)), metric(std::move(m)), pool(std::move(p)) {}
+};
+
+/// Appends adversarial vectors spanning the observed coordinate domain:
+/// duplicates, all-min, all-max, one-coordinate spikes, and near-equal
+/// pairs one ulp apart.
+void AddAdversarialVectors(Dataset* pool) {
+  const uint32_t dim = pool->dim();
+  float lo = std::numeric_limits<float>::max();
+  float hi = std::numeric_limits<float>::lowest();
+  for (uint32_t i = 0; i < pool->size(); ++i) {
+    ObjectView v = pool->view(i);
+    for (uint32_t j = 0; j < dim; ++j) {
+      lo = std::min(lo, v.vec[j]);
+      hi = std::max(hi, v.vec[j]);
+    }
+  }
+  std::vector<float> row(dim, lo);
+  pool->AddVector(row);              // all-min corner
+  row.assign(dim, hi);
+  pool->AddVector(row);              // all-max corner
+  row.assign(dim, (lo + hi) / 2);
+  pool->AddVector(row);              // center
+  row[0] = hi;                       // single-coordinate spike
+  pool->AddVector(row);
+  ObjectView first = pool->view(0);  // exact duplicate of a real object
+  pool->Add(first);
+  row.assign(first.vec, first.vec + dim);  // one-ulp-off near-duplicate
+  row[dim / 2] = std::nextafter(row[dim / 2], hi);
+  pool->AddVector(row);
+}
+
+void AddAdversarialStrings(Dataset* pool) {
+  pool->AddString("");
+  pool->AddString("a");
+  pool->AddString(std::string(34, 'z'));          // max generator length
+  pool->AddString(std::string(17, 'a') + std::string(17, 'b'));
+  std::string dup(pool->view(0).AsString());
+  pool->AddString(dup);                           // duplicate
+  if (!dup.empty()) dup.back() = dup.back() == 'q' ? 'x' : 'q';
+  pool->AddString(dup);                           // edit distance 1 away
+}
+
+std::vector<MetricCase> MakeCases() {
+  std::vector<MetricCase> cases;
+  for (BenchDatasetId id :
+       {BenchDatasetId::kLa, BenchDatasetId::kWords, BenchDatasetId::kColor,
+        BenchDatasetId::kSynthetic}) {
+    BenchDataset bd = MakeBenchDataset(id, kObjects, /*seed=*/91);
+    if (bd.data.kind() == ObjectKind::kVector) {
+      AddAdversarialVectors(&bd.data);
+    } else {
+      AddAdversarialStrings(&bd.data);
+    }
+    cases.emplace_back(bd.name, std::move(bd.metric), std::move(bd.data));
+  }
+  // Continuous L-infinity (the non-discrete configuration BKT/FQT never
+  // see, but LAESA and the trees do).
+  {
+    BenchDataset bd = MakeBenchDataset(BenchDatasetId::kLa, kObjects, 92);
+    AddAdversarialVectors(&bd.data);
+    cases.emplace_back(
+        "Linf-continuous",
+        std::make_unique<LInfMetric>(bd.data.dim(), 20000.0, false),
+        std::move(bd.data));
+  }
+  return cases;
+}
+
+TEST(MetricPropertyTest, AxiomsHoldOnGeneratedAndAdversarialObjects) {
+  for (const MetricCase& c : MakeCases()) {
+    SCOPED_TRACE(c.label);
+    const uint32_t n = c.pool.size();
+    Rng rng(1234);
+    for (uint32_t t = 0; t < kTriples; ++t) {
+      ObjectView a = c.pool.view(rng() % n);
+      ObjectView b = c.pool.view(rng() % n);
+      ObjectView x = c.pool.view(rng() % n);
+      const double dab = c.metric->Distance(a, b);
+      const double dba = c.metric->Distance(b, a);
+      const double dax = c.metric->Distance(a, x);
+      const double dxb = c.metric->Distance(x, b);
+      // Non-negativity and symmetry (bitwise -- both directions must
+      // accumulate identically or BoundedDistance's exactness breaks).
+      EXPECT_GE(dab, 0.0);
+      EXPECT_EQ(dab, dba);
+      // Identity of the reflexive form.
+      EXPECT_EQ(c.metric->Distance(a, a), 0.0);
+      // Triangle inequality, with a relative epsilon for the float
+      // accumulations of the vector norms.
+      EXPECT_LE(dab, dax + dxb + 1e-9 * (1.0 + dax + dxb));
+      // Domain bound claimed by max_distance().
+      EXPECT_LE(dab, c.metric->max_distance() * (1 + 1e-12));
+    }
+  }
+}
+
+TEST(MetricPropertyTest, BoundedDistanceAgreesWithDistance) {
+  for (const MetricCase& c : MakeCases()) {
+    SCOPED_TRACE(c.label);
+    const uint32_t n = c.pool.size();
+    Rng rng(777);
+    for (uint32_t t = 0; t < kBoundedPairs; ++t) {
+      ObjectView a = c.pool.view(rng() % n);
+      ObjectView b = c.pool.view(rng() % n);
+      const double d = c.metric->Distance(a, b);
+      const double thresholds[] = {
+          d,  // exact boundary: inside by contract (<=)
+          std::nextafter(d, std::numeric_limits<double>::infinity()),
+          std::nextafter(d, -std::numeric_limits<double>::infinity()),
+          d * 0.5,
+          d * 2 + 0.125,
+          0.0,
+          -1.0,
+          c.metric->max_distance(),
+          std::numeric_limits<double>::infinity(),
+      };
+      for (double tau : thresholds) {
+        const double bounded = c.metric->BoundedDistance(a, b, tau);
+        if (d <= tau) {
+          // Within the threshold the kernel must reproduce Distance
+          // bit for bit: verification sites compare these values.
+          EXPECT_EQ(bounded, d) << "tau=" << tau;
+        } else {
+          // Beyond it, any certified-exceeding value is legal.
+          EXPECT_GT(bounded, tau) << "d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(MetricPropertyTest, DiscreteFlagsMatchThePaper) {
+  // Table 1: BKT/FQT applicability hangs on these flags, so pin them.
+  EXPECT_FALSE(MakeMetricFor(BenchDatasetId::kLa)->discrete());
+  EXPECT_FALSE(MakeMetricFor(BenchDatasetId::kColor)->discrete());
+  EXPECT_TRUE(MakeMetricFor(BenchDatasetId::kWords)->discrete());
+  EXPECT_TRUE(MakeMetricFor(BenchDatasetId::kSynthetic)->discrete());
+}
+
+}  // namespace
+}  // namespace pmi

@@ -327,6 +327,165 @@ TEST(SimdFilterTest, IndexQueriesBitIdenticalAcrossLevels) {
   }
 }
 
+// Block-major multi-query scan (the batch engine's FilterBlockMulti /
+// mask_sweep_multi path): for every batch size covering the
+// kMultiQueryTile and register-group tails, each query's survivor list
+// must equal its own single-query RangeScan at every dispatch level --
+// adversarial cell magnitudes included.
+TEST(SimdFilterTest, BlockMajorScanMatchesPerQueryScanAcrossLevels) {
+  FuzzTable t = MakeFuzzShared(3 * PivotTable::kScanBlock + 29, 5, 97);
+  for (size_t nq : {1u, 3u, 4u, 5u, 15u, 16u, 17u, 37u}) {
+    Rng rng(500 + nq);
+    std::uniform_real_distribution<double> u(0.0, 100.0);
+    std::vector<std::vector<double>> phi(nq, std::vector<double>(5));
+    std::vector<double> radii(nq);
+    for (size_t qi = 0; qi < nq; ++qi) {
+      for (auto& x : phi[qi]) {
+        x = rng() % 6 == 0 ? SpecialValue(&rng) : u(rng);
+      }
+      radii[qi] = kFuzzRadii[rng() % (sizeof(kFuzzRadii) /
+                                      sizeof(kFuzzRadii[0]))];
+    }
+    for (SimdLevel level : SupportedLevels()) {
+      ForceLevel(level);
+      std::vector<std::vector<uint32_t>> got(nq);
+      t.table.ScanBlockMajor(
+          nq, [&](size_t qi) { return phi[qi].data(); },
+          [&](size_t qi) { return radii[qi]; },
+          [&](size_t qi, size_t row) {
+            got[qi].push_back(static_cast<uint32_t>(row));
+          },
+          [](size_t, size_t) {});
+      for (size_t qi = 0; qi < nq; ++qi) {
+        std::vector<uint32_t> want;
+        t.table.RangeScan(phi[qi].data(), radii[qi], &want);
+        EXPECT_EQ(got[qi], want)
+            << "level=" << SimdLevelName(level) << " nq=" << nq
+            << " qi=" << qi << " r=" << radii[qi];
+      }
+    }
+  }
+  RestoreDefaultLevel();
+}
+
+// Batches past kScanBatchTile reuse the per-tile FilterQuery scratch.
+// A uniform radius across the whole batch is the adversarial case: if
+// the radius cache survived re-preparation, tile 2's queries would
+// filter with tile 1's widened f32 radii -- which are derived from tile
+// 1's QUERY VALUES, so a tile-1 query of tiny magnitude leaves a
+// too-narrow wide radius behind for a larger-magnitude tile-2 query.
+// The cells here sit in the float rounding sliver around q + r where
+// exactly that one-in-2^22 difference flips survival, so a stale cache
+// drops true survivors (verified by mutation: disabling the
+// re-preparation reset fails this test on the vector levels).
+TEST(SimdFilterTest, BlockMajorScanTileBoundaryWithUniformRadius) {
+  // Constructed near-tie roundings: q0 sits just under the midpoint of
+  // its float grid cell (rounds DOWN to g), the cell value x just above
+  // the midpoint of grid point h = g + 1 + ulp (rounds UP), so the
+  // float distance overshoots the true double distance by one full
+  // float ulp -- inside the correct conservative radius for |q0|~12,
+  // OUTSIDE the one a zero-magnitude query leaves behind.
+  const double ulp = std::ldexp(1.0, -20);  // float ulp in [8, 16)
+  const double g = double(12.3456789f);
+  const double h = g + 1.0 + ulp;
+  const double eps = 1e-12;
+  const double q0 = g + ulp / 2 - eps;
+  const double x = h - ulp / 2 + eps;
+  const double r = 1.00000000001;
+  ASSERT_LE(std::fabs(x - q0), r);  // a true double survivor...
+  const float d_f = std::fabs(FilterValue(x) - FilterValue(q0));
+  // ...whose float distance sits strictly between the stale (qmax = 0)
+  // and correct (qmax = |q0|) conservative radii.  These assertions pin
+  // the premise; if the radius formulas change, the test says so
+  // instead of silently losing its teeth.
+  ASSERT_GT(d_f, ConservativeFilterRadius(0.0, r));
+  ASSERT_LE(d_f, ConservativeFilterRadius(std::fabs(q0), r));
+
+  const size_t nq = PivotTable::kScanBatchTile + 8;
+  FuzzTable t;
+  t.l = 2;
+  t.table.Reset(2);
+  const double row[2] = {x, q0};  // slot 1 always inside
+  t.rows.insert(t.rows.end(), row, row + 2);
+  t.table.AppendRow(row);
+  // Tile 1 slots: zero-magnitude queries (narrowest conservative
+  // radii); the final tile's queries are the boundary-sensitive ones
+  // that would inherit those radii if the cache leaked across tiles.
+  std::vector<std::vector<double>> phi(nq, std::vector<double>{0.0, 0.0});
+  for (size_t qi = PivotTable::kScanBatchTile; qi < nq; ++qi) {
+    phi[qi] = {q0, q0};
+  }
+  for (SimdLevel level : SupportedLevels()) {
+    ForceLevel(level);
+    std::vector<std::vector<uint32_t>> got(nq);
+    t.table.ScanBlockMajor(
+        nq, [&](size_t qi) { return phi[qi].data(); },
+        [&](size_t) { return r; },
+        [&](size_t qi, size_t row_id) {
+          got[qi].push_back(static_cast<uint32_t>(row_id));
+        },
+        [](size_t, size_t) {});
+    for (size_t qi = 0; qi < nq; ++qi) {
+      std::vector<uint32_t> want;
+      t.table.RangeScan(phi[qi].data(), r, &want);
+      EXPECT_EQ(got[qi], want)
+          << "level=" << SimdLevelName(level) << " qi=" << qi;
+    }
+    // In particular the second tile's boundary query keeps the row.
+    EXPECT_EQ(got[nq - 1].size(), 1u) << "level=" << SimdLevelName(level);
+  }
+  RestoreDefaultLevel();
+}
+
+// Indirect (per-row-pivot) form of the block-major fuzz.
+TEST(SimdFilterTest, BlockMajorIndirectScanMatchesPerQueryScan) {
+  const uint32_t kPool = 24, l = 4;
+  PivotTable table;
+  table.Reset(l, /*per_row_pivots=*/true);
+  Rng rng(4242);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  std::vector<double> rd(l);
+  std::vector<uint32_t> ri(l);
+  const size_t n = 2 * PivotTable::kScanBlock + 13;
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < l; ++j) {
+      rd[j] = rng() % 8 == 0 ? SpecialValue(&rng) : u(rng);
+      ri[j] = rng() % kPool;
+    }
+    table.AppendRow(rd.data(), ri.data());
+  }
+  for (size_t nq : {1u, 4u, 9u, 16u, 21u}) {
+    std::vector<std::vector<double>> d_qp(nq, std::vector<double>(kPool));
+    std::vector<double> radii(nq);
+    for (size_t qi = 0; qi < nq; ++qi) {
+      for (auto& x : d_qp[qi]) {
+        x = rng() % 6 == 0 ? SpecialValue(&rng) : u(rng);
+      }
+      radii[qi] = kFuzzRadii[rng() % (sizeof(kFuzzRadii) /
+                                      sizeof(kFuzzRadii[0]))];
+    }
+    for (SimdLevel level : SupportedLevels()) {
+      ForceLevel(level);
+      std::vector<std::vector<uint32_t>> got(nq);
+      table.ScanBlockMajorIndirect(
+          nq, kPool, [&](size_t qi) { return d_qp[qi].data(); },
+          [&](size_t qi) { return radii[qi]; },
+          [&](size_t qi, size_t row) {
+            got[qi].push_back(static_cast<uint32_t>(row));
+          },
+          [](size_t, size_t) {});
+      for (size_t qi = 0; qi < nq; ++qi) {
+        std::vector<uint32_t> want;
+        table.RangeScanIndirect(d_qp[qi].data(), kPool, radii[qi], &want);
+        EXPECT_EQ(got[qi], want)
+            << "level=" << SimdLevelName(level) << " nq=" << nq
+            << " qi=" << qi << " r=" << radii[qi];
+      }
+    }
+  }
+  RestoreDefaultLevel();
+}
+
 // The PMI_SIMD knob itself: unknown values fall back to a supported
 // level instead of crashing, and "scalar" always pins the scalar table.
 TEST(SimdFilterTest, EnvKnobFallsBackSafely) {

@@ -227,9 +227,11 @@ TEST_F(ThreadInvarianceTest, EstimateDistributionIsIdentical) {
 TEST_F(ThreadInvarianceTest, ResultsInvariantAcrossSimdLevelsAndThreads) {
   // The SIMD dispatch level must be as invisible as the thread count:
   // identical batch results and compdists whether the filter runs
-  // scalar, AVX2, or AVX-512, at any pool size.  (The dispatch table is
-  // only swapped between batches -- ReinitSimdDispatch is not
-  // query-concurrent-safe.)
+  // scalar, AVX2, or AVX-512, at any pool size -- and, since PR 5,
+  // whether the batch executes block-major (the kAuto default for the
+  // table indexes) or through the frozen query-major loop.  (The
+  // dispatch table is only swapped between batches -- ReinitSimdDispatch
+  // is not query-concurrent-safe.)
   // The CI scalar-dispatch leg pins PMI_SIMD for the whole run: restore
   // the inherited value afterward rather than clearing it.
   const char* inherited_env = getenv("PMI_SIMD");
@@ -248,14 +250,20 @@ TEST_F(ThreadInvarianceTest, ResultsInvariantAcrossSimdLevelsAndThreads) {
     ReinitSimdDispatch();
     for (unsigned t : kThreadCounts) {
       ThreadPool::SetGlobalThreads(t);
-      std::vector<std::vector<ObjectId>> range_out;
-      OpStats rs = laesa.RangeQueryBatch(world_->queries, r, &range_out);
-      for (auto& out : range_out) std::sort(out.begin(), out.end());
-      std::vector<std::vector<Neighbor>> knn_out;
-      OpStats ks = laesa.KnnQueryBatch(world_->queries, 10, &knn_out);
-      mrq.push_back(std::move(range_out));
-      knn.push_back(std::move(knn_out));
-      compdists.push_back(rs.dist_computations + ks.dist_computations);
+      for (BatchMode mode : {BatchMode::kAuto, BatchMode::kQueryMajor}) {
+        const std::vector<double> radii(world_->queries.size(), r);
+        const std::vector<size_t> ks_vec(world_->queries.size(), 10);
+        std::vector<std::vector<ObjectId>> range_out;
+        OpStats rs = laesa.RangeQueryBatch(world_->queries, radii,
+                                           &range_out, nullptr, mode);
+        for (auto& out : range_out) std::sort(out.begin(), out.end());
+        std::vector<std::vector<Neighbor>> knn_out;
+        OpStats ks = laesa.KnnQueryBatch(world_->queries, ks_vec, &knn_out,
+                                         nullptr, mode);
+        mrq.push_back(std::move(range_out));
+        knn.push_back(std::move(knn_out));
+        compdists.push_back(rs.dist_computations + ks.dist_computations);
+      }
     }
   }
   if (had_inherited) {
