@@ -1,8 +1,13 @@
 #include "src/api/metric_db.h"
 
+#include <algorithm>
+#include <cinttypes>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <unordered_map>
 
 #include "src/api/snapshot.h"
 #include "src/core/pivot_selection.h"
@@ -185,7 +190,59 @@ Status ReadOptions(ByteSource* in, IndexOptions* o) {
   return OkStatus();
 }
 
+// -- checkpoint/WAL file naming ----------------------------------------------
+//
+// A durable directory holds numbered generations: ckpt-NNNNNN.pmidb is a
+// full snapshot, wal-NNNNNN.log the updates applied AFTER it.  Recovery
+// picks the newest readable checkpoint g and replays wal-g, wal-g+1, ...
+
+std::string CkptName(uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%06" PRIu64 ".pmidb", gen);
+  return buf;
+}
+
+std::string WalName(uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06" PRIu64 ".log", gen);
+  return buf;
+}
+
+/// Parses "<prefix>NNNNNN<suffix>"; false for any other name (durable
+/// directories may hold foreign files -- they are simply ignored).
+bool ParseGenName(const std::string& name, const std::string& prefix,
+                  const std::string& suffix, uint64_t* gen) {
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + (name[i] - '0');
+  }
+  *gen = value;
+  return true;
+}
+
 }  // namespace
+
+DurabilityOptions DurabilityOptions::FromEnv() {
+  DurabilityOptions o;
+  if (const char* s = std::getenv("PMI_WAL_SYNC")) {
+    StatusOr<SyncMode> mode = ParseSyncMode(s);
+    if (mode.ok()) o.sync_mode = *mode;
+  }
+  if (const char* s = std::getenv("PMI_WAL_SYNC_INTERVAL")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(s, &end, 10);
+    if (end != s && *end == '\0' && v >= 1) {
+      o.sync_interval_commits = static_cast<uint32_t>(v);
+    }
+  }
+  return o;
+}
 
 StatusOr<MetricDB> MetricDB::Create(const MetricDBConfig& config,
                                     Dataset data) {
@@ -231,6 +288,7 @@ StatusOr<MetricDB> MetricDB::Create(const MetricDBConfig& config,
   db.pivots_ = std::make_unique<PivotSet>(std::move(pivots));
   db.index_ = std::move(index);
   db.build_stats_ = db.index_->Build(*db.data_, *db.metric_, *db.pivots_);
+  db.live_.assign(db.data_->size(), 1);
   return db;
 }
 
@@ -271,35 +329,53 @@ StatusOr<QueryResult> MetricDB::Query(const QueryRequest& request) const {
   return result;
 }
 
-Status MetricDB::Save(const std::string& path) const {
-  ByteSink payload;
-  payload.PutString(config_.metric_name);
-  payload.PutDouble(metric_param_used_);
-  payload.PutU8(metric_discrete_ ? 1 : 0);
-  payload.PutString(config_.index_name);
-  payload.PutString(config_.pivot_method);
-  payload.PutU32(config_.pivot_count);
-  WriteOptions(config_.options, &payload);
-  SerializeDataset(*data_, &payload);
-  SerializePivotSet(*pivots_, &payload);
+Status MetricDB::ComposePayload(ByteSink* payload) const {
+  payload->PutString(config_.metric_name);
+  payload->PutDouble(metric_param_used_);
+  payload->PutU8(metric_discrete_ ? 1 : 0);
+  payload->PutString(config_.index_name);
+  payload->PutString(config_.pivot_method);
+  payload->PutU32(config_.pivot_count);
+  WriteOptions(config_.options, payload);
+  SerializeDataset(*data_, payload);
+  SerializePivotSet(*pivots_, payload);
 
   ByteSink state;
   Status saved = index_->SaveState(&state);
   if (saved.ok()) {
-    payload.PutU8(1);
-    payload.PutString(state.bytes());
+    payload->PutU8(1);
+    payload->PutString(state.bytes());
   } else if (saved.code() == StatusCode::kUnimplemented) {
     // Persistence is optional per index: the snapshot still carries the
     // dataset and pivots, and Open rebuilds the index from them.
-    payload.PutU8(0);
+    payload->PutU8(0);
   } else {
     return saved;
   }
-  return WriteSnapshotFile(path, payload.bytes());
+  // Update-history tail (a compatible version-1 extension: absent in
+  // older snapshots, which predate updates and are read as seq 0 /
+  // all-live).  Recovery validates WAL replay against it.
+  payload->PutU64(seq_);
+  payload->PutVector(live_);
+  return OkStatus();
+}
+
+Status MetricDB::SaveTo(const std::string& path, Env* env) const {
+  ByteSink payload;
+  PMI_RETURN_IF_ERROR(ComposePayload(&payload));
+  return WriteSnapshotFile(path, payload.bytes(), env);
+}
+
+Status MetricDB::Save(const std::string& path) const {
+  return SaveTo(path, env_);  // nullptr -> Env::Default()
 }
 
 StatusOr<MetricDB> MetricDB::Open(const std::string& path) {
   PMI_ASSIGN_OR_RETURN(std::string payload, ReadSnapshotFile(path));
+  return FromPayload(payload);
+}
+
+StatusOr<MetricDB> MetricDB::FromPayload(const std::string& payload) {
   ByteSource in(payload);
 
   MetricDB db;
@@ -333,9 +409,29 @@ StatusOr<MetricDB> MetricDB::Open(const std::string& path) {
 
   uint8_t has_state = 0;
   PMI_RETURN_IF_ERROR(in.GetU8(&has_state));
+  std::string state;
   if (has_state != 0) {
-    std::string state;
     PMI_RETURN_IF_ERROR(in.GetString(&state));
+  }
+
+  // Update-history tail: optional for backward compatibility (snapshots
+  // written before updates existed simply end after the state block).
+  if (!in.exhausted()) {
+    PMI_RETURN_IF_ERROR(in.GetU64(&db.seq_));
+    PMI_RETURN_IF_ERROR(in.GetVector(&db.live_));
+    if (db.live_.size() != db.data_->size()) {
+      return DataLossError(
+          "snapshot liveness bitmap covers " +
+          std::to_string(db.live_.size()) + " objects, dataset holds " +
+          std::to_string(db.data_->size()));
+    }
+  } else {
+    db.live_.assign(db.data_->size(), 1);
+  }
+
+  if (has_state != 0) {
+    // Persisted index state was serialized AFTER any removes, so it
+    // already reflects the liveness bitmap.
     ByteSource state_in(state);
     OpStats stats;
     PMI_RETURN_IF_ERROR(db.index_->LoadState(*db.data_, *db.metric_,
@@ -343,9 +439,239 @@ StatusOr<MetricDB> MetricDB::Open(const std::string& path) {
     db.build_stats_ = stats;
     db.restored_ = true;
   } else {
+    // Rebuild-on-open indexes every dataset object; replay the removes
+    // of dead ids so the rebuilt index matches the saved membership.
     db.build_stats_ = db.index_->Build(*db.data_, *db.metric_, *db.pivots_);
+    for (ObjectId id = 0; id < db.live_.size(); ++id) {
+      if (db.live_[id] == 0) db.build_stats_ += db.index_->Remove(id);
+    }
   }
   return db;
+}
+
+// -- updates ------------------------------------------------------------------
+
+void MetricDB::ApplyToIndex(const UpdateOp& op) {
+  if (op.op == WalOp::kInsert) {
+    index_->Insert(op.id);
+    live_[op.id] = 1;
+  } else {
+    index_->Remove(op.id);
+    live_[op.id] = 0;
+  }
+  ++seq_;
+}
+
+Status MetricDB::Apply(const std::vector<UpdateOp>& ops) {
+  PMI_RETURN_IF_ERROR(write_status_);
+  // Validate the whole batch against the would-be state before logging
+  // anything: Apply is all-or-nothing, and nothing may reach the WAL
+  // unless it will definitely be applied.
+  std::unordered_map<ObjectId, bool> overlay;
+  for (const UpdateOp& op : ops) {
+    if (op.id >= live_.size()) {
+      return InvalidArgumentError(
+          "object id " + std::to_string(op.id) + " out of range (dataset: " +
+          std::to_string(live_.size()) + " objects)");
+    }
+    auto it = overlay.find(op.id);
+    bool is_live = it != overlay.end() ? it->second : live_[op.id] != 0;
+    if (op.op == WalOp::kInsert && is_live) {
+      return FailedPreconditionError("object " + std::to_string(op.id) +
+                                     " is already present");
+    }
+    if (op.op == WalOp::kRemove && !is_live) {
+      return FailedPreconditionError("object " + std::to_string(op.id) +
+                                     " is already removed");
+    }
+    overlay[op.id] = op.op == WalOp::kInsert;
+  }
+  if (wal_ != nullptr) {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      wal_->Add(WalRecord{ops[i].op, seq_ + i + 1, ops[i].id});
+    }
+    Status logged = wal_->Commit();
+    if (!logged.ok()) {
+      // The log tail is now suspect: applying would acknowledge an
+      // unrecoverable write.  Refuse this batch and go read-only.
+      write_status_ = logged;
+      return logged;
+    }
+  }
+  for (const UpdateOp& op : ops) ApplyToIndex(op);
+  return OkStatus();
+}
+
+// -- durability ---------------------------------------------------------------
+
+Status MetricDB::RotateCheckpoint() {
+  // Flush the outgoing WAL so the previous (fallback) generation is
+  // complete on disk.  Best-effort: the checkpoint about to be written
+  // carries everything the old log held.
+  if (wal_ != nullptr) wal_->Sync();
+
+  const uint64_t next = checkpoint_gen_ + 1;
+  PMI_RETURN_IF_ERROR(SaveTo(JoinPath(dir_, CkptName(next)), env_));
+  PMI_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> wal_file,
+                       env_->NewWritableFile(JoinPath(dir_, WalName(next))));
+  PMI_RETURN_IF_ERROR(env_->SyncDir(dir_));
+  wal_ = std::make_unique<WalWriter>(std::move(wal_file), dopts_.sync_mode,
+                                     dopts_.sync_interval_commits);
+
+  // Retention window: the new generation plus the previous one (the
+  // corruption fallback).  Pruning is best-effort -- a leftover file
+  // costs disk, not correctness.
+  StatusOr<std::vector<std::string>> names = env_->ListDir(dir_);
+  if (names.ok()) {
+    const uint64_t keep_from = checkpoint_gen_;
+    for (const std::string& name : *names) {
+      uint64_t gen = 0;
+      if ((ParseGenName(name, "ckpt-", ".pmidb", &gen) ||
+           ParseGenName(name, "wal-", ".log", &gen)) &&
+          gen < keep_from) {
+        env_->RemoveFile(JoinPath(dir_, name));
+      }
+    }
+  }
+  checkpoint_gen_ = next;
+  return OkStatus();
+}
+
+Status MetricDB::Checkpoint() {
+  if (!durable_) {
+    return FailedPreconditionError(
+        "Checkpoint() requires a durable database (CreateDurable/"
+        "OpenDurable)");
+  }
+  PMI_RETURN_IF_ERROR(write_status_);
+  Status rotated = RotateCheckpoint();
+  if (!rotated.ok()) {
+    // A half-rotated directory is ambiguous (e.g. the new checkpoint
+    // landed but its WAL did not): acknowledging more writes could put
+    // them in a generation recovery never replays.  Go read-only.
+    write_status_ = rotated;
+  }
+  return rotated;
+}
+
+StatusOr<MetricDB> MetricDB::CreateDurable(const MetricDBConfig& config,
+                                           Dataset data,
+                                           const std::string& dir,
+                                           const DurabilityOptions& dopts) {
+  PMI_ASSIGN_OR_RETURN(MetricDB db, Create(config, std::move(data)));
+  db.env_ = dopts.env != nullptr ? dopts.env : Env::Default();
+  db.dopts_ = dopts;
+  db.dir_ = dir;
+  db.durable_ = true;
+  db.checkpoint_gen_ = 0;
+  PMI_RETURN_IF_ERROR(db.env_->CreateDir(dir));
+  PMI_RETURN_IF_ERROR(db.RotateCheckpoint());
+  return db;
+}
+
+Status MetricDB::ReplayWalGenerations(Env* env, const std::string& dir,
+                                      uint64_t first_gen) {
+  uint64_t gen = first_gen;
+  bool prior_tail_truncated = false;
+  while (true) {
+    if (!env->FileExists(JoinPath(dir, WalName(gen)))) {
+      if (env->FileExists(JoinPath(dir, WalName(gen + 1)))) {
+        // A later log without this one: the history has a hole (e.g. a
+        // generation pruned beyond the fallback window) -- replaying
+        // around it would serve a non-prefix state.
+        return DataLossError("WAL generation " + std::to_string(gen) +
+                             " is missing but generation " +
+                             std::to_string(gen + 1) + " exists");
+      }
+      break;
+    }
+    if (prior_tail_truncated) {
+      // Records were lost from the middle of the history: generation
+      // gen-1 ended in a torn tail, yet a later generation exists.
+      return DataLossError(
+          "WAL generation " + std::to_string(gen - 1) +
+          " lost its tail but generation " + std::to_string(gen) +
+          " continues past it");
+    }
+    PMI_ASSIGN_OR_RETURN(
+        WalReplay replay,
+        ReadWalFile(env, JoinPath(dir, WalName(gen)), seq_ + 1));
+    for (const WalRecord& record : replay.records) {
+      if (record.id >= live_.size()) {
+        return DataLossError("WAL record names object " +
+                             std::to_string(record.id) +
+                             ", which the checkpoint does not contain");
+      }
+      const bool is_live = live_[record.id] != 0;
+      if ((record.op == WalOp::kInsert) == is_live) {
+        return DataLossError(
+            "WAL record " + std::to_string(record.seq) +
+            " is inconsistent with the recovered liveness of object " +
+            std::to_string(record.id));
+      }
+      ApplyToIndex(UpdateOp{record.op, record.id});
+    }
+    prior_tail_truncated = replay.truncated_tail;
+    ++gen;
+  }
+  return OkStatus();
+}
+
+StatusOr<MetricDB> MetricDB::OpenDurable(const std::string& dir,
+                                         const DurabilityOptions& dopts) {
+  Env* env = dopts.env != nullptr ? dopts.env : Env::Default();
+  PMI_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  std::vector<uint64_t> ckpt_gens;
+  uint64_t max_gen = 0;
+  for (const std::string& name : names) {
+    uint64_t gen = 0;
+    if (ParseGenName(name, "ckpt-", ".pmidb", &gen)) {
+      ckpt_gens.push_back(gen);
+      max_gen = std::max(max_gen, gen);
+    } else if (ParseGenName(name, "wal-", ".log", &gen)) {
+      max_gen = std::max(max_gen, gen);
+    }
+  }
+  if (ckpt_gens.empty()) {
+    return NotFoundError("\"" + dir + "\" holds no MetricDB checkpoint");
+  }
+  std::sort(ckpt_gens.begin(), ckpt_gens.end(), std::greater<>());
+
+  // Newest checkpoint first; on any corruption fall back to the next
+  // older one (whose WAL chain independently re-derives the history).
+  Status last_err;
+  for (uint64_t gen : ckpt_gens) {
+    StatusOr<std::string> payload =
+        ReadSnapshotFile(JoinPath(dir, CkptName(gen)), env);
+    if (!payload.ok()) {
+      last_err = payload.status();
+      continue;
+    }
+    StatusOr<MetricDB> opened = FromPayload(*payload);
+    if (!opened.ok()) {
+      last_err = opened.status();
+      continue;
+    }
+    MetricDB db = std::move(*opened);
+    Status replayed = db.ReplayWalGenerations(env, dir, gen);
+    if (!replayed.ok()) {
+      last_err = replayed;
+      continue;
+    }
+    db.env_ = env;
+    db.dopts_ = dopts;
+    db.dir_ = dir;
+    db.durable_ = true;
+    // Start past every generation ever seen, so a corrupt newer
+    // checkpoint is never overwritten (it stays around for forensics
+    // until the retention window passes it by).
+    db.checkpoint_gen_ = max_gen;
+    // Recovery re-checkpoints: the recovered state becomes durable on
+    // its own, and torn WAL debris drops out of the replay path.
+    PMI_RETURN_IF_ERROR(db.RotateCheckpoint());
+    return db;
+  }
+  return last_err;
 }
 
 }  // namespace pmi

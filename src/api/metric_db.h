@@ -37,6 +37,8 @@
 #include "src/core/metric.h"
 #include "src/core/pivots.h"
 #include "src/core/status.h"
+#include "src/storage/env.h"
+#include "src/storage/wal.h"
 
 namespace pmi {
 
@@ -151,6 +153,34 @@ struct QueryResult {
   OpStats stats;
 };
 
+/// One update: re-insert a (previously removed) dataset object, or
+/// remove a live one -- the update operation of the paper's Section
+/// 6.3, surfaced on the facade so it can be validated, logged, and
+/// recovered.
+struct UpdateOp {
+  WalOp op = WalOp::kInsert;
+  ObjectId id = 0;
+
+  static UpdateOp Insert(ObjectId id) { return {WalOp::kInsert, id}; }
+  static UpdateOp Remove(ObjectId id) { return {WalOp::kRemove, id}; }
+};
+
+/// Durability knobs for CreateDurable/OpenDurable.
+struct DurabilityOptions {
+  /// When acknowledged updates reach stable storage (see
+  /// src/storage/wal.h for the exact guarantee per mode).
+  SyncMode sync_mode = SyncMode::kAlways;
+  /// kInterval only: fsync every this many commits.
+  uint32_t sync_interval_commits = 32;
+  /// I/O seam; nullptr = Env::Default().  Must outlive the database.
+  Env* env = nullptr;
+
+  /// Reads PMI_WAL_SYNC ("always" | "interval" | "never") and
+  /// PMI_WAL_SYNC_INTERVAL; unset or unparsable values keep the
+  /// defaults.
+  static DurabilityOptions FromEnv();
+};
+
 /// An owned, persistable metric database: dataset + metric + pivots +
 /// index behind one handle.
 class MetricDB {
@@ -170,8 +200,68 @@ class MetricDB {
 
   /// Persists the database (config, dataset, pivots, index state) to one
   /// snapshot file.  kUnimplemented index persistence degrades to a
-  /// "rebuild on open" snapshot, never to an error.
+  /// "rebuild on open" snapshot, never to an error.  The file is
+  /// crash-durable when Save returns OK: temp file fsynced before the
+  /// atomic rename, parent directory fsynced after.
   Status Save(const std::string& path) const;
+
+  // -- durability ---------------------------------------------------------
+
+  /// Create() plus a durability home: `dir` receives a checkpoint
+  /// snapshot and a write-ahead log, and from then on every
+  /// acknowledged update survives a crash (at the DurabilityOptions
+  /// sync_mode's guarantee level).
+  static StatusOr<MetricDB> CreateDurable(const MetricDBConfig& config,
+                                          Dataset data,
+                                          const std::string& dir,
+                                          const DurabilityOptions& dopts = {});
+
+  /// Crash recovery: loads the newest valid checkpoint in `dir` (falling
+  /// back to the previous one if the newest is corrupt), replays the WAL
+  /// tail on top of it -- truncating torn trailing records, refusing
+  /// sequence gaps as kDataLoss -- and re-checkpoints so the recovered
+  /// state is itself durable.  Recovers to exactly the last acknowledged
+  /// update under SyncMode::kAlways; under kInterval/kNever to some
+  /// valid prefix of the update history, never to a non-prefix state.
+  static StatusOr<MetricDB> OpenDurable(const std::string& dir,
+                                        const DurabilityOptions& dopts = {});
+
+  /// Re-inserts dataset object `id` (must be removed) / removes a live
+  /// one.  On a durable database the op is WAL-logged before it is
+  /// applied; OK means it is recoverable per the sync mode.  Errors:
+  /// kInvalidArgument (id out of range), kFailedPrecondition (liveness
+  /// mismatch, or the database went read-only after an I/O fault),
+  /// kUnavailable (the logging I/O itself failed -- the op is NOT
+  /// applied and the database is read-only from then on).
+  Status Insert(ObjectId id) { return Apply({UpdateOp::Insert(id)}); }
+  Status Remove(ObjectId id) { return Apply({UpdateOp::Remove(id)}); }
+
+  /// Group commit: validates and applies `ops` as one WAL commit (one
+  /// write + at most one fsync for the whole batch).  All-or-nothing:
+  /// on any validation or logging error no op is applied.
+  Status Apply(const std::vector<UpdateOp>& ops);
+
+  /// Durable databases only: writes a fresh checkpoint of the current
+  /// state, starts a new WAL generation, and prunes generations older
+  /// than the fallback window (previous checkpoint + its log).
+  Status Checkpoint();
+
+  /// True when this database was opened with CreateDurable/OpenDurable.
+  bool durable() const { return durable_; }
+
+  /// Sequence number of the last applied update (0 = none yet).  After
+  /// OpenDurable this is exactly the prefix of update history the
+  /// recovered state contains.
+  uint64_t last_sequence() const { return seq_; }
+
+  /// Liveness of dataset object `id` under the applied update history.
+  bool alive(ObjectId id) const {
+    return id < live_.size() && live_[id] != 0;
+  }
+
+  /// Non-OK once a write-path I/O fault put the database in read-only
+  /// mode (queries still work; updates are refused with this status).
+  const Status& write_status() const { return write_status_; }
 
   /// Answers `request`; batches fan out across the thread pool when the
   /// index supports concurrent queries.
@@ -209,6 +299,31 @@ class MetricDB {
 
   Status ValidateRequest(const QueryRequest& request) const;
 
+  /// Serializes the full database state (including the liveness bitmap
+  /// and last sequence number) into the snapshot payload.
+  Status ComposePayload(ByteSink* payload) const;
+
+  /// Rebuilds a database from a snapshot payload (shared by Open and
+  /// checkpoint recovery).
+  static StatusOr<MetricDB> FromPayload(const std::string& payload);
+
+  /// Save through a specific Env (durable temp-write + rename + dir
+  /// sync).
+  Status SaveTo(const std::string& path, Env* env) const;
+
+  /// Applies one already-validated, already-logged update to the index
+  /// and the liveness/sequence bookkeeping.
+  void ApplyToIndex(const UpdateOp& op);
+
+  /// Replays wal-<g> for g = first_gen, first_gen+1, ... on top of the
+  /// current state; kDataLoss on sequence gaps or liveness-inconsistent
+  /// records.
+  Status ReplayWalGenerations(Env* env, const std::string& dir,
+                              uint64_t first_gen);
+
+  /// Writes ckpt-(gen+1), opens wal-(gen+1), prunes generation gen-1.
+  Status RotateCheckpoint();
+
   MetricDBConfig config_;
   // Metric parameters as actually instantiated (param derived from the
   // data when config_.metric_param == 0); persisted so Open rebuilds the
@@ -223,6 +338,22 @@ class MetricDB {
   std::unique_ptr<MetricIndex> index_;
   OpStats build_stats_;
   bool restored_ = false;
+
+  // -- update/durability state --------------------------------------------
+  // live_ mirrors the index's membership (1 = present); seq_ numbers the
+  // applied update history.  Maintained on every database; persisted in
+  // the snapshot payload tail so recovery can validate WAL replay.
+  std::vector<uint8_t> live_;
+  uint64_t seq_ = 0;
+  Status write_status_;
+
+  // Durable databases only.
+  bool durable_ = false;
+  std::string dir_;
+  Env* env_ = nullptr;  // borrowed; outlives the database
+  DurabilityOptions dopts_;
+  uint64_t checkpoint_gen_ = 0;
+  std::unique_ptr<WalWriter> wal_;
 };
 
 }  // namespace pmi

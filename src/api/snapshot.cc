@@ -1,10 +1,9 @@
 #include "src/api/snapshot.h"
 
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 
 #include "src/core/serialize.h"
+#include "src/storage/env.h"
 
 namespace pmi {
 
@@ -13,50 +12,48 @@ constexpr size_t kEnvelopeHead = 8 + 4 + 8;  // magic + version + length
 constexpr size_t kEnvelopeTail = 8;          // checksum
 }  // namespace
 
-Status WriteSnapshotFile(const std::string& path,
-                         const std::string& payload) {
+Status WriteSnapshotFile(const std::string& path, const std::string& payload,
+                         Env* env) {
+  if (env == nullptr) env = Env::Default();
   ByteSink head;
   head.Raw(kSnapshotMagic, sizeof(kSnapshotMagic));
   head.PutU32(kSnapshotFormatVersion);
   head.PutU64(payload.size());
+  ByteSink tail;
+  tail.PutU64(Fnv1a64(payload));
 
-  // Write-then-rename: a crash or full disk mid-write must never destroy
-  // an existing good snapshot at `path`.
+  // Write-then-rename, with both fsync barriers a power loss demands:
+  // the temp file is synced BEFORE the rename (otherwise the rename can
+  // land while the data has not, leaving a durable name on torn bytes)
+  // and the parent directory is synced AFTER (otherwise the rename
+  // itself is not durable and the old snapshot can resurrect).  A crash
+  // or full disk mid-write never touches an existing good snapshot at
+  // `path`.
   const std::string tmp = path + ".tmp";
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return NotFoundError("cannot open \"" + tmp + "\" for writing");
-    }
-    out.write(head.bytes().data(), head.bytes().size());
-    out.write(payload.data(), payload.size());
-    ByteSink tail;
-    tail.PutU64(Fnv1a64(payload));
-    out.write(tail.bytes().data(), tail.bytes().size());
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return DataLossError("write to \"" + tmp + "\" failed");
+    auto file = env->NewWritableFile(tmp);
+    if (!file.ok()) return file.status();
+    Status write = (*file)->Append(head.bytes());
+    if (write.ok()) write = (*file)->Append(payload);
+    if (write.ok()) write = (*file)->Append(tail.bytes());
+    if (write.ok()) write = (*file)->Sync();
+    if (write.ok()) write = (*file)->Close();
+    if (!write.ok()) {
+      env->RemoveFile(tmp);  // best effort; the error below is the story
+      return write;
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return DataLossError("cannot move snapshot into place at \"" + path +
-                         "\"");
+  Status renamed = env->RenameFile(tmp, path);
+  if (!renamed.ok()) {
+    env->RemoveFile(tmp);
+    return renamed;
   }
-  return OkStatus();
+  return env->SyncDir(ParentDir(path));
 }
 
-StatusOr<std::string> ReadSnapshotFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return NotFoundError("cannot open snapshot \"" + path + "\"");
-  }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    return DataLossError("read of snapshot \"" + path + "\" failed");
-  }
+StatusOr<std::string> ReadSnapshotFile(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  PMI_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
   if (bytes.size() < kEnvelopeHead + kEnvelopeTail) {
     return DataLossError("snapshot \"" + path + "\" is too short to be valid");
   }

@@ -6,10 +6,12 @@
 //   [ 8] magic "PMIDBSNP"
 //   [ 4] u32 format version (kSnapshotFormatVersion)
 //   [ 8] u64 payload length
-//   [ *] payload (composed by MetricDB::Save in src/api/metric_db.cc:
-//        metric spec, index name, pivot recipe, IndexOptions, dataset,
-//        pivots, and -- when the index implements persistence -- its
-//        serialized state)
+//   [ *] payload (composed by MetricDB::ComposePayload in
+//        src/api/metric_db.cc: metric spec, index name, pivot recipe,
+//        IndexOptions, dataset, pivots, the index's serialized state when
+//        it implements persistence, and the update-history tail -- last
+//        sequence number + liveness bitmap -- appended as a compatible
+//        version-1 extension)
 //   [ 8] u64 FNV-1a checksum of the payload
 //
 // Version policy: the version is bumped on ANY incompatible change to the
@@ -30,18 +32,24 @@
 
 namespace pmi {
 
+class Env;
+
 inline constexpr char kSnapshotMagic[8] = {'P', 'M', 'I', 'D',
                                            'B', 'S', 'N', 'P'};
 inline constexpr uint32_t kSnapshotFormatVersion = 1;
 
-/// Wraps `payload` in the envelope and writes it to `path` via a
-/// temporary file renamed into place, so a crash or full disk mid-write
-/// never destroys an existing snapshot at `path`.
-Status WriteSnapshotFile(const std::string& path, const std::string& payload);
+/// Wraps `payload` in the envelope and writes it to `path` crash-durably:
+/// a temporary file, fsynced BEFORE the atomic rename, with the parent
+/// directory fsynced after -- so power loss mid-write never destroys an
+/// existing snapshot at `path`, and an OK return means the bytes survive
+/// power loss.  `env` = nullptr uses Env::Default().
+Status WriteSnapshotFile(const std::string& path, const std::string& payload,
+                         Env* env = nullptr);
 
 /// Reads `path`, verifies magic, version, length, and checksum, and
 /// returns the payload bytes.
-StatusOr<std::string> ReadSnapshotFile(const std::string& path);
+StatusOr<std::string> ReadSnapshotFile(const std::string& path,
+                                       Env* env = nullptr);
 
 }  // namespace pmi
 

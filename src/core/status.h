@@ -13,6 +13,8 @@
 #define PMI_CORE_STATUS_H_
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <new>
 #include <string>
 #include <utility>
@@ -28,7 +30,8 @@ enum class StatusCode : int {
   kFailedPrecondition = 9, // operation invalid in the current state
   kUnimplemented = 12,     // e.g. an index without snapshot support
   kInternal = 13,          // invariant violation while loading
-  kDataLoss = 15,          // corrupt or truncated snapshot
+  kUnavailable = 14,       // I/O failure (full disk, failed fsync, ...)
+  kDataLoss = 15,          // corrupt or truncated snapshot / WAL
 };
 
 /// Human-readable code name, e.g. "INVALID_ARGUMENT".
@@ -40,6 +43,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
@@ -85,6 +89,9 @@ inline Status UnimplementedError(std::string msg) {
 }
 inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
 }
 inline Status DataLossError(std::string msg) {
   return Status(StatusCode::kDataLoss, std::move(msg));
@@ -164,6 +171,17 @@ class StatusOr {
   bool has_value_ = false;
   alignas(T) unsigned char storage_[sizeof(T)];
 };
+
+/// Fail-stop for the inner harness layer, which keeps the die-loudly
+/// contract (see file comment): aborts with the status message when not
+/// OK, in every build mode.  Facade code never calls this -- it
+/// propagates.
+inline void CheckOk(const Status& status, const char* context) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "pmi fatal: %s: %s\n", context,
+               status.ToString().c_str());
+  std::abort();
+}
 
 /// Propagates a non-OK Status out of the enclosing function.
 #define PMI_RETURN_IF_ERROR(expr)              \

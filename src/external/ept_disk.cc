@@ -31,7 +31,7 @@ void EptDisk::BuildImpl() {
                                       options_.cache_bytes, &counters_);
   seq_ = std::make_unique<PagedFile>(options_.page_size,
                                      options_.cache_bytes, &counters_);
-  raf_ = std::make_unique<RandomAccessFile>(file_.get());
+  raf_ = std::make_unique<RecordFile>(file_.get());
   rows_ = 0;
   DistanceComputer d = dist();
   psa_.Build(data(), d, options_.ept_cp_scale, options_.ept_sample_size,
@@ -76,7 +76,7 @@ void EptDisk::RangeImpl(const ObjectView& q, double r,
     RafRef ref;
     std::memcpy(&ref.length, p + 4, 4);
     std::memcpy(&ref.offset, p + 8, 8);
-    raf_->ReadRecord(ref, &buf);
+    CheckOk(raf_->ReadRecord(ref, &buf), "EPT* RAF read");
     ObjectView obj =
         data().DeserializeObject(buf.data(), static_cast<uint32_t>(buf.size()));
     if (d.Bounded(q, obj, r) <= r) out->push_back(id);
@@ -111,7 +111,7 @@ void EptDisk::KnnImpl(const ObjectView& q, size_t k,
     RafRef ref;
     std::memcpy(&ref.length, p + 4, 4);
     std::memcpy(&ref.offset, p + 8, 8);
-    raf_->ReadRecord(ref, &buf);
+    CheckOk(raf_->ReadRecord(ref, &buf), "EPT* RAF read");
     ObjectView obj =
         data().DeserializeObject(buf.data(), static_cast<uint32_t>(buf.size()));
     heap.Push(id, d.Bounded(q, obj, heap.radius()));

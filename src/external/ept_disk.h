@@ -54,7 +54,7 @@ class EptDisk final : public MetricIndex {
   PsaSelector psa_;
   std::unique_ptr<PagedFile> file_;  // RAF backing
   std::unique_ptr<PagedFile> seq_;   // table pages
-  std::unique_ptr<RandomAccessFile> raf_;
+  std::unique_ptr<RecordFile> raf_;
   uint32_t rows_ = 0;
 };
 

@@ -115,7 +115,7 @@ void MIndex::ExpandSummaries(Cluster* leaf, const std::vector<double>& phi) {
 ObjectView MIndex::ReadRecord(const RafRef& ref, std::vector<char>* buf,
                               std::vector<double>* phi) const {
   // RAF record layout: [phi l*f64][object payload].
-  raf_->ReadRecord(ref, buf);
+  CheckOk(raf_->ReadRecord(ref, buf), "M-index RAF read");
   const uint32_t l = pivots_.size();
   phi->resize(l);
   std::memcpy(phi->data(), buf->data(), 8 * l);
@@ -129,7 +129,7 @@ void MIndex::BuildImpl() {
   file_ = std::make_unique<PagedFile>(options_.page_size,
                                       options_.cache_bytes, &counters_);
   btree_ = std::make_unique<BPlusTree>(file_.get(), 16);
-  raf_ = std::make_unique<RandomAccessFile>(file_.get());
+  raf_ = std::make_unique<RecordFile>(file_.get());
   next_cluster_id_ = 0;
   cluster_nodes_ = 0;
   const uint32_t l = pivots_.size();

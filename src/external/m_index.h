@@ -96,7 +96,7 @@ class MIndex final : public MetricIndex {
   Variant variant_;
   std::unique_ptr<PagedFile> file_;
   std::unique_ptr<BPlusTree> btree_;
-  std::unique_ptr<RandomAccessFile> raf_;
+  std::unique_ptr<RecordFile> raf_;
   std::unique_ptr<Cluster> root_;  // pseudo-root; kids by first pivot
   uint32_t next_cluster_id_ = 0;
   size_t cluster_nodes_ = 0;

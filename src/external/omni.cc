@@ -21,7 +21,7 @@ void OmniBase::InitStorage() {
   eps_ = metric().max_distance() * 1e-6 + 1e-9;
   file_ = std::make_unique<PagedFile>(options_.page_size,
                                       options_.cache_bytes, &counters_);
-  raf_ = std::make_unique<RandomAccessFile>(file_.get());
+  raf_ = std::make_unique<RecordFile>(file_.get());
 }
 
 std::vector<double> OmniBase::Map(const ObjectView& o) const {
@@ -34,7 +34,7 @@ std::vector<double> OmniBase::Map(const ObjectView& o) const {
 double OmniBase::VerifyFromRaf(const ObjectView& q, const RafRef& ref,
                                double upper) const {
   std::vector<char> buf;
-  raf_->ReadRecord(ref, &buf);
+  CheckOk(raf_->ReadRecord(ref, &buf), "Omni RAF read");
   DistanceComputer d = dist();
   return d.Bounded(q,
                    data().DeserializeObject(buf.data(),

@@ -45,7 +45,7 @@ class OmniBase : public MetricIndex {
                        double upper) const;
 
   std::unique_ptr<PagedFile> file_;
-  std::unique_ptr<RandomAccessFile> raf_;
+  std::unique_ptr<RecordFile> raf_;
   double eps_ = 0;  // float-rounding slack
 };
 

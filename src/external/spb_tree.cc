@@ -67,7 +67,7 @@ void SpbTree::BuildImpl() {
           coords[i] = static_cast<float>(cells[i]);
         }
       });
-  raf_ = std::make_unique<RandomAccessFile>(file_.get());
+  raf_ = std::make_unique<RecordFile>(file_.get());
 
   // Map everything, sort by curve position, lay the RAF out in curve
   // order (the locality that gives the SPB-tree its low I/O), bulk load.
@@ -137,7 +137,7 @@ void SpbTree::RangeImpl(const ObjectView& q, double r,
         out->push_back(v.oid);  // no verification needed
         continue;
       }
-      raf_->ReadRecord(v.ref, &buf);
+      CheckOk(raf_->ReadRecord(v.ref, &buf), "SPB-tree RAF read");
       ObjectView obj = data().DeserializeObject(
           buf.data(), static_cast<uint32_t>(buf.size()));
       if (d(q, obj) <= r) out->push_back(v.oid);
@@ -194,7 +194,7 @@ void SpbTree::KnnImpl(const ObjectView& q, size_t k,
       }
       if (lb > heap.radius()) continue;
       Value v = UnpackValue(node.value(i));
-      raf_->ReadRecord(v.ref, &buf);
+      CheckOk(raf_->ReadRecord(v.ref, &buf), "SPB-tree RAF read");
       ObjectView obj = data().DeserializeObject(
           buf.data(), static_cast<uint32_t>(buf.size()));
       heap.Push(v.oid, d(q, obj));

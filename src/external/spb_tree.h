@@ -52,7 +52,7 @@ class SpbTree final : public MetricIndex {
 
   std::unique_ptr<PagedFile> file_;
   std::unique_ptr<BPlusTree> btree_;
-  std::unique_ptr<RandomAccessFile> raf_;
+  std::unique_ptr<RecordFile> raf_;
   std::unique_ptr<HilbertCurve> curve_;
   double cell_width_ = 1;
 };

@@ -1,0 +1,202 @@
+#include "src/storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pmi {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context, int err) {
+  std::string msg = context + ": " + std::strerror(err);
+  if (err == ENOENT) return NotFoundError(std::move(msg));
+  return UnavailableError(std::move(msg));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixWritableFile() override { Close(); }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return UnavailableError(path_ + " is closed");
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write " + path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return OkStatus();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return UnavailableError(path_ + " is closed");
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync " + path_, errno);
+    return OkStatus();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return OkStatus();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close " + path_, errno);
+    return OkStatus();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, out->data() + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread " + path_, errno);
+      }
+      if (r == 0) break;  // end of file
+      got += static_cast<size_t>(r);
+    }
+    out->resize(got);
+    return OkStatus();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return ErrnoStatus("open " + path + " for writing", errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open " + path + " for reading", errno);
+    // Opening a directory read-only succeeds on POSIX; reject it here so
+    // callers get a typed error instead of EISDIR from the first pread.
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && S_ISDIR(st.st_mode)) {
+      ::close(fd);
+      return InvalidArgumentError(path + " is a directory, not a file");
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<PosixRandomAccessFile>(path, fd));
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("stat " + path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return ErrnoStatus("opendir " + dir, errno);
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0) return OkStatus();
+    if (errno == EEXIST) {
+      struct stat st;
+      if (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        return OkStatus();
+      }
+      return UnavailableError(dir + " exists and is not a directory");
+    }
+    return ErrnoStatus("mkdir " + dir, errno);
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("unlink " + path, errno);
+    }
+    return OkStatus();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename " + from + " -> " + to, errno);
+    }
+    return OkStatus();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open dir " + dir, errno);
+    Status s;
+    if (::fsync(fd) != 0) s = ErrnoStatus("fsync dir " + dir, errno);
+    ::close(fd);
+    return s;
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate " + path, errno);
+    }
+    return OkStatus();
+  }
+};
+
+}  // namespace
+
+StatusOr<std::string> Env::ReadFileToString(const std::string& path) {
+  PMI_ASSIGN_OR_RETURN(uint64_t size, FileSize(path));
+  PMI_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                       NewRandomAccessFile(path));
+  std::string out;
+  PMI_RETURN_IF_ERROR(file->Read(0, size, &out));
+  if (out.size() != size) {
+    return UnavailableError(path + " shrank while being read");
+  }
+  return out;
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv;  // leaked: process lifetime
+  return env;
+}
+
+}  // namespace pmi

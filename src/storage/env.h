@@ -1,0 +1,127 @@
+// Real-file I/O layer for the durability subsystem.
+//
+// PagedFile simulates a disk for the paper's page-access accounting; it
+// never touches the filesystem.  Durability needs the opposite: actual
+// files, actual fsync, actual rename -- and every one of those calls can
+// fail, so everything here returns Status instead of asserting.  Env is
+// the single seam between the library and the operating system: the
+// snapshot writer, the write-ahead log, and checkpoint recovery all do
+// their I/O through an Env*, which is what lets the fault-injection
+// harness (src/storage/fault_env.h) interpose torn writes, failed
+// fsyncs, and full disks without a single #ifdef in production code.
+//
+// The shapes follow the classic LevelDB env: WritableFile is an
+// append-only handle with an explicit Sync barrier (data is NOT durable
+// until Sync returns OK), RandomAccessFile is a stateless pread-style
+// reader, and Env carries the filesystem verbs (rename, remove, list,
+// directory fsync).  Env::Default() is the process-wide POSIX
+// implementation.
+
+#ifndef PMI_STORAGE_ENV_H_
+#define PMI_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/status.h"
+
+namespace pmi {
+
+/// Append-only file handle.  Writes land in OS buffers; only a
+/// successful Sync() makes previously appended bytes crash-durable.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file.  On a non-OK return the file
+  /// may hold any prefix of `data` (short/torn write) -- the caller must
+  /// treat the tail as garbage from then on.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Durability barrier: flushes application and OS buffers to stable
+  /// storage.  After a failed Sync the durable state of previously
+  /// appended bytes is unknown (the classic fsync-gate); callers should
+  /// stop acknowledging writes on this file.
+  virtual Status Sync() = 0;
+
+  /// Closes the handle (no implicit Sync).  Idempotent.
+  virtual Status Close() = 0;
+};
+
+/// Stateless positional reader (pread semantics).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset` into `out` (resized to what was
+  /// actually read; shorter than `n` only at end of file).
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+};
+
+/// The operating-system seam.  All durability I/O goes through one of
+/// these; Env::Default() is the real POSIX filesystem.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Process-wide POSIX environment (never null, never deleted).
+  static Env* Default();
+
+  /// Creates (or truncates) `path` for appending.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Opens `path` for positional reads.
+  virtual StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  /// Reads the whole of `path` into a string.
+  virtual StatusOr<std::string> ReadFileToString(const std::string& path);
+
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries of `dir`, excluding "." / "..".
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  /// Creates `dir`; OK if it already exists as a directory.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from`.  The rename itself is atomic,
+  /// but NOT durable until the parent directory is synced.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// fsyncs the directory entry metadata of `dir`, making completed
+  /// renames/creates inside it durable across power loss.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Truncates `path` to `size` bytes (used to drop a torn WAL tail).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+};
+
+/// "dir/name" with exactly one separator.
+inline std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+/// Directory part of `path` ("." when there is no separator); the
+/// SyncDir target for a file created at `path`.
+inline std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace pmi
+
+#endif  // PMI_STORAGE_ENV_H_

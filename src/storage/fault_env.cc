@@ -1,0 +1,190 @@
+#include "src/storage/fault_env.h"
+
+#include <random>
+
+namespace pmi {
+
+/// WritableFile wrapper that consults the env before every mutation.
+/// Namespace scope (not anonymous) so the friend declaration in
+/// FaultInjectingEnv resolves to it.
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base,
+                    FaultInjectingEnv* env, Rng* rng)
+      : base_(std::move(base)), env_(env), rng_(rng) {}
+
+  Status Append(std::string_view data) override {
+    FaultKind inject = FaultKind::kNone;
+    PMI_RETURN_IF_ERROR(env_->NextMutation(&inject));
+    switch (inject) {
+      case FaultKind::kNone:
+        return base_->Append(data);
+      case FaultKind::kTornWrite: {
+        // Power loss mid-write: a random strict prefix lands, then the
+        // world stops.  The status models the process dying -- the
+        // caller must treat the op as unacknowledged.
+        size_t keep = data.empty() ? 0 : Below(data.size());
+        base_->Append(data.substr(0, keep));
+        base_->Sync();  // the torn prefix itself may well be on media
+        env_->Crash();
+        return UnavailableError("simulated crash: torn write");
+      }
+      case FaultKind::kShortWrite: {
+        size_t keep = data.empty() ? 0 : Below(data.size());
+        base_->Append(data.substr(0, keep));
+        return UnavailableError("simulated short write");
+      }
+      case FaultKind::kNoSpace:
+        return UnavailableError("simulated ENOSPC");
+      case FaultKind::kBitFlip: {
+        // Silent corruption: flip one bit and report success.
+        std::string bytes(data);
+        if (!bytes.empty()) {
+          size_t pos = Below(bytes.size());
+          bytes[pos] = static_cast<char>(
+              bytes[pos] ^ (1u << ((*rng_)() % 8)));
+        }
+        return base_->Append(bytes);
+      }
+      case FaultKind::kFailedSync:
+        // A sync fault landing on an Append: let the write through and
+        // leave the fault armed for the next Sync on this env.
+        env_->plan_.trigger = env_->mutations_;
+        env_->triggered_ = false;
+        return base_->Append(data);
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    FaultKind inject = FaultKind::kNone;
+    PMI_RETURN_IF_ERROR(env_->NextMutation(&inject));
+    if (inject == FaultKind::kFailedSync) {
+      return UnavailableError("simulated fsync failure");
+    }
+    if (inject == FaultKind::kTornWrite) {
+      // Power loss at the barrier itself: what persists is whatever the
+      // OS already wrote; the world stops.
+      env_->Crash();
+      return UnavailableError("simulated crash: power loss at fsync");
+    }
+    if (inject != FaultKind::kNone) {
+      // Write-shaped faults armed on a Sync boundary degrade to a
+      // failed barrier; the distinction only matters for Appends.
+      return UnavailableError("simulated I/O failure at fsync");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    // Close is not a durability barrier; it never counts as a mutation
+    // and keeps working after a crash so RAII cleanup stays quiet.
+    return base_->Close();
+  }
+
+ private:
+  size_t Below(size_t n) {
+    return std::uniform_int_distribution<size_t>(0, n - 1)(*rng_);
+  }
+
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingEnv* env_;
+  Rng* rng_;
+};
+
+void FaultInjectingEnv::Arm(const FaultPlan& plan) {
+  plan_ = plan;
+  rng_.seed(plan.seed);
+  mutations_ = 0;
+  triggered_ = false;
+  crashed_ = false;
+}
+
+Status FaultInjectingEnv::NextMutation(FaultKind* inject) {
+  *inject = FaultKind::kNone;
+  if (crashed_) return UnavailableError("simulated crash: env is down");
+  uint64_t index = mutations_++;
+  if (plan_.kind != FaultKind::kNone && !triggered_ &&
+      index == plan_.trigger) {
+    triggered_ = true;
+    *inject = plan_.kind;
+  }
+  return OkStatus();
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path) {
+  if (crashed_) return UnavailableError("simulated crash: env is down");
+  PMI_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                       base_->NewWritableFile(path));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(std::move(base), this, &rng_));
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>>
+FaultInjectingEnv::NewRandomAccessFile(const std::string& path) {
+  if (crashed_) return UnavailableError("simulated crash: env is down");
+  return base_->NewRandomAccessFile(path);
+}
+
+StatusOr<uint64_t> FaultInjectingEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+StatusOr<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& dir) {
+  if (crashed_) return UnavailableError("simulated crash: env is down");
+  return base_->CreateDir(dir);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  if (crashed_) return UnavailableError("simulated crash: env is down");
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  FaultKind inject = FaultKind::kNone;
+  PMI_RETURN_IF_ERROR(NextMutation(&inject));
+  if (inject == FaultKind::kTornWrite) {
+    // Power loss before the rename reached the directory.
+    Crash();
+    return UnavailableError("simulated crash: power loss at rename");
+  }
+  if (inject != FaultKind::kNone) {
+    return UnavailableError("simulated I/O failure at rename");
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& dir) {
+  FaultKind inject = FaultKind::kNone;
+  PMI_RETURN_IF_ERROR(NextMutation(&inject));
+  if (inject == FaultKind::kTornWrite) {
+    Crash();
+    return UnavailableError("simulated crash: power loss at dir fsync");
+  }
+  if (inject == FaultKind::kFailedSync) {
+    return UnavailableError("simulated dir fsync failure");
+  }
+  if (inject != FaultKind::kNone) {
+    return UnavailableError("simulated I/O failure at dir fsync");
+  }
+  return base_->SyncDir(dir);
+}
+
+Status FaultInjectingEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  if (crashed_) return UnavailableError("simulated crash: env is down");
+  return base_->TruncateFile(path, size);
+}
+
+}  // namespace pmi

@@ -1,0 +1,125 @@
+// Fault-injection Env wrapper for crash-recovery testing.
+//
+// FaultInjectingEnv delegates to a base Env while counting every
+// durability-relevant mutation (WritableFile::Append, Sync, and
+// Env::RenameFile).  A FaultPlan arms one fault at the k-th such
+// mutation:
+//
+//   kTornWrite   the write persists only a random prefix and the
+//                "process" loses power: every later mutation fails with
+//                kUnavailable ("simulated crash").  Models power loss
+//                mid-write -- the caller never observes an error for
+//                the torn bytes themselves.
+//   kShortWrite  a random prefix is written and the call returns
+//                kUnavailable; the environment stays alive (the caller
+//                sees the failure and must stop acknowledging).
+//   kFailedSync  Sync returns kUnavailable without syncing; alive.
+//                After this, the durable state of unsynced bytes is
+//                unknown (the fsync-gate), so callers must go
+//                read-only.
+//   kNoSpace     the write persists nothing and returns kUnavailable
+//                (ENOSPC); alive.
+//   kBitFlip     one random bit of the buffer is flipped and the write
+//                "succeeds" -- silent media corruption the CRC/checksum
+//                layers must catch at recovery.
+//
+// Crash() forces the powered-off state at any time (e.g. at the end of
+// a scripted run); recovery tests then reopen the same files through a
+// clean Env.  Counting is deterministic, so a calibration pass with an
+// unarmed env yields the mutation count M and a sweep over trigger in
+// [0, M) visits every fault point of the script.
+
+#ifndef PMI_STORAGE_FAULT_ENV_H_
+#define PMI_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/rng.h"
+#include "src/storage/env.h"
+
+namespace pmi {
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kTornWrite,
+  kShortWrite,
+  kFailedSync,
+  kNoSpace,
+  kBitFlip,
+};
+
+inline const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTornWrite: return "torn_write";
+    case FaultKind::kShortWrite: return "short_write";
+    case FaultKind::kFailedSync: return "failed_sync";
+    case FaultKind::kNoSpace: return "no_space";
+    case FaultKind::kBitFlip: return "bit_flip";
+  }
+  return "unknown";
+}
+
+/// One scripted fault: `kind` fires at the `trigger`-th mutation
+/// (0-based); `seed` randomizes the torn prefix length / flipped bit.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t trigger = 0;
+  uint64_t seed = 1;
+};
+
+class FaultInjectingEnv final : public Env {
+ public:
+  /// `base` must outlive this env.
+  explicit FaultInjectingEnv(Env* base) : base_(base), rng_(1) {}
+
+  /// Installs `plan` and resets the mutation counter and crash state.
+  void Arm(const FaultPlan& plan);
+
+  /// Mutations observed since the last Arm (the sweep domain).
+  uint64_t mutation_count() const { return mutations_; }
+
+  /// True once the armed fault has fired.
+  bool triggered() const { return triggered_; }
+
+  /// True while simulating the post-crash powered-off state.
+  bool crashed() const { return crashed_; }
+
+  /// Forces the powered-off state: every later mutation fails.
+  void Crash() { crashed_ = true; }
+
+  // -- Env ----------------------------------------------------------------
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDir(const std::string& dir) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& dir) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+
+
+ private:
+  friend class FaultWritableFile;  // defined in fault_env.cc
+
+  /// Registers one mutation; returns the fault to inject now (kNone for
+  /// a clean pass-through) or kUnavailable when already crashed.
+  Status NextMutation(FaultKind* inject);
+
+  Env* base_;
+  FaultPlan plan_;
+  Rng rng_;
+  uint64_t mutations_ = 0;
+  bool triggered_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace pmi
+
+#endif  // PMI_STORAGE_FAULT_ENV_H_

@@ -20,14 +20,24 @@ PageId PagedFile::Allocate() {
   return num_pages() - 1;
 }
 
-const char* PagedFile::Read(PageId id) const {
-  assert(id < pages_.size());
-  Touch(id, /*dirty=*/false);
-  return pages_[id].get();
+namespace {
+
+Status PageOutOfRange(const char* verb, PageId id, uint32_t num_pages) {
+  return DataLossError(std::string("page ") + verb + " out of range: page " +
+                       std::to_string(id) + " of a " +
+                       std::to_string(num_pages) + "-page file");
 }
 
-char* PagedFile::Write(PageId id, bool load) {
-  assert(id < pages_.size());
+}  // namespace
+
+StatusOr<const char*> PagedFile::ReadPage(PageId id) const {
+  if (id >= pages_.size()) return PageOutOfRange("read", id, num_pages());
+  Touch(id, /*dirty=*/false);
+  return static_cast<const char*>(pages_[id].get());
+}
+
+StatusOr<char*> PagedFile::WritePage(PageId id, bool load) {
+  if (id >= pages_.size()) return PageOutOfRange("write", id, num_pages());
   // A wholesale overwrite (load == false) skips the read charge a real
   // buffer manager would also skip; either way the frame becomes dirty.
   auto it = resident_.find(id);
@@ -36,6 +46,18 @@ char* PagedFile::Write(PageId id, bool load) {
   }
   Touch(id, /*dirty=*/true);
   return pages_[id].get();
+}
+
+const char* PagedFile::Read(PageId id) const {
+  StatusOr<const char*> page = ReadPage(id);
+  CheckOk(page.ok() ? OkStatus() : page.status(), "PagedFile::Read");
+  return *page;
+}
+
+char* PagedFile::Write(PageId id, bool load) {
+  StatusOr<char*> page = WritePage(id, load);
+  CheckOk(page.ok() ? OkStatus() : page.status(), "PagedFile::Write");
+  return *page;
 }
 
 void PagedFile::Flush() {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/counters.h"
+#include "src/core/status.h"
 
 namespace pmi {
 
@@ -41,11 +42,21 @@ class PagedFile {
   PageId Allocate();
 
   /// Page contents for reading.  Charges one page read on a pool miss.
-  const char* Read(PageId id) const;
+  /// A page id outside the file is kDataLoss, never an out-of-bounds
+  /// read: ids that cross this API may originate in persisted bytes.
+  StatusOr<const char*> ReadPage(PageId id) const;
 
   /// Page contents for mutation.  Pulls the page into the pool (charging
   /// a read on miss if `load` -- pass false when overwriting wholesale)
   /// and marks it dirty; the page write is charged at eviction or Flush.
+  /// Bounds-checked like ReadPage.
+  StatusOr<char*> WritePage(PageId id, bool load = true);
+
+  /// Fail-stop forms for the inner index code, whose page ids are
+  /// internally generated (a bad one is a program bug, not data
+  /// corruption): same accounting, but an out-of-range id aborts with a
+  /// message instead of silently reading garbage in release builds.
+  const char* Read(PageId id) const;
   char* Write(PageId id, bool load = true);
 
   /// Writes back all dirty pages (charging page writes) but keeps them

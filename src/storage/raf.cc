@@ -1,12 +1,11 @@
 #include "src/storage/raf.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
 namespace pmi {
 
-RafRef RandomAccessFile::Append(const char* data, uint32_t len) {
+RafRef RecordFile::Append(const char* data, uint32_t len) {
   const uint32_t ps = file_->page_size();
   // Keep whole records within a page when they fit in one: records never
   // straddle a boundary unless longer than a page.  This mirrors slotted
@@ -36,8 +35,14 @@ RafRef RandomAccessFile::Append(const char* data, uint32_t len) {
   return ref;
 }
 
-void RandomAccessFile::ReadRecord(const RafRef& ref,
-                                  std::vector<char>* out) const {
+Status RecordFile::ReadRecord(const RafRef& ref,
+                              std::vector<char>* out) const {
+  if (ref.offset > end_ || ref.length > end_ - ref.offset) {
+    return DataLossError(
+        "record ref [" + std::to_string(ref.offset) + ", +" +
+        std::to_string(ref.length) + ") exceeds the stored " +
+        std::to_string(end_) + " bytes");
+  }
   out->resize(ref.length);
   const uint32_t ps = file_->page_size();
   uint64_t pos = ref.offset;
@@ -46,14 +51,17 @@ void RandomAccessFile::ReadRecord(const RafRef& ref,
   while (remaining > 0) {
     uint32_t page_idx = static_cast<uint32_t>(pos / ps);
     uint32_t in_page = static_cast<uint32_t>(pos % ps);
-    assert(page_idx < pages_.size());
+    if (page_idx >= pages_.size()) {
+      return DataLossError("record ref reaches past the last RAF page");
+    }
     uint32_t chunk = std::min(remaining, ps - in_page);
-    const char* srcp = file_->Read(pages_[page_idx]);
+    PMI_ASSIGN_OR_RETURN(const char* srcp, file_->ReadPage(pages_[page_idx]));
     std::memcpy(dst, srcp + in_page, chunk);
     pos += chunk;
     dst += chunk;
     remaining -= chunk;
   }
+  return OkStatus();
 }
 
 }  // namespace pmi

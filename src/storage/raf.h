@@ -1,11 +1,13 @@
-// Random access file (RAF) for object payloads.
+// Record file for object payloads.
 //
 // The Omni-family, M-index, and SPB-tree keep data objects out of their
 // index structures in a separate random access file (Sections 5.2-5.4),
-// so index node size is independent of object size.  This RAF is an
-// append-only byte store over a PagedFile: reading a record charges one
-// page read per touched page (minus buffer-pool hits), which reproduces
-// the paper's duplicate-RAF-page-access behaviour for MkNNQ.
+// so index node size is independent of object size.  RecordFile is that
+// store: an append-only byte store over a PagedFile where reading a
+// record charges one page read per touched page (minus buffer-pool
+// hits), which reproduces the paper's duplicate-RAF-page-access
+// behaviour for MkNNQ.  (The OS-file abstraction of the same name lives
+// in src/storage/env.h; this class is the paper's "RAF" record store.)
 
 #ifndef PMI_STORAGE_RAF_H_
 #define PMI_STORAGE_RAF_H_
@@ -13,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/status.h"
 #include "src/storage/paged_file.h"
 
 namespace pmi {
@@ -24,17 +27,18 @@ struct RafRef {
 };
 
 /// Append-only record store over a PagedFile.
-class RandomAccessFile {
+class RecordFile {
  public:
-  explicit RandomAccessFile(PagedFile* file) : file_(file) {}
+  explicit RecordFile(PagedFile* file) : file_(file) {}
 
   /// Appends `len` bytes; returns where they landed.
   RafRef Append(const char* data, uint32_t len);
 
   /// Reads a record into `out` (resized).  The caller may reinterpret the
   /// buffer start as float data: the vector's allocation is suitably
-  /// aligned and records are copied to offset 0.
-  void ReadRecord(const RafRef& ref, std::vector<char>* out) const;
+  /// aligned and records are copied to offset 0.  A ref outside the
+  /// appended byte range is kDataLoss, never an out-of-bounds read.
+  Status ReadRecord(const RafRef& ref, std::vector<char>* out) const;
 
   uint64_t size_bytes() const { return end_; }
   size_t disk_bytes() const { return file_->bytes(); }

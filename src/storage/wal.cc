@@ -1,0 +1,161 @@
+#include "src/storage/wal.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pmi {
+
+namespace {
+
+constexpr uint32_t kWalBodyBytes = 1 + 8 + 4;  // op + seq + id
+constexpr uint32_t kWalHeadBytes = 4 + 4;      // length + crc
+// Geometry sanity bound: bodies are fixed-size today; anything larger
+// is future format growth, anything beyond this is garbage read as a
+// length field.
+constexpr uint32_t kWalMaxBodyBytes = 1 << 20;
+
+uint32_t CrcTableEntry(uint32_t i) {
+  uint32_t c = i;
+  for (int k = 0; k < 8; ++k) {
+    c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;  // reflected CRC32C poly
+  }
+  return c;
+}
+
+struct CrcTable {
+  uint32_t entries[256];
+  CrcTable() {
+    for (uint32_t i = 0; i < 256; ++i) entries[i] = CrcTableEntry(i);
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n) {
+  static const CrcTable table;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+StatusOr<SyncMode> ParseSyncMode(const std::string& name) {
+  if (name == "always") return SyncMode::kAlways;
+  if (name == "interval") return SyncMode::kInterval;
+  if (name == "never") return SyncMode::kNever;
+  return InvalidArgumentError("unknown sync mode \"" + name +
+                              "\" (supported: always, interval, never)");
+}
+
+void AppendWalRecord(const WalRecord& record, std::string* out) {
+  char body[kWalBodyBytes];
+  body[0] = static_cast<char>(record.op);
+  std::memcpy(body + 1, &record.seq, 8);
+  std::memcpy(body + 9, &record.id, 4);
+  uint32_t len = kWalBodyBytes;
+  uint32_t crc = Crc32c(body, kWalBodyBytes);
+  out->append(reinterpret_cast<const char*>(&len), 4);
+  out->append(reinterpret_cast<const char*>(&crc), 4);
+  out->append(body, kWalBodyBytes);
+}
+
+WalWriter::WalWriter(std::unique_ptr<WritableFile> file, SyncMode mode,
+                     uint32_t sync_interval_commits)
+    : file_(std::move(file)),
+      mode_(mode),
+      sync_interval_commits_(std::max<uint32_t>(1, sync_interval_commits)) {}
+
+void WalWriter::Add(const WalRecord& record) {
+  AppendWalRecord(record, &pending_);
+}
+
+Status WalWriter::Commit() {
+  if (!status_.ok()) return status_;
+  if (!pending_.empty()) {
+    Status s = file_->Append(pending_);
+    if (!s.ok()) {
+      // The file may now hold a torn batch; everything after it would
+      // replay out of sequence.  Go sticky-failed.
+      status_ = s;
+      return s;
+    }
+    pending_.clear();
+  }
+  ++commits_since_sync_;
+  bool want_sync = mode_ == SyncMode::kAlways ||
+                   (mode_ == SyncMode::kInterval &&
+                    commits_since_sync_ >= sync_interval_commits_);
+  if (want_sync) {
+    Status s = file_->Sync();
+    if (!s.ok()) {
+      // Failed fsync: the durable state of the tail is unknown (the
+      // fsync-gate).  Never acknowledge past it.
+      status_ = s;
+      return s;
+    }
+    commits_since_sync_ = 0;
+  }
+  return OkStatus();
+}
+
+Status WalWriter::Sync() {
+  if (!status_.ok()) return status_;
+  Status s = file_->Sync();
+  if (!s.ok()) status_ = s;
+  commits_since_sync_ = 0;
+  return s;
+}
+
+StatusOr<WalReplay> ReadWalFile(Env* env, const std::string& path,
+                                uint64_t expect_first_seq) {
+  PMI_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
+  WalReplay replay;
+  size_t pos = 0;
+  uint64_t expect_seq = expect_first_seq;
+  while (bytes.size() - pos >= kWalHeadBytes) {
+    uint32_t len = 0, crc = 0;
+    std::memcpy(&len, bytes.data() + pos, 4);
+    std::memcpy(&crc, bytes.data() + pos + 4, 4);
+    if (len < kWalBodyBytes || len > kWalMaxBodyBytes ||
+        len > bytes.size() - pos - kWalHeadBytes) {
+      replay.truncated_tail = true;  // torn length field or torn body
+      break;
+    }
+    const char* body = bytes.data() + pos + kWalHeadBytes;
+    if (Crc32c(body, len) != crc) {
+      replay.truncated_tail = true;  // torn or bit-flipped record
+      break;
+    }
+    WalRecord record;
+    uint8_t op = static_cast<uint8_t>(body[0]);
+    if (op != static_cast<uint8_t>(WalOp::kInsert) &&
+        op != static_cast<uint8_t>(WalOp::kRemove)) {
+      // CRC-valid but semantically unknown: written by a future format.
+      return FailedPreconditionError(
+          "WAL \"" + path + "\" holds record op " + std::to_string(op) +
+          " this build does not understand");
+    }
+    record.op = static_cast<WalOp>(op);
+    std::memcpy(&record.seq, body + 1, 8);
+    std::memcpy(&record.id, body + 9, 4);
+    if (expect_seq != 0 && record.seq != expect_seq) {
+      return DataLossError(
+          "WAL \"" + path + "\" has a sequence gap: expected " +
+          std::to_string(expect_seq) + ", found " +
+          std::to_string(record.seq) +
+          " -- replaying across it would serve a non-prefix state");
+    }
+    expect_seq = record.seq + 1;
+    replay.records.push_back(record);
+    pos += kWalHeadBytes + len;
+    replay.valid_bytes = pos;
+  }
+  if (pos < bytes.size() && !replay.truncated_tail) {
+    replay.truncated_tail = true;  // trailing partial head
+  }
+  return replay;
+}
+
+}  // namespace pmi

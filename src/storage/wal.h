@@ -1,0 +1,129 @@
+// Write-ahead log for MetricDB updates.
+//
+// Every acknowledged Insert/Remove is appended here before it touches
+// the index, so a crash after the acknowledgment can always be replayed
+// from the newest checkpoint (src/api/metric_db.cc owns that protocol;
+// this header owns the log file format and its reader/writer).
+//
+// Record format (little-endian), one per update:
+//
+//   [4] u32 body length (= 13 for the current body)
+//   [4] u32 CRC32C of the body
+//   [*] body: [1] u8 op (WalOp)  [8] u64 sequence  [4] u32 object id
+//
+// Sequence numbers start at 1, increase by exactly 1 across the whole
+// log history (checkpoints record the last sequence they contain, and
+// each log file continues where the previous generation stopped), and
+// are the recovery layer's corruption tripwire: a reader that observes
+// a gap refuses to replay rather than serve a non-prefix state.
+//
+// Writing is group-committed: Add() only buffers; Commit() appends every
+// buffered record in ONE WritableFile::Append -- so a torn write can
+// tear at most one commit batch, never split an earlier one -- and then
+// applies the SyncMode policy:
+//
+//   kAlways    fsync every commit.  An OK Commit IS the acknowledgment:
+//              the records survive any crash.
+//   kInterval  fsync every `sync_interval_commits` commits.  A crash can
+//              lose up to that many acknowledged commits, never more.
+//   kNever     no fsync (the OS flushes when it pleases).  A crash can
+//              lose any unflushed tail; the surviving prefix still
+//              replays cleanly.
+//
+// Reading degrades gracefully by construction: the reader stops at the
+// first record whose length is implausible or whose CRC mismatches and
+// reports the valid prefix plus a truncated-tail flag -- a torn final
+// record is expected crash debris, not corruption of acknowledged data.
+
+#ifndef PMI_STORAGE_WAL_H_
+#define PMI_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/storage/env.h"
+
+namespace pmi {
+
+/// CRC32C (Castagnoli), table-driven software implementation.  Stronger
+/// mixing than the snapshot FNV for short records, and the conventional
+/// choice for log records.
+uint32_t Crc32c(const void* data, size_t n);
+
+/// When the WAL forces data to stable storage (see header comment).
+enum class SyncMode : uint8_t { kAlways = 0, kInterval = 1, kNever = 2 };
+
+/// Parses "always" / "interval" / "never" (e.g. from PMI_WAL_SYNC);
+/// anything else -> kInvalidArgument.
+StatusOr<SyncMode> ParseSyncMode(const std::string& name);
+
+/// Logged update operations, the durable mirror of MetricIndex
+/// Insert/Remove.
+enum class WalOp : uint8_t { kInsert = 1, kRemove = 2 };
+
+struct WalRecord {
+  WalOp op = WalOp::kInsert;
+  uint64_t seq = 0;
+  uint32_t id = 0;
+};
+
+/// Appends records to one log file with group commit.  Single-writer,
+/// externally synchronized, and sticky on failure: after any non-OK
+/// Commit the writer refuses further work (the file tail is suspect;
+/// the database must stop acknowledging writes).
+class WalWriter {
+ public:
+  /// Takes ownership of `file` (freshly created via Env).  `mode` and
+  /// `sync_interval_commits` implement the policy above (the interval
+  /// is clamped to >= 1).
+  WalWriter(std::unique_ptr<WritableFile> file, SyncMode mode,
+            uint32_t sync_interval_commits);
+
+  /// Buffers one record.  No I/O happens until Commit.
+  void Add(const WalRecord& record);
+
+  /// Appends all buffered records as one write, then syncs per policy.
+  /// OK means the batch is acknowledged at the current SyncMode's
+  /// guarantee level.  An empty buffer commits trivially.
+  Status Commit();
+
+  /// Forces an fsync regardless of SyncMode (checkpoint barrier).
+  Status Sync();
+
+  const Status& status() const { return status_; }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+  SyncMode mode_;
+  uint32_t sync_interval_commits_;
+  uint32_t commits_since_sync_ = 0;
+  std::string pending_;
+  Status status_;
+};
+
+/// Encodes one record in the on-disk format (exposed for tests).
+void AppendWalRecord(const WalRecord& record, std::string* out);
+
+/// The valid prefix of one log file.
+struct WalReplay {
+  std::vector<WalRecord> records;
+  /// True when the file ended in a torn/corrupt record that was dropped.
+  bool truncated_tail = false;
+  /// Byte length of the valid prefix (where a truncating repair cuts).
+  uint64_t valid_bytes = 0;
+};
+
+/// Reads the valid record prefix of the log at `path`.  Geometry or CRC
+/// damage truncates (graceful); a sequence gap -- against
+/// `expect_first_seq` (0 = accept any start) or between adjacent
+/// records -- is kDataLoss, because replaying across a gap would serve
+/// a non-prefix state.  A missing file is kNotFound.
+StatusOr<WalReplay> ReadWalFile(Env* env, const std::string& path,
+                                uint64_t expect_first_seq);
+
+}  // namespace pmi
+
+#endif  // PMI_STORAGE_WAL_H_

@@ -224,6 +224,62 @@ TEST_F(SnapshotDamageTest, EveryTruncationErrorsOutCleanly) {
   }
 }
 
+TEST_F(SnapshotDamageTest, EmptyFileIsError) {
+  Rewrite("");
+  auto r = MetricDB::Open(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SnapshotDamageTest, DirectoryIsError) {
+  // TempDir itself: a directory is never a snapshot, and must be refused
+  // by the I/O layer, not discovered via a garbage read.
+  auto r = MetricDB::Open(::testing::TempDir());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+      << r.status().ToString();
+}
+
+TEST_F(SnapshotDamageTest, EveryEighthBoundaryTruncationErrorsOutCleanly) {
+  for (int k = 0; k < 8; ++k) {
+    size_t len = bytes_.size() * k / 8;
+    Rewrite(bytes_.substr(0, len));
+    auto r = MetricDB::Open(path_);
+    EXPECT_FALSE(r.ok()) << "truncation at " << k << "/8 = " << len
+                         << " bytes";
+  }
+}
+
+TEST(SnapshotDurableDamageTest, ValidCheckpointWithGarbageWalTailRecovers) {
+  // The WAL reader's contract: a checkpoint that is intact plus a log
+  // holding pure garbage recovers to exactly the checkpoint state (the
+  // garbage reads as a torn tail of zero valid records).
+  const std::string dir = ::testing::TempDir() + "pmi_garbage_wal";
+  Dataset data = MakeLaLike(300, /*seed=*/9);
+  auto db = MetricDB::CreateDurable(
+      MetricDBConfig().WithMetric("L2").WithIndex("LAESA").WithPivots(3),
+      data, dir);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE(db->Remove(5).ok());
+  ASSERT_TRUE(db->Remove(6).ok());
+  const uint64_t seq = db->last_sequence();
+
+  // Overwrite the live WAL with garbage that never checksums.
+  {
+    std::ofstream out(dir + "/wal-000001.log",
+                      std::ios::binary | std::ios::trunc);
+    for (int i = 0; i < 64; ++i) out.put(char(0xa5));
+  }
+  auto reopened = MetricDB::OpenDurable(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // The two removes lived only in the clobbered WAL: recovery lands on
+  // the checkpoint prefix (seq 0), not on an error and not past it.
+  EXPECT_EQ(seq, 2u);
+  EXPECT_EQ(reopened->last_sequence(), 0u);
+  EXPECT_TRUE(reopened->alive(5));
+  EXPECT_TRUE(reopened->alive(6));
+}
+
 TEST_F(SnapshotDamageTest, PayloadBitFlipIsDataLoss) {
   for (size_t pos : {21ul, bytes_.size() / 2, bytes_.size() - 9}) {
     std::string bad = bytes_;

@@ -1,5 +1,5 @@
 // Unit tests for the simulated-disk substrate: PagedFile (PA accounting,
-// LRU behaviour), RandomAccessFile, and the Hilbert curve.
+// LRU behaviour), RecordFile, and the Hilbert curve.
 
 #include <algorithm>
 #include <cstring>
@@ -96,7 +96,7 @@ TEST(PagedFileTest, DataSurvivesEviction) {
 TEST(RafTest, RoundTripsRecords) {
   PerfCounters c;
   PagedFile f(4096, 128 * 1024, &c);
-  RandomAccessFile raf(&f);
+  RecordFile raf(&f);
   Rng rng(3);
   std::vector<std::pair<RafRef, std::vector<char>>> recs;
   for (int i = 0; i < 500; ++i) {
@@ -107,7 +107,7 @@ TEST(RafTest, RoundTripsRecords) {
   }
   std::vector<char> out;
   for (auto& [ref, expect] : recs) {
-    raf.ReadRecord(ref, &out);
+    ASSERT_TRUE(raf.ReadRecord(ref, &out).ok());
     EXPECT_EQ(out, expect);
   }
 }
@@ -115,7 +115,7 @@ TEST(RafTest, RoundTripsRecords) {
 TEST(RafTest, RecordsDoNotStraddlePagesWhenTheyFit) {
   PerfCounters c;
   PagedFile f(256, 1024, &c);
-  RandomAccessFile raf(&f);
+  RecordFile raf(&f);
   std::vector<char> blob(200, 'x');
   raf.Append(blob.data(), 200);  // fills most of page 0
   RafRef second = raf.Append(blob.data(), 200);
@@ -123,23 +123,48 @@ TEST(RafTest, RecordsDoNotStraddlePagesWhenTheyFit) {
   f.DropCache();
   c.Reset();
   std::vector<char> out;
-  raf.ReadRecord(second, &out);
+  ASSERT_TRUE(raf.ReadRecord(second, &out).ok());
   EXPECT_EQ(c.page_reads, 1u) << "a fitting record costs one page read";
 }
 
 TEST(RafTest, LargeRecordsSpanPagesAndChargeEachPage) {
   PerfCounters c;
   PagedFile f(256, 4 * 256, &c);
-  RandomAccessFile raf(&f);
+  RecordFile raf(&f);
   std::vector<char> blob(700);
   for (int i = 0; i < 700; ++i) blob[i] = static_cast<char>(i % 128);
   RafRef ref = raf.Append(blob.data(), 700);
   f.DropCache();
   c.Reset();
   std::vector<char> out;
-  raf.ReadRecord(ref, &out);
+  ASSERT_TRUE(raf.ReadRecord(ref, &out).ok());
   EXPECT_EQ(out, blob);
   EXPECT_EQ(c.page_reads, 3u);
+}
+
+TEST(RafTest, OutOfBoundsRefIsDataLossNotUb) {
+  PerfCounters c;
+  PagedFile f(256, 1024, &c);
+  RecordFile raf(&f);
+  std::vector<char> blob(100, 'x');
+  raf.Append(blob.data(), 100);
+  std::vector<char> out;
+  // Past-the-end offset, overlong length, and an offset+length overflow
+  // (as a corrupt snapshot could produce) must all surface as kDataLoss.
+  EXPECT_EQ(raf.ReadRecord({200, 10}, &out).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(raf.ReadRecord({0, 101}, &out).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(raf.ReadRecord({UINT64_MAX, 16}, &out).code(),
+            StatusCode::kDataLoss);
+  EXPECT_TRUE(raf.ReadRecord({0, 100}, &out).ok());
+}
+
+TEST(PagedFileTest, OutOfRangePageIsDataLoss) {
+  PerfCounters c;
+  PagedFile f(256, 1024, &c);
+  f.Allocate();
+  EXPECT_TRUE(f.ReadPage(0).ok());
+  EXPECT_EQ(f.ReadPage(1).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(f.WritePage(7).status().code(), StatusCode::kDataLoss);
 }
 
 TEST(HilbertTest, BijectiveExhaustiveSmall) {
