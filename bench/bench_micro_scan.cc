@@ -178,7 +178,7 @@ FilterTraffic MeasureTraffic(const PivotTable& t,
       // survivor list once sparse.  The exact-decision property means
       // the survivor trajectory can be modeled on the double columns.
       surv.clear();
-      const double* c0 = t.column(0) + base;
+      const double* c0 = t.block_column(0, base);
       bytes += count * sweep_cell_bytes;  // slot-0 sweep
       for (size_t i = 0; i < count; ++i) {
         if (std::fabs(c0[i] - phi[0]) <= r) {
@@ -190,7 +190,7 @@ FilterTraffic MeasureTraffic(const PivotTable& t,
              surv.size() * dense_divisor >= count;
            ++p) {
         bytes += count * sweep_cell_bytes;  // dense: whole-block mask AND
-        const double* c = t.column(p) + base;
+        const double* c = t.block_column(p, base);
         size_t m = 0;
         for (uint32_t i : surv) {
           surv[m] = i;
@@ -200,7 +200,7 @@ FilterTraffic MeasureTraffic(const PivotTable& t,
       }
       for (; p < l && !surv.empty(); ++p) {
         bytes += surv.size() * sizeof(double);  // sparse: f64 survivors
-        const double* c = t.column(p) + base;
+        const double* c = t.block_column(p, base);
         size_t m = 0;
         for (uint32_t i : surv) {
           surv[m] = i;

@@ -20,6 +20,16 @@
 // compdists must be bit-identical between the two modes.  The
 // acceptance target is >= 1.3x MRQ/kNN QPS at batch >= 64.
 //
+// A third section, concurrent_mixed, measures the epoch-versioned
+// MetricDB facade under a mixed workload: N reader threads issue batch
+// MRQ queries through MetricDB::Query (each pinning an immutable
+// version, no locks) while one writer thread churns remove/insert
+// batches through MetricDB::Apply (shadow-copy clone + atomic publish).
+// Reported per reader count: aggregate reader QPS, writer batches/s,
+// and whether every read succeeded.  Like the thread sweep, the
+// absolute numbers are hardware-dependent and warn-only downstream;
+// the hard assertion is that no read ever fails mid-churn.
+//
 // Emits one JSON document to stdout (progress chatter on stderr):
 //
 //   ./bench_throughput --threads 8 | python3 -m json.tool
@@ -31,6 +41,8 @@
 // the pivot table overflows L2 and the re-streaming cost is visible).
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +50,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "src/api/metric_db.h"
 
 #include "src/core/counters.h"
 #include "src/core/pivot_selection.h"
@@ -421,6 +436,98 @@ int main(int argc, char** argv) {
   }
   ThreadPool::SetGlobalThreads(0);  // back to PMI_THREADS / hardware default
 
+  // ---- concurrent_mixed: epoch-versioned readers vs. a churning writer ----
+  // The facade path, not the raw engine: every reader batch pins a
+  // version through MetricDB::Query while one writer applies
+  // remove/insert batches.  Wall time covers the readers' fixed work;
+  // the writer churns for the whole window and stops when they finish.
+  const uint32_t mixed_rounds = std::max(EnvU32("PMI_TP_MIXED_ROUNDS", 20), 1u);
+  const uint32_t mixed_batch = 64;
+  std::fprintf(stderr, "concurrent_mixed: n=%u rounds=%u batch=%u\n", n,
+               mixed_rounds, mixed_batch);
+  const std::vector<ObjectView> mixed_queries(
+      queries.begin(),
+      queries.begin() + std::min<size_t>(queries.size(), mixed_batch));
+  bool concurrent_reads_ok = true;
+  for (const IndexCase& c : cases) {
+    for (unsigned readers : sweep) {
+      auto db = MetricDB::Create(
+          MetricDBConfig().WithMetric("Linf").WithIndex(c.name).WithPivots(5),
+          bd.data);
+      if (!db.ok()) {
+        std::fprintf(stderr, "  %-6s: create failed: %s\n", c.name,
+                     db.status().ToString().c_str());
+        concurrent_reads_ok = false;
+        continue;
+      }
+      std::atomic<bool> stop{false};
+      std::atomic<bool> reads_ok{true};
+      std::atomic<uint64_t> writer_batches{0};
+
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> pool;
+      pool.reserve(readers);
+      for (unsigned t = 0; t < readers; ++t) {
+        pool.emplace_back([&] {
+          for (uint32_t round = 0; round < mixed_rounds; ++round) {
+            auto res = db->Query(QueryRequest::RangeBatch(mixed_queries, r));
+            if (!res.ok()) {
+              reads_ok.store(false, std::memory_order_relaxed);
+              return;
+            }
+          }
+        });
+      }
+      std::thread writer([&] {
+        // Deterministic toggle churn over a coprime stride; each batch
+        // removes or re-inserts 8 objects, tracked in a local mirror.
+        std::vector<bool> live(bd.data.size(), true);
+        uint64_t step = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          std::vector<UpdateOp> ops;
+          ops.reserve(8);
+          for (int i = 0; i < 8; ++i) {
+            const ObjectId id =
+                static_cast<ObjectId>((++step * 7919) % bd.data.size());
+            ops.push_back(live[id] ? UpdateOp::Remove(id)
+                                   : UpdateOp::Insert(id));
+            live[id] = !live[id];
+          }
+          if (!db->Apply(ops).ok()) return;  // never expected in-memory
+          writer_batches.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (std::thread& t : pool) t.join();
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      stop.store(true, std::memory_order_release);
+      writer.join();
+
+      concurrent_reads_ok &= reads_ok.load();
+      const uint64_t total_queries =
+          uint64_t{readers} * mixed_rounds * mixed_queries.size();
+      const double reader_qps = wall_s > 0 ? total_queries / wall_s : 0;
+      const double writer_bps =
+          wall_s > 0 ? writer_batches.load() / wall_s : 0;
+      char extra[512];
+      std::snprintf(extra, sizeof(extra),
+                    "\"index\": \"%s\", \"threads\": %u, %s, %s, %s, %s",
+                    c.name, readers, Num("reader_qps", reader_qps).c_str(),
+                    Num("writer_batches_per_sec", writer_bps).c_str(),
+                    Num("wall_ms", wall_s * 1e3).c_str(),
+                    reads_ok.load() ? "\"reads_ok\": true"
+                                    : "\"reads_ok\": false");
+      json.Result("concurrent_mixed", extra);
+      std::fprintf(stderr,
+                   "  %-6s %u readers: %.0f reads/s, %.0f write batches/s "
+                   "(%.0f ms)%s\n",
+                   c.name, readers, reader_qps, writer_bps, wall_s * 1e3,
+                   reads_ok.load() ? "" : "  READ FAILED");
+    }
+  }
+
   char trailer[768];
   std::snprintf(
       trailer, sizeof(trailer),
@@ -430,15 +537,17 @@ int main(int argc, char** argv) {
       "  \"checks\": {\"results_match\": %s, \"compdists_match\": %s, "
       "\"batch_speedup_threads\": %u, \"batch_speedup\": %.3f, "
       "\"batch_blocking_match\": %s, "
-      "\"batch_blocking_min_speedup_batch64\": %.3f}",
+      "\"batch_blocking_min_speedup_batch64\": %.3f, "
+      "\"concurrent_reads_ok\": %s}",
       n, num_queries, repeats, max_threads,
       std::thread::hardware_concurrency(), batch_n,
       results_match ? "true" : "false", compdists_match ? "true" : "false",
       tracked_threads, tracked_speedup, blocking_match ? "true" : "false",
-      blocking_speedup);
+      blocking_speedup, concurrent_reads_ok ? "true" : "false");
   json.End(trailer);
 
-  const bool ok = results_match && compdists_match && blocking_match;
+  const bool ok = results_match && compdists_match && blocking_match &&
+                  concurrent_reads_ok;
   if (!ok) std::fprintf(stderr, "bench_throughput: EQUIVALENCE CHECK FAILED\n");
   return ok ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "src/api/metric_db.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
@@ -8,6 +10,7 @@
 #include <cstdlib>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 
 #include "src/api/snapshot.h"
 #include "src/core/pivot_selection.h"
@@ -226,6 +229,109 @@ bool ParseGenName(const std::string& name, const std::string& prefix,
   return true;
 }
 
+// -- directory LOCK file ------------------------------------------------------
+//
+// A durable directory is single-writer: the first CreateDurable/
+// OpenDurable atomically creates LOCK ("pid N\n") via O_CREAT|O_EXCL and
+// every later open is refused with kFailedPrecondition until the owner
+// closes.  A LOCK left behind by a dead process (or by this process --
+// the fault harness simulates crashes without exiting, so the dead
+// "owner" can be ourselves) is stale: it is removed and acquisition
+// retried exactly once, so two concurrent stale-breakers degenerate to
+// one winner and one typed refusal, never two owners.
+
+constexpr char kLockFileName[] = "LOCK";
+
+/// Directories locked by THIS process.  The LOCK file's pid cannot tell
+/// a live same-process owner from this process's own crashed simulation
+/// (the fault harness "kills" a database without exiting), so same-pid
+/// LOCK files are treated as stale at the file level and actual
+/// same-process exclusion lives here.  Keyed by the directory string as
+/// passed in; callers that alias the same directory under two spellings
+/// get file-level (cross-process) exclusion only.
+std::mutex g_lock_registry_mu;
+std::vector<std::string>& LockRegistry() {
+  static std::vector<std::string>* dirs = new std::vector<std::string>;
+  return *dirs;
+}
+
+bool RegisterDirLock(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(g_lock_registry_mu);
+  std::vector<std::string>& dirs = LockRegistry();
+  if (std::find(dirs.begin(), dirs.end(), dir) != dirs.end()) return false;
+  dirs.push_back(dir);
+  return true;
+}
+
+void UnregisterDirLock(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(g_lock_registry_mu);
+  std::vector<std::string>& dirs = LockRegistry();
+  auto it = std::find(dirs.begin(), dirs.end(), dir);
+  if (it != dirs.end()) dirs.erase(it);
+}
+
+/// Pid from "pid N..." LOCK contents; -1 when unparsable (treated as
+/// stale -- an unreadable lock protects nobody).
+int64_t ParseLockPid(const std::string& contents) {
+  const std::string prefix = "pid ";
+  if (contents.compare(0, prefix.size(), prefix) != 0) return -1;
+  int64_t value = 0;
+  size_t i = prefix.size();
+  if (i >= contents.size() || contents[i] < '0' || contents[i] > '9') {
+    return -1;
+  }
+  for (; i < contents.size() && contents[i] >= '0' && contents[i] <= '9';
+       ++i) {
+    value = value * 10 + (contents[i] - '0');
+  }
+  return value;
+}
+
+Status AcquireDirLockFile(Env* env, const std::string& dir);
+
+/// Takes the process-local registration first (same-process exclusion),
+/// then the LOCK file (cross-process exclusion with stale detection).
+Status AcquireDirLock(Env* env, const std::string& dir) {
+  if (!RegisterDirLock(dir)) {
+    return FailedPreconditionError(
+        dir + " is locked by another database in this process");
+  }
+  Status acquired = AcquireDirLockFile(env, dir);
+  if (!acquired.ok()) UnregisterDirLock(dir);
+  return acquired;
+}
+
+Status AcquireDirLockFile(Env* env, const std::string& dir) {
+  const std::string path = JoinPath(dir, kLockFileName);
+  const std::string contents =
+      "pid " + std::to_string(static_cast<int64_t>(::getpid())) + "\n";
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Status created = env->CreateExclusive(path, contents);
+    if (created.ok()) return OkStatus();
+    if (created.code() != StatusCode::kFailedPrecondition) return created;
+    StatusOr<std::string> existing = env->ReadFileToString(path);
+    if (!existing.ok()) {
+      // Vanished between the create and the read: the owner just
+      // closed.  Retry the exclusive create.
+      if (existing.status().code() == StatusCode::kNotFound) continue;
+      return existing.status();
+    }
+    const int64_t pid = ParseLockPid(*existing);
+    const bool stale = pid < 0 ||
+                       pid == static_cast<int64_t>(::getpid()) ||
+                       !ProcessAlive(pid);
+    if (!stale) {
+      return FailedPreconditionError(
+          dir + " is locked by process " + std::to_string(pid));
+    }
+    Status removed = env->RemoveFile(path);
+    if (!removed.ok() && removed.code() != StatusCode::kNotFound) {
+      return removed;
+    }
+  }
+  return FailedPreconditionError(dir + " LOCK: lost the acquisition race");
+}
+
 }  // namespace
 
 DurabilityOptions DurabilityOptions::FromEnv() {
@@ -281,55 +387,218 @@ StatusOr<MetricDB> MetricDB::Create(const MetricDBConfig& config,
         std::to_string(pivots.size()) + " could be selected");
   }
 
-  // Ownership transfers last, after every fallible step: unique_ptrs
-  // give the index stable addresses to borrow across facade moves.
-  db.data_ = std::make_unique<Dataset>(std::move(data));
+  // Ownership transfers last, after every fallible step: shared_ptrs
+  // give the index stable addresses to borrow across facade moves and
+  // let published versions co-own them past the facade's own lifetime.
+  db.data_ = std::make_shared<Dataset>(std::move(data));
   db.metric_ = std::move(metric);
-  db.pivots_ = std::make_unique<PivotSet>(std::move(pivots));
+  db.pivots_ = std::make_shared<PivotSet>(std::move(pivots));
   db.index_ = std::move(index);
   db.build_stats_ = db.index_->Build(*db.data_, *db.metric_, *db.pivots_);
   db.live_.assign(db.data_->size(), 1);
+  db.InitVersioning();
   return db;
 }
 
-Status MetricDB::ValidateRequest(const QueryRequest& request) const {
+bool MetricDB::versioned() const {
+  return cc_ != nullptr && cc_->table != nullptr;
+}
+
+void MetricDB::InitVersioning() {
+  if (!index_->concurrent_queries()) return;
+  // The probe doubles as the support check: an index that cannot
+  // shadow-copy cannot promise published-version immutability.
+  std::unique_ptr<MetricIndex> probe = index_->Clone();
+  if (probe == nullptr) return;
+  auto v = std::make_shared<TableVersion>();
+  v->data = data_;
+  v->metric = metric_;
+  v->pivots = pivots_;
+  v->index = index_;
+  v->live = live_;
+  v->sequence = seq_;
+  cc_->table = std::make_unique<VersionedTable>(std::move(v));
+}
+
+Status MetricDB::ValidateRequest(const QueryRequest& request,
+                                 const Dataset& data) {
   if (request.type == QueryType::kRange) {
-    if (!(request.radius >= 0) || !std::isfinite(request.radius)) {
-      return InvalidArgumentError("range query radius must be finite and >= 0");
+    if (!request.ks.empty()) {
+      return InvalidArgumentError(
+          "range query carries per-query ks (kNN descriptors)");
+    }
+    if (request.radii.empty()) {
+      if (!(request.radius >= 0) || !std::isfinite(request.radius)) {
+        return InvalidArgumentError(
+            "range query radius must be finite and >= 0");
+      }
+    } else {
+      if (request.radii.size() != request.batch.size()) {
+        return InvalidArgumentError(
+            "per-query radii count " + std::to_string(request.radii.size()) +
+            " does not match batch size " +
+            std::to_string(request.batch.size()));
+      }
+      for (double r : request.radii) {
+        if (!(r >= 0) || !std::isfinite(r)) {
+          return InvalidArgumentError(
+              "every per-query radius must be finite and >= 0");
+        }
+      }
     }
   } else {
-    if (request.k == 0) {
-      return InvalidArgumentError("kNN query k must be >= 1");
+    if (!request.radii.empty()) {
+      return InvalidArgumentError(
+          "kNN query carries per-query radii (range descriptors)");
+    }
+    if (request.ks.empty()) {
+      if (request.k == 0) {
+        return InvalidArgumentError("kNN query k must be >= 1");
+      }
+    } else {
+      if (request.ks.size() != request.batch.size()) {
+        return InvalidArgumentError(
+            "per-query k count " + std::to_string(request.ks.size()) +
+            " does not match batch size " +
+            std::to_string(request.batch.size()));
+      }
+      for (size_t k : request.ks) {
+        if (k == 0) {
+          return InvalidArgumentError("every per-query k must be >= 1");
+        }
+      }
     }
   }
   for (const ObjectView& q : request.batch) {
-    if (q.kind != data_->kind()) {
+    if (q.kind != data.kind()) {
       return InvalidArgumentError(
           "query object kind does not match the dataset");
     }
-    if (q.kind == ObjectKind::kVector && q.dim != data_->dim()) {
+    if (q.kind == ObjectKind::kVector && q.dim != data.dim()) {
       return InvalidArgumentError(
           "query vector has dimension " + std::to_string(q.dim) +
-          ", dataset has " + std::to_string(data_->dim()));
+          ", dataset has " + std::to_string(data.dim()));
     }
   }
   return OkStatus();
 }
 
-StatusOr<QueryResult> MetricDB::Query(const QueryRequest& request) const {
-  PMI_RETURN_IF_ERROR(ValidateRequest(request));
+QueryResult MetricDB::AnswerAtVersion(const TableVersion& v,
+                                      const QueryRequest& request) {
   QueryResult result;
+  const size_t n = request.batch.size();
   if (request.type == QueryType::kRange) {
+    std::vector<double> uniform;
+    const std::vector<double>* radii = &request.radii;
+    if (radii->empty()) {
+      uniform.assign(n, request.radius);
+      radii = &uniform;
+    }
     result.stats =
-        index_->RangeQueryBatch(request.batch, request.radius, &result.ids);
+        v.index->RangeQueryBatchShared(request.batch, *radii, &result.ids);
   } else {
+    std::vector<size_t> uniform;
+    const std::vector<size_t>* ks = &request.ks;
+    if (ks->empty()) {
+      uniform.assign(n, request.k);
+      ks = &uniform;
+    }
     result.stats =
-        index_->KnnQueryBatch(request.batch, request.k, &result.neighbors);
+        v.index->KnnQueryBatchShared(request.batch, *ks, &result.neighbors);
   }
   return result;
 }
 
-Status MetricDB::ComposePayload(ByteSink* payload) const {
+StatusOr<QueryResult> MetricDB::Query(const QueryRequest& request) const {
+  if (cc_->closed.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("database is closed");
+  }
+  PMI_RETURN_IF_ERROR(ValidateRequest(request, *data_));
+  if (cc_->table != nullptr) {
+    // Versioned fast path: pin the published snapshot and answer
+    // against it -- no lock shared with the writer or other readers.
+    VersionedTable::ReadPin pin = cc_->table->Pin();
+    return AnswerAtVersion(*pin, request);
+  }
+  // Legacy serialized mode: the index's counters and internal scratch
+  // (e.g. a disk buffer pool) are not concurrency-safe, so queries
+  // exclude the writer and each other.
+  std::lock_guard<std::mutex> lock(cc_->writer_mu);
+  QueryResult result;
+  if (request.type == QueryType::kRange) {
+    if (request.radii.empty()) {
+      result.stats =
+          index_->RangeQueryBatch(request.batch, request.radius, &result.ids);
+    } else {
+      result.stats =
+          index_->RangeQueryBatch(request.batch, request.radii, &result.ids);
+    }
+  } else {
+    if (request.ks.empty()) {
+      result.stats =
+          index_->KnnQueryBatch(request.batch, request.k, &result.neighbors);
+    } else {
+      result.stats =
+          index_->KnnQueryBatch(request.batch, request.ks, &result.neighbors);
+    }
+  }
+  return result;
+}
+
+StatusOr<MetricDB::ReadView> MetricDB::GetReadView() const {
+  if (cc_->closed.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("database is closed");
+  }
+  if (cc_->table == nullptr) {
+    return FailedPreconditionError(
+        config_.index_name +
+        " does not support versioned read views (no shadow-copy clone)");
+  }
+  return ReadView(cc_->table->Acquire());
+}
+
+StatusOr<QueryResult> MetricDB::ReadView::Query(
+    const QueryRequest& request) const {
+  PMI_RETURN_IF_ERROR(ValidateRequest(request, *version_->data));
+  return AnswerAtVersion(*version_, request);
+}
+
+Status MetricDB::Close() {
+  if (cc_ == nullptr) return OkStatus();  // moved-from
+  if (cc_->closed.exchange(true, std::memory_order_acq_rel)) {
+    return OkStatus();
+  }
+  std::lock_guard<std::mutex> lock(cc_->writer_mu);
+  Status result;
+  if (wal_ != nullptr) {
+    // Final durability barrier -- skipped once the write path is
+    // poisoned (the barrier already failed; repeating it cannot
+    // un-lose anything).
+    if (write_status_.ok()) result = wal_->Sync();
+    wal_.reset();
+  }
+  if (cc_->lock_held) {
+    cc_->lock_held = false;
+    UnregisterDirLock(dir_);
+    // File removal is best-effort: a leftover LOCK (e.g. the simulated
+    // crash refuses the unlink) is detected as stale on the next open.
+    env_->RemoveFile(JoinPath(dir_, kLockFileName));
+  }
+  return result;
+}
+
+MetricDB::~MetricDB() {
+  if (cc_ == nullptr) return;  // moved-from
+  if (cc_->lock_held && env_ != nullptr) {
+    cc_->lock_held = false;
+    UnregisterDirLock(dir_);
+    env_->RemoveFile(JoinPath(dir_, kLockFileName));
+  }
+}
+
+Status MetricDB::ComposePayload(const MetricIndex& index,
+                                const std::vector<uint8_t>& live,
+                                uint64_t seq, ByteSink* payload) const {
   payload->PutString(config_.metric_name);
   payload->PutDouble(metric_param_used_);
   payload->PutU8(metric_discrete_ ? 1 : 0);
@@ -341,7 +610,7 @@ Status MetricDB::ComposePayload(ByteSink* payload) const {
   SerializePivotSet(*pivots_, payload);
 
   ByteSink state;
-  Status saved = index_->SaveState(&state);
+  Status saved = index.SaveState(&state);
   if (saved.ok()) {
     payload->PutU8(1);
     payload->PutString(state.bytes());
@@ -355,15 +624,27 @@ Status MetricDB::ComposePayload(ByteSink* payload) const {
   // Update-history tail (a compatible version-1 extension: absent in
   // older snapshots, which predate updates and are read as seq 0 /
   // all-live).  Recovery validates WAL replay against it.
-  payload->PutU64(seq_);
-  payload->PutVector(live_);
+  payload->PutU64(seq);
+  payload->PutVector(live);
   return OkStatus();
 }
 
-Status MetricDB::SaveTo(const std::string& path, Env* env) const {
+Status MetricDB::SaveStateTo(const MetricIndex& index,
+                             const std::vector<uint8_t>& live, uint64_t seq,
+                             const std::string& path, Env* env) const {
   ByteSink payload;
-  PMI_RETURN_IF_ERROR(ComposePayload(&payload));
+  PMI_RETURN_IF_ERROR(ComposePayload(index, live, seq, &payload));
   return WriteSnapshotFile(path, payload.bytes(), env);
+}
+
+Status MetricDB::SaveTo(const std::string& path, Env* env) const {
+  if (versioned()) {
+    // Snapshot the published version: consistent even while the writer
+    // is mid-Apply on its clone.
+    std::shared_ptr<const TableVersion> v = cc_->table->Acquire();
+    return SaveStateTo(*v->index, v->live, v->sequence, path, env);
+  }
+  return SaveStateTo(*index_, live_, seq_, path, env);
 }
 
 Status MetricDB::Save(const std::string& path) const {
@@ -372,7 +653,9 @@ Status MetricDB::Save(const std::string& path) const {
 
 StatusOr<MetricDB> MetricDB::Open(const std::string& path) {
   PMI_ASSIGN_OR_RETURN(std::string payload, ReadSnapshotFile(path));
-  return FromPayload(payload);
+  PMI_ASSIGN_OR_RETURN(MetricDB db, FromPayload(payload));
+  db.InitVersioning();
+  return db;
 }
 
 StatusOr<MetricDB> MetricDB::FromPayload(const std::string& payload) {
@@ -395,9 +678,9 @@ StatusOr<MetricDB> MetricDB::FromPayload(const std::string& payload) {
   if (data.empty()) {
     return DataLossError("snapshot holds an empty dataset");
   }
-  db.data_ = std::make_unique<Dataset>(std::move(data));
+  db.data_ = std::make_shared<Dataset>(std::move(data));
   PMI_ASSIGN_OR_RETURN(PivotSet pivots, DeserializePivotSet(&in));
-  db.pivots_ = std::make_unique<PivotSet>(std::move(pivots));
+  db.pivots_ = std::make_shared<PivotSet>(std::move(pivots));
   PMI_ASSIGN_OR_RETURN(
       db.metric_,
       InstantiateMetric(db.config_.metric_name, *db.data_,
@@ -463,6 +746,10 @@ void MetricDB::ApplyToIndex(const UpdateOp& op) {
 }
 
 Status MetricDB::Apply(const std::vector<UpdateOp>& ops) {
+  std::lock_guard<std::mutex> lock(cc_->writer_mu);
+  if (cc_->closed.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("database is closed");
+  }
   PMI_RETURN_IF_ERROR(write_status_);
   // Validate the whole batch against the would-be state before logging
   // anything: Apply is all-or-nothing, and nothing may reach the WAL
@@ -498,7 +785,34 @@ Status MetricDB::Apply(const std::vector<UpdateOp>& ops) {
       return logged;
     }
   }
-  for (const UpdateOp& op : ops) ApplyToIndex(op);
+  if (cc_->table != nullptr) {
+    // Shadow apply: published versions are immutable by contract, so
+    // the batch lands in a clone (copy-on-write -- every untouched
+    // 256-row pivot-table block is shared) which then becomes both the
+    // next published version and the writer's new working index.
+    std::shared_ptr<MetricIndex> clone = index_->Clone();
+    for (const UpdateOp& op : ops) {
+      if (op.op == WalOp::kInsert) {
+        clone->Insert(op.id);
+        live_[op.id] = 1;
+      } else {
+        clone->Remove(op.id);
+        live_[op.id] = 0;
+      }
+      ++seq_;
+    }
+    auto v = std::make_shared<TableVersion>();
+    v->data = data_;
+    v->metric = metric_;
+    v->pivots = pivots_;
+    v->index = clone;
+    v->live = live_;
+    v->sequence = seq_;
+    index_ = std::move(clone);
+    cc_->table->Publish(std::move(v));
+  } else {
+    for (const UpdateOp& op : ops) ApplyToIndex(op);
+  }
   return OkStatus();
 }
 
@@ -543,15 +857,92 @@ Status MetricDB::Checkpoint() {
         "Checkpoint() requires a durable database (CreateDurable/"
         "OpenDurable)");
   }
-  PMI_RETURN_IF_ERROR(write_status_);
-  Status rotated = RotateCheckpoint();
-  if (!rotated.ok()) {
-    // A half-rotated directory is ambiguous (e.g. the new checkpoint
-    // landed but its WAL did not): acknowledging more writes could put
-    // them in a generation recovery never replays.  Go read-only.
-    write_status_ = rotated;
+  std::lock_guard<std::mutex> ckpt_lock(cc_->checkpoint_mu);
+  if (cc_->table == nullptr) {
+    // Legacy serialized mode: the whole rotation runs under the writer
+    // lock.
+    std::lock_guard<std::mutex> lock(cc_->writer_mu);
+    if (cc_->closed.load(std::memory_order_acquire)) {
+      return FailedPreconditionError("database is closed");
+    }
+    PMI_RETURN_IF_ERROR(write_status_);
+    Status rotated = RotateCheckpoint();
+    if (!rotated.ok()) {
+      // A half-rotated directory is ambiguous (e.g. the new checkpoint
+      // landed but its WAL did not): acknowledging more writes could
+      // put them in a generation recovery never replays.  Go read-only.
+      write_status_ = rotated;
+    }
+    return rotated;
   }
-  return rotated;
+
+  // Versioned concurrent checkpoint: pin the state and rotate the WAL
+  // under the writer lock (cheap), then serialize the pinned version
+  // outside it while updates and queries proceed.
+  std::shared_ptr<const TableVersion> v;
+  uint64_t next = 0;
+  {
+    std::lock_guard<std::mutex> lock(cc_->writer_mu);
+    if (cc_->closed.load(std::memory_order_acquire)) {
+      return FailedPreconditionError("database is closed");
+    }
+    PMI_RETURN_IF_ERROR(write_status_);
+    v = cc_->table->Acquire();
+    next = checkpoint_gen_ + 1;
+    // The outgoing generation must be complete on disk before a new one
+    // starts: a silently lost tail here would be a mid-chain hole that
+    // replay cannot detect once wal-(next) continues past it.
+    if (wal_ != nullptr) {
+      Status synced = wal_->Sync();
+      if (!synced.ok()) {
+        write_status_ = synced;
+        return synced;
+      }
+    }
+    StatusOr<std::unique_ptr<WritableFile>> wal_file =
+        env_->NewWritableFile(JoinPath(dir_, WalName(next)));
+    if (!wal_file.ok()) {
+      write_status_ = wal_file.status();
+      return write_status_;
+    }
+    Status dir_synced = env_->SyncDir(dir_);
+    if (!dir_synced.ok()) {
+      write_status_ = dir_synced;
+      return dir_synced;
+    }
+    wal_ = std::make_unique<WalWriter>(std::move(*wal_file), dopts_.sync_mode,
+                                       dopts_.sync_interval_commits);
+  }
+
+  // Updates committed from here on land in wal-(next), which recovery
+  // replays on top of either checkpoint -- ckpt-(next) once it lands,
+  // or the previous one plus the full WAL chain if we crash first.
+  Status saved = SaveStateTo(*v->index, v->live, v->sequence,
+                             JoinPath(dir_, CkptName(next)), env_);
+  std::lock_guard<std::mutex> lock(cc_->writer_mu);
+  if (!saved.ok()) {
+    // The directory is still recoverable (old checkpoint + unbroken WAL
+    // chain), but a failed snapshot write says the disk is unwell:
+    // stop acknowledging updates.
+    write_status_ = saved;
+    return saved;
+  }
+  checkpoint_gen_ = next;
+  // Retention window as in RotateCheckpoint: the new generation plus
+  // the previous one.  Best-effort.
+  StatusOr<std::vector<std::string>> names = env_->ListDir(dir_);
+  if (names.ok()) {
+    const uint64_t keep_from = next - 1;
+    for (const std::string& name : *names) {
+      uint64_t gen = 0;
+      if ((ParseGenName(name, "ckpt-", ".pmidb", &gen) ||
+           ParseGenName(name, "wal-", ".log", &gen)) &&
+          gen < keep_from) {
+        env_->RemoveFile(JoinPath(dir_, name));
+      }
+    }
+  }
+  return OkStatus();
 }
 
 StatusOr<MetricDB> MetricDB::CreateDurable(const MetricDBConfig& config,
@@ -565,6 +956,9 @@ StatusOr<MetricDB> MetricDB::CreateDurable(const MetricDBConfig& config,
   db.durable_ = true;
   db.checkpoint_gen_ = 0;
   PMI_RETURN_IF_ERROR(db.env_->CreateDir(dir));
+  PMI_RETURN_IF_ERROR(AcquireDirLock(db.env_, dir));
+  // From here on the destructor releases the LOCK on every error path.
+  db.cc_->lock_held = true;
   PMI_RETURN_IF_ERROR(db.RotateCheckpoint());
   return db;
 }
@@ -620,6 +1014,21 @@ Status MetricDB::ReplayWalGenerations(Env* env, const std::string& dir,
 StatusOr<MetricDB> MetricDB::OpenDurable(const std::string& dir,
                                          const DurabilityOptions& dopts) {
   Env* env = dopts.env != nullptr ? dopts.env : Env::Default();
+  PMI_RETURN_IF_ERROR(AcquireDirLock(env, dir));
+  // Until a database object owns the lock, this guard releases it on
+  // every error path out of recovery.
+  struct LockRelease {
+    Env* env;
+    std::string dir;
+    bool active = true;
+    ~LockRelease() {
+      if (active) {
+        UnregisterDirLock(dir);
+        env->RemoveFile(JoinPath(dir, kLockFileName));
+      }
+    }
+  } lock_release{env, dir};
+
   PMI_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
   std::vector<uint64_t> ckpt_gens;
   uint64_t max_gen = 0;
@@ -669,6 +1078,11 @@ StatusOr<MetricDB> MetricDB::OpenDurable(const std::string& dir,
     // Recovery re-checkpoints: the recovered state becomes durable on
     // its own, and torn WAL debris drops out of the replay path.
     PMI_RETURN_IF_ERROR(db.RotateCheckpoint());
+    // Versioning starts only now that replay and re-checkpointing have
+    // settled the state the initial version must reflect.
+    db.InitVersioning();
+    db.cc_->lock_held = true;
+    lock_release.active = false;
     return db;
   }
   return last_err;

@@ -20,14 +20,29 @@
 //     file (src/api/snapshot.h), so indexes that implement persistence
 //     restore with zero distance computations.
 //
-// Like every MetricIndex operation, MetricDB is externally synchronized:
-// one operation at a time per instance (concurrency lives inside batch
-// queries).  Instances of distinct databases are fully independent.
+// Concurrency model (see README "Concurrency model"): when the index
+// supports shadow-copy cloning and concurrent queries (the table indexes
+// -- LinearScan, LAESA, EPT, EPT*, FQA), the facade runs an
+// epoch-versioned read/write core.  Readers call Query/GetReadView from
+// any number of threads, lock-free on the hot path: each query pins the
+// currently published immutable TableVersion through an epoch slot and
+// runs the counter-free *Shared batch engine against it.  The single
+// writer (Apply/Insert/Remove, serialized on an internal writer lock)
+// clones the index -- copy-on-write at 256-row pivot-table-block
+// granularity -- applies the batch to the clone, and publishes it
+// atomically; superseded versions are reclaimed once the last pinned
+// reader drains.  Checkpoint snapshots a pinned version concurrently
+// with both readers and the writer.  A database whose write path went
+// read-only (WAL fault) keeps serving reads from the last published
+// version.  Indexes without clone support keep the legacy serialized
+// behavior (operations mutually exclude on the writer lock).
 
 #ifndef PMI_API_METRIC_DB_H_
 #define PMI_API_METRIC_DB_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +52,7 @@
 #include "src/core/metric.h"
 #include "src/core/pivots.h"
 #include "src/core/status.h"
+#include "src/core/version.h"
 #include "src/storage/env.h"
 #include "src/storage/wal.h"
 
@@ -105,13 +121,22 @@ enum class QueryType { kRange, kKnn };
 
 struct QueryRequest {
   QueryType type = QueryType::kRange;
-  /// Range queries: the search radius (>= 0, finite).
+  /// Range queries: the search radius (>= 0, finite), applied to every
+  /// batch element unless `radii` is set.
   double radius = 0;
-  /// kNN queries: the neighbor count (>= 1).
+  /// kNN queries: the neighbor count (>= 1), applied to every batch
+  /// element unless `ks` is set.
   size_t k = 0;
   /// The query objects; views must stay valid for the duration of the
   /// Query call.  An empty batch is a valid no-op.
   std::vector<ObjectView> batch;
+  /// Per-query descriptors.  When non-empty, radii[i] / ks[i] answers
+  /// batch[i] and the uniform radius / k above is ignored; the size must
+  /// match the batch and every element is validated like its uniform
+  /// counterpart.  A range request with `ks` set (or a kNN request with
+  /// `radii`) is rejected as kInvalidArgument.
+  std::vector<double> radii;
+  std::vector<size_t> ks;
 
   static QueryRequest Range(const ObjectView& q, double radius) {
     QueryRequest r;
@@ -127,6 +152,15 @@ struct QueryRequest {
     r.batch = std::move(qs);
     return r;
   }
+  /// Batch with one radius per query.
+  static QueryRequest RangeBatch(std::vector<ObjectView> qs,
+                                 std::vector<double> radii) {
+    QueryRequest r;
+    r.type = QueryType::kRange;
+    r.batch = std::move(qs);
+    r.radii = std::move(radii);
+    return r;
+  }
   static QueryRequest Knn(const ObjectView& q, size_t k) {
     QueryRequest r;
     r.type = QueryType::kKnn;
@@ -139,6 +173,15 @@ struct QueryRequest {
     r.type = QueryType::kKnn;
     r.k = k;
     r.batch = std::move(qs);
+    return r;
+  }
+  /// Batch with one neighbor count per query.
+  static QueryRequest KnnBatch(std::vector<ObjectView> qs,
+                               std::vector<size_t> ks) {
+    QueryRequest r;
+    r.type = QueryType::kKnn;
+    r.batch = std::move(qs);
+    r.ks = std::move(ks);
     return r;
   }
 };
@@ -243,18 +286,33 @@ class MetricDB {
 
   /// Durable databases only: writes a fresh checkpoint of the current
   /// state, starts a new WAL generation, and prunes generations older
-  /// than the fallback window (previous checkpoint + its log).
+  /// than the fallback window (previous checkpoint + its log).  On an
+  /// epoch-versioned database the snapshot serializes a pinned version
+  /// OUTSIDE the writer lock, so updates and queries proceed while the
+  /// checkpoint file is being written.
   Status Checkpoint();
+
+  /// Shuts the database down: refuses new queries and updates, syncs and
+  /// closes the WAL (skipped once write_status() is non-OK), and
+  /// releases the directory LOCK file.  Idempotent; in-flight queries
+  /// holding a pinned version finish normally.  The destructor releases
+  /// the LOCK too, so Close() is only needed when the final WAL sync
+  /// outcome or early lock release matters.
+  Status Close();
+
+  ~MetricDB();
 
   /// True when this database was opened with CreateDurable/OpenDurable.
   bool durable() const { return durable_; }
 
   /// Sequence number of the last applied update (0 = none yet).  After
   /// OpenDurable this is exactly the prefix of update history the
-  /// recovered state contains.
+  /// recovered state contains.  Writer-side view: under concurrent
+  /// updates, read it from the writer thread or from a ReadView.
   uint64_t last_sequence() const { return seq_; }
 
   /// Liveness of dataset object `id` under the applied update history.
+  /// Writer-side view, like last_sequence().
   bool alive(ObjectId id) const {
     return id < live_.size() && live_[id] != 0;
   }
@@ -264,8 +322,42 @@ class MetricDB {
   const Status& write_status() const { return write_status_; }
 
   /// Answers `request`; batches fan out across the thread pool when the
-  /// index supports concurrent queries.
+  /// index supports concurrent queries.  On an epoch-versioned database
+  /// this is safe to call from any number of threads concurrently with
+  /// Apply/Checkpoint; each call answers against one consistent pinned
+  /// version.
   StatusOr<QueryResult> Query(const QueryRequest& request) const;
+
+  /// A consistent snapshot of the database for multi-query read
+  /// transactions: every Query through the view -- and its alive()/
+  /// sequence() -- answers against the same pinned version, no matter
+  /// how many updates the writer publishes meanwhile.  Copyable and
+  /// cheap; the underlying version stays alive until the last view (and
+  /// pinned reader) drops.  kFailedPrecondition when the index does not
+  /// support versioned reads or the database is closed.
+  class ReadView {
+   public:
+    /// Sequence number of the pinned version (same meaning as
+    /// MetricDB::last_sequence()).
+    uint64_t sequence() const { return version_->sequence; }
+
+    /// Liveness of `id` at the pinned version.
+    bool alive(ObjectId id) const {
+      return id < version_->live.size() && version_->live[id] != 0;
+    }
+
+    /// Same contract as MetricDB::Query, answered at the pinned version.
+    StatusOr<QueryResult> Query(const QueryRequest& request) const;
+
+   private:
+    friend class MetricDB;
+    explicit ReadView(std::shared_ptr<const TableVersion> version)
+        : version_(std::move(version)) {}
+
+    std::shared_ptr<const TableVersion> version_;
+  };
+
+  StatusOr<ReadView> GetReadView() const;
 
   /// Single-query conveniences.
   StatusOr<QueryResult> RangeQuery(const ObjectView& q, double radius) const {
@@ -297,19 +389,46 @@ class MetricDB {
  private:
   MetricDB() = default;
 
-  Status ValidateRequest(const QueryRequest& request) const;
+  /// Validates `request` against dataset `data` (batch views, uniform
+  /// and per-query descriptors).
+  static Status ValidateRequest(const QueryRequest& request,
+                                const Dataset& data);
 
-  /// Serializes the full database state (including the liveness bitmap
-  /// and last sequence number) into the snapshot payload.
-  Status ComposePayload(ByteSink* payload) const;
+  /// Answers an already-validated `request` against pinned version `v`
+  /// with the counter-free *Shared batch engine.
+  static QueryResult AnswerAtVersion(const TableVersion& v,
+                                     const QueryRequest& request);
+
+  /// True once the epoch-versioned read/write core is active (the index
+  /// supports shadow-copy cloning and concurrent queries).
+  bool versioned() const;
+
+  /// Probes the index for clone support and, when present, publishes the
+  /// initial version.  Called once the state is final: end of Create,
+  /// end of OpenDurable (after WAL replay).
+  void InitVersioning();
+
+  /// Serializes database state (config, dataset, pivots, `index` state,
+  /// `live` bitmap, `seq`) into the snapshot payload.  Parameterized so
+  /// a checkpoint can serialize a pinned version while the live members
+  /// move on.
+  Status ComposePayload(const MetricIndex& index,
+                        const std::vector<uint8_t>& live, uint64_t seq,
+                        ByteSink* payload) const;
 
   /// Rebuilds a database from a snapshot payload (shared by Open and
   /// checkpoint recovery).
   static StatusOr<MetricDB> FromPayload(const std::string& payload);
 
   /// Save through a specific Env (durable temp-write + rename + dir
-  /// sync).
+  /// sync).  Snapshots the currently published version on a versioned
+  /// database, the live members otherwise.
   Status SaveTo(const std::string& path, Env* env) const;
+
+  /// SaveTo for one explicit state triple.
+  Status SaveStateTo(const MetricIndex& index,
+                     const std::vector<uint8_t>& live, uint64_t seq,
+                     const std::string& path, Env* env) const;
 
   /// Applies one already-validated, already-logged update to the index
   /// and the liveness/sequence bookkeeping.
@@ -330,14 +449,38 @@ class MetricDB {
   // exact same metric without re-deriving.
   double metric_param_used_ = 0;
   bool metric_discrete_ = false;
-  // unique_ptrs keep the addresses the index borrowed stable across
-  // moves of the facade object.
-  std::unique_ptr<Dataset> data_;
-  std::unique_ptr<Metric> metric_;
-  std::unique_ptr<PivotSet> pivots_;
-  std::unique_ptr<MetricIndex> index_;
+  // shared_ptrs keep the addresses the index borrowed stable across
+  // moves of the facade object AND let published TableVersions share
+  // ownership, so a pinned reader outlives even the facade's members.
+  std::shared_ptr<Dataset> data_;
+  std::shared_ptr<Metric> metric_;
+  std::shared_ptr<PivotSet> pivots_;
+  // The writer's working index.  In versioned mode this exact object is
+  // what the current TableVersion references; Apply never mutates it --
+  // it clones, applies to the clone, publishes, and reseats this
+  // pointer, so every published version stays immutable forever.
+  std::shared_ptr<MetricIndex> index_;
   OpStats build_stats_;
   bool restored_ = false;
+
+  // -- concurrency core ---------------------------------------------------
+  // Heap-allocated so MetricDB stays movable (mutexes and atomics are
+  // not).  Null only in a moved-from facade.
+  struct Concurrency {
+    /// Serializes the write path (Apply, checkpoint's WAL rotation,
+    /// Close) and, in legacy non-versioned mode, queries too.
+    std::mutex writer_mu;
+    /// Serializes whole Checkpoint calls against each other without
+    /// blocking the writer for the slow serialization phase.
+    std::mutex checkpoint_mu;
+    /// Epoch-versioned publication point; null in legacy mode.
+    std::unique_ptr<VersionedTable> table;
+    /// Flipped by Close(); checked (acquire) at every entry point.
+    std::atomic<bool> closed{false};
+    /// True while this instance owns dir_'s LOCK file.
+    bool lock_held = false;
+  };
+  std::unique_ptr<Concurrency> cc_ = std::make_unique<Concurrency>();
 
   // -- update/durability state --------------------------------------------
   // live_ mirrors the index's membership (1 = present); seq_ numbers the

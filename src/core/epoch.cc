@@ -1,0 +1,80 @@
+#include "src/core/epoch.h"
+
+#include <algorithm>
+
+namespace pmi {
+
+int EpochDomain::Pin() {
+  uint64_t e = global_.load(std::memory_order_seq_cst);
+  for (int i = 0; i < kSlots; ++i) {
+    uint64_t expected = kIdle;
+    if (!slots_[i].epoch.compare_exchange_strong(expected, e,
+                                                 std::memory_order_seq_cst)) {
+      continue;  // busy slot; probe the next one
+    }
+    // Claim and publication are one CAS, but the global epoch may have
+    // advanced between our load and the claim -- republish until the
+    // slot value and the global agree (see the header's protocol proof).
+    uint64_t now;
+    while ((now = global_.load(std::memory_order_seq_cst)) != e) {
+      e = now;
+      slots_[i].epoch.store(e, std::memory_order_seq_cst);
+    }
+    return i;
+  }
+  return kNoSlot;
+}
+
+void EpochDomain::Unpin(int slot) {
+  slots_[slot].epoch.store(kIdle, std::memory_order_seq_cst);
+}
+
+void EpochDomain::Retire(std::shared_ptr<const void> obj) {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  // Tag with the epoch under which readers may still have acquired the
+  // object, then advance: readers pinning from here on observe the
+  // incremented epoch and (by the seq_cst total order) the replacement
+  // pointer the caller published before retiring.
+  limbo_.emplace_back(global_.load(std::memory_order_relaxed),
+                      std::move(obj));
+  global_.fetch_add(1, std::memory_order_seq_cst);
+  ReclaimLocked();
+}
+
+void EpochDomain::ReclaimLocked() {
+  uint64_t min_pinned = UINT64_MAX;
+  for (const Slot& s : slots_) {
+    const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle) min_pinned = std::min(min_pinned, e);
+  }
+  limbo_.erase(std::remove_if(limbo_.begin(), limbo_.end(),
+                              [min_pinned](const auto& entry) {
+                                return entry.first < min_pinned;
+                              }),
+               limbo_.end());
+}
+
+bool EpochDomain::AnyPinned() const {
+  for (const Slot& s : slots_) {
+    if (s.epoch.load(std::memory_order_seq_cst) != kIdle) return true;
+  }
+  return false;
+}
+
+void EpochDomain::DrainAndReclaimAll() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(limbo_mu_);
+      ReclaimLocked();
+      if (limbo_.empty() && !AnyPinned()) return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+size_t EpochDomain::limbo_size() const {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  return limbo_.size();
+}
+
+}  // namespace pmi

@@ -1,0 +1,109 @@
+// Epoch-based reclamation for read-mostly shared structures.
+//
+// The concurrency layer publishes immutable versions through a single
+// atomic pointer; readers must be able to pin the version they dereference
+// without writing any shared cache line a writer contends on -- a
+// shared_ptr refcount would turn every query into an atomic RMW on one
+// hot counter.  EpochDomain gives readers a wait-free-in-practice pin:
+// claim one of a fixed array of padded slots, stamp it with the current
+// global epoch, and the writer's reclamation simply refuses to free any
+// retired object whose retire epoch is still covered by a pinned slot.
+//
+// Protocol (all epoch operations are seq_cst; the proof below leans on
+// the single total order S of C++ seq_cst operations):
+//
+//   reader Pin:    e = global; CAS(slot: kIdle -> e)       (claim+publish)
+//                  while ((now = global) != e)             (re-check)
+//                    { e = now; slot = e; }
+//                  ... then load the published pointer ...
+//   writer Retire: limbo.push({global, obj}); global += 1; reclaim
+//   reclaim:       free limbo entries with epoch < min over pinned slots
+//
+// Why the re-check loop makes this safe: suppose the writer retires an
+// object at epoch g (publishing its replacement pointer *before* the
+// `global += 1`).  A reader whose final slot value is <= g keeps every
+// limbo entry with epoch >= its pin alive -- the entry tagged g is
+// protected.  A reader whose final slot value is > g observed
+// `global == g + 1` in S *after* the writer's increment, which in turn
+// follows the replacement-pointer store; its subsequent pointer load
+// therefore returns the replacement, never the retired object.  Either
+// way no pinned reader can dereference freed memory.
+//
+// All 64 slots busy is not an error: Pin returns kNoSlot and the caller
+// falls back to a refcounted acquire (see VersionedTable::Pin).
+
+#ifndef PMI_CORE_EPOCH_H_
+#define PMI_CORE_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pmi {
+
+/// One reclamation domain: a bounded pin-slot array plus the limbo list
+/// of retired objects.  Readers use Pin/Unpin (lock-free, one CAS on an
+/// exclusively-owned cache line); the writer side (Retire) and the
+/// destructor take a small mutex -- writers are serialized by the caller
+/// anyway (MetricDB's writer lock), the mutex just keeps the domain
+/// internally coherent under misuse.
+class EpochDomain {
+ public:
+  static constexpr int kSlots = 64;
+  static constexpr int kNoSlot = -1;
+
+  EpochDomain() = default;
+  ~EpochDomain() { DrainAndReclaimAll(); }
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Claims a pin slot stamped with the current global epoch.  Returns
+  /// the slot index, or kNoSlot when all slots are busy (caller falls
+  /// back to refcounting).  The caller may dereference epoch-protected
+  /// pointers only between a successful Pin and the matching Unpin.
+  int Pin();
+
+  /// Releases a slot returned by Pin.
+  void Unpin(int slot);
+
+  /// Hands `obj` to the domain for deferred destruction: it is released
+  /// once every slot pinned at or before the current epoch has unpinned.
+  /// Reclaims eagerly -- a quiescent domain frees `obj` immediately.
+  void Retire(std::shared_ptr<const void> obj);
+
+  /// Blocks (yield-spinning) until every pin is released and every
+  /// retired object has been freed.  Called by the destructor, and by
+  /// owners that must not outlive their readers.
+  void DrainAndReclaimAll();
+
+  /// Retired-but-not-yet-freed object count (test introspection).
+  size_t limbo_size() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+  };
+
+  static constexpr uint64_t kIdle = 0;
+
+  /// Frees limbo entries no pinned slot still covers.  Caller holds
+  /// limbo_mu_.
+  void ReclaimLocked();
+
+  /// True when some slot is pinned (epoch != kIdle).
+  bool AnyPinned() const;
+
+  std::atomic<uint64_t> global_{1};  // kIdle is reserved for free slots
+  Slot slots_[kSlots];
+  mutable std::mutex limbo_mu_;
+  std::vector<std::pair<uint64_t, std::shared_ptr<const void>>> limbo_;
+};
+
+}  // namespace pmi
+
+#endif  // PMI_CORE_EPOCH_H_

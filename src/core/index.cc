@@ -97,6 +97,78 @@ OpStats MetricIndex::KnnQueryBatch(const std::vector<ObjectView>& queries,
   return Finish(before, watch);
 }
 
+namespace {
+
+// Folds per-query shards into a batch total without ever touching the
+// index's cumulative counters -- the whole point of the *Shared entry
+// points (see index.h): a shared immutable snapshot must not be written
+// by its readers.
+OpStats FoldSharedBatch(const std::vector<PerfCounters>& shards,
+                        const Stopwatch& watch,
+                        std::vector<OpStats>* per_query) {
+  PerfCounters total;
+  for (const PerfCounters& s : shards) total += s;
+  if (per_query != nullptr) ShardsToStats(shards, per_query);
+  OpStats op;
+  op.dist_computations = total.dist_computations;
+  op.page_reads = total.page_reads;
+  op.page_writes = total.page_writes;
+  op.seconds = watch.Seconds();
+  return op;
+}
+
+}  // namespace
+
+OpStats MetricIndex::RangeQueryBatchShared(
+    const std::vector<ObjectView>& queries, const std::vector<double>& radii,
+    std::vector<std::vector<ObjectId>>* out, std::vector<OpStats>* per_query,
+    BatchMode mode) const {
+  CheckBatchSizes(queries.size(), radii.size(), "radii");
+  const size_t n = queries.size();
+  out->assign(n, {});
+  Stopwatch watch;
+  std::vector<PerfCounters> shards(n);
+  bool handled = false;
+  if (mode == BatchMode::kAuto && n > 0 && block_major_batches()) {
+    handled = RangeBatchBlockImpl(queries, radii.data(), out, shards.data());
+  }
+  if (!handled) {
+    // Inline query-major loop: the calling thread is one of many
+    // concurrent readers, so fanning out over the shared pool here
+    // would only make the readers contend on its region lock.  Every
+    // *Impl counts through dist(), which honors the innermost
+    // CounterScope -- counters_ is never written.
+    for (size_t i = 0; i < n; ++i) {
+      CounterScope scope(&shards[i]);
+      RangeImpl(queries[i], radii[i], &(*out)[i]);
+    }
+  }
+  return FoldSharedBatch(shards, watch, per_query);
+}
+
+OpStats MetricIndex::KnnQueryBatchShared(const std::vector<ObjectView>& queries,
+                                         const std::vector<size_t>& ks,
+                                         std::vector<std::vector<Neighbor>>* out,
+                                         std::vector<OpStats>* per_query,
+                                         BatchMode mode) const {
+  CheckBatchSizes(queries.size(), ks.size(), "neighbor counts");
+  const size_t n = queries.size();
+  out->assign(n, {});
+  Stopwatch watch;
+  std::vector<PerfCounters> shards(n);
+  bool handled = false;
+  if (mode == BatchMode::kAuto && n > 0 && block_major_batches()) {
+    handled = KnnBatchBlockImpl(queries, ks.data(), out, shards.data());
+  }
+  if (!handled) {
+    for (size_t i = 0; i < n; ++i) {  // see RangeQueryBatchShared
+      CounterScope scope(&shards[i]);
+      KnnImpl(queries[i], ks[i], &(*out)[i]);
+    }
+  }
+  return FoldSharedBatch(shards, watch, per_query);
+}
+
 Status ValidateOptions(const IndexOptions& options) {
   if (options.page_size == 0) {
     return InvalidArgumentError("page_size must be nonzero");

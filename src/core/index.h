@@ -15,6 +15,7 @@
 #define PMI_CORE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -148,6 +149,17 @@ class MetricIndex {
     return Measure([&] { KnnImpl(q, k, out); });
   }
 
+  /// Deep-copies this index into an independent instance bound to the
+  /// same (data, metric, pivots).  The clone answers queries identically
+  /// and its mutations never affect the source -- bulk state held in a
+  /// PivotTable is shared copy-on-write at 256-row block granularity, so
+  /// cloning is O(blocks) pointer copies and a single-row update touches
+  /// one block.  This is the shadow-copy primitive of the concurrency
+  /// layer (the writer clones, applies, publishes).  Fail-safe default:
+  /// nullptr, meaning the index does not support shadow-copy updates and
+  /// the facade keeps it on the serialized legacy path.
+  virtual std::unique_ptr<MetricIndex> Clone() const { return nullptr; }
+
   /// True when independent queries may run concurrently on this index.
   /// Fail-safe default: false.  An index opts in only after an audit
   /// shows its query path shares no mutable state beyond the cost
@@ -191,6 +203,26 @@ class MetricIndex {
                           std::vector<OpStats>* per_query = nullptr,
                           BatchMode mode = BatchMode::kAuto) const;
 
+  /// Shared-read form of the batch MRQ: identical results and per-query
+  /// accounting, but the index instance is treated as strictly immutable
+  /// -- neither counters_ nor any other member is written, so any number
+  /// of threads may run *Shared batches on one instance concurrently
+  /// (the concurrency layer's readers all query the same published
+  /// version).  The cost of a batch is returned, not accumulated: the
+  /// instance's cumulative counters simply do not advance, which is the
+  /// correct reading for a shared snapshot whose readers are mutually
+  /// anonymous.  Requires concurrent_queries(); the query-major loop
+  /// runs inline on the calling thread (each reader IS the parallelism),
+  /// and the block-major engine's internal pool region degrades to
+  /// inline execution whenever another region holds the pool (see
+  /// ThreadPool::TryDispatch), which by the partitioning contract never
+  /// changes results.
+  OpStats RangeQueryBatchShared(const std::vector<ObjectView>& queries,
+                                const std::vector<double>& radii,
+                                std::vector<std::vector<ObjectId>>* out,
+                                std::vector<OpStats>* per_query = nullptr,
+                                BatchMode mode = BatchMode::kAuto) const;
+
   /// Uniform-radius convenience form of the batch MRQ descriptor.
   OpStats RangeQueryBatch(const std::vector<ObjectView>& queries, double r,
                           std::vector<std::vector<ObjectId>>* out) const {
@@ -206,6 +238,13 @@ class MetricIndex {
                         std::vector<std::vector<Neighbor>>* out,
                         std::vector<OpStats>* per_query = nullptr,
                         BatchMode mode = BatchMode::kAuto) const;
+
+  /// Shared-read form of the batch MkNNQ (see RangeQueryBatchShared).
+  OpStats KnnQueryBatchShared(const std::vector<ObjectView>& queries,
+                              const std::vector<size_t>& ks,
+                              std::vector<std::vector<Neighbor>>* out,
+                              std::vector<OpStats>* per_query = nullptr,
+                              BatchMode mode = BatchMode::kAuto) const;
 
   /// Uniform-k convenience form of the batch MkNNQ descriptor.
   OpStats KnnQueryBatch(const std::vector<ObjectView>& queries, size_t k,
@@ -265,6 +304,18 @@ class MetricIndex {
   const PivotSet& pivots() const { return pivots_; }
 
  protected:
+  /// Copies the base-class binding and bookkeeping from `o` into this
+  /// fresh instance -- the first step of every Clone() implementation.
+  /// The clone starts from the source's cumulative counters so build
+  /// cost attribution survives the shadow-copy chain.
+  void CopyBaseFrom(const MetricIndex& o) {
+    data_ = o.data_;
+    metric_ = o.metric_;
+    pivots_ = o.pivots_;
+    options_ = o.options_;
+    counters_ = o.counters_;
+  }
+
   virtual void BuildImpl() = 0;
   virtual void RangeImpl(const ObjectView& q, double r,
                          std::vector<ObjectId>* out) const = 0;

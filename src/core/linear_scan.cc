@@ -33,6 +33,13 @@ void LinearScan::KnnImpl(const ObjectView& q, size_t k,
   heap.TakeSorted(out);
 }
 
+std::unique_ptr<MetricIndex> LinearScan::Clone() const {
+  auto clone = std::make_unique<LinearScan>(options_);
+  clone->CopyBaseFrom(*this);
+  clone->live_ = live_;
+  return clone;
+}
+
 void LinearScan::InsertImpl(ObjectId id) { live_[id] = true; }
 
 void LinearScan::RemoveImpl(ObjectId id) { live_[id] = false; }

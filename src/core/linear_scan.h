@@ -22,6 +22,7 @@ class LinearScan final : public MetricIndex {
   // Audited: the query path uses only local state + dist() (counters
   // are redirected per thread by the batch entry points).
   bool concurrent_queries() const override { return true; }
+  std::unique_ptr<MetricIndex> Clone() const override;
   size_t memory_bytes() const override { return live_.capacity() / 8; }
 
  protected:

@@ -84,12 +84,13 @@ size_t PivotTable::ContinueCascade(const FilterQuery& fq, size_t base,
                                    uint32_t* surv) const {
   if (n == 0) return 0;
   const SimdOps& ops = *fq.ops;
+  const TableBlock& blk = *blocks_[base / kScanBlock];
   ExactSlot s;
   s.rd = fq.r_cached;
   uint32_t p = 1;
   for (; p < width_ && DenseEnough(ops.dense_divisor, n, count); ++p) {
-    s.colf = fcols_[p].data() + base;
-    s.cold = cols_[p].data() + base;
+    s.colf = ColF(blk, p);
+    s.cold = ColD(blk, p);
     s.qf = fq.qf[p];
     s.rw = fq.rw[p];
     s.rn = fq.rn[p];
@@ -99,8 +100,7 @@ size_t PivotTable::ContinueCascade(const FilterQuery& fq, size_t base,
   }
   n = ops.compact(keep, count, surv);
   for (; p < width_ && n > 0; ++p) {
-    n = ops.refine_f64(cols_[p].data() + base, fq.qd[p], fq.r_cached, surv,
-                       n);
+    n = ops.refine_f64(ColD(blk, p), fq.qd[p], fq.r_cached, surv, n);
   }
   return n;
 }
@@ -111,6 +111,7 @@ size_t PivotTable::ContinueCascadeIndirect(const FilterQuery& fq,
                                            uint32_t* surv) const {
   if (n == 0) return 0;
   const SimdOps& ops = *fq.ops;
+  const TableBlock& blk = *blocks_[base / kScanBlock];
   ExactSlotGather s;
   s.qf_pool = fq.qf.data();
   s.qd_pool = fq.qd;
@@ -119,16 +120,15 @@ size_t PivotTable::ContinueCascadeIndirect(const FilterQuery& fq,
   s.rd = fq.r_cached;
   uint32_t p = 1;
   for (; p < width_ && DenseEnough(ops.dense_divisor_gather, n, count); ++p) {
-    s.colf = fcols_[p].data() + base;
-    s.cold = cols_[p].data() + base;
-    s.idx = pidx_cols_[p].data() + base;
+    s.colf = ColF(blk, p);
+    s.cold = ColD(blk, p);
+    s.idx = ColI(blk, p);
     n = ops.mask_and_gather(s, count, keep);
     if (n == 0) return 0;
   }
   n = ops.compact(keep, count, surv);
   for (; p < width_ && n > 0; ++p) {
-    n = ops.refine_f64_gather(cols_[p].data() + base,
-                              pidx_cols_[p].data() + base, fq.qd,
+    n = ops.refine_f64_gather(ColD(blk, p), ColI(blk, p), fq.qd,
                               fq.r_cached, surv, n);
   }
   return n;
@@ -141,10 +141,11 @@ size_t PivotTable::FilterBlock(const FilterQuery& fq, size_t base,
     return count;
   }
   const SimdOps& ops = *fq.ops;
+  const TableBlock& blk = *blocks_[base / kScanBlock];
   uint8_t keep[kScanBlock];
   ExactSlot s;
-  s.colf = fcols_[0].data() + base;
-  s.cold = cols_[0].data() + base;
+  s.colf = ColF(blk, 0);
+  s.cold = ColD(blk, 0);
   s.qf = fq.qf[0];
   s.rw = fq.rw[0];
   s.rn = fq.rn[0];
@@ -161,11 +162,12 @@ size_t PivotTable::FilterBlockIndirect(const FilterQuery& fq, size_t base,
     return count;
   }
   const SimdOps& ops = *fq.ops;
+  const TableBlock& blk = *blocks_[base / kScanBlock];
   uint8_t keep[kScanBlock];
   ExactSlotGather s;
-  s.colf = fcols_[0].data() + base;
-  s.cold = cols_[0].data() + base;
-  s.idx = pidx_cols_[0].data() + base;
+  s.colf = ColF(blk, 0);
+  s.cold = ColD(blk, 0);
+  s.idx = ColI(blk, 0);
   s.qf_pool = fq.qf.data();
   s.qd_pool = fq.qd;
   s.rw = fq.rw[0];
@@ -188,6 +190,7 @@ void PivotTable::FilterBlockMulti(const FilterQuery* fqs, size_t nq,
     return;
   }
   const SimdOps& ops = *fqs[0].ops;
+  const TableBlock& blk = *blocks_[base / kScanBlock];
   // Stage 0: the pivot-0 sweep for every query, one kMultiQueryTile
   // group at a time -- the slab-load amortization the block-major
   // engine exists for.
@@ -197,8 +200,8 @@ void PivotTable::FilterBlockMulti(const FilterQuery* fqs, size_t nq,
     for (size_t j = 0; j < m; ++j) {
       const FilterQuery& fq = fqs[t + j];
       ExactSlot& s = slots[j];
-      s.colf = fcols_[0].data() + base;
-      s.cold = cols_[0].data() + base;
+      s.colf = ColF(blk, 0);
+      s.cold = ColD(blk, 0);
       s.qf = fq.qf[0];
       s.rw = fq.rw[0];
       s.rn = fq.rn[0];
@@ -231,15 +234,16 @@ void PivotTable::FilterBlockIndirectMulti(const FilterQuery* fqs, size_t nq,
     return;
   }
   const SimdOps& ops = *fqs[0].ops;
+  const TableBlock& blk = *blocks_[base / kScanBlock];
   ExactSlotGather slots[kMultiQueryTile];
   for (size_t t = 0; t < nq; t += kMultiQueryTile) {
     const size_t m = std::min(kMultiQueryTile, nq - t);
     for (size_t j = 0; j < m; ++j) {
       const FilterQuery& fq = fqs[t + j];
       ExactSlotGather& s = slots[j];
-      s.colf = fcols_[0].data() + base;
-      s.cold = cols_[0].data() + base;
-      s.idx = pidx_cols_[0].data() + base;
+      s.colf = ColF(blk, 0);
+      s.cold = ColD(blk, 0);
+      s.idx = ColI(blk, 0);
       s.qf_pool = fq.qf.data();
       s.qd_pool = fq.qd;
       s.rw = fq.rw[0];

@@ -5,8 +5,24 @@
 // of the table indexes.  A row-major layout walks l-doubles-strided memory
 // and re-decides "pruned?" with a branchy per-row loop; since Lemma-1
 // pruning usually triggers on the *first* pivot, almost all of that
-// traffic is wasted.  This table stores the mapping column-major (one
-// contiguous array per pivot slot) and scans in blocks of kScanBlock rows.
+// traffic is wasted.  This table stores the mapping column-major and scans
+// in blocks of kScanBlock rows.
+//
+// Storage is chunked into immutable-sharable blocks: each TableBlock
+// holds kScanBlock rows of every column (double distances, the derived
+// f32 filter mirror, and -- in per-row-pivot mode -- the pool-index
+// column), with column `slot` occupying the contiguous sub-slab
+// [slot * kScanBlock, (slot + 1) * kScanBlock).  Blocks are held by
+// shared_ptr and copied lazily: copying a PivotTable shares every block
+// (O(blocks) pointer copies), and a mutation first deep-copies the one
+// 256-row block it touches (MutableBlock).  This is the copy-on-write
+// substrate of the epoch-versioned concurrency layer: a writer clones an
+// index, mutates a handful of blocks, and publishes, while readers keep
+// scanning the shared, now-frozen blocks of the previous version.
+// Whether this table owns a block is tracked in an explicit owned_
+// bitmap (cleared in BOTH tables by a copy) -- never inferred from
+// use_count(), whose relaxed load cannot order against a concurrent
+// reader's last access.
 //
 // Query engine v2 adds a derived float32 *filter column* per double
 // column (64-byte-aligned, conservatively comparable -- see
@@ -43,6 +59,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/core/simd.h"
@@ -50,12 +67,12 @@
 namespace pmi {
 
 /// Column-major n x l pivot-distance table with blocked, SIMD-filtered
-/// Lemma-1 scans.
+/// Lemma-1 scans and block-granular copy-on-write sharing.
 class PivotTable {
  public:
   /// Rows per scan block: 256 rows = one 1 KB f32 column slab, small
   /// enough that the pivot-0 slab plus the survivor scratch stay
-  /// L1-resident.
+  /// L1-resident.  Also the copy-on-write sharing granule.
   static constexpr uint32_t kScanBlock = 256;
 
   /// Queries per block-major scan tile.  The block-major scans carry
@@ -69,42 +86,72 @@ class PivotTable {
 
   PivotTable() = default;
 
+  /// Copies share every block; both tables drop ownership, so the first
+  /// mutation on either side copies the touched block out.  The blocks
+  /// a copy holds are frozen from its point of view -- the contract the
+  /// versioned readers scan under.
+  PivotTable(const PivotTable& o)
+      : width_(o.width_),
+        rows_(o.rows_),
+        per_row_(o.per_row_),
+        blocks_(o.blocks_) {
+    owned_.assign(blocks_.size(), 0);
+    std::fill(o.owned_.begin(), o.owned_.end(), 0);
+  }
+  PivotTable& operator=(const PivotTable& o) {
+    if (this == &o) return *this;
+    width_ = o.width_;
+    rows_ = o.rows_;
+    per_row_ = o.per_row_;
+    blocks_ = o.blocks_;
+    owned_.assign(blocks_.size(), 0);
+    std::fill(o.owned_.begin(), o.owned_.end(), 0);
+    return *this;
+  }
+  PivotTable(PivotTable&&) = default;
+  PivotTable& operator=(PivotTable&&) = default;
+
   /// Clears the table and sets the number of pivot slots per row.
   /// `per_row_pivots` selects the EPT-style layout with a parallel
   /// pool-index column per slot.
   void Reset(uint32_t width, bool per_row_pivots = false) {
     width_ = width;
     rows_ = 0;
-    cols_.assign(width, {});
-    fcols_.assign(width, {});
-    pidx_cols_.assign(per_row_pivots ? width : 0, {});
+    per_row_ = per_row_pivots;
+    blocks_.clear();
+    owned_.clear();
   }
 
   void Reserve(size_t rows) {
-    for (auto& c : cols_) c.reserve(rows);
-    for (auto& c : fcols_) c.reserve(rows);
-    for (auto& c : pidx_cols_) c.reserve(rows);
+    const size_t nb = (rows + kScanBlock - 1) / kScanBlock;
+    blocks_.reserve(nb);
+    owned_.reserve(nb);
   }
 
   /// Preallocates `rows` zeroed rows for index-addressed filling via
   /// SetRow -- the parallel-build form of AppendRow.  rows() becomes
-  /// `rows` immediately.
+  /// `rows` immediately, and every block is owned (so the parallel fill
+  /// never copies).
   void ResizeRows(size_t rows) {
-    for (auto& c : cols_) c.assign(rows, 0.0);
-    for (auto& c : fcols_) c.assign(rows, 0.0f);
-    for (auto& c : pidx_cols_) c.assign(rows, 0);
+    const size_t nb = (rows + kScanBlock - 1) / kScanBlock;
+    blocks_.clear();
+    blocks_.reserve(nb);
+    for (size_t b = 0; b < nb; ++b) blocks_.push_back(NewBlock());
+    owned_.assign(nb, 1);
     rows_ = rows;
   }
 
   uint32_t width() const { return width_; }
   size_t rows() const { return rows_; }
-  bool per_row_pivots() const { return !pidx_cols_.empty(); }
+  bool per_row_pivots() const { return per_row_; }
 
   /// Appends a row in shared-pivot form: phi[p] = d(o, p_p).
   void AppendRow(const double* phi) {
+    TableBlock& b = AppendBlockFor(rows_);
+    const size_t o = rows_ % kScanBlock;
     for (uint32_t p = 0; p < width_; ++p) {
-      cols_[p].push_back(phi[p]);
-      fcols_[p].push_back(FilterValue(phi[p]));
+      b.d[size_t(p) * kScanBlock + o] = phi[p];
+      b.f[size_t(p) * kScanBlock + o] = FilterValue(phi[p]);
     }
     ++rows_;
   }
@@ -112,53 +159,71 @@ class PivotTable {
   /// Appends a row in per-row-pivot form: slot j holds distance pdist[j]
   /// to pool pivot pidx[j].
   void AppendRow(const double* pdist, const uint32_t* pidx) {
+    TableBlock& b = AppendBlockFor(rows_);
+    const size_t o = rows_ % kScanBlock;
     for (uint32_t j = 0; j < width_; ++j) {
-      cols_[j].push_back(pdist[j]);
-      fcols_[j].push_back(FilterValue(pdist[j]));
-      pidx_cols_[j].push_back(pidx[j]);
+      b.d[size_t(j) * kScanBlock + o] = pdist[j];
+      b.f[size_t(j) * kScanBlock + o] = FilterValue(pdist[j]);
+      b.pidx[size_t(j) * kScanBlock + o] = pidx[j];
     }
     ++rows_;
   }
 
   /// Writes row `row` (< rows(), preallocated via ResizeRows) in
   /// shared-pivot form.  A row's cells are element-private (including
-  /// the derived f32 mirror), so concurrent SetRow calls on distinct
-  /// rows are race-free -- the contract the parallel table fills rely
-  /// on.
+  /// the derived f32 mirror) and ResizeRows leaves every block owned,
+  /// so concurrent SetRow calls on distinct rows are race-free -- the
+  /// contract the parallel table fills rely on.
   void SetRow(size_t row, const double* phi) {
+    TableBlock& b = MutableBlock(row / kScanBlock);
+    const size_t o = row % kScanBlock;
     for (uint32_t p = 0; p < width_; ++p) {
-      cols_[p][row] = phi[p];
-      fcols_[p][row] = FilterValue(phi[p]);
+      b.d[size_t(p) * kScanBlock + o] = phi[p];
+      b.f[size_t(p) * kScanBlock + o] = FilterValue(phi[p]);
     }
   }
 
   /// Per-row-pivot form of SetRow.
   void SetRow(size_t row, const double* pdist, const uint32_t* pidx) {
+    TableBlock& b = MutableBlock(row / kScanBlock);
+    const size_t o = row % kScanBlock;
     for (uint32_t j = 0; j < width_; ++j) {
-      cols_[j][row] = pdist[j];
-      fcols_[j][row] = FilterValue(pdist[j]);
-      pidx_cols_[j][row] = pidx[j];
+      b.d[size_t(j) * kScanBlock + o] = pdist[j];
+      b.f[size_t(j) * kScanBlock + o] = FilterValue(pdist[j]);
+      b.pidx[size_t(j) * kScanBlock + o] = pidx[j];
     }
   }
 
   /// Removes row `row` by moving the last row into its place (the scan
   /// tables are order-independent, so deletion is O(l) instead of the
-  /// O(n*l) erase-and-shift of the row-major layout).
+  /// O(n*l) erase-and-shift of the row-major layout).  Copies at most
+  /// one block; the vacated tail cell is left stale in a possibly-shared
+  /// block (never read: scans bound themselves by rows()).
   void RemoveRowSwap(size_t row) {
     const size_t last = rows_ - 1;
-    for (auto& c : cols_) {
-      c[row] = c[last];
-      c.pop_back();
-    }
-    for (auto& c : fcols_) {
-      c[row] = c[last];
-      c.pop_back();
-    }
-    for (auto& c : pidx_cols_) {
-      c[row] = c[last];
-      c.pop_back();
+    if (row != last) {
+      TableBlock& dst = MutableBlock(row / kScanBlock);
+      // Source ref taken after MutableBlock: when both rows live in the
+      // same block, the copy-out must not leave `src` dangling.
+      const TableBlock& src = *blocks_[last / kScanBlock];
+      const size_t so = last % kScanBlock;
+      const size_t dof = row % kScanBlock;
+      for (uint32_t p = 0; p < width_; ++p) {
+        dst.d[size_t(p) * kScanBlock + dof] = src.d[size_t(p) * kScanBlock + so];
+        dst.f[size_t(p) * kScanBlock + dof] = src.f[size_t(p) * kScanBlock + so];
+      }
+      if (per_row_) {
+        for (uint32_t p = 0; p < width_; ++p) {
+          dst.pidx[size_t(p) * kScanBlock + dof] =
+              src.pidx[size_t(p) * kScanBlock + so];
+        }
+      }
     }
     rows_ = last;
+    if (rows_ % kScanBlock == 0 && !blocks_.empty()) {
+      blocks_.pop_back();  // the trailing block emptied out
+      owned_.pop_back();
+    }
   }
 
   /// Cell-level writers (snapshot loading); row must be < rows().  The
@@ -166,24 +231,50 @@ class PivotTable {
   /// loads format-free: the filter columns are never serialized, only
   /// rebuilt.
   void SetCell(size_t row, uint32_t slot, double v) {
-    cols_[slot][row] = v;
-    fcols_[slot][row] = FilterValue(v);
+    TableBlock& b = MutableBlock(row / kScanBlock);
+    const size_t o = row % kScanBlock;
+    b.d[size_t(slot) * kScanBlock + o] = v;
+    b.f[size_t(slot) * kScanBlock + o] = FilterValue(v);
   }
   void SetPivotIndex(size_t row, uint32_t slot, uint32_t v) {
-    pidx_cols_[slot][row] = v;
+    MutableBlock(row / kScanBlock).pidx[size_t(slot) * kScanBlock +
+                                        row % kScanBlock] = v;
   }
 
   double distance(size_t row, uint32_t slot) const {
-    return cols_[slot][row];
+    return blocks_[row / kScanBlock]
+        ->d[size_t(slot) * kScanBlock + row % kScanBlock];
   }
   uint32_t pivot_index(size_t row, uint32_t slot) const {
-    return pidx_cols_[slot][row];
+    return blocks_[row / kScanBlock]
+        ->pidx[size_t(slot) * kScanBlock + row % kScanBlock];
   }
-  /// Contiguous per-slot distance column (length rows()).
-  const double* column(uint32_t slot) const { return cols_[slot].data(); }
-  /// Derived f32 filter column (length rows(), 64-byte-aligned slab).
-  const float* filter_column(uint32_t slot) const {
-    return fcols_[slot].data();
+  /// Derived f32 filter cell (what the bulk filter compares).
+  float filter_value(size_t row, uint32_t slot) const {
+    return blocks_[row / kScanBlock]
+        ->f[size_t(slot) * kScanBlock + row % kScanBlock];
+  }
+
+  /// Contiguous per-slot distance slab of the block containing
+  /// block-aligned row `base`; valid for min(kScanBlock, rows() - base)
+  /// rows.  (Columns are no longer contiguous across blocks -- callers
+  /// iterate block by block, which every scan already did.)
+  const double* block_column(uint32_t slot, size_t base) const {
+    return ColD(*blocks_[base / kScanBlock], slot);
+  }
+  /// f32 filter form of block_column (64-byte-aligned slab).
+  const float* block_filter_column(uint32_t slot, size_t base) const {
+    return ColF(*blocks_[base / kScanBlock], slot);
+  }
+
+  /// How many storage blocks this table currently shares with `o`
+  /// (copy-on-write introspection for tests).
+  size_t blocks_shared_with(const PivotTable& o) const {
+    size_t shared = 0;
+    for (const auto& b : blocks_) {
+      for (const auto& ob : o.blocks_) shared += b == ob ? 1 : 0;
+    }
+    return shared;
   }
 
   /// Shared-pivot range scan: appends every row index whose mapped vector
@@ -374,6 +465,9 @@ class PivotTable {
     }
   }
 
+  /// Logical footprint of the stored rows (block padding and sharing
+  /// excluded: this is the per-table cost model the paper's memory
+  /// comparisons use).
   size_t memory_bytes() const {
     return size_t(rows_) * width_ *
            (sizeof(double) + sizeof(float) +
@@ -381,6 +475,57 @@ class PivotTable {
   }
 
  private:
+  /// One kScanBlock-row chunk of every column.  Arrays are full capacity
+  /// (width * kScanBlock) regardless of how many rows are in use, so a
+  /// block's slab layout never changes and SIMD lane over-reads within
+  /// the slab stay in bounds.  Immutable once shared between tables.
+  struct TableBlock {
+    std::vector<double, AlignedAllocator<double, 64>> d;
+    FilterColumn f;
+    std::vector<uint32_t> pidx;  // per-row-pivot mode only (else empty)
+  };
+
+  static const double* ColD(const TableBlock& b, uint32_t slot) {
+    return b.d.data() + size_t(slot) * kScanBlock;
+  }
+  static const float* ColF(const TableBlock& b, uint32_t slot) {
+    return b.f.data() + size_t(slot) * kScanBlock;
+  }
+  static const uint32_t* ColI(const TableBlock& b, uint32_t slot) {
+    return b.pidx.data() + size_t(slot) * kScanBlock;
+  }
+
+  std::shared_ptr<TableBlock> NewBlock() const {
+    auto b = std::make_shared<TableBlock>();
+    b->d.assign(size_t(width_) * kScanBlock, 0.0);
+    b->f.assign(size_t(width_) * kScanBlock, 0.0f);
+    if (per_row_) b->pidx.assign(size_t(width_) * kScanBlock, 0);
+    return b;
+  }
+
+  /// Write access to block `bi`: deep-copies it first when it is shared
+  /// with another table.  Reading owned_ is the only cross-block check,
+  /// so concurrent writers to distinct rows of an owned block stay
+  /// race-free (the parallel-build contract).
+  TableBlock& MutableBlock(size_t bi) {
+    if (!owned_[bi]) {
+      blocks_[bi] = std::make_shared<TableBlock>(*blocks_[bi]);
+      owned_[bi] = 1;
+    }
+    return *blocks_[bi];
+  }
+
+  /// The block AppendRow writes row `row` into, growing storage when the
+  /// row starts a new block.
+  TableBlock& AppendBlockFor(size_t row) {
+    if (row % kScanBlock == 0 && row / kScanBlock == blocks_.size()) {
+      blocks_.push_back(NewBlock());
+      owned_.push_back(1);
+      return *blocks_.back();
+    }
+    return MutableBlock(row / kScanBlock);
+  }
+
   /// Per-query float-filter state: f32 casts of the query-side values
   /// plus the two-sided (wide/narrow) radii of the exact f32 filter.
   /// Prepared once per scan; the radii are refreshed per block when the
@@ -406,16 +551,21 @@ class PivotTable {
   /// Single-row Lemma-1 test at radius `r` on the exact double columns
   /// (the per-survivor re-check of every scan).
   bool RowSurvives(size_t row, const double* phi_q, double r) const {
+    const TableBlock& b = *blocks_[row / kScanBlock];
+    const size_t o = row % kScanBlock;
     for (uint32_t p = 0; p < width_; ++p) {
-      if (std::fabs(cols_[p][row] - phi_q[p]) > r) return false;
+      if (std::fabs(b.d[size_t(p) * kScanBlock + o] - phi_q[p]) > r) {
+        return false;
+      }
     }
     return true;
   }
   bool RowSurvivesIndirect(size_t row, const double* d_qp, double r) const {
+    const TableBlock& b = *blocks_[row / kScanBlock];
+    const size_t o = row % kScanBlock;
     for (uint32_t p = 0; p < width_; ++p) {
-      if (std::fabs(cols_[p][row] - d_qp[pidx_cols_[p][row]]) > r) {
-        return false;
-      }
+      const size_t at = size_t(p) * kScanBlock + o;
+      if (std::fabs(b.d[at] - d_qp[b.pidx[at]]) > r) return false;
     }
     return true;
   }
@@ -462,9 +612,14 @@ class PivotTable {
 
   uint32_t width_ = 0;
   size_t rows_ = 0;
-  std::vector<std::vector<double>> cols_;        // width_ columns of rows_
-  std::vector<FilterColumn> fcols_;              // derived f32 mirrors
-  std::vector<std::vector<uint32_t>> pidx_cols_; // per-row-pivot mode only
+  bool per_row_ = false;
+  /// ceil(rows_ / kScanBlock) blocks; block b holds rows
+  /// [b * kScanBlock, min((b + 1) * kScanBlock, rows_)).
+  std::vector<std::shared_ptr<TableBlock>> blocks_;
+  /// owned_[b] == 1 iff this table is the only holder allowed to mutate
+  /// blocks_[b] in place.  Mutable because the copy constructor must
+  /// drop the SOURCE's ownership too (both sides now share).
+  mutable std::vector<uint8_t> owned_;
 };
 
 }  // namespace pmi

@@ -201,7 +201,13 @@ inline void SerializePivotTable(const PivotTable& table, ByteSink* out) {
   out->PutU32(table.width());
   out->PutU64(table.rows());
   for (uint32_t p = 0; p < table.width(); ++p) {
-    out->Raw(table.column(p), table.rows() * sizeof(double));
+    // Column p block by block; the concatenated slabs are byte-identical
+    // to the contiguous column the pre-chunked format wrote.
+    for (size_t base = 0; base < table.rows(); base += PivotTable::kScanBlock) {
+      const size_t count =
+          std::min<size_t>(PivotTable::kScanBlock, table.rows() - base);
+      out->Raw(table.block_column(p, base), count * sizeof(double));
+    }
   }
   if (table.per_row_pivots()) {
     for (uint32_t p = 0; p < table.width(); ++p) {

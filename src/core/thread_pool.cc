@@ -47,6 +47,23 @@ void ThreadPool::Dispatch(unsigned slots,
     return;
   }
   std::lock_guard<std::mutex> region(dispatch_mu_);
+  DispatchLocked(slots, fn);
+}
+
+bool ThreadPool::TryDispatch(unsigned slots,
+                             const std::function<void(unsigned)>& fn) {
+  if (slots <= 1 || workers_.empty()) {
+    for (unsigned s = 0; s < slots; ++s) fn(s);
+    return true;
+  }
+  std::unique_lock<std::mutex> region(dispatch_mu_, std::try_to_lock);
+  if (!region.owns_lock()) return false;
+  DispatchLocked(slots, fn);
+  return true;
+}
+
+void ThreadPool::DispatchLocked(unsigned slots,
+                                const std::function<void(unsigned)>& fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;

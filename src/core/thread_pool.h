@@ -65,6 +65,13 @@ class ThreadPool {
   /// same pool.
   void Dispatch(unsigned slots, const std::function<void(unsigned)>& fn);
 
+  /// Non-blocking Dispatch: runs the region if the pool is free, returns
+  /// false untouched if another region currently holds it.  Callers that
+  /// can execute the work inline (every partitioning-invariant region)
+  /// use this so concurrent readers degrade to inline execution instead
+  /// of queueing on the region lock.
+  bool TryDispatch(unsigned slots, const std::function<void(unsigned)>& fn);
+
   /// PMI_THREADS if set to a valid positive integer (a warning goes to
   /// stderr otherwise), else std::thread::hardware_concurrency(), else 1.
   static unsigned DefaultThreads();
@@ -79,6 +86,9 @@ class ThreadPool {
 
  private:
   void WorkerLoop(unsigned slot);
+  /// Region body shared by Dispatch/TryDispatch; caller holds
+  /// dispatch_mu_.
+  void DispatchLocked(unsigned slots, const std::function<void(unsigned)>& fn);
 
   std::mutex dispatch_mu_;  // serializes whole regions (one at a time)
   std::mutex mu_;
@@ -129,16 +139,25 @@ void ParallelFor(ThreadPool& pool, size_t n, Body&& body) {
 /// worker streams the pivot table once for its whole query subset --
 /// because the MkNNQ shrinking-radius chain makes a query's blocks
 /// sequentially dependent while distinct queries stay independent.
+/// Pool contention degrades gracefully: the region is attempted with
+/// TryDispatch, and when another region holds the pool (e.g. several
+/// reader threads batch-querying one published snapshot) the chunk loop
+/// runs inline on the calling thread instead of queueing -- legal
+/// because results are partitioning-invariant by the body contract.
 template <typename Body>
 void ParallelQueryChunks(bool parallel, size_t n, Body&& body) {
   if (n == 0) return;
   if (parallel && n > 1) {
     ThreadPool& pool = ThreadPool::Global();
-    if (pool.size() > 1) {
-      ParallelFor(pool, n, [&](size_t begin, size_t end, unsigned) {
-        body(begin, end);
-      });
-      return;
+    const unsigned slots =
+        static_cast<unsigned>(std::min<size_t>(pool.size(), n));
+    if (slots > 1) {
+      const std::function<void(unsigned)> task = [&](unsigned s) {
+        const size_t begin = n * s / slots;
+        const size_t end = n * (s + 1) / slots;
+        if (begin < end) body(begin, end);
+      };
+      if (pool.TryDispatch(slots, task)) return;
     }
   }
   body(size_t{0}, n);

@@ -1,0 +1,48 @@
+#include "src/core/version.h"
+
+namespace pmi {
+
+VersionedTable::VersionedTable(std::shared_ptr<const TableVersion> initial)
+    : owner_(std::move(initial)), current_(owner_.get()) {}
+
+VersionedTable::ReadPin VersionedTable::Pin() const {
+  ReadPin pin;
+  pin.owner_ = this;
+  const int slot = domain_.Pin();
+  if (slot == EpochDomain::kNoSlot) {
+    // Slot exhaustion (> kSlots simultaneous readers): refcount instead.
+    // Strictly slower, never incorrect.
+    pin.fallback_ = Acquire();
+    pin.version_ = pin.fallback_.get();
+    return pin;
+  }
+  pin.slot_ = slot;
+  // Safe to dereference from here until Unpin: a version can only reach
+  // the limbo list after this load, and reclamation then waits out our
+  // pinned epoch (see src/core/epoch.h).
+  pin.version_ = current_.load(std::memory_order_seq_cst);
+  return pin;
+}
+
+std::shared_ptr<const TableVersion> VersionedTable::Acquire() const {
+  std::lock_guard<std::mutex> lock(owner_mu_);
+  return owner_;
+}
+
+void VersionedTable::Publish(std::shared_ptr<const TableVersion> next) {
+  const TableVersion* raw = next.get();
+  std::shared_ptr<const TableVersion> old;
+  {
+    std::lock_guard<std::mutex> lock(owner_mu_);
+    old = std::move(owner_);
+    owner_ = std::move(next);
+  }
+  // Order matters: the new pointer must be visible before the old
+  // version is tagged retired, so any reader the reclaimer cannot see
+  // is guaranteed to load `raw` (the epoch protocol's publication
+  // ordering requirement).
+  current_.store(raw, std::memory_order_seq_cst);
+  domain_.Retire(std::move(old));
+}
+
+}  // namespace pmi

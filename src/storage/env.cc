@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -96,6 +97,21 @@ class PosixEnv final : public Env {
     if (fd < 0) return ErrnoStatus("open " + path + " for writing", errno);
     return std::unique_ptr<WritableFile>(
         std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  Status CreateExclusive(const std::string& path,
+                         std::string_view contents) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+      if (errno == EEXIST) {
+        return FailedPreconditionError(path + " already exists");
+      }
+      return ErrnoStatus("open " + path + " exclusively", errno);
+    }
+    PosixWritableFile file(path, fd);
+    PMI_RETURN_IF_ERROR(file.Append(contents));
+    PMI_RETURN_IF_ERROR(file.Sync());
+    return file.Close();
   }
 
   StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
@@ -197,6 +213,13 @@ StatusOr<std::string> Env::ReadFileToString(const std::string& path) {
 Env* Env::Default() {
   static PosixEnv* env = new PosixEnv;  // leaked: process lifetime
   return env;
+}
+
+bool ProcessAlive(int64_t pid) {
+  if (pid <= 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  // EPERM: the process exists but is not ours -- alive for lock purposes.
+  return errno == EPERM;
 }
 
 }  // namespace pmi

@@ -74,6 +74,13 @@ class Env {
   virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) = 0;
 
+  /// Atomically creates `path` with `contents` iff it does not already
+  /// exist (POSIX O_CREAT|O_EXCL), then fsyncs and closes it.  Returns
+  /// kFailedPrecondition when the file exists -- the mutual-exclusion
+  /// primitive behind the database LOCK file.
+  virtual Status CreateExclusive(const std::string& path,
+                                 std::string_view contents) = 0;
+
   /// Opens `path` for positional reads.
   virtual StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
       const std::string& path) = 0;
@@ -105,6 +112,10 @@ class Env {
   /// Truncates `path` to `size` bytes (used to drop a torn WAL tail).
   virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
 };
+
+/// True when a process with id `pid` currently exists (kill(pid, 0)
+/// probe; EPERM counts as alive).  Used for stale-LOCK detection.
+bool ProcessAlive(int64_t pid);
 
 /// "dir/name" with exactly one separator.
 inline std::string JoinPath(const std::string& dir, const std::string& name) {

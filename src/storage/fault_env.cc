@@ -10,8 +10,8 @@ namespace pmi {
 class FaultWritableFile final : public WritableFile {
  public:
   FaultWritableFile(std::unique_ptr<WritableFile> base,
-                    FaultInjectingEnv* env, Rng* rng)
-      : base_(std::move(base)), env_(env), rng_(rng) {}
+                    FaultInjectingEnv* env)
+      : base_(std::move(base)), env_(env) {}
 
   Status Append(std::string_view data) override {
     FaultKind inject = FaultKind::kNone;
@@ -42,15 +42,14 @@ class FaultWritableFile final : public WritableFile {
         if (!bytes.empty()) {
           size_t pos = Below(bytes.size());
           bytes[pos] = static_cast<char>(
-              bytes[pos] ^ (1u << ((*rng_)() % 8)));
+              bytes[pos] ^ (1u << env_->RandomBelow(8)));
         }
         return base_->Append(bytes);
       }
       case FaultKind::kFailedSync:
         // A sync fault landing on an Append: let the write through and
         // leave the fault armed for the next Sync on this env.
-        env_->plan_.trigger = env_->mutations_;
-        env_->triggered_ = false;
+        env_->RearmSyncFault();
         return base_->Append(data);
     }
     return base_->Append(data);
@@ -83,16 +82,14 @@ class FaultWritableFile final : public WritableFile {
   }
 
  private:
-  size_t Below(size_t n) {
-    return std::uniform_int_distribution<size_t>(0, n - 1)(*rng_);
-  }
+  size_t Below(size_t n) { return env_->RandomBelow(n); }
 
   std::unique_ptr<WritableFile> base_;
   FaultInjectingEnv* env_;
-  Rng* rng_;
 };
 
 void FaultInjectingEnv::Arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
   plan_ = plan;
   rng_.seed(plan.seed);
   mutations_ = 0;
@@ -101,6 +98,7 @@ void FaultInjectingEnv::Arm(const FaultPlan& plan) {
 }
 
 Status FaultInjectingEnv::NextMutation(FaultKind* inject) {
+  std::lock_guard<std::mutex> lock(mu_);
   *inject = FaultKind::kNone;
   if (crashed_) return UnavailableError("simulated crash: env is down");
   uint64_t index = mutations_++;
@@ -112,18 +110,37 @@ Status FaultInjectingEnv::NextMutation(FaultKind* inject) {
   return OkStatus();
 }
 
+size_t FaultInjectingEnv::RandomBelow(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::uniform_int_distribution<size_t>(0, n - 1)(rng_);
+}
+
+void FaultInjectingEnv::RearmSyncFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_.trigger = mutations_;
+  triggered_ = false;
+}
+
 StatusOr<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
     const std::string& path) {
-  if (crashed_) return UnavailableError("simulated crash: env is down");
+  if (crashed()) return UnavailableError("simulated crash: env is down");
   PMI_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
                        base_->NewWritableFile(path));
   return std::unique_ptr<WritableFile>(
-      std::make_unique<FaultWritableFile>(std::move(base), this, &rng_));
+      std::make_unique<FaultWritableFile>(std::move(base), this));
+}
+
+Status FaultInjectingEnv::CreateExclusive(const std::string& path,
+                                          std::string_view contents) {
+  // Deliberately NOT a counted mutation: lock-file traffic must not
+  // shift the trigger positions of the calibrated fault sweeps.
+  if (crashed()) return UnavailableError("simulated crash: env is down");
+  return base_->CreateExclusive(path, contents);
 }
 
 StatusOr<std::unique_ptr<RandomAccessFile>>
 FaultInjectingEnv::NewRandomAccessFile(const std::string& path) {
-  if (crashed_) return UnavailableError("simulated crash: env is down");
+  if (crashed()) return UnavailableError("simulated crash: env is down");
   return base_->NewRandomAccessFile(path);
 }
 
@@ -141,12 +158,12 @@ StatusOr<std::vector<std::string>> FaultInjectingEnv::ListDir(
 }
 
 Status FaultInjectingEnv::CreateDir(const std::string& dir) {
-  if (crashed_) return UnavailableError("simulated crash: env is down");
+  if (crashed()) return UnavailableError("simulated crash: env is down");
   return base_->CreateDir(dir);
 }
 
 Status FaultInjectingEnv::RemoveFile(const std::string& path) {
-  if (crashed_) return UnavailableError("simulated crash: env is down");
+  if (crashed()) return UnavailableError("simulated crash: env is down");
   return base_->RemoveFile(path);
 }
 
@@ -183,7 +200,7 @@ Status FaultInjectingEnv::SyncDir(const std::string& dir) {
 
 Status FaultInjectingEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
-  if (crashed_) return UnavailableError("simulated crash: env is down");
+  if (crashed()) return UnavailableError("simulated crash: env is down");
   return base_->TruncateFile(path, size);
 }
 

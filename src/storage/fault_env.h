@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/core/rng.h"
@@ -79,20 +80,34 @@ class FaultInjectingEnv final : public Env {
   void Arm(const FaultPlan& plan);
 
   /// Mutations observed since the last Arm (the sweep domain).
-  uint64_t mutation_count() const { return mutations_; }
+  uint64_t mutation_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return mutations_;
+  }
 
   /// True once the armed fault has fired.
-  bool triggered() const { return triggered_; }
+  bool triggered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return triggered_;
+  }
 
   /// True while simulating the post-crash powered-off state.
-  bool crashed() const { return crashed_; }
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
 
   /// Forces the powered-off state: every later mutation fails.
-  void Crash() { crashed_ = true; }
+  void Crash() {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_ = true;
+  }
 
   // -- Env ----------------------------------------------------------------
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
+  Status CreateExclusive(const std::string& path,
+                         std::string_view contents) override;
   StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
       const std::string& path) override;
   StatusOr<uint64_t> FileSize(const std::string& path) override;
@@ -112,6 +127,17 @@ class FaultInjectingEnv final : public Env {
   /// a clean pass-through) or kUnavailable when already crashed.
   Status NextMutation(FaultKind* inject);
 
+  /// Uniform draw in [0, n) from the shared plan RNG.
+  size_t RandomBelow(size_t n);
+
+  /// Re-arms a kFailedSync that landed on an Append so it fires at the
+  /// next mutation instead (see FaultWritableFile::Append).
+  void RearmSyncFault();
+
+  /// All mutable state sits behind one mutex: a concurrent stress run
+  /// drives one env from a writer thread and N reader threads at once,
+  /// and the counting must stay exact (it is the fault-sweep domain).
+  mutable std::mutex mu_;
   Env* base_;
   FaultPlan plan_;
   Rng rng_;

@@ -347,6 +347,19 @@ void Ept::RemoveImpl(ObjectId id) {
   }
 }
 
+std::unique_ptr<MetricIndex> Ept::Clone() const {
+  auto clone = std::make_unique<Ept>(variant_, options_);
+  clone->CopyBaseFrom(*this);
+  clone->l_ = l_;
+  clone->m_ = m_;
+  clone->pool_ = pool_;
+  clone->pool_mu_ = pool_mu_;
+  clone->psa_ = psa_;  // PivotSet/PivotTable members copy COW-shared
+  clone->oids_ = oids_;
+  clone->table_ = table_;  // copy-on-write: shares all 256-row blocks
+  return clone;
+}
+
 Status Ept::SaveImpl(ByteSink* out) const {
   out->PutU8(variant_ == Variant::kClassic ? 0 : 1);
   out->PutU32(l_);

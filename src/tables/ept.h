@@ -46,6 +46,7 @@ class Ept final : public MetricIndex {
   bool concurrent_queries() const override { return true; }
   // Batches run block-major over the per-row-pivot table (see Laesa).
   bool block_major_batches() const override { return true; }
+  std::unique_ptr<MetricIndex> Clone() const override;
   size_t memory_bytes() const override;
 
   /// Group size m actually used (after Equation (1) estimation).

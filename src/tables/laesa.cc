@@ -165,6 +165,14 @@ void Laesa::RemoveImpl(ObjectId id) {
   }
 }
 
+std::unique_ptr<MetricIndex> Laesa::Clone() const {
+  auto clone = std::make_unique<Laesa>(options_);
+  clone->CopyBaseFrom(*this);
+  clone->oids_ = oids_;
+  clone->table_ = table_;  // copy-on-write: shares all 256-row blocks
+  return clone;
+}
+
 Status Laesa::SaveImpl(ByteSink* out) const {
   out->PutVector(oids_);
   SerializePivotTable(table_, out);

@@ -40,6 +40,7 @@ class Laesa final : public MetricIndex {
   // (src/core/pivot_table.h ScanBlockMajor), bit-identical to the
   // query-major loop.
   bool block_major_batches() const override { return true; }
+  std::unique_ptr<MetricIndex> Clone() const override;
   size_t memory_bytes() const override;
 
   /// Read-only view of the distance table (thread-invariance tests pin

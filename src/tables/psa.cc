@@ -81,14 +81,18 @@ void PsaSelector::SelectForObject(const ObjectView& o,
       // The division (not a precomputed reciprocal) keeps the scores --
       // and therefore the selected pivots -- bit-identical to the
       // row-major implementation; the win here is the contiguous
-      // per-candidate column.
-      const double* __restrict col = sample_cand_.column(c);
+      // per-candidate column, walked block by block (s ascending, so
+      // the accumulation order is unchanged by the chunked storage).
       const double d_oc_c = d_oc[c];
       double score = 0;
-      for (uint32_t s = 0; s < ns; ++s) {
-        if (d_os[s] <= 0) continue;
-        double diff = std::fabs(d_oc_c - col[s]);
-        score += std::max(current[s], diff) / d_os[s];
+      for (uint32_t base = 0; base < ns; base += PivotTable::kScanBlock) {
+        const double* __restrict col = sample_cand_.block_column(c, base);
+        const uint32_t hi = std::min(ns, base + PivotTable::kScanBlock);
+        for (uint32_t s = base; s < hi; ++s) {
+          if (d_os[s] <= 0) continue;
+          double diff = std::fabs(d_oc_c - col[s - base]);
+          score += std::max(current[s], diff) / d_os[s];
+        }
       }
       if (score > best_score) {
         best_score = score;
@@ -98,10 +102,13 @@ void PsaSelector::SelectForObject(const ObjectView& o,
     used[best_c] = true;
     pidx[round] = best_c;
     pdist[round] = d_oc[best_c];
-    const double* __restrict col = sample_cand_.column(best_c);
-    for (uint32_t s = 0; s < ns; ++s) {
-      double diff = std::fabs(d_oc[best_c] - col[s]);
-      current[s] = std::max(current[s], diff);
+    for (uint32_t base = 0; base < ns; base += PivotTable::kScanBlock) {
+      const double* __restrict col = sample_cand_.block_column(best_c, base);
+      const uint32_t hi = std::min(ns, base + PivotTable::kScanBlock);
+      for (uint32_t s = base; s < hi; ++s) {
+        double diff = std::fabs(d_oc[best_c] - col[s - base]);
+        current[s] = std::max(current[s], diff);
+      }
     }
   }
 }

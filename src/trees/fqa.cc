@@ -54,22 +54,26 @@ void Fqa::BuildImpl() {
   }
 }
 
-std::pair<size_t, size_t> Fqa::EqualRun(size_t lo, size_t hi, uint32_t level,
-                                        uint16_t value) const {
+size_t Fqa::LowerBound(size_t lo, size_t hi, uint32_t level,
+                       uint16_t value) const {
   // Coordinates at `level` are sorted within [lo, hi) because all rows
   // there share coordinates 0..level-1.
   size_t a = lo, b = hi;
-  while (a < b) {  // lower bound
+  while (a < b) {
     size_t mid = (a + b) / 2;
     if (Coord(mid, level) < value) a = mid + 1; else b = mid;
   }
-  size_t begin = a;
-  b = hi;
-  while (a < b) {  // upper bound
+  return a;
+}
+
+size_t Fqa::UpperBound(size_t lo, size_t hi, uint32_t level,
+                       uint16_t value) const {
+  size_t a = lo, b = hi;
+  while (a < b) {
     size_t mid = (a + b) / 2;
     if (Coord(mid, level) <= value) a = mid + 1; else b = mid;
   }
-  return {begin, a};
+  return a;
 }
 
 void Fqa::RangeImpl(const ObjectView& q, double r,
@@ -105,11 +109,16 @@ void Fqa::RangeImpl(const ObjectView& q, double r,
         std::min(65535.0, std::floor(dlo / step)));
     uint16_t vhi = static_cast<uint16_t>(
         std::min(65535.0, std::floor(dhi / step)));
-    size_t cursor = lo;
-    for (uint32_t v = vlo; v <= vhi && cursor < hi; ++v) {
-      auto [b, e] = EqualRun(cursor, hi, level,
-                             static_cast<uint16_t>(v));
-      if (b < e) stack.push_back({b, e, level + 1});
+    // Jump between the values actually present in the window: the old
+    // value-by-value sweep ran a binary search for every integer in
+    // [vlo, vhi] -- ~65k probes per node on near-continuous quantized
+    // domains -- where the data holds only a handful of distinct runs.
+    size_t cursor = LowerBound(lo, hi, level, vlo);
+    while (cursor < hi) {
+      const uint16_t v = Coord(cursor, level);
+      if (v > vhi) break;
+      const size_t e = UpperBound(cursor, hi, level, v);
+      stack.push_back({cursor, e, level + 1});
       cursor = e;
     }
   }
@@ -153,17 +162,18 @@ void Fqa::KnnImpl(const ObjectView& q, size_t k,
     // Collect runs, then push farthest-first so the nearest run is
     // processed first (LIFO stack).
     std::vector<Frame> runs;
-    size_t cursor = f.lo;
-    for (uint32_t v = vlo; v <= vhi && cursor < f.hi; ++v) {
-      auto [b, e] = EqualRun(cursor, f.hi, f.level,
-                             static_cast<uint16_t>(v));
-      if (b < e) {
-        double cell_lo = v * step, cell_hi = (v + 1) * step;
-        double gap = 0;
-        if (phi_q[f.level] < cell_lo) gap = cell_lo - phi_q[f.level];
-        if (phi_q[f.level] > cell_hi) gap = phi_q[f.level] - cell_hi;
-        runs.push_back({b, e, f.level + 1, std::max(f.lb, gap)});
-      }
+    size_t cursor = LowerBound(f.lo, f.hi, f.level,
+                               static_cast<uint16_t>(vlo));
+    while (cursor < f.hi) {  // present-values jump (see RangeImpl)
+      const uint32_t v = Coord(cursor, f.level);
+      if (v > vhi) break;
+      const size_t e = UpperBound(cursor, f.hi, f.level,
+                                  static_cast<uint16_t>(v));
+      double cell_lo = v * step, cell_hi = (v + 1) * step;
+      double gap = 0;
+      if (phi_q[f.level] < cell_lo) gap = cell_lo - phi_q[f.level];
+      if (phi_q[f.level] > cell_hi) gap = phi_q[f.level] - cell_hi;
+      runs.push_back({cursor, e, f.level + 1, std::max(f.lb, gap)});
       cursor = e;
     }
     std::sort(runs.begin(), runs.end(),
@@ -171,6 +181,14 @@ void Fqa::KnnImpl(const ObjectView& q, size_t k,
     for (const Frame& run : runs) stack.push_back(run);
   }
   heap.TakeSorted(out);
+}
+
+std::unique_ptr<MetricIndex> Fqa::Clone() const {
+  auto clone = std::make_unique<Fqa>(options_);
+  clone->CopyBaseFrom(*this);
+  clone->coords_ = coords_;
+  clone->oids_ = oids_;
+  return clone;
 }
 
 void Fqa::InsertImpl(ObjectId id) {

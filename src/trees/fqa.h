@@ -25,6 +25,7 @@ class Fqa final : public MetricIndex {
   // Audited: the query path uses only local state + dist() (counters
   // are redirected per thread by the batch entry points).
   bool concurrent_queries() const override { return true; }
+  std::unique_ptr<MetricIndex> Clone() const override;
   size_t memory_bytes() const override;
 
  protected:
@@ -46,10 +47,16 @@ class Fqa final : public MetricIndex {
   bool RowLess(size_t row, const std::vector<uint16_t>& tuple) const;
   std::vector<uint16_t> TupleFor(ObjectId id);
 
-  /// [lo, hi) bounds of rows whose `level` coordinate equals `value`,
-  /// inside a range that shares coordinates 0..level-1.
-  std::pair<size_t, size_t> EqualRun(size_t lo, size_t hi, uint32_t level,
-                                     uint16_t value) const;
+  /// First row in [lo, hi) whose `level` coordinate is >= / > `value`,
+  /// inside a range that shares coordinates 0..level-1 (so the column is
+  /// sorted there).  The traversal walks the quantized window by jumping
+  /// between the values actually present -- one O(log n) probe per
+  /// nonempty run -- instead of binary-searching every integer in
+  /// [vlo, vhi].
+  size_t LowerBound(size_t lo, size_t hi, uint32_t level,
+                    uint16_t value) const;
+  size_t UpperBound(size_t lo, size_t hi, uint32_t level,
+                    uint16_t value) const;
 
   std::vector<uint16_t> coords_;  // rows x |P|, lexicographically sorted
   std::vector<ObjectId> oids_;

@@ -258,6 +258,94 @@ TEST(MetricDBTest, QueryValidation) {
   EXPECT_EQ(empty->stats.dist_computations, 0u);
 }
 
+TEST(MetricDBTest, PerQueryDescriptorsMatchIndividualCalls) {
+  Dataset data = SmallVectors();
+  auto db = MetricDB::Create(
+      MetricDBConfig().WithMetric("L2").WithIndex("LAESA").WithPivots(3),
+      data);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  std::vector<ObjectView> queries = {db->dataset().view(1),
+                                     db->dataset().view(42),
+                                     db->dataset().view(300)};
+  std::vector<double> radii = {400.0, 900.0, 1500.0};
+  std::vector<size_t> ks = {1, 7, 25};
+
+  auto range = db->Query(QueryRequest::RangeBatch(queries, radii));
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+  ASSERT_EQ(range->ids.size(), queries.size());
+  auto knn = db->Query(QueryRequest::KnnBatch(queries, ks));
+  ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+  ASSERT_EQ(knn->neighbors.size(), queries.size());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto one_range = db->RangeQuery(queries[i], radii[i]);
+    ASSERT_TRUE(one_range.ok());
+    std::vector<ObjectId> got = range->ids[i];
+    std::vector<ObjectId> want = one_range->ids[0];
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "radius " << radii[i];
+
+    auto one_knn = db->KnnQuery(queries[i], ks[i]);
+    ASSERT_TRUE(one_knn.ok());
+    ASSERT_EQ(knn->neighbors[i].size(), one_knn->neighbors[0].size());
+    for (size_t j = 0; j < knn->neighbors[i].size(); ++j) {
+      EXPECT_EQ(knn->neighbors[i][j].id, one_knn->neighbors[0][j].id);
+      EXPECT_EQ(knn->neighbors[i][j].dist, one_knn->neighbors[0][j].dist);
+    }
+  }
+
+  // Descriptor validation: size mismatch, bad values, cross-type mixes.
+  EXPECT_EQ(db->Query(QueryRequest::RangeBatch(queries, {1.0, 2.0}))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db->Query(QueryRequest::KnnBatch(queries, {1, 2})).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db->Query(QueryRequest::RangeBatch(queries, {1.0, -2.0, 3.0}))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db->Query(QueryRequest::KnnBatch(queries, {1, 0, 3}))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  QueryRequest crossed = QueryRequest::RangeBatch(queries, radii);
+  crossed.ks = ks;
+  EXPECT_EQ(db->Query(crossed).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MetricDBTest, ReadViewAnswersAtAPinnedSequence) {
+  auto db = MetricDB::Create(
+      MetricDBConfig().WithMetric("L2").WithIndex("LAESA").WithPivots(3),
+      SmallVectors());
+  ASSERT_TRUE(db.ok());
+
+  auto view = db->GetReadView();
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  uint64_t pinned_seq = view->sequence();
+  EXPECT_TRUE(view->alive(5));
+
+  // Mutate the database under the pinned view: the view must keep
+  // answering from its own immutable version.
+  ASSERT_TRUE(db->Remove(5).ok());
+  EXPECT_FALSE(db->alive(5));
+  EXPECT_TRUE(view->alive(5));
+  EXPECT_EQ(view->sequence(), pinned_seq);
+  EXPECT_GT(db->last_sequence(), pinned_seq);
+
+  auto snapshot = view->Query(
+      QueryRequest::RangeBatch({db->dataset().view(5)}, 0.0));
+  ASSERT_TRUE(snapshot.ok());
+  // Distance 0 to itself: the pinned view still sees object 5...
+  EXPECT_EQ(snapshot->ids[0], std::vector<ObjectId>{5});
+  // ...while a fresh facade query does not.
+  auto fresh = db->RangeQuery(db->dataset().view(5), 0.0);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->ids[0].empty());
+}
+
 TEST(MetricDBTest, WithPivotSetSkipsSelectionAndShares) {
   Dataset data = SmallVectors();
   auto first = MetricDB::Create(

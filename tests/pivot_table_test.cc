@@ -251,9 +251,8 @@ TEST(PivotTableTest, MemoryAccounting) {
 // with the double columns: fcol[row] == FilterValue(col[row]) always.
 void ExpectFilterCoherent(const PivotTable& t) {
   for (uint32_t p = 0; p < t.width(); ++p) {
-    const float* fcol = t.filter_column(p);
     for (size_t row = 0; row < t.rows(); ++row) {
-      EXPECT_EQ(fcol[row], FilterValue(t.distance(row, p)))
+      EXPECT_EQ(t.filter_value(row, p), FilterValue(t.distance(row, p)))
           << "slot=" << p << " row=" << row;
     }
   }

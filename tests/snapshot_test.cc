@@ -263,6 +263,9 @@ TEST(SnapshotDurableDamageTest, ValidCheckpointWithGarbageWalTailRecovers) {
   ASSERT_TRUE(db->Remove(5).ok());
   ASSERT_TRUE(db->Remove(6).ok());
   const uint64_t seq = db->last_sequence();
+  // Both removes are fsynced; release the LOCK so the reopen below is
+  // the crashed-process recovery it models, not a second live opener.
+  ASSERT_TRUE(db->Close().ok());
 
   // Overwrite the live WAL with garbage that never checksums.
   {

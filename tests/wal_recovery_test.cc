@@ -437,6 +437,7 @@ TEST(DurableLifecycleTest, CheckpointRotatesAndPrunesGenerations) {
   EXPECT_FALSE(env->FileExists(JoinPath(dir, "wal-000001.log")));
   EXPECT_TRUE(env->FileExists(JoinPath(dir, "ckpt-000002.pmidb")));
   EXPECT_TRUE(env->FileExists(JoinPath(dir, "ckpt-000003.pmidb")));
+  ASSERT_TRUE(db->Close().ok());  // release the LOCK before reopening
   auto recovered = MetricDB::OpenDurable(dir);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   EXPECT_EQ(recovered->last_sequence(), 2u);
