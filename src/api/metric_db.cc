@@ -231,14 +231,21 @@ bool ParseGenName(const std::string& name, const std::string& prefix,
 
 // -- directory LOCK file ------------------------------------------------------
 //
-// A durable directory is single-writer: the first CreateDurable/
-// OpenDurable atomically creates LOCK ("pid N\n") via O_CREAT|O_EXCL and
-// every later open is refused with kFailedPrecondition until the owner
-// closes.  A LOCK left behind by a dead process (or by this process --
-// the fault harness simulates crashes without exiting, so the dead
-// "owner" can be ourselves) is stale: it is removed and acquisition
-// retried exactly once, so two concurrent stale-breakers degenerate to
-// one winner and one typed refusal, never two owners.
+// A durable directory is single-writer: CreateDurable/OpenDurable take
+// a kernel advisory lock (Env::LockFile, flock) on LOCK and write
+// "pid N\n" into it; every later open is refused with
+// kFailedPrecondition until the owner closes.  The kernel lock is the
+// cross-process arbiter -- it dies with its holder, and every staleness
+// decision and contents rewrite below happens WHILE holding it, so
+// there is no remove-and-recreate window in which two openers could
+// each install their own LOCK (the TOCTOU a pure O_EXCL protocol has).
+// Contents left behind by a dead process (or by this process -- the
+// fault harness simulates crashes without exiting, so the dead "owner"
+// can be ourselves) are crash debris, overwritten in place under the
+// lock; contents naming a live foreign process whose kernel lock is
+// gone are ambiguous (written outside this protocol) and refused.
+// Release removes the file while the kernel lock is still held, then
+// drops the handle, so the path never exists unlocked.
 
 constexpr char kLockFileName[] = "LOCK";
 
@@ -287,36 +294,49 @@ int64_t ParseLockPid(const std::string& contents) {
   return value;
 }
 
-Status AcquireDirLockFile(Env* env, const std::string& dir);
+StatusOr<std::unique_ptr<FileLock>> AcquireDirLockFile(Env* env,
+                                                       const std::string& dir);
 
 /// Takes the process-local registration first (same-process exclusion),
 /// then the LOCK file (cross-process exclusion with stale detection).
-Status AcquireDirLock(Env* env, const std::string& dir) {
+StatusOr<std::unique_ptr<FileLock>> AcquireDirLock(Env* env,
+                                                   const std::string& dir) {
   if (!RegisterDirLock(dir)) {
     return FailedPreconditionError(
         dir + " is locked by another database in this process");
   }
-  Status acquired = AcquireDirLockFile(env, dir);
+  StatusOr<std::unique_ptr<FileLock>> acquired = AcquireDirLockFile(env, dir);
   if (!acquired.ok()) UnregisterDirLock(dir);
   return acquired;
 }
 
-Status AcquireDirLockFile(Env* env, const std::string& dir) {
+StatusOr<std::unique_ptr<FileLock>> AcquireDirLockFile(
+    Env* env, const std::string& dir) {
   const std::string path = JoinPath(dir, kLockFileName);
-  const std::string contents =
-      "pid " + std::to_string(static_cast<int64_t>(::getpid())) + "\n";
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    Status created = env->CreateExclusive(path, contents);
-    if (created.ok()) return OkStatus();
-    if (created.code() != StatusCode::kFailedPrecondition) return created;
-    StatusOr<std::string> existing = env->ReadFileToString(path);
-    if (!existing.ok()) {
-      // Vanished between the create and the read: the owner just
-      // closed.  Retry the exclusive create.
-      if (existing.status().code() == StatusCode::kNotFound) continue;
-      return existing.status();
+  StatusOr<std::unique_ptr<FileLock>> lock = env->LockFile(path);
+  if (!lock.ok()) {
+    if (lock.status().code() == StatusCode::kFailedPrecondition) {
+      // Another process holds the kernel lock right now.  Name it from
+      // the contents, best-effort (the holder may be mid-rewrite).
+      StatusOr<std::string> contents = env->ReadFileToString(path);
+      const int64_t pid = contents.ok() ? ParseLockPid(*contents) : -1;
+      if (pid >= 0) {
+        return FailedPreconditionError(dir + " is locked by process " +
+                                       std::to_string(pid));
+      }
+      return FailedPreconditionError(dir + " is locked by another process");
     }
-    const int64_t pid = ParseLockPid(*existing);
+    return lock.status();
+  }
+  // We hold the kernel lock: whatever the file said, its writer no
+  // longer holds it.  Same-pid or dead-pid or unparsable contents are
+  // crash debris, broken by overwriting in place; a live foreign pid
+  // means some claim made outside kernel arbitration -- refuse
+  // conservatively (dropping the handle leaves the file exactly as
+  // found).
+  const std::string& prev = (*lock)->previous_contents();
+  if (!prev.empty()) {
+    const int64_t pid = ParseLockPid(prev);
     const bool stale = pid < 0 ||
                        pid == static_cast<int64_t>(::getpid()) ||
                        !ProcessAlive(pid);
@@ -324,12 +344,11 @@ Status AcquireDirLockFile(Env* env, const std::string& dir) {
       return FailedPreconditionError(
           dir + " is locked by process " + std::to_string(pid));
     }
-    Status removed = env->RemoveFile(path);
-    if (!removed.ok() && removed.code() != StatusCode::kNotFound) {
-      return removed;
-    }
   }
-  return FailedPreconditionError(dir + " LOCK: lost the acquisition race");
+  const std::string contents =
+      "pid " + std::to_string(static_cast<int64_t>(::getpid())) + "\n";
+  PMI_RETURN_IF_ERROR((*lock)->Overwrite(contents));
+  return lock;
 }
 
 }  // namespace
@@ -577,22 +596,24 @@ Status MetricDB::Close() {
     if (write_status_.ok()) result = wal_->Sync();
     wal_.reset();
   }
-  if (cc_->lock_held) {
-    cc_->lock_held = false;
+  if (cc_->dir_lock != nullptr) {
     UnregisterDirLock(dir_);
-    // File removal is best-effort: a leftover LOCK (e.g. the simulated
-    // crash refuses the unlink) is detected as stale on the next open.
+    // File removal is best-effort and happens while the kernel lock is
+    // still held, so the path never exists unlocked.  A leftover LOCK
+    // (e.g. the simulated crash refuses the unlink) is detected as
+    // crash debris on the next open.
     env_->RemoveFile(JoinPath(dir_, kLockFileName));
+    cc_->dir_lock.reset();  // releases the kernel lock
   }
   return result;
 }
 
 MetricDB::~MetricDB() {
   if (cc_ == nullptr) return;  // moved-from
-  if (cc_->lock_held && env_ != nullptr) {
-    cc_->lock_held = false;
+  if (cc_->dir_lock != nullptr && env_ != nullptr) {
     UnregisterDirLock(dir_);
     env_->RemoveFile(JoinPath(dir_, kLockFileName));
+    cc_->dir_lock.reset();
   }
 }
 
@@ -956,9 +977,10 @@ StatusOr<MetricDB> MetricDB::CreateDurable(const MetricDBConfig& config,
   db.durable_ = true;
   db.checkpoint_gen_ = 0;
   PMI_RETURN_IF_ERROR(db.env_->CreateDir(dir));
-  PMI_RETURN_IF_ERROR(AcquireDirLock(db.env_, dir));
+  PMI_ASSIGN_OR_RETURN(std::unique_ptr<FileLock> dir_lock,
+                       AcquireDirLock(db.env_, dir));
   // From here on the destructor releases the LOCK on every error path.
-  db.cc_->lock_held = true;
+  db.cc_->dir_lock = std::move(dir_lock);
   PMI_RETURN_IF_ERROR(db.RotateCheckpoint());
   return db;
 }
@@ -1014,20 +1036,22 @@ Status MetricDB::ReplayWalGenerations(Env* env, const std::string& dir,
 StatusOr<MetricDB> MetricDB::OpenDurable(const std::string& dir,
                                          const DurabilityOptions& dopts) {
   Env* env = dopts.env != nullptr ? dopts.env : Env::Default();
-  PMI_RETURN_IF_ERROR(AcquireDirLock(env, dir));
+  PMI_ASSIGN_OR_RETURN(std::unique_ptr<FileLock> dir_lock,
+                       AcquireDirLock(env, dir));
   // Until a database object owns the lock, this guard releases it on
   // every error path out of recovery.
   struct LockRelease {
     Env* env;
     std::string dir;
-    bool active = true;
+    std::unique_ptr<FileLock> lock;
     ~LockRelease() {
-      if (active) {
+      if (lock != nullptr) {
         UnregisterDirLock(dir);
         env->RemoveFile(JoinPath(dir, kLockFileName));
+        lock.reset();  // releases the kernel lock
       }
     }
-  } lock_release{env, dir};
+  } lock_release{env, dir, std::move(dir_lock)};
 
   PMI_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
   std::vector<uint64_t> ckpt_gens;
@@ -1081,8 +1105,7 @@ StatusOr<MetricDB> MetricDB::OpenDurable(const std::string& dir,
     // Versioning starts only now that replay and re-checkpointing have
     // settled the state the initial version must reflect.
     db.InitVersioning();
-    db.cc_->lock_held = true;
-    lock_release.active = false;
+    db.cc_->dir_lock = std::move(lock_release.lock);
     return db;
   }
   return last_err;

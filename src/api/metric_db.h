@@ -297,9 +297,19 @@ class MetricDB {
   /// releases the directory LOCK file.  Idempotent; in-flight queries
   /// holding a pinned version finish normally.  The destructor releases
   /// the LOCK too, so Close() is only needed when the final WAL sync
-  /// outcome or early lock release matters.
+  /// outcome or early lock release matters.  Close() does NOT wait for
+  /// concurrent calls: it only makes later entry attempts fail fast.
   Status Close();
 
+  /// Destruction does not synchronize with concurrent calls: like any
+  /// C++ object, the destructor may only run once every thread's
+  /// Query/GetReadView/Apply/Checkpoint call on this instance has
+  /// RETURNED.  Close() is not enough -- a thread already past the
+  /// closed check but not yet holding its version pin would touch freed
+  /// state -- so quiesce (join) reader threads before dropping the
+  /// database.  Readers that already pinned are safe: the destructor
+  /// drains them, and ReadViews co-own their pinned version
+  /// independently of the facade, so they may outlive it.
   ~MetricDB();
 
   /// True when this database was opened with CreateDurable/OpenDurable.
@@ -477,8 +487,9 @@ class MetricDB {
     std::unique_ptr<VersionedTable> table;
     /// Flipped by Close(); checked (acquire) at every entry point.
     std::atomic<bool> closed{false};
-    /// True while this instance owns dir_'s LOCK file.
-    bool lock_held = false;
+    /// Held kernel advisory lock on dir_'s LOCK file; null when this
+    /// instance does not own the directory.
+    std::unique_ptr<FileLock> dir_lock;
   };
   std::unique_ptr<Concurrency> cc_ = std::make_unique<Concurrency>();
 

@@ -5,6 +5,13 @@ namespace pmi {
 VersionedTable::VersionedTable(std::shared_ptr<const TableVersion> initial)
     : owner_(std::move(initial)), current_(owner_.get()) {}
 
+VersionedTable::~VersionedTable() {
+  // Wait out every pinned reader BEFORE member destruction frees the
+  // current version through owner_ (members die in reverse declaration
+  // order, so domain_'s implicit drain would come too late).
+  domain_.DrainAndReclaimAll();
+}
+
 VersionedTable::ReadPin VersionedTable::Pin() const {
   ReadPin pin;
   pin.owner_ = this;

@@ -107,7 +107,12 @@ class VersionedTable {
   explicit VersionedTable(std::shared_ptr<const TableVersion> initial);
 
   /// Drains the epoch domain: blocks until every ReadPin is released.
-  ~VersionedTable() = default;
+  /// Out of line on purpose -- a defaulted destructor would destroy
+  /// members in reverse declaration order, releasing owner_ (the only
+  /// shared_ptr keeping the current version alive) before domain_'s own
+  /// destructor drains, and an epoch-pinned reader holding a raw
+  /// TableVersion* would dereference freed memory.
+  ~VersionedTable();
 
   VersionedTable(const VersionedTable&) = delete;
   VersionedTable& operator=(const VersionedTable&) = delete;

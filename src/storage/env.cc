@@ -3,6 +3,7 @@
 #include <dirent.h>
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -89,6 +90,41 @@ class PosixRandomAccessFile final : public RandomAccessFile {
   int fd_;
 };
 
+class PosixFileLock final : public FileLock {
+ public:
+  PosixFileLock(std::string path, int fd, std::string previous)
+      : path_(std::move(path)), fd_(fd), previous_(std::move(previous)) {}
+  ~PosixFileLock() override { ::close(fd_); }  // releases the flock
+
+  const std::string& previous_contents() const override { return previous_; }
+
+  Status Overwrite(std::string_view contents) override {
+    if (::ftruncate(fd_, 0) != 0) {
+      return ErrnoStatus("ftruncate " + path_, errno);
+    }
+    const char* p = contents.data();
+    size_t left = contents.size();
+    off_t offset = 0;
+    while (left > 0) {
+      ssize_t n = ::pwrite(fd_, p, left, offset);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pwrite " + path_, errno);
+      }
+      p += n;
+      offset += n;
+      left -= static_cast<size_t>(n);
+    }
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync " + path_, errno);
+    return OkStatus();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+  std::string previous_;
+};
+
 class PosixEnv final : public Env {
  public:
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -112,6 +148,56 @@ class PosixEnv final : public Env {
     PMI_RETURN_IF_ERROR(file.Append(contents));
     PMI_RETURN_IF_ERROR(file.Sync());
     return file.Close();
+  }
+
+  StatusOr<std::unique_ptr<FileLock>> LockFile(
+      const std::string& path) override {
+    // Retried: between our open and flock, a releaser may unlink the
+    // path, leaving us a lock on an orphaned inode that excludes
+    // nobody.  The fstat/stat identity check detects that and goes
+    // again against whatever now lives at the path.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+      if (fd < 0) return ErrnoStatus("open " + path + " for locking", errno);
+      if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        const int err = errno;
+        ::close(fd);
+        if (err == EWOULDBLOCK || err == EAGAIN) {
+          return FailedPreconditionError(path +
+                                         " is locked by another process");
+        }
+        return ErrnoStatus("flock " + path, err);
+      }
+      struct stat locked, named;
+      if (::fstat(fd, &locked) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return ErrnoStatus("fstat " + path, err);
+      }
+      if (::stat(path.c_str(), &named) != 0 ||
+          named.st_ino != locked.st_ino || named.st_dev != locked.st_dev) {
+        ::close(fd);
+        continue;
+      }
+      std::string previous;
+      char buf[4096];
+      off_t offset = 0;
+      while (true) {
+        ssize_t n = ::pread(fd, buf, sizeof buf, offset);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          const int err = errno;
+          ::close(fd);
+          return ErrnoStatus("pread " + path, err);
+        }
+        if (n == 0) break;
+        previous.append(buf, static_cast<size_t>(n));
+        offset += n;
+      }
+      return std::unique_ptr<FileLock>(
+          std::make_unique<PosixFileLock>(path, fd, std::move(previous)));
+    }
+    return UnavailableError(path + ": kept racing concurrent lock releases");
   }
 
   StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(

@@ -61,6 +61,25 @@ class RandomAccessFile {
   virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
 };
 
+/// A held exclusive advisory lock on one file (see Env::LockFile).
+/// Destroying the handle releases the kernel lock; it never removes the
+/// file -- a clean release removes the path first (through
+/// Env::RemoveFile, while the lock is still held) and then drops the
+/// handle, so there is never a moment where the path exists unlocked.
+class FileLock {
+ public:
+  virtual ~FileLock() = default;
+
+  /// The bytes the file held at the moment the lock was acquired (empty
+  /// for a freshly created file).  The holder is the file's only
+  /// legitimate writer, so this stays accurate until Overwrite.
+  virtual const std::string& previous_contents() const = 0;
+
+  /// Replaces the file's contents (truncate + write + fsync) while the
+  /// lock is held.
+  virtual Status Overwrite(std::string_view contents) = 0;
+};
+
 /// The operating-system seam.  All durability I/O goes through one of
 /// these; Env::Default() is the real POSIX filesystem.
 class Env {
@@ -80,6 +99,18 @@ class Env {
   /// primitive behind the database LOCK file.
   virtual Status CreateExclusive(const std::string& path,
                                  std::string_view contents) = 0;
+
+  /// Acquires an exclusive kernel advisory lock (flock) on `path`,
+  /// creating the file when absent -- never removing or truncating an
+  /// existing one.  The kernel tracks holder liveness: the lock dies
+  /// with its holder's last open handle, so acquisition can never race
+  /// a stale remove-and-recreate.  Returns kFailedPrecondition when
+  /// another live holder has the lock.  The cross-process
+  /// mutual-exclusion primitive behind the database LOCK file: the
+  /// holder is the sole arbiter of the file's contents until the
+  /// returned handle is destroyed.
+  virtual StatusOr<std::unique_ptr<FileLock>> LockFile(
+      const std::string& path) = 0;
 
   /// Opens `path` for positional reads.
   virtual StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(

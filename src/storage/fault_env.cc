@@ -138,6 +138,14 @@ Status FaultInjectingEnv::CreateExclusive(const std::string& path,
   return base_->CreateExclusive(path, contents);
 }
 
+StatusOr<std::unique_ptr<FileLock>> FaultInjectingEnv::LockFile(
+    const std::string& path) {
+  // Like CreateExclusive: lock traffic is not a counted mutation, but a
+  // downed env refuses it.
+  if (crashed()) return UnavailableError("simulated crash: env is down");
+  return base_->LockFile(path);
+}
+
 StatusOr<std::unique_ptr<RandomAccessFile>>
 FaultInjectingEnv::NewRandomAccessFile(const std::string& path) {
   if (crashed()) return UnavailableError("simulated crash: env is down");

@@ -108,6 +108,8 @@ class FaultInjectingEnv final : public Env {
       const std::string& path) override;
   Status CreateExclusive(const std::string& path,
                          std::string_view contents) override;
+  StatusOr<std::unique_ptr<FileLock>> LockFile(
+      const std::string& path) override;
   StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
       const std::string& path) override;
   StatusOr<uint64_t> FileSize(const std::string& path) override;

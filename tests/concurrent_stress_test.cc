@@ -25,7 +25,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -449,6 +451,53 @@ TEST(ConcurrentCloseTest, CloseRacesInFlightQueries) {
   EXPECT_FALSE(db->GetReadView().ok());
   EXPECT_FALSE(db->Apply({UpdateOp::Remove(0)}).ok());
   EXPECT_TRUE(db->Close().ok());  // idempotent
+}
+
+// -- VersionedTable teardown --------------------------------------------------
+
+// Regression: a defaulted ~VersionedTable destroyed owner_ (the only
+// shared_ptr keeping the current version alive) before domain_'s
+// destructor drained pinned readers, so an in-flight reader holding a
+// raw TableVersion* dereferenced freed memory.  The destructor must
+// block until every ReadPin is released, with the version intact the
+// whole time.
+TEST(VersionedTableTest, DestructionWaitsForPinnedReaders) {
+  auto v = std::make_shared<TableVersion>();
+  v->live.assign(64, 1);
+  v->sequence = 7;
+  auto table = std::make_unique<VersionedTable>(std::move(v));
+
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> destroyed{false};
+  std::thread reader([&] {
+    VersionedTable::ReadPin pin = table->Pin();
+    ASSERT_TRUE(pin);
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // ~VersionedTable has been running for a while by now; the pinned
+    // version must still be fully alive.
+    EXPECT_EQ(pin->sequence, 7u);
+    ASSERT_EQ(pin->live.size(), 64u);
+    EXPECT_EQ(pin->live[63], 1);
+  });
+  while (!pinned.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  std::thread destroyer([&] {
+    table.reset();  // must block in the epoch drain until the pin drops
+    destroyed.store(true, std::memory_order_release);
+  });
+  // Give a broken destructor every chance to finish early.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(destroyed.load(std::memory_order_acquire));
+  release.store(true, std::memory_order_release);
+  reader.join();
+  destroyer.join();
+  EXPECT_TRUE(destroyed.load(std::memory_order_acquire));
 }
 
 // -- directory LOCK file ------------------------------------------------------
