@@ -30,6 +30,21 @@
 // absolute numbers are hardware-dependent and warn-only downstream;
 // the hard assertion is that no read ever fails mid-churn.
 //
+// A fourth section, sharded_service, measures the sharded service layer
+// (src/service/sharded_service.h) at shard counts {1, 2, 4} with a
+// fixed client count.  Per shard count it first pins the tentpole
+// contract -- scatter/gather MRQ and MkNN results bit-identical to an
+// unsharded MetricDB oracle holding the same data, before AND after a
+// deterministic routed-update stream -- then runs a mixed read/write
+// workload (concurrent clients, single-shard apply batches) and reports
+// read QPS and apply batches/s.  The 4-shard vs 1-shard apply speedup
+// is the headline number (target >= 1.5x: N shards = N writer streams);
+// like every other speedup it is hardware-dependent and warn-only.  A
+// final overload pass (1 worker, tiny queue, flooding clients) records
+// the rejection rate and asserts every refusal is typed
+// kResourceExhausted -- that typedness check, and the oracle
+// equivalence, gate the exit status.
+//
 // Emits one JSON document to stdout (progress chatter on stderr):
 //
 //   ./bench_throughput --threads 8 | python3 -m json.tool
@@ -64,6 +79,7 @@
 #include "src/harness/workload.h"
 #include "src/tables/ept.h"
 #include "src/tables/laesa.h"
+#include "src/service/sharded_service.h"
 
 namespace pmi {
 namespace {
@@ -528,7 +544,251 @@ int main(int argc, char** argv) {
     }
   }
 
-  char trailer[768];
+  // ---- sharded_service: scatter/gather + admission over N shards ----------
+  // Fixed client count across shard counts {1, 2, 4}: the only variable
+  // is how many independent writer streams the service has.  Before any
+  // timing, each shard count must answer bit-identically to an
+  // unsharded oracle -- fresh AND after a deterministic routed-update
+  // stream -- which is the section's hard (exit-gating) check.
+  const uint32_t svc_clients = std::max(EnvU32("PMI_TP_SVC_CLIENTS", 4), 1u);
+  const uint32_t svc_rounds = std::max(EnvU32("PMI_TP_SVC_ROUNDS", 40), 1u);
+  std::fprintf(stderr, "sharded_service: n=%u clients=%u rounds=%u\n", n,
+               svc_clients, svc_rounds);
+  const MetricDBConfig svc_cfg =
+      MetricDBConfig().WithMetric("Linf").WithIndex("LAESA").WithPivots(5);
+
+  // Deterministic toggle stream (global ids -- the service rewrites to
+  // shard-local internally) and the liveness it leaves behind, replayed
+  // identically into the oracle and every service instance.
+  std::vector<std::vector<UpdateOp>> toggle_stream;
+  std::vector<uint8_t> post_live(n, 1);
+  {
+    uint64_t step = 0;
+    for (int b = 0; b < 24; ++b) {
+      std::vector<UpdateOp> ops;
+      for (int i = 0; i < 8; ++i) {
+        const ObjectId id = static_cast<ObjectId>((++step * 7919) % n);
+        ops.push_back(post_live[id] != 0 ? UpdateOp::Remove(id)
+                                         : UpdateOp::Insert(id));
+        post_live[id] ^= 1;
+      }
+      toggle_stream.push_back(std::move(ops));
+    }
+  }
+
+  auto same_as_oracle = [&](MetricDB& oracle, ShardedService& svc) -> bool {
+    auto omrq = oracle.Query(QueryRequest::RangeBatch(queries, r));
+    auto smrq = svc.Query(QueryRequest::RangeBatch(queries, r));
+    auto oknn = oracle.Query(QueryRequest::KnnBatch(queries, size_t{k}));
+    auto sknn = svc.Query(QueryRequest::KnnBatch(queries, size_t{k}));
+    if (!omrq.ok() || !smrq.ok() || !oknn.ok() || !sknn.ok()) return false;
+    if (smrq->ids.size() != queries.size()) return false;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      std::vector<ObjectId> want = omrq->ids[q];  // service output is sorted
+      std::sort(want.begin(), want.end());
+      if (smrq->ids[q] != want) return false;
+    }
+    return SameResults(oknn->neighbors, sknn->neighbors);
+  };
+
+  bool sharded_equiv_match = true;
+  bool sharded_mixed_ok = true;
+  double apply_bps_at_1 = 0, apply_bps_at_4 = 0;
+  for (uint32_t num_shards : {1u, 2u, 4u}) {
+    auto oracle_or = MetricDB::Create(svc_cfg, bd.data);
+    ServiceOptions sopts;
+    sopts.num_shards = num_shards;
+    sopts.workers = svc_clients;
+    sopts.max_queue = 64;
+    auto svc_or = ShardedService::Create(svc_cfg, bd.data, sopts);
+    if (!oracle_or.ok() || !svc_or.ok()) {
+      std::fprintf(stderr, "  %u shards: create failed: %s\n", num_shards,
+                   (oracle_or.ok() ? svc_or.status() : oracle_or.status())
+                       .ToString()
+                       .c_str());
+      sharded_equiv_match = false;
+      continue;
+    }
+    MetricDB& oracle = *oracle_or;
+    ShardedService& svc = **svc_or;
+
+    bool equiv = same_as_oracle(oracle, svc);  // fresh
+    for (const std::vector<UpdateOp>& batch : toggle_stream) {
+      if (!oracle.Apply(batch).ok()) equiv = false;
+      auto applied = svc.Apply(batch);
+      if (!applied.ok() || !applied->all_ok()) equiv = false;
+    }
+    equiv = equiv && same_as_oracle(oracle, svc);  // after routed updates
+    sharded_equiv_match &= equiv;
+
+    // Mixed workload: every client interleaves a light read batch with
+    // write-heavy apply traffic.  Apply batches are single-shard (one
+    // hot entity group per batch) and each client toggles a disjoint
+    // slice of every shard, so N shards really are N independent writer
+    // streams with zero cross-client conflicts.
+    std::atomic<uint64_t> svc_queries_done{0};
+    std::atomic<uint64_t> svc_applies_done{0};
+    std::atomic<bool> mixed_ok{true};
+    const auto svc_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(svc_clients);
+    for (uint32_t c = 0; c < svc_clients; ++c) {
+      clients.emplace_back([&, c] {
+        // This client's slice of each shard: members at positions
+        // c, c + clients, ... -- disjoint across clients by construction.
+        struct Stripe {
+          std::vector<ObjectId> ids;
+          std::vector<uint8_t> live;
+        };
+        Rng rng(0xbe7c + c);
+        std::vector<Stripe> stripes(num_shards);
+        for (uint32_t s = 0; s < num_shards; ++s) {
+          const std::vector<ObjectId>& members = svc.router().members(s);
+          for (size_t p = c; p < members.size(); p += svc_clients) {
+            stripes[s].ids.push_back(members[p]);
+            stripes[s].live.push_back(post_live[members[p]]);
+          }
+        }
+        for (uint32_t round = 0; round < svc_rounds; ++round) {
+          std::vector<ObjectView> qs;
+          for (int i = 0; i < 2; ++i) {
+            qs.push_back(queries[(uint64_t{round} * 2 + i) % queries.size()]);
+          }
+          StatusOr<QueryResult> res =
+              (round % 2 == 0)
+                  ? svc.Query(QueryRequest::RangeBatch(qs, r))
+                  : svc.Query(QueryRequest::KnnBatch(qs, size_t{k}));
+          if (res.ok()) {
+            svc_queries_done.fetch_add(qs.size(), std::memory_order_relaxed);
+          } else {
+            mixed_ok.store(false, std::memory_order_relaxed);
+          }
+          for (int a = 0; a < 2; ++a) {
+            Stripe& st = stripes[(c + round + a) % num_shards];
+            if (st.ids.empty()) continue;
+            // Big batches amortize the per-request admission round trip
+            // (which is shard-count independent) so the measured rate
+            // tracks the writer-side work -- clone + per-op apply --
+            // which scales with the owning shard's size, not the
+            // service's.
+            std::vector<UpdateOp> ops;
+            ops.reserve(384);
+            for (int i = 0; i < 384; ++i) {
+              const size_t slot = rng() % st.ids.size();
+              ops.push_back(st.live[slot] != 0 ? UpdateOp::Remove(st.ids[slot])
+                                               : UpdateOp::Insert(st.ids[slot]));
+              st.live[slot] ^= 1;
+            }
+            auto applied = svc.Apply(ops);
+            if (applied.ok() && applied->all_ok()) {
+              svc_applies_done.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              mixed_ok.store(false, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double svc_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      svc_start)
+            .count();
+    sharded_mixed_ok &= mixed_ok.load();
+    const double read_qps =
+        svc_wall_s > 0 ? svc_queries_done.load() / svc_wall_s : 0;
+    const double apply_bps =
+        svc_wall_s > 0 ? svc_applies_done.load() / svc_wall_s : 0;
+    if (num_shards == 1) apply_bps_at_1 = apply_bps;
+    if (num_shards == 4) apply_bps_at_4 = apply_bps;
+    const ShardedService::ServiceStats sstats = svc.stats();
+
+    char extra[512];
+    std::snprintf(
+        extra, sizeof(extra),
+        "\"shards\": %u, \"clients\": %u, %s, %s, %s, %s, %s, %s",
+        num_shards, svc_clients, Num("read_qps", read_qps).c_str(),
+        Num("apply_batches_per_sec", apply_bps).c_str(),
+        Num("wall_ms", svc_wall_s * 1e3).c_str(),
+        Num("peak_queue_depth", sstats.admission.peak_depth).c_str(),
+        equiv ? "\"oracle_match\": true" : "\"oracle_match\": false",
+        mixed_ok.load() ? "\"mixed_ok\": true" : "\"mixed_ok\": false");
+    json.Result("sharded_service", extra);
+    std::fprintf(stderr,
+                 "  %u shards: %.0f reads/s, %.0f apply batches/s "
+                 "(peak depth %u)%s\n",
+                 num_shards, read_qps, apply_bps, sstats.admission.peak_depth,
+                 equiv ? "" : "  ORACLE MISMATCH");
+    Status closed = svc.Close();
+    if (!closed.ok()) sharded_mixed_ok = false;
+  }
+  const double sharded_apply_speedup =
+      apply_bps_at_1 > 0 ? apply_bps_at_4 / apply_bps_at_1 : 0;
+
+  // Overload: one worker, a two-slot queue, and twice the clients
+  // flooding heavy kNN batches.  Some requests MUST be refused, and
+  // every refusal must be the typed backpressure signal.
+  bool sharded_overload_typed = true;
+  double sharded_rejection_rate = 0;
+  {
+    ServiceOptions oopts;
+    oopts.num_shards = 2;
+    oopts.workers = 1;
+    oopts.max_queue = 2;
+    auto svc_or = ShardedService::Create(svc_cfg, bd.data, oopts);
+    if (!svc_or.ok()) {
+      std::fprintf(stderr, "  overload: create failed: %s\n",
+                   svc_or.status().ToString().c_str());
+      sharded_overload_typed = false;
+    } else {
+      ShardedService& svc = **svc_or;
+      const std::vector<ObjectView> heavy(
+          queries.begin(),
+          queries.begin() + std::min<size_t>(queries.size(), 64));
+      std::atomic<uint64_t> served{0}, refused{0}, untyped{0};
+      const uint32_t flooders = std::max(2 * svc_clients, 8u);
+      const uint32_t flood_rounds = 25;
+      std::vector<std::thread> pool;
+      pool.reserve(flooders);
+      for (uint32_t c = 0; c < flooders; ++c) {
+        pool.emplace_back([&] {
+          for (uint32_t i = 0; i < flood_rounds; ++i) {
+            auto res = svc.Query(QueryRequest::KnnBatch(heavy, size_t{16}));
+            if (res.ok()) {
+              served.fetch_add(1, std::memory_order_relaxed);
+            } else if (res.status().code() == StatusCode::kResourceExhausted) {
+              refused.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              untyped.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      const uint64_t issued = served.load() + refused.load() + untyped.load();
+      sharded_overload_typed = untyped.load() == 0 && refused.load() > 0;
+      sharded_rejection_rate = issued > 0 ? double(refused.load()) / issued : 0;
+      char extra[512];
+      std::snprintf(extra, sizeof(extra),
+                    "\"shards\": %u, \"clients\": %u, \"workers\": 1, "
+                    "\"queue\": 2, %s, %s, %s, %s",
+                    oopts.num_shards, flooders,
+                    Num("served", double(served.load())).c_str(),
+                    Num("rejected", double(refused.load())).c_str(),
+                    Num("rejection_rate", sharded_rejection_rate).c_str(),
+                    sharded_overload_typed ? "\"all_failures_typed\": true"
+                                           : "\"all_failures_typed\": false");
+      json.Result("sharded_service_overload", extra);
+      std::fprintf(stderr,
+                   "  overload: %" PRIu64 " served, %" PRIu64
+                   " rejected (%.0f%%), %" PRIu64 " untyped\n",
+                   served.load(), refused.load(),
+                   100.0 * sharded_rejection_rate, untyped.load());
+      if (!svc.Close().ok()) sharded_overload_typed = false;
+    }
+  }
+
+  char trailer[1280];
   std::snprintf(
       trailer, sizeof(trailer),
       "  \"config\": {\"dataset\": \"Synthetic\", \"dim\": 20, \"n\": %u, "
@@ -538,16 +798,23 @@ int main(int argc, char** argv) {
       "\"batch_speedup_threads\": %u, \"batch_speedup\": %.3f, "
       "\"batch_blocking_match\": %s, "
       "\"batch_blocking_min_speedup_batch64\": %.3f, "
-      "\"concurrent_reads_ok\": %s}",
+      "\"concurrent_reads_ok\": %s, "
+      "\"sharded_equiv_match\": %s, \"sharded_mixed_ok\": %s, "
+      "\"sharded_apply_speedup_4v1\": %.3f, "
+      "\"sharded_overload_typed\": %s, \"sharded_rejection_rate\": %.3f}",
       n, num_queries, repeats, max_threads,
       std::thread::hardware_concurrency(), batch_n,
       results_match ? "true" : "false", compdists_match ? "true" : "false",
       tracked_threads, tracked_speedup, blocking_match ? "true" : "false",
-      blocking_speedup, concurrent_reads_ok ? "true" : "false");
+      blocking_speedup, concurrent_reads_ok ? "true" : "false",
+      sharded_equiv_match ? "true" : "false",
+      sharded_mixed_ok ? "true" : "false", sharded_apply_speedup,
+      sharded_overload_typed ? "true" : "false", sharded_rejection_rate);
   json.End(trailer);
 
   const bool ok = results_match && compdists_match && blocking_match &&
-                  concurrent_reads_ok;
+                  concurrent_reads_ok && sharded_equiv_match &&
+                  sharded_mixed_ok && sharded_overload_typed;
   if (!ok) std::fprintf(stderr, "bench_throughput: EQUIVALENCE CHECK FAILED\n");
   return ok ? 0 : 1;
 }

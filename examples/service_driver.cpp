@@ -1,0 +1,191 @@
+// Long-running multi-client driver for the sharded service layer
+// (src/service/sharded_service.h): M concurrent client threads sustain
+// mixed read/write traffic against one pmi::ShardedService and the
+// driver reports QPS, shard balance, queue depth, and rejection rate.
+//
+// Each client owns a disjoint id stripe (id % clients == c) for its
+// update toggles, so every client can verify its own liveness mirror
+// against the service at the end -- a correctness gate, not just a load
+// generator.  kResourceExhausted and kDeadlineExceeded are expected
+// backpressure under load and are counted; any OTHER failure (or a
+// final mirror mismatch) exits non-zero.  Built to run under
+// ThreadSanitizer in the service-stress CI job.
+//
+// Knobs (harness env-var convention):
+//   PMI_STRESS_THREADS   client threads (default 8)
+//   PMI_DRIVER_N         dataset cardinality (default 20000)
+//   PMI_DRIVER_SHARDS    shard count (default 4)
+//   PMI_DRIVER_WORKERS   admission workers (default 4)
+//   PMI_DRIVER_QUEUE     admission queue capacity (default 64)
+//   PMI_DRIVER_ROUNDS    rounds per client (default 200)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/data/distribution.h"
+#include "src/data/generators.h"
+#include "src/harness/workload.h"
+#include "src/service/sharded_service.h"
+
+int main() {
+  using namespace pmi;
+
+  const uint32_t clients = std::max(EnvU32("PMI_STRESS_THREADS", 8), 1u);
+  const uint32_t n = std::max(EnvU32("PMI_DRIVER_N", 20000), 64u);
+  const uint32_t shards = std::max(EnvU32("PMI_DRIVER_SHARDS", 4), 1u);
+  const uint32_t workers = std::max(EnvU32("PMI_DRIVER_WORKERS", 4), 1u);
+  const uint32_t queue = std::max(EnvU32("PMI_DRIVER_QUEUE", 64), 1u);
+  const uint32_t rounds = std::max(EnvU32("PMI_DRIVER_ROUNDS", 200), 1u);
+
+  BenchDataset bd = MakeBenchDataset(BenchDatasetId::kSynthetic, n, 7);
+  DistanceDistribution dist = EstimateDistribution(bd.data, *bd.metric);
+  const double radius = dist.RadiusForSelectivity(0.01);
+
+  ServiceOptions sopts;
+  sopts.num_shards = shards;
+  sopts.workers = workers;
+  sopts.max_queue = queue;
+  auto svc_or = ShardedService::Create(
+      MetricDBConfig().WithMetric("Linf").WithIndex("LAESA").WithPivots(4),
+      bd.data, sopts);
+  if (!svc_or.ok()) {
+    std::fprintf(stderr, "service create failed: %s\n",
+                 svc_or.status().ToString().c_str());
+    return 1;
+  }
+  ShardedService& svc = **svc_or;
+  std::printf("service: n=%u shards=%u workers=%u queue=%u  "
+              "clients=%u rounds=%u\n",
+              n, shards, workers, queue, clients, rounds);
+
+  std::atomic<uint64_t> queries_done{0};
+  std::atomic<uint64_t> applies_done{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> deadline_expired{0};
+  std::atomic<uint64_t> untyped_failures{0};
+  std::atomic<uint64_t> mirror_mismatches{0};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(0x5eed + c);
+      // This client's disjoint toggle stripe and its liveness mirror.
+      std::vector<ObjectId> stripe;
+      for (ObjectId id = c; id < n; id += clients) stripe.push_back(id);
+      std::vector<uint8_t> live(stripe.size(), 1);
+
+      auto count_failure = [&](const Status& s) {
+        if (s.code() == StatusCode::kResourceExhausted) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        } else if (s.code() == StatusCode::kDeadlineExceeded) {
+          deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          untyped_failures.fetch_add(1, std::memory_order_relaxed);
+          std::fprintf(stderr, "client %u: %s\n", c, s.ToString().c_str());
+        }
+      };
+
+      for (uint32_t round = 0; round < rounds; ++round) {
+        if (rng() % 10 < 7) {
+          // Read: a 4-query batch, alternating MRQ / MkNN.
+          std::vector<ObjectView> qs;
+          for (int i = 0; i < 4; ++i) qs.push_back(bd.data.view(rng() % n));
+          StatusOr<QueryResult> r =
+              (round % 2 == 0)
+                  ? svc.Query(QueryRequest::RangeBatch(qs, radius))
+                  : svc.Query(QueryRequest::KnnBatch(qs, size_t{8}));
+          if (r.ok()) {
+            queries_done.fetch_add(qs.size(), std::memory_order_relaxed);
+          } else {
+            count_failure(r.status());
+          }
+        } else {
+          // Write: a batch of 8 toggles from this client's own stripe.
+          std::vector<UpdateOp> ops;
+          std::vector<size_t> touched;
+          for (int i = 0; i < 8; ++i) {
+            size_t slot = rng() % stripe.size();
+            touched.push_back(slot);
+            ops.push_back(live[slot] != 0 ? UpdateOp::Remove(stripe[slot])
+                                          : UpdateOp::Insert(stripe[slot]));
+            live[slot] ^= 1;
+          }
+          StatusOr<ApplyResult> a = svc.Apply(ops);
+          if (a.ok() && a->all_ok()) {
+            applies_done.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            // Whole batch refused: roll the mirror back (reverse order
+            // so double-toggled slots rewind correctly).
+            for (auto it = touched.rbegin(); it != touched.rend(); ++it) {
+              live[*it] ^= 1;
+            }
+            count_failure(a.ok() ? a->Collapse() : a.status());
+          }
+        }
+      }
+
+      // Correctness gate: the service agrees with this client's mirror
+      // on every id the client owns (nobody else touches the stripe).
+      for (size_t slot = 0; slot < stripe.size(); ++slot) {
+        if (svc.alive(stripe[slot]) != (live[slot] != 0)) {
+          mirror_mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const ShardedService::ServiceStats stats = svc.stats();
+  const uint64_t issued = stats.admission.accepted + stats.admission.rejected;
+  std::printf("\nelapsed %.2fs  read QPS %.0f  apply batches/s %.0f\n",
+              elapsed, queries_done.load() / elapsed,
+              applies_done.load() / elapsed);
+  std::printf("admission: accepted %llu  rejected %llu (%.1f%% of %llu)  "
+              "deadline-expired %llu  peak queue depth %u\n",
+              (unsigned long long)stats.admission.accepted,
+              (unsigned long long)stats.admission.rejected,
+              issued > 0 ? 100.0 * stats.admission.rejected / issued : 0.0,
+              (unsigned long long)issued,
+              (unsigned long long)(stats.deadline_expired +
+                                   deadline_expired.load()),
+              stats.admission.peak_depth);
+
+  std::vector<uint32_t> sizes = svc.shard_sizes();
+  std::vector<uint64_t> seqs = svc.sequences();
+  uint32_t min_size = sizes[0];
+  uint32_t max_size = sizes[0];
+  std::printf("shard balance:");
+  for (uint32_t s = 0; s < sizes.size(); ++s) {
+    std::printf(" [%u] %u objs seq %llu", s, sizes[s],
+                (unsigned long long)seqs[s]);
+    min_size = std::min(min_size, sizes[s]);
+    max_size = std::max(max_size, sizes[s]);
+  }
+  std::printf("  (max/min %.2f)\n", double(max_size) / double(min_size));
+
+  bool ok = untyped_failures.load() == 0 && mirror_mismatches.load() == 0;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAILED: %llu untyped failures, %llu mirror mismatches\n",
+                 (unsigned long long)untyped_failures.load(),
+                 (unsigned long long)mirror_mismatches.load());
+  } else {
+    std::printf("all client mirrors verified; all failures typed\n");
+  }
+  Status closed = svc.Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "close failed: %s\n", closed.ToString().c_str());
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

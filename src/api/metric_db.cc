@@ -353,6 +353,13 @@ StatusOr<std::unique_ptr<FileLock>> AcquireDirLockFile(
 
 }  // namespace
 
+StatusOr<double> ResolveMetricParam(const std::string& metric_name,
+                                    const Dataset& data, double param) {
+  bool discrete = false;
+  PMI_RETURN_IF_ERROR(DeriveMetricParams(metric_name, data, &param, &discrete));
+  return param;
+}
+
 DurabilityOptions DurabilityOptions::FromEnv() {
   DurabilityOptions o;
   if (const char* s = std::getenv("PMI_WAL_SYNC")) {

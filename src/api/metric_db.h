@@ -115,6 +115,17 @@ struct MetricDBConfig {
   }
 };
 
+/// Resolves the metric parameter Create would instantiate for
+/// (metric_name, data): an explicit positive `param` passes through
+/// unchanged; 0 derives it from the data (the same coordinate scan /
+/// max-string-length pass Create runs -- no distance computations).
+/// The sharded service (src/service/) pins ONE parameter derived from
+/// the full dataset across every shard of a partition, so per-shard
+/// metrics -- including FQA's max_distance-based quantization step --
+/// match the unsharded oracle exactly.
+StatusOr<double> ResolveMetricParam(const std::string& metric_name,
+                                    const Dataset& data, double param = 0);
+
 /// What a query asks for.  One descriptor covers single and batch,
 /// range and kNN -- facade callers never touch out-param pairs.
 enum class QueryType { kRange, kKnn };

@@ -41,13 +41,19 @@ class KnnHeap {
 
   bool full() const { return heap_.size() >= k_; }
 
-  /// Offers (id, dist); keeps it only if it improves the current k-set.
+  /// Offers (id, dist); keeps it only if it improves the current k-set
+  /// under the (dist, id) total order.  Replacing on an equal-distance,
+  /// smaller-id tie makes the final k-set the minimum k of that order
+  /// regardless of candidate visit order -- so every index (and every
+  /// shard of a partitioned table) produces bit-identical results.  The
+  /// pruning radius() never changes on a tie replacement, so distance
+  /// computation counts are unaffected.
   void Push(ObjectId id, double dist) {
     if (k_ == 0) return;
     if (heap_.size() < k_) {
       heap_.push_back({id, dist});
       std::push_heap(heap_.begin(), heap_.end());
-    } else if (dist < heap_.front().dist) {
+    } else if (Neighbor{id, dist} < heap_.front()) {
       std::pop_heap(heap_.begin(), heap_.end());
       heap_.back() = {id, dist};
       std::push_heap(heap_.begin(), heap_.end());

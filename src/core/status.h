@@ -26,7 +26,9 @@ namespace pmi {
 enum class StatusCode : int {
   kOk = 0,
   kInvalidArgument = 3,    // caller passed bad options / queries
+  kDeadlineExceeded = 4,   // request deadline elapsed before completion
   kNotFound = 5,           // unknown index or metric name, missing file
+  kResourceExhausted = 8,  // admission queue full (backpressure)
   kFailedPrecondition = 9, // operation invalid in the current state
   kUnimplemented = 12,     // e.g. an index without snapshot support
   kInternal = 13,          // invariant violation while loading
@@ -39,7 +41,9 @@ inline const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk: return "OK";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
@@ -78,8 +82,14 @@ inline Status OkStatus() { return Status(); }
 inline Status InvalidArgumentError(std::string msg) {
   return Status(StatusCode::kInvalidArgument, std::move(msg));
 }
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
 inline Status NotFoundError(std::string msg) {
   return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
 inline Status FailedPreconditionError(std::string msg) {
   return Status(StatusCode::kFailedPrecondition, std::move(msg));

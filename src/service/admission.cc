@@ -1,0 +1,75 @@
+#include "src/service/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pmi {
+
+AdmissionQueue::AdmissionQueue(uint32_t workers, uint32_t capacity)
+    : capacity_(std::max(capacity, 1u)) {
+  workers_.reserve(std::max(workers, 1u));
+  for (uint32_t i = 0; i < std::max(workers, 1u); ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AdmissionQueue::~AdmissionQueue() { Shutdown(); }
+
+bool AdmissionQueue::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= capacity_) {
+      ++stats_.rejected;
+      return false;
+    }
+    queue_.push_back(std::move(task));
+    ++stats_.accepted;
+    stats_.depth = static_cast<uint32_t>(queue_.size());
+    stats_.peak_depth = std::max(stats_.peak_depth, stats_.depth);
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void AdmissionQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+AdmissionQueue::Stats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AdmissionQueue::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-before-exit: accepted tasks run even during shutdown
+      // (synchronous submitters are blocked on their completion).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      stats_.depth = static_cast<uint32_t>(queue_.size());
+      ++stats_.in_flight;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --stats_.in_flight;
+      ++stats_.executed;
+    }
+  }
+}
+
+}  // namespace pmi

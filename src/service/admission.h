@@ -1,0 +1,79 @@
+// Bounded admission queue + worker pool: the service's backpressure
+// seam.
+//
+// Every ShardedService request (query or update) is admitted through
+// this queue.  Admission is fail-fast: TrySubmit never blocks and never
+// queues beyond the configured capacity -- when the queue is full the
+// caller gets `false` and surfaces a typed kResourceExhausted instead of
+// stacking latency unboundedly.  A fixed pool of worker threads drains
+// the queue FIFO; deadline enforcement happens in the task wrapper the
+// service builds (a task whose deadline elapsed while queued completes
+// immediately with kDeadlineExceeded rather than burning a worker on a
+// dead request).
+//
+// Shutdown() stops admission, then lets the workers DRAIN the queue
+// before joining -- queued tasks carry completion slots that synchronous
+// callers are blocked on, so dropping them would deadlock those callers.
+
+#ifndef PMI_SERVICE_ADMISSION_H_
+#define PMI_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pmi {
+
+class AdmissionQueue {
+ public:
+  /// Point-in-time load/throughput counters (test + driver
+  /// introspection).  accepted = TrySubmit successes; rejected =
+  /// fail-fast refusals; executed = tasks a worker completed.
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    uint64_t executed = 0;
+    uint32_t depth = 0;       // queued, not yet picked up
+    uint32_t peak_depth = 0;  // high-water mark of depth
+    uint32_t in_flight = 0;   // currently executing on a worker
+  };
+
+  /// Spawns `workers` worker threads (>= 1) over a queue holding at most
+  /// `capacity` (>= 1) pending tasks.
+  AdmissionQueue(uint32_t workers, uint32_t capacity);
+
+  /// Shutdown() if the caller has not already.
+  ~AdmissionQueue();
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Enqueues `task` unless the queue is at capacity or shut down.
+  /// Never blocks.  Returns false on refusal (the task is untouched).
+  bool TrySubmit(std::function<void()> task);
+
+  /// Stops admission, drains already-accepted tasks, joins the workers.
+  /// Idempotent.
+  void Shutdown();
+
+  Stats stats() const;
+
+ private:
+  void WorkerLoop();
+
+  const uint32_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pmi
+
+#endif  // PMI_SERVICE_ADMISSION_H_

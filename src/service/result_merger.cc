@@ -1,0 +1,76 @@
+#include "src/service/result_merger.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "src/core/knn_heap.h"
+
+namespace pmi {
+namespace {
+
+// One read position in shard `shard`'s neighbor list during the k-way
+// merge; ordered as a min-heap on the (distance, global id) total order.
+struct Cursor {
+  Neighbor head;  // already translated to a global id
+  uint32_t shard;
+  size_t pos;
+
+  bool operator>(const Cursor& o) const { return o.head < head; }
+};
+
+}  // namespace
+
+QueryResult MergeShardResults(const ShardRouter& router,
+                              const QueryRequest& request,
+                              std::vector<QueryResult> per_shard) {
+  const size_t nq = request.batch.size();
+  const uint32_t ns = router.num_shards();
+  QueryResult merged;
+  for (const QueryResult& r : per_shard) merged.stats += r.stats;
+
+  if (request.type == QueryType::kRange) {
+    merged.ids.resize(nq);
+    for (size_t q = 0; q < nq; ++q) {
+      std::vector<ObjectId>& out = merged.ids[q];
+      for (uint32_t s = 0; s < ns; ++s) {
+        for (ObjectId local : per_shard[s].ids[q]) {
+          out.push_back(router.global_of(s, local));
+        }
+      }
+      // Shards are disjoint, so the union is a plain concatenation;
+      // ascending global id is the service's canonical MRQ order.
+      std::sort(out.begin(), out.end());
+    }
+    return merged;
+  }
+
+  merged.neighbors.resize(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    const size_t k = request.ks.empty() ? request.k : request.ks[q];
+    std::vector<Cursor> heap;
+    heap.reserve(ns);
+    for (uint32_t s = 0; s < ns; ++s) {
+      const std::vector<Neighbor>& list = per_shard[s].neighbors[q];
+      if (list.empty()) continue;
+      heap.push_back({{router.global_of(s, list[0].id), list[0].dist}, s, 0});
+    }
+    std::make_heap(heap.begin(), heap.end(), std::greater<>());
+    std::vector<Neighbor>& out = merged.neighbors[q];
+    while (!heap.empty() && out.size() < k) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+      Cursor cur = heap.back();
+      heap.pop_back();
+      out.push_back(cur.head);
+      const std::vector<Neighbor>& list = per_shard[cur.shard].neighbors[q];
+      if (++cur.pos < list.size()) {
+        cur.head = {router.global_of(cur.shard, list[cur.pos].id),
+                    list[cur.pos].dist};
+        heap.push_back(cur);
+        std::push_heap(heap.begin(), heap.end(), std::greater<>());
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace pmi

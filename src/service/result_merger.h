@@ -1,0 +1,37 @@
+// Scatter/gather result merging for the sharded service.
+//
+// Each shard answers the full query batch against its own slice of the
+// data with shard-LOCAL ids.  The merger translates them back to global
+// ids through the router and combines per query:
+//
+//   * MRQ: the union of per-shard result sets, canonicalized to
+//     ascending global id.
+//   * MkNN: a k-way merge of the per-shard neighbor lists.  Each list is
+//     sorted by (distance, local id); because the router assigns local
+//     ids in ascending global-id order, that equals (distance, global
+//     id) after translation, so a cursor-heap merge with the same
+//     tie-break reproduces the unsharded oracle's exact sequence.
+//
+// Stats are summed across shards (the logical cost of the scattered
+// query); `seconds` is overwritten by the service with the gather wall
+// clock.
+
+#ifndef PMI_SERVICE_RESULT_MERGER_H_
+#define PMI_SERVICE_RESULT_MERGER_H_
+
+#include <vector>
+
+#include "src/api/metric_db.h"
+#include "src/service/shard_router.h"
+
+namespace pmi {
+
+/// Merges `per_shard[s]` (the answer of shard s, local ids, one entry
+/// per router shard) into one global-result QueryResult for `request`.
+QueryResult MergeShardResults(const ShardRouter& router,
+                              const QueryRequest& request,
+                              std::vector<QueryResult> per_shard);
+
+}  // namespace pmi
+
+#endif  // PMI_SERVICE_RESULT_MERGER_H_

@@ -1,0 +1,33 @@
+#include "src/service/shard_router.h"
+
+namespace pmi {
+namespace {
+
+// SplitMix64 finalizer: a fixed, platform-independent mixing of the
+// global id.  Any change here is a routing format change -- a durable
+// service reopened under a different hash would scatter ids to the
+// wrong shard directories.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(uint32_t total, uint32_t num_shards)
+    : num_shards_(num_shards == 0 ? 1 : num_shards) {
+  shard_of_.resize(total);
+  local_of_.resize(total);
+  members_.resize(num_shards_);
+  // Ascending scan => local ids are monotone in global id per shard.
+  for (uint32_t id = 0; id < total; ++id) {
+    uint32_t s = static_cast<uint32_t>(Mix64(id) % num_shards_);
+    shard_of_[id] = s;
+    local_of_[id] = static_cast<ObjectId>(members_[s].size());
+    members_[s].push_back(id);
+  }
+}
+
+}  // namespace pmi

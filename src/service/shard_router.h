@@ -1,0 +1,67 @@
+// Deterministic hash partitioning of object ids across shards.
+//
+// The sharded service (src/service/sharded_service.h) splits one logical
+// dataset across N independent MetricDB shards.  The router is the single
+// source of truth for that placement: global id -> (shard, local id) and
+// back.  Placement is a pure function of (total objects, shard count) --
+// a SplitMix64 hash of the global id -- so a durable service can rebuild
+// the exact same routing on reopen from the two integers alone, with no
+// routing table on disk.
+//
+// Local ids are assigned in ascending global-id order within each shard.
+// That monotonicity is load-bearing for exact kNN merging: a shard-local
+// KnnHeap tie-break by (distance, local id) then agrees with the global
+// (distance, global id) order, so the k-way merge of per-shard results
+// reproduces the unsharded oracle bit-for-bit.
+
+#ifndef PMI_SERVICE_SHARD_ROUTER_H_
+#define PMI_SERVICE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/object.h"
+
+namespace pmi {
+
+class ShardRouter {
+ public:
+  /// Partitions global ids [0, total) across `num_shards` shards.
+  /// num_shards must be >= 1.
+  ShardRouter(uint32_t total, uint32_t num_shards);
+
+  uint32_t num_shards() const { return num_shards_; }
+  /// Total number of routed global ids.
+  uint32_t size() const { return static_cast<uint32_t>(shard_of_.size()); }
+
+  /// Owning shard of global id `id` (id must be < size()).
+  uint32_t shard_of(ObjectId id) const { return shard_of_[id]; }
+
+  /// Local id of global id `id` within its owning shard.
+  ObjectId local_of(ObjectId id) const { return local_of_[id]; }
+
+  /// Global id of local id `local` in shard `shard`.
+  ObjectId global_of(uint32_t shard, ObjectId local) const {
+    return members_[shard][local];
+  }
+
+  /// Number of objects owned by `shard`.
+  uint32_t shard_size(uint32_t shard) const {
+    return static_cast<uint32_t>(members_[shard].size());
+  }
+
+  /// Global ids owned by `shard`, ascending.
+  const std::vector<ObjectId>& members(uint32_t shard) const {
+    return members_[shard];
+  }
+
+ private:
+  uint32_t num_shards_;
+  std::vector<uint32_t> shard_of_;             // global id -> shard
+  std::vector<ObjectId> local_of_;             // global id -> local id
+  std::vector<std::vector<ObjectId>> members_; // shard -> global ids, asc
+};
+
+}  // namespace pmi
+
+#endif  // PMI_SERVICE_SHARD_ROUTER_H_

@@ -1,0 +1,414 @@
+#include "src/service/sharded_service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "src/service/result_merger.h"
+
+namespace pmi {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+// The SERVICE meta file: the two integers that, with the SplitMix64
+// router, fully determine object placement -- enough to reopen a
+// durable service with zero routing state per object.
+constexpr char kMetaName[] = "SERVICE";
+constexpr char kMetaFormat[] = "pmi-sharded-service v1\nshards %u\nobjects %u\n";
+
+std::string ShardDirName(const std::string& dir, uint32_t shard) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard-%03u", shard);
+  return JoinPath(dir, buf);
+}
+
+Status WriteMeta(Env* env, const std::string& dir, uint32_t shards,
+                 uint32_t objects) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), kMetaFormat, shards, objects);
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(JoinPath(dir, kMetaName));
+  if (!file.ok()) return file.status();
+  PMI_RETURN_IF_ERROR((*file)->Append(buf));
+  PMI_RETURN_IF_ERROR((*file)->Sync());
+  PMI_RETURN_IF_ERROR((*file)->Close());
+  return env->SyncDir(dir);
+}
+
+Status ReadMeta(Env* env, const std::string& dir, uint32_t* shards,
+                uint32_t* objects) {
+  StatusOr<std::string> contents = env->ReadFileToString(JoinPath(dir, kMetaName));
+  if (!contents.ok()) return contents.status();
+  if (std::sscanf(contents->c_str(), kMetaFormat, shards, objects) != 2 ||
+      *shards == 0 || *objects == 0) {
+    return DataLossError("unparsable SERVICE meta file in " + dir);
+  }
+  return OkStatus();
+}
+
+Dataset SplitShard(const Dataset& full, const std::vector<ObjectId>& members) {
+  Dataset out = full.kind() == ObjectKind::kVector ? Dataset::Vectors(full.dim())
+                                                   : Dataset::Strings();
+  for (ObjectId id : members) out.Add(full.view(id));
+  return out;
+}
+
+double SecondsSince(SteadyClock::time_point t0) {
+  return std::chrono::duration<double>(SteadyClock::now() - t0).count();
+}
+
+/// Scatter/gather against an already-pinned view bundle (the direct
+/// read path shared by ReadView::Query).
+StatusOr<QueryResult> GatherAtViews(const ShardRouter& router,
+                                    const std::vector<MetricDB::ReadView>& views,
+                                    const QueryRequest& request) {
+  SteadyClock::time_point t0 = SteadyClock::now();
+  std::vector<QueryResult> per_shard;
+  per_shard.reserve(views.size());
+  for (const MetricDB::ReadView& view : views) {
+    StatusOr<QueryResult> r = view.Query(request);
+    if (!r.ok()) return r.status();
+    per_shard.push_back(std::move(*r));
+  }
+  QueryResult merged = MergeShardResults(router, request, std::move(per_shard));
+  merged.stats.seconds = SecondsSince(t0);
+  return merged;
+}
+
+}  // namespace
+
+// -- construction -------------------------------------------------------------
+
+StatusOr<std::unique_ptr<ShardedService>> ShardedService::Build(
+    const MetricDBConfig& config, Dataset data, const ServiceOptions& sopts,
+    const std::string& dir, const DurabilityOptions& dopts, bool durable) {
+  if (sopts.num_shards < 1) {
+    return InvalidArgumentError("num_shards must be >= 1");
+  }
+  if (data.empty()) return InvalidArgumentError("dataset must be non-empty");
+  auto router = std::make_shared<ShardRouter>(
+      static_cast<uint32_t>(data.size()), sopts.num_shards);
+  for (uint32_t s = 0; s < router->num_shards(); ++s) {
+    if (router->shard_size(s) == 0) {
+      return InvalidArgumentError(
+          "shard " + std::to_string(s) +
+          " owns no objects; lower num_shards for this dataset size");
+    }
+  }
+
+  // One metric parameter, derived from the FULL dataset, pinned into
+  // every shard: per-shard derivation could diverge (narrower domain),
+  // and FQA's quantization step depends on it.
+  MetricDBConfig shard_config = config;
+  PMI_ASSIGN_OR_RETURN(
+      shard_config.metric_param,
+      ResolveMetricParam(config.metric_name, data, config.metric_param));
+
+  std::unique_ptr<ShardedService> svc(new ShardedService());
+  svc->sopts_ = sopts;
+  svc->router_ = router;
+  svc->durable_ = durable;
+  if (durable) {
+    svc->dir_ = dir;
+    svc->env_ = dopts.env != nullptr ? dopts.env : Env::Default();
+    PMI_RETURN_IF_ERROR(svc->env_->CreateDir(dir));
+  }
+  svc->shards_.reserve(router->num_shards());
+  for (uint32_t s = 0; s < router->num_shards(); ++s) {
+    Dataset shard_data = SplitShard(data, router->members(s));
+    StatusOr<MetricDB> db =
+        durable ? MetricDB::CreateDurable(shard_config, std::move(shard_data),
+                                          ShardDirName(dir, s), dopts)
+                : MetricDB::Create(shard_config, std::move(shard_data));
+    if (!db.ok()) return db.status();
+    svc->shards_.push_back(std::make_unique<MetricDB>(std::move(*db)));
+  }
+  if (durable) {
+    PMI_RETURN_IF_ERROR(WriteMeta(svc->env_, dir, router->num_shards(),
+                                  router->size()));
+  }
+  svc->queue_ = std::make_unique<AdmissionQueue>(sopts.workers, sopts.max_queue);
+  return svc;
+}
+
+StatusOr<std::unique_ptr<ShardedService>> ShardedService::Create(
+    const MetricDBConfig& config, Dataset data, const ServiceOptions& sopts) {
+  return Build(config, std::move(data), sopts, "", DurabilityOptions{},
+               /*durable=*/false);
+}
+
+StatusOr<std::unique_ptr<ShardedService>> ShardedService::CreateDurable(
+    const MetricDBConfig& config, Dataset data, const std::string& dir,
+    const ServiceOptions& sopts, const DurabilityOptions& dopts) {
+  return Build(config, std::move(data), sopts, dir, dopts, /*durable=*/true);
+}
+
+StatusOr<std::unique_ptr<ShardedService>> ShardedService::OpenDurable(
+    const std::string& dir, const ServiceOptions& sopts,
+    const DurabilityOptions& dopts) {
+  Env* env = dopts.env != nullptr ? dopts.env : Env::Default();
+  uint32_t num_shards = 0;
+  uint32_t objects = 0;
+  PMI_RETURN_IF_ERROR(ReadMeta(env, dir, &num_shards, &objects));
+
+  std::unique_ptr<ShardedService> svc(new ShardedService());
+  svc->sopts_ = sopts;
+  svc->sopts_.num_shards = num_shards;
+  svc->router_ = std::make_shared<ShardRouter>(objects, num_shards);
+  svc->durable_ = true;
+  svc->dir_ = dir;
+  svc->env_ = env;
+  svc->shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    StatusOr<MetricDB> db = MetricDB::OpenDurable(ShardDirName(dir, s), dopts);
+    if (!db.ok()) return db.status();
+    if (db->dataset().size() != svc->router_->shard_size(s)) {
+      return DataLossError("shard " + std::to_string(s) +
+                           " dataset size does not match the SERVICE meta");
+    }
+    svc->shards_.push_back(std::make_unique<MetricDB>(std::move(*db)));
+  }
+  svc->queue_ = std::make_unique<AdmissionQueue>(svc->sopts_.workers,
+                                                 svc->sopts_.max_queue);
+  return svc;
+}
+
+Status ShardedService::Close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return OkStatus();
+  queue_->Shutdown();
+  Status first;
+  for (std::unique_ptr<MetricDB>& shard : shards_) {
+    Status s = shard->Close();
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
+ShardedService::~ShardedService() {
+  if (queue_ != nullptr) Close();
+}
+
+// -- request path -------------------------------------------------------------
+
+ShardedService::Deadline ShardedService::ResolveDeadline(
+    const RequestOptions& opts) const {
+  const double ms =
+      opts.deadline_ms.has_value() ? *opts.deadline_ms : sopts_.default_deadline_ms;
+  if (ms < 0) return std::nullopt;
+  return SteadyClock::now() +
+         std::chrono::duration_cast<SteadyClock::duration>(
+             std::chrono::duration<double, std::milli>(ms));
+}
+
+template <typename T>
+T ShardedService::Submit(const Deadline& deadline, std::function<T()> fn) const {
+  struct Slot {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<T> result;
+  };
+  // shared_ptr: during shutdown the drain may complete a task after the
+  // submitter's stack frame would normally be the only owner.
+  auto slot = std::make_shared<Slot>();
+  bool accepted =
+      queue_->TrySubmit([this, deadline, fn = std::move(fn), slot] {
+        std::optional<T> r;
+        if (Expired(deadline)) {
+          deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+          r.emplace(
+              DeadlineExceededError("request deadline expired while queued"));
+        } else {
+          r.emplace(fn());
+        }
+        {
+          std::lock_guard<std::mutex> lock(slot->m);
+          slot->result = std::move(r);
+          slot->done = true;
+        }
+        slot->cv.notify_all();
+      });
+  if (!accepted) {
+    return T(ResourceExhaustedError(
+        "admission queue full (capacity " + std::to_string(sopts_.max_queue) +
+        ") or service shutting down"));
+  }
+  std::unique_lock<std::mutex> lock(slot->m);
+  slot->cv.wait(lock, [&] { return slot->done; });
+  return std::move(*slot->result);
+}
+
+StatusOr<QueryResult> ShardedService::ExecuteQuery(const QueryRequest& request,
+                                                   const Deadline& deadline) const {
+  SteadyClock::time_point t0 = SteadyClock::now();
+  std::vector<QueryResult> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const std::unique_ptr<MetricDB>& shard : shards_) {
+    if (Expired(deadline)) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      return DeadlineExceededError("request deadline expired mid-gather");
+    }
+    // Versioned shards answer at a pinned epoch version; indexes
+    // without clone support fall back to the shard's serialized path.
+    StatusOr<MetricDB::ReadView> view = shard->GetReadView();
+    StatusOr<QueryResult> r =
+        view.ok() ? view->Query(request) : shard->Query(request);
+    if (!r.ok()) return r.status();
+    per_shard.push_back(std::move(*r));
+  }
+  QueryResult merged =
+      MergeShardResults(*router_, request, std::move(per_shard));
+  merged.stats.seconds = SecondsSince(t0);
+  return merged;
+}
+
+StatusOr<ApplyResult> ShardedService::ExecuteApply(
+    const std::vector<UpdateOp>& ops, const Deadline& deadline) {
+  if (Expired(deadline)) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    return DeadlineExceededError("request deadline expired while queued");
+  }
+  // Route to owning shards, rewriting to local ids; op order within a
+  // shard follows batch order, so per-shard liveness validation sees
+  // the same sequence an unsharded Apply would.
+  std::vector<std::vector<UpdateOp>> routed(shards_.size());
+  for (const UpdateOp& op : ops) {
+    routed[router_->shard_of(op.id)].push_back(
+        {op.op, router_->local_of(op.id)});
+  }
+  ApplyResult result;
+  result.shard_status.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (routed[s].empty()) continue;
+    result.shard_status[s] = shards_[s]->Apply(routed[s]);
+  }
+  return result;
+}
+
+StatusOr<QueryResult> ShardedService::Query(const QueryRequest& request,
+                                            const RequestOptions& opts) const {
+  if (closed_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("service is closed");
+  }
+  Deadline deadline = ResolveDeadline(opts);
+  return Submit<StatusOr<QueryResult>>(
+      deadline, [this, &request, deadline] {
+        return ExecuteQuery(request, deadline);
+      });
+}
+
+StatusOr<ApplyResult> ShardedService::Apply(const std::vector<UpdateOp>& ops,
+                                            const RequestOptions& opts) {
+  if (closed_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("service is closed");
+  }
+  for (const UpdateOp& op : ops) {
+    if (op.id >= router_->size()) {
+      return InvalidArgumentError("update id " + std::to_string(op.id) +
+                                  " out of range [0, " +
+                                  std::to_string(router_->size()) + ")");
+    }
+  }
+  Deadline deadline = ResolveDeadline(opts);
+  return Submit<StatusOr<ApplyResult>>(deadline, [this, &ops, deadline] {
+    return ExecuteApply(ops, deadline);
+  });
+}
+
+Status ShardedService::Insert(ObjectId id) {
+  StatusOr<ApplyResult> r = Apply({UpdateOp::Insert(id)});
+  return r.ok() ? r->Collapse() : r.status();
+}
+
+Status ShardedService::Remove(ObjectId id) {
+  StatusOr<ApplyResult> r = Apply({UpdateOp::Remove(id)});
+  return r.ok() ? r->Collapse() : r.status();
+}
+
+Status ShardedService::Checkpoint() {
+  if (closed_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("service is closed");
+  }
+  Status first;
+  for (std::unique_ptr<MetricDB>& shard : shards_) {
+    Status s = shard->Checkpoint();
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
+// -- read views ---------------------------------------------------------------
+
+StatusOr<ShardedService::ReadView> ShardedService::GetReadView() const {
+  if (closed_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("service is closed");
+  }
+  std::vector<MetricDB::ReadView> views;
+  views.reserve(shards_.size());
+  for (const std::unique_ptr<MetricDB>& shard : shards_) {
+    StatusOr<MetricDB::ReadView> view = shard->GetReadView();
+    if (!view.ok()) return view.status();
+    views.push_back(std::move(*view));
+  }
+  return ReadView(router_, std::move(views));
+}
+
+std::vector<uint64_t> ShardedService::ReadView::sequences() const {
+  std::vector<uint64_t> out;
+  out.reserve(shards_.size());
+  for (const MetricDB::ReadView& v : shards_) out.push_back(v.sequence());
+  return out;
+}
+
+bool ShardedService::ReadView::alive(ObjectId id) const {
+  if (id >= router_->size()) return false;
+  return shards_[router_->shard_of(id)].alive(router_->local_of(id));
+}
+
+StatusOr<QueryResult> ShardedService::ReadView::Query(
+    const QueryRequest& request) const {
+  return GatherAtViews(*router_, shards_, request);
+}
+
+// -- introspection ------------------------------------------------------------
+
+bool ShardedService::alive(ObjectId id) const {
+  if (id >= router_->size()) return false;
+  return shards_[router_->shard_of(id)]->alive(router_->local_of(id));
+}
+
+std::vector<uint64_t> ShardedService::sequences() const {
+  std::vector<uint64_t> out;
+  out.reserve(shards_.size());
+  for (const std::unique_ptr<MetricDB>& shard : shards_) {
+    out.push_back(shard->last_sequence());
+  }
+  return out;
+}
+
+std::vector<Status> ShardedService::write_statuses() const {
+  std::vector<Status> out;
+  out.reserve(shards_.size());
+  for (const std::unique_ptr<MetricDB>& shard : shards_) {
+    out.push_back(shard->write_status());
+  }
+  return out;
+}
+
+std::vector<uint32_t> ShardedService::shard_sizes() const {
+  std::vector<uint32_t> out;
+  out.reserve(router_->num_shards());
+  for (uint32_t s = 0; s < router_->num_shards(); ++s) {
+    out.push_back(router_->shard_size(s));
+  }
+  return out;
+}
+
+ShardedService::ServiceStats ShardedService::stats() const {
+  return {queue_->stats(), deadline_expired_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace pmi

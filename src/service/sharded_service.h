@@ -1,0 +1,247 @@
+// ShardedService -- the multi-writer scaling layer over MetricDB.
+//
+// One logical metric database, hash-partitioned by object id across N
+// independent MetricDB shards (ShardRouter decides placement).  Each
+// shard has its own single writer, its own epoch-versioned published
+// versions, and -- in durable mode -- its own WAL/checkpoint directory,
+// so N shards give N concurrent writer streams where one MetricDB gives
+// one.
+//
+// Request path: every Query/Apply is admitted through a bounded queue +
+// worker pool (src/service/admission.h).  A full queue is typed
+// backpressure -- kResourceExhausted, never unbounded queueing -- and a
+// per-request deadline turns stragglers into typed kDeadlineExceeded
+// (checked at dequeue and between shard dispatches; a shard query
+// already executing runs to completion).
+//
+// Reads scatter/gather: the worker pins a ReadView per shard (lock-free
+// epoch pin), runs the block-major batch engine inside each shard, and
+// merges -- union for MRQ, a k-way merge with (distance, id) tie-break
+// for MkNN -- so results are bit-identical to an unsharded MetricDB
+// holding the same data (see result_merger.h for why).
+//
+// Consistency model: per-shard sequences.  A shard is internally
+// consistent (its ReadView is one published version); across shards a
+// gather observes each shard at whatever version its pin caught --
+// there is no global sequence and no cross-shard atomicity.  Apply
+// routes each op to its owning shard and commits per shard: a batch
+// touching several shards is atomic WITHIN each shard, and ApplyResult
+// reports one Status per shard so a single read-only shard (WAL fault)
+// is a typed partial failure while healthy shards keep accepting both
+// reads and writes.
+
+#ifndef PMI_SERVICE_SHARDED_SERVICE_H_
+#define PMI_SERVICE_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/api/metric_db.h"
+#include "src/service/admission.h"
+#include "src/service/shard_router.h"
+
+namespace pmi {
+
+/// Service shape: shard count plus admission knobs.
+struct ServiceOptions {
+  /// Independent MetricDB shards (>= 1).  Every shard must own at least
+  /// one object, so num_shards cannot exceed the dataset size.
+  uint32_t num_shards = 4;
+  /// Admission worker threads draining the request queue (>= 1).
+  uint32_t workers = 4;
+  /// Bounded request queue capacity (>= 1); a submit beyond it returns
+  /// kResourceExhausted.
+  uint32_t max_queue = 64;
+  /// Default per-request deadline in milliseconds; negative = none.
+  double default_deadline_ms = -1;
+};
+
+/// Per-request overrides.
+struct RequestOptions {
+  /// Deadline in milliseconds from submission.  Unset = the service
+  /// default; >= 0 = hard deadline (0 is already expired -- useful for
+  /// deterministic timeout tests); negative = no deadline.
+  std::optional<double> deadline_ms;
+};
+
+/// Outcome of a routed update batch: one Status per shard.  Shards the
+/// batch did not touch report OK.  Commit is atomic per shard, not
+/// across shards -- a non-OK entry means that shard rejected (or could
+/// not log) ITS sub-batch while other entries committed normally.
+struct ApplyResult {
+  std::vector<Status> shard_status;
+
+  bool all_ok() const {
+    for (const Status& s : shard_status) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+  /// First non-OK shard status, or OK when every shard committed.
+  Status Collapse() const {
+    for (const Status& s : shard_status) {
+      if (!s.ok()) return s;
+    }
+    return OkStatus();
+  }
+};
+
+class ShardedService {
+ public:
+  /// Request-layer counters: admission queue stats plus the number of
+  /// requests that expired in queue (kDeadlineExceeded).
+  struct ServiceStats {
+    AdmissionQueue::Stats admission;
+    uint64_t deadline_expired = 0;
+  };
+
+  /// Builds an in-memory sharded service: partitions `data` by id with
+  /// ShardRouter, resolves the metric parameter ONCE from the full
+  /// dataset (so every shard -- and FQA's quantization -- matches an
+  /// unsharded oracle exactly), then MetricDB::Create()s each shard.
+  static StatusOr<std::unique_ptr<ShardedService>> Create(
+      const MetricDBConfig& config, Dataset data,
+      const ServiceOptions& sopts = {});
+
+  /// Create() plus a durability home: `dir` gets a small SERVICE meta
+  /// file (shard count + object count, enough to rebuild the router)
+  /// and one `shard-NNN/` durable MetricDB directory per shard, each
+  /// with its own WAL and checkpoints.
+  static StatusOr<std::unique_ptr<ShardedService>> CreateDurable(
+      const MetricDBConfig& config, Dataset data, const std::string& dir,
+      const ServiceOptions& sopts = {}, const DurabilityOptions& dopts = {});
+
+  /// Crash recovery: reads the SERVICE meta, rebuilds the deterministic
+  /// router, and MetricDB::OpenDurable()s every shard -- each shard
+  /// recovers independently to its own acknowledged prefix.
+  /// sopts.num_shards is ignored (the meta file decides).
+  static StatusOr<std::unique_ptr<ShardedService>> OpenDurable(
+      const std::string& dir, const ServiceOptions& sopts = {},
+      const DurabilityOptions& dopts = {});
+
+  /// Shuts the service down: refuses new requests, drains the admission
+  /// queue, joins the workers, closes every shard.  Idempotent; returns
+  /// the first shard Close error.
+  Status Close();
+
+  ~ShardedService();
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// Answers `request` through admission + scatter/gather.  Blocks the
+  /// calling thread until the request completes (or is refused).
+  /// Errors: kResourceExhausted (queue full), kDeadlineExceeded,
+  /// kFailedPrecondition (closed), plus anything a shard query returns.
+  /// Safe from any number of client threads.
+  StatusOr<QueryResult> Query(const QueryRequest& request,
+                              const RequestOptions& opts = {}) const;
+
+  /// Routes `ops` to their owning shards and group-commits one
+  /// sub-batch per shard (see ApplyResult for the atomicity contract).
+  /// The outer StatusOr rejects the whole batch untouched:
+  /// kInvalidArgument (id out of range), kResourceExhausted,
+  /// kDeadlineExceeded, kFailedPrecondition (closed).
+  StatusOr<ApplyResult> Apply(const std::vector<UpdateOp>& ops,
+                              const RequestOptions& opts = {});
+
+  /// Single-op conveniences; collapse the per-shard result.
+  Status Insert(ObjectId id);
+  Status Remove(ObjectId id);
+
+  /// Durable services only: checkpoints every shard; first error wins.
+  Status Checkpoint();
+
+  /// A consistent per-shard snapshot bundle: one pinned ReadView per
+  /// shard, taken in shard order.  Queries through it bypass admission
+  /// (direct read path) and answer against exactly these versions; the
+  /// view may outlive the service.  kFailedPrecondition when a shard's
+  /// index does not support versioned reads or the service is closed.
+  class ReadView {
+   public:
+    /// Per-shard pinned sequences (the service's consistency token).
+    std::vector<uint64_t> sequences() const;
+
+    /// Liveness of global `id` at its shard's pinned version.
+    bool alive(ObjectId id) const;
+
+    /// Scatter/gather against the pinned versions -- same merge (and
+    /// same oracle equivalence) as ShardedService::Query.
+    StatusOr<QueryResult> Query(const QueryRequest& request) const;
+
+   private:
+    friend class ShardedService;
+    ReadView(std::shared_ptr<const ShardRouter> router,
+             std::vector<MetricDB::ReadView> shards)
+        : router_(std::move(router)), shards_(std::move(shards)) {}
+
+    std::shared_ptr<const ShardRouter> router_;
+    std::vector<MetricDB::ReadView> shards_;
+  };
+
+  StatusOr<ReadView> GetReadView() const;
+
+  // -- introspection -------------------------------------------------------
+
+  uint32_t num_shards() const { return router_->num_shards(); }
+  const ShardRouter& router() const { return *router_; }
+  const ServiceOptions& options() const { return sopts_; }
+  /// The effective per-shard config (metric param already resolved).
+  const MetricDBConfig& config() const { return shards_[0]->config(); }
+
+  /// Writer-side views, like MetricDB::last_sequence()/alive(): exact
+  /// only when no Apply is in flight (e.g. after joining clients).
+  bool alive(ObjectId id) const;
+  std::vector<uint64_t> sequences() const;
+  std::vector<Status> write_statuses() const;
+
+  /// Objects owned per shard (router view -- placement, not liveness).
+  std::vector<uint32_t> shard_sizes() const;
+
+  ServiceStats stats() const;
+
+ private:
+  using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+  ShardedService() = default;
+
+  static StatusOr<std::unique_ptr<ShardedService>> Build(
+      const MetricDBConfig& config, Dataset data, const ServiceOptions& sopts,
+      const std::string& dir, const DurabilityOptions& dopts, bool durable);
+
+  Deadline ResolveDeadline(const RequestOptions& opts) const;
+  static bool Expired(const Deadline& d) {
+    return d.has_value() && std::chrono::steady_clock::now() >= *d;
+  }
+
+  /// Runs `fn` through the admission queue and blocks for its result.
+  /// `fn` runs on a worker unless the queue refuses.  T is the
+  /// StatusOr result type.
+  template <typename T>
+  T Submit(const Deadline& deadline, std::function<T()> fn) const;
+
+  StatusOr<QueryResult> ExecuteQuery(const QueryRequest& request,
+                                     const Deadline& deadline) const;
+  StatusOr<ApplyResult> ExecuteApply(const std::vector<UpdateOp>& ops,
+                                     const Deadline& deadline);
+
+  ServiceOptions sopts_;
+  std::shared_ptr<const ShardRouter> router_;
+  std::vector<std::unique_ptr<MetricDB>> shards_;
+  std::unique_ptr<AdmissionQueue> queue_;
+  std::atomic<bool> closed_{false};
+  mutable std::atomic<uint64_t> deadline_expired_{0};
+
+  // Durable services only.
+  bool durable_ = false;
+  std::string dir_;
+  Env* env_ = nullptr;  // borrowed; outlives the service
+};
+
+}  // namespace pmi
+
+#endif  // PMI_SERVICE_SHARDED_SERVICE_H_

@@ -32,6 +32,11 @@ class Mvpt final : public MetricIndex {
   // Audited: the query path uses only local state + dist() (counters
   // are redirected per thread by the batch entry points).
   bool concurrent_queries() const override { return true; }
+  /// Deep copy of the node tree -- joins the tree family to the
+  /// epoch-versioned read/write core (clone-apply-publish).  Node
+  /// payloads are plain ids and split values, so the copy shares only
+  /// the base binding (dataset/metric/pivots) with the source.
+  std::unique_ptr<MetricIndex> Clone() const override;
   size_t memory_bytes() const override;
 
  protected:
@@ -55,6 +60,7 @@ class Mvpt final : public MetricIndex {
     std::vector<ObjectId> members;
   };
 
+  static std::unique_ptr<Node> CloneNode(const Node& node);
   void BuildNode(Node* node, std::vector<ObjectId> ids, uint32_t level);
   void SaveNode(const Node& node, ByteSink* out) const;
   Status LoadNode(Node* node, ByteSource* in, uint32_t depth);

@@ -269,9 +269,10 @@ TEST_P(ConcurrentStressTest, ReadersMatchOracleUnderWriterChurn) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    TableIndexes, ConcurrentStressTest,
+    ClonableIndexes, ConcurrentStressTest,
     ::testing::Values(StressConfig{"LinearScan"}, StressConfig{"LAESA"},
-                      StressConfig{"EPT*"}, StressConfig{"FQA"}),
+                      StressConfig{"EPT*"}, StressConfig{"FQA"},
+                      StressConfig{"VPT"}, StressConfig{"MVPT"}),
     [](const ::testing::TestParamInfo<StressConfig>& info) {
       std::string name = info.param.index_name;
       for (char& c : name) {

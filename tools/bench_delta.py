@@ -20,7 +20,8 @@ import json
 import sys
 
 IDENTITY_KEYS = ("name", "index", "level", "pivots", "selectivity",
-                 "threads", "batch", "metric", "dataset")
+                 "threads", "batch", "metric", "dataset", "shards",
+                 "clients")
 WARN_RATIO = 1.15  # flag slowdowns beyond this; below is likely noise
 
 
