@@ -45,6 +45,16 @@
 // kResourceExhausted -- that typedness check, and the oracle
 // equivalence, gate the exit status.
 //
+// A fifth section, chaos_recovery, measures the self-healing loop on a
+// durable service behind a fault-injecting Env: reader QPS is sampled
+// before a torn-write power-loss fault, during the resulting quarantine
+// (reads ride the supervisor's pinned stale view), and after recovery,
+// plus the wall-clock latency from healing the env to every shard
+// writable again.  The QPS numbers are hardware-dependent and warn-only
+// downstream; the hard (exit-gating) checks are that every read in all
+// three phases succeeds, the service heals within the cap, and a
+// post-recovery retried write commits.
+//
 // Emits one JSON document to stdout (progress chatter on stderr):
 //
 //   ./bench_throughput --threads 8 | python3 -m json.tool
@@ -79,7 +89,11 @@
 #include "src/harness/workload.h"
 #include "src/tables/ept.h"
 #include "src/tables/laesa.h"
+#include "src/service/retry.h"
 #include "src/service/sharded_service.h"
+#include "src/storage/fault_env.h"
+
+#include <unistd.h>
 
 namespace pmi {
 namespace {
@@ -101,6 +115,26 @@ std::string Num(const char* key, double v) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "\"%s\": %.6g", key, v);
   return buf;
+}
+
+void RemoveTree(const std::string& dir) {
+  Env* env = Env::Default();
+  StatusOr<std::vector<std::string>> names = env->ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      const std::string path = JoinPath(dir, name);
+      if (env->RemoveFile(path).ok()) continue;
+      RemoveTree(path);
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+bool AllWritable(const ShardedService& svc) {
+  for (const Status& s : svc.write_statuses()) {
+    if (!s.ok()) return false;
+  }
+  return true;
 }
 
 /// Reference answers (built once at 1 thread) every other thread count
@@ -788,7 +822,168 @@ int main(int argc, char** argv) {
     }
   }
 
-  char trailer[1280];
+  // ---- chaos_recovery: reader QPS around an injected write fault ----------
+  // Durable 3-shard service behind a FaultInjectingEnv.  One reader
+  // samples retried query QPS in three phases -- healthy, quarantined
+  // (torn-write power loss downed the env; reads ride the pinned stale
+  // view), and recovered -- and the time from healing the env to every
+  // shard writable again is the headline recovery_ms.
+  bool chaos_reads_ok = true;
+  bool chaos_healed = false;
+  bool chaos_writes_ok = false;
+  double chaos_recovery_ms = 0;
+  {
+    const uint32_t chaos_batches =
+        std::max(EnvU32("PMI_TP_CHAOS_BATCHES", 30), 1u);
+    const uint64_t chaos_seed = EnvU32("PMI_FAULT_SEED", 20260809);
+    const std::vector<ObjectView> cqueries(
+        queries.begin(),
+        queries.begin() + std::min<size_t>(queries.size(), 32));
+    std::fprintf(stderr, "chaos_recovery: n=%u batches/phase=%u seed=%llu\n",
+                 n, chaos_batches,
+                 static_cast<unsigned long long>(chaos_seed));
+
+    const std::string dir =
+        "/tmp/pmi_bench_chaos_" + std::to_string(::getpid());
+    RemoveTree(dir);
+    FaultInjectingEnv fenv(Env::Default());
+    DurabilityOptions dopts;
+    dopts.env = &fenv;
+    ServiceOptions sopts;
+    sopts.num_shards = 3;
+    sopts.workers = svc_clients;
+    sopts.max_queue = 64;
+    sopts.self_heal = true;
+    sopts.supervisor.poll_interval_ms = 1;
+    sopts.supervisor.initial_backoff_ms = 1;
+    sopts.supervisor.max_backoff_ms = 16;
+    // The outage is held open for the whole "during" phase; the breaker
+    // must not pin the shard mid-measurement, so attempts are
+    // effectively unbounded (the 30 s heal cap below bounds the run).
+    sopts.supervisor.max_recovery_attempts = 1u << 20;
+    sopts.supervisor.seed = chaos_seed;
+
+    auto svc_or =
+        ShardedService::CreateDurable(svc_cfg, bd.data, dir, sopts, dopts);
+    if (!svc_or.ok()) {
+      std::fprintf(stderr, "  chaos: create failed: %s\n",
+                   svc_or.status().ToString().c_str());
+      chaos_reads_ok = false;
+    } else {
+      ShardedService& svc = **svc_or;
+      RetryPolicy rp;
+      rp.max_attempts = 8;
+      rp.budget_ms = 4000;
+      rp.seed = chaos_seed;
+
+      auto measure_qps = [&](const char* phase) -> double {
+        const auto t0 = std::chrono::steady_clock::now();
+        uint64_t served = 0;
+        for (uint32_t b = 0; b < chaos_batches; ++b) {
+          auto res =
+              QueryWithRetry(svc, QueryRequest::RangeBatch(cqueries, r), rp);
+          if (res.ok()) {
+            served += cqueries.size();
+          } else {
+            chaos_reads_ok = false;
+            std::fprintf(stderr, "  chaos %s read failed: %s\n", phase,
+                         res.status().ToString().c_str());
+          }
+        }
+        const double s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        return s > 0 ? served / s : 0;
+      };
+
+      const double qps_before = measure_qps("before");
+
+      // Torn write + power loss a few mutations out; small unretried
+      // toggle applies walk the WAL into it.  The env stays down through
+      // the "during" phase so the supervisor's recovery attempts keep
+      // failing and reads really are served off the pinned view.
+      fenv.Arm({FaultKind::kTornWrite, fenv.mutation_count() + 3, chaos_seed});
+      std::vector<uint8_t> clive(n, 1);
+      for (uint32_t i = 0; i < 1000 && !fenv.triggered(); ++i) {
+        const ObjectId id = static_cast<ObjectId>((i * 7919u + 13u) % n);
+        (void)svc.Apply({clive[id] != 0 ? UpdateOp::Remove(id)
+                                        : UpdateOp::Insert(id)});
+        clive[id] ^= 1;
+      }
+      const bool fault_fired = fenv.triggered();
+      if (!fault_fired) {
+        std::fprintf(stderr, "  chaos: fault never triggered\n");
+        chaos_reads_ok = false;
+      }
+
+      const double qps_during = fault_fired ? measure_qps("during") : 0;
+
+      fenv.Arm({FaultKind::kNone, 0, 1});  // heal the env
+      const auto t_heal = std::chrono::steady_clock::now();
+      while (fault_fired && !AllWritable(svc)) {
+        const double waited = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t_heal)
+                                  .count();
+        if (waited > 30.0) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      chaos_healed = fault_fired && AllWritable(svc);
+      chaos_recovery_ms = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t_heal)
+                              .count() *
+                          1e3;
+
+      // A retried write must commit post-recovery (the durable path is
+      // genuinely writable again, not just reporting OK).
+      {
+        std::vector<UpdateOp> ops;
+        for (uint32_t i = 0; i < 8; ++i) {
+          const ObjectId id = static_cast<ObjectId>((i * 104729u + 7u) % n);
+          ops.push_back(clive[id] != 0 ? UpdateOp::Remove(id)
+                                       : UpdateOp::Insert(id));
+          clive[id] ^= 1;
+        }
+        auto applied = ApplyWithRetry(svc, ops, rp);
+        chaos_writes_ok = applied.ok() && applied->all_ok();
+        if (!chaos_writes_ok) {
+          std::fprintf(stderr, "  chaos: post-recovery write failed: %s\n",
+                       applied.ok()
+                           ? applied->Collapse().ToString().c_str()
+                           : applied.status().ToString().c_str());
+        }
+      }
+
+      const double qps_after = chaos_healed ? measure_qps("after") : 0;
+      const ShardSupervisor::Stats sup =
+          svc.supervisor() ? svc.supervisor()->stats()
+                           : ShardSupervisor::Stats{};
+
+      char extra[640];
+      std::snprintf(
+          extra, sizeof(extra),
+          "\"shards\": %u, \"clients\": 1, %s, %s, %s, %s, %s, %s, %s, %s, %s",
+          sopts.num_shards, Num("recovery_ms", chaos_recovery_ms).c_str(),
+          Num("read_qps_before", qps_before).c_str(),
+          Num("read_qps_during", qps_during).c_str(),
+          Num("read_qps_after", qps_after).c_str(),
+          Num("faults_detected", double(sup.faults_detected)).c_str(),
+          Num("recoveries", double(sup.recoveries)).c_str(),
+          chaos_reads_ok ? "\"reads_ok\": true" : "\"reads_ok\": false",
+          chaos_healed ? "\"healed\": true" : "\"healed\": false",
+          chaos_writes_ok ? "\"write_ok\": true" : "\"write_ok\": false");
+      json.Result("chaos_recovery", extra);
+      std::fprintf(stderr,
+                   "  chaos: recovery %.1f ms, reads %.0f -> %.0f -> %.0f "
+                   "qps, %" PRIu64 " faults, %" PRIu64 " recoveries%s\n",
+                   chaos_recovery_ms, qps_before, qps_during, qps_after,
+                   sup.faults_detected, sup.recoveries,
+                   chaos_healed ? "" : "  NOT HEALED");
+      if (!svc.Close().ok()) chaos_writes_ok = false;
+    }
+    RemoveTree(dir);
+  }
+
+  char trailer[1536];
   std::snprintf(
       trailer, sizeof(trailer),
       "  \"config\": {\"dataset\": \"Synthetic\", \"dim\": 20, \"n\": %u, "
@@ -801,7 +996,9 @@ int main(int argc, char** argv) {
       "\"concurrent_reads_ok\": %s, "
       "\"sharded_equiv_match\": %s, \"sharded_mixed_ok\": %s, "
       "\"sharded_apply_speedup_4v1\": %.3f, "
-      "\"sharded_overload_typed\": %s, \"sharded_rejection_rate\": %.3f}",
+      "\"sharded_overload_typed\": %s, \"sharded_rejection_rate\": %.3f, "
+      "\"chaos_reads_ok\": %s, \"chaos_healed\": %s, "
+      "\"chaos_write_ok\": %s, \"chaos_recovery_ms\": %.3f}",
       n, num_queries, repeats, max_threads,
       std::thread::hardware_concurrency(), batch_n,
       results_match ? "true" : "false", compdists_match ? "true" : "false",
@@ -809,12 +1006,15 @@ int main(int argc, char** argv) {
       blocking_speedup, concurrent_reads_ok ? "true" : "false",
       sharded_equiv_match ? "true" : "false",
       sharded_mixed_ok ? "true" : "false", sharded_apply_speedup,
-      sharded_overload_typed ? "true" : "false", sharded_rejection_rate);
+      sharded_overload_typed ? "true" : "false", sharded_rejection_rate,
+      chaos_reads_ok ? "true" : "false", chaos_healed ? "true" : "false",
+      chaos_writes_ok ? "true" : "false", chaos_recovery_ms);
   json.End(trailer);
 
   const bool ok = results_match && compdists_match && blocking_match &&
                   concurrent_reads_ok && sharded_equiv_match &&
-                  sharded_mixed_ok && sharded_overload_typed;
+                  sharded_mixed_ok && sharded_overload_typed &&
+                  chaos_reads_ok && chaos_healed && chaos_writes_ok;
   if (!ok) std::fprintf(stderr, "bench_throughput: EQUIVALENCE CHECK FAILED\n");
   return ok ? 0 : 1;
 }

@@ -773,12 +773,40 @@ void MetricDB::ApplyToIndex(const UpdateOp& op) {
   ++seq_;
 }
 
+namespace {
+constexpr char kFenceMismatchPrefix[] = "sequence fence mismatch";
+}  // namespace
+
+Status SequenceFenceError(uint64_t at, uint64_t expected) {
+  return FailedPreconditionError(
+      std::string(kFenceMismatchPrefix) + ": database at sequence " +
+      std::to_string(at) + ", caller expected " + std::to_string(expected));
+}
+
+bool IsSequenceFenceMismatch(const Status& s) {
+  return s.code() == StatusCode::kFailedPrecondition &&
+         s.message().rfind(kFenceMismatchPrefix, 0) == 0;
+}
+
 Status MetricDB::Apply(const std::vector<UpdateOp>& ops) {
+  return Apply(ops, ApplyOptions{});
+}
+
+Status MetricDB::Apply(const std::vector<UpdateOp>& ops,
+                       const ApplyOptions& aopts) {
   std::lock_guard<std::mutex> lock(cc_->writer_mu);
   if (cc_->closed.load(std::memory_order_acquire)) {
     return FailedPreconditionError("database is closed");
   }
   PMI_RETURN_IF_ERROR(write_status_);
+  // The fence must be checked before ANY side effect: a mismatch means
+  // the caller's view of this shard is stale (most often: a retried
+  // batch whose first attempt actually reached the WAL and was replayed
+  // by recovery), and committing here could double-apply it.
+  if (aopts.expected_sequence.has_value() &&
+      *aopts.expected_sequence != seq_) {
+    return SequenceFenceError(seq_, *aopts.expected_sequence);
+  }
   // Validate the whole batch against the would-be state before logging
   // anything: Apply is all-or-nothing, and nothing may reach the WAL
   // unless it will definitely be applied.
@@ -1035,6 +1063,20 @@ Status MetricDB::ReplayWalGenerations(Env* env, const std::string& dir,
       ApplyToIndex(UpdateOp{record.op, record.id});
     }
     prior_tail_truncated = replay.truncated_tail;
+    if (replay.truncated_tail &&
+        !env->FileExists(JoinPath(dir, WalName(gen + 1)))) {
+      // Torn tail on the LAST generation: the damaged record cannot
+      // have been acknowledged past a completed sync, and no later
+      // generation continues over it -- so scrub the debris now.  This
+      // generation then presents a clean tail when it is replayed again
+      // as a fallback after a newer checkpoint goes bad; without the
+      // repair that replay would see a lost tail under a continuing
+      // generation and have to declare an (actually false) mid-chain
+      // hole.  Mid-chain debris keeps the conservative kDataLoss above.
+      PMI_RETURN_IF_ERROR(
+          env->TruncateFile(JoinPath(dir, WalName(gen)), replay.valid_bytes));
+      prior_tail_truncated = false;
+    }
     ++gen;
   }
   return OkStatus();

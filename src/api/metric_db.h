@@ -219,6 +219,13 @@ struct UpdateOp {
   static UpdateOp Remove(ObjectId id) { return {WalOp::kRemove, id}; }
 };
 
+/// Typed failure of MetricDB::ApplyOptions::expected_sequence:
+/// kFailedPrecondition with a machine-recognizable message recording
+/// both sequences.  Nothing was logged or applied.
+Status SequenceFenceError(uint64_t at, uint64_t expected);
+/// True iff `s` came from SequenceFenceError.
+bool IsSequenceFenceMismatch(const Status& s);
+
 /// Durability knobs for CreateDurable/OpenDurable.
 struct DurabilityOptions {
   /// When acknowledged updates reach stable storage (see
@@ -294,6 +301,21 @@ class MetricDB {
   /// write + at most one fsync for the whole batch).  All-or-nothing:
   /// on any validation or logging error no op is applied.
   Status Apply(const std::vector<UpdateOp>& ops);
+
+  /// Optional preconditions for Apply.
+  struct ApplyOptions {
+    /// Sequence fence: commit only if last_sequence() still equals this
+    /// value (checked inside the writer lock, before validation or
+    /// logging).  A mismatch returns SequenceFenceError and applies
+    /// nothing.  This is the idempotence primitive for retried batches:
+    /// a batch whose WAL record survived a "failed" commit and was
+    /// replayed by recovery has advanced the sequence, so a fenced
+    /// retry refuses instead of double-applying (see service/retry.h).
+    std::optional<uint64_t> expected_sequence;
+  };
+
+  /// Apply with preconditions; Apply(ops) == Apply(ops, {}).
+  Status Apply(const std::vector<UpdateOp>& ops, const ApplyOptions& aopts);
 
   /// Durable databases only: writes a fresh checkpoint of the current
   /// state, starts a new WAL generation, and prunes generations older

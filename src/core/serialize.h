@@ -218,6 +218,11 @@ inline void SerializePivotTable(const PivotTable& table, ByteSink* out) {
   }
 }
 
+/// Allocation guard for DeserializePivotTable: pivot counts in this
+/// codebase are user-chosen small numbers, so anything past this is a
+/// corrupt length field, not a real table.
+constexpr uint32_t kMaxPivotTableWidth = 1u << 20;
+
 inline Status DeserializePivotTable(ByteSource* in, PivotTable* table) {
   uint8_t per_row = 0;
   uint32_t width = 0;
@@ -228,14 +233,18 @@ inline Status DeserializePivotTable(ByteSource* in, PivotTable* table) {
   // Size fields must be plausible against the remaining payload before
   // any allocation happens -- a corrupt (or crafted, checksums are not
   // cryptographic) length is a kDataLoss error, not a bad_alloc crash.
-  // Width alone must fit the payload too: Reset allocates per-column
-  // headers even at rows == 0.
+  // An empty table (rows == 0) carries no cells at all, so its width
+  // cannot be bounded by the payload; Reset still allocates per-column
+  // headers, so width gets an absolute cap instead.  A table drained by
+  // removes is a legitimate state a checkpoint must round-trip.
   const uint64_t cell_bytes =
       sizeof(double) + (per_row != 0 ? sizeof(uint32_t) : 0);
-  if (uint64_t(width) > in->remaining() ||
-      (width > 0 &&
-       rows > in->remaining() / (uint64_t(width) * cell_bytes))) {
+  if (width > 0 && rows > 0 &&
+      rows > in->remaining() / (uint64_t(width) * cell_bytes)) {
     return DataLossError("snapshot pivot table larger than its payload");
+  }
+  if (width > kMaxPivotTableWidth) {
+    return DataLossError("snapshot pivot table width is implausible");
   }
   table->Reset(width, per_row != 0);
   table->ResizeRows(rows);

@@ -1,0 +1,64 @@
+// Deterministic capped-exponential backoff, shared by the supervisor's
+// recovery schedule (supervisor.h) and the client retry layer
+// (retry.h).  Determinism is the point: chaos runs and the
+// backoff-schedule tests replay bit-identically for a fixed seed.
+
+#ifndef PMI_SERVICE_BACKOFF_H_
+#define PMI_SERVICE_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/core/rng.h"
+
+namespace pmi {
+
+/// Capped exponential backoff shape.
+struct BackoffPolicy {
+  double initial_ms = 1.0;
+  double max_ms = 100.0;
+  double multiplier = 2.0;
+};
+
+/// Deterministic backoff schedule: attempt i gets
+/// min(max_ms, initial_ms * multiplier^i) jittered by a seeded factor
+/// in [0.75, 1.25).  Two Backoff instances with the same policy and
+/// seed produce bit-identical schedules.
+class Backoff {
+ public:
+  Backoff(const BackoffPolicy& policy, uint64_t seed)
+      : policy_(policy), seed_(seed), rng_(seed) {}
+
+  /// Delay for the next attempt; advances the schedule.
+  double NextDelayMs() {
+    double nominal = policy_.initial_ms;
+    for (uint32_t i = 0; i < attempt_ && nominal < policy_.max_ms; ++i) {
+      nominal *= policy_.multiplier;
+    }
+    nominal = std::min(nominal, policy_.max_ms);
+    ++attempt_;
+    // 53-bit mantissa draw -> jitter factor in [0.75, 1.25).
+    const double u =
+        static_cast<double>(rng_() >> 11) * (1.0 / 9007199254740992.0);
+    return nominal * (0.75 + 0.5 * u);
+  }
+
+  /// Rewinds to attempt 0 and re-seeds the jitter stream, so a Reset
+  /// schedule equals a freshly constructed one.
+  void Reset() {
+    attempt_ = 0;
+    rng_.seed(seed_);
+  }
+
+  uint32_t attempts() const { return attempt_; }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t seed_;
+  uint32_t attempt_ = 0;
+  Rng rng_;
+};
+
+}  // namespace pmi
+
+#endif  // PMI_SERVICE_BACKOFF_H_

@@ -1,12 +1,16 @@
 #include "src/service/sharded_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <utility>
 
 #include "src/service/result_merger.h"
+#include "src/storage/wal.h"
 
 namespace pmi {
 namespace {
@@ -15,9 +19,14 @@ using SteadyClock = std::chrono::steady_clock;
 
 // The SERVICE meta file: the two integers that, with the SplitMix64
 // router, fully determine object placement -- enough to reopen a
-// durable service with zero routing state per object.
+// durable service with zero routing state per object.  v2 appends a
+// CRC32C line over the body so a truncated or bit-flipped meta is a
+// typed kDataLoss, never a crash or a bogus router; v1 (no checksum)
+// is still accepted on read.
 constexpr char kMetaName[] = "SERVICE";
-constexpr char kMetaFormat[] = "pmi-sharded-service v1\nshards %u\nobjects %u\n";
+constexpr char kMetaVersionPrefix[] = "pmi-sharded-service v";
+constexpr char kMetaBodyFormat[] = "pmi-sharded-service v2\nshards %u\nobjects %u\n";
+constexpr char kMetaV1Format[] = "pmi-sharded-service v1\nshards %u\nobjects %u\n";
 
 std::string ShardDirName(const std::string& dir, uint32_t shard) {
   char buf[16];
@@ -27,12 +36,16 @@ std::string ShardDirName(const std::string& dir, uint32_t shard) {
 
 Status WriteMeta(Env* env, const std::string& dir, uint32_t shards,
                  uint32_t objects) {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), kMetaFormat, shards, objects);
+  char body[96];
+  std::snprintf(body, sizeof(body), kMetaBodyFormat, shards, objects);
+  char crc_line[24];
+  std::snprintf(crc_line, sizeof(crc_line), "crc %08x\n",
+                Crc32c(body, std::strlen(body)));
   StatusOr<std::unique_ptr<WritableFile>> file =
       env->NewWritableFile(JoinPath(dir, kMetaName));
   if (!file.ok()) return file.status();
-  PMI_RETURN_IF_ERROR((*file)->Append(buf));
+  PMI_RETURN_IF_ERROR((*file)->Append(body));
+  PMI_RETURN_IF_ERROR((*file)->Append(crc_line));
   PMI_RETURN_IF_ERROR((*file)->Sync());
   PMI_RETURN_IF_ERROR((*file)->Close());
   return env->SyncDir(dir);
@@ -40,11 +53,59 @@ Status WriteMeta(Env* env, const std::string& dir, uint32_t shards,
 
 Status ReadMeta(Env* env, const std::string& dir, uint32_t* shards,
                 uint32_t* objects) {
-  StatusOr<std::string> contents = env->ReadFileToString(JoinPath(dir, kMetaName));
+  StatusOr<std::string> contents =
+      env->ReadFileToString(JoinPath(dir, kMetaName));
   if (!contents.ok()) return contents.status();
-  if (std::sscanf(contents->c_str(), kMetaFormat, shards, objects) != 2 ||
-      *shards == 0 || *objects == 0) {
-    return DataLossError("unparsable SERVICE meta file in " + dir);
+  if (contents->empty()) {
+    return DataLossError("empty SERVICE meta file in " + dir);
+  }
+  if (contents->rfind(kMetaVersionPrefix, 0) != 0) {
+    return DataLossError("unrecognized SERVICE meta header in " + dir);
+  }
+  char* end = nullptr;
+  const long version = std::strtol(
+      contents->c_str() + std::strlen(kMetaVersionPrefix), &end, 10);
+  if (end == nullptr || *end != '\n') {
+    return DataLossError("mangled SERVICE meta version in " + dir);
+  }
+  if (version != 1 && version != 2) {
+    return FailedPreconditionError(
+        "SERVICE meta version v" + std::to_string(version) +
+        " is not supported by this build (" + dir + ")");
+  }
+  if (version == 2) {
+    // The checksum line covers every byte before it; verify FIRST so a
+    // bit-flipped count can never size a router.
+    const size_t crc_pos = contents->rfind("crc ");
+    if (crc_pos == std::string::npos || crc_pos == 0 ||
+        (*contents)[crc_pos - 1] != '\n') {
+      return DataLossError("SERVICE meta missing checksum line in " + dir);
+    }
+    uint32_t stored = 0;
+    if (std::sscanf(contents->c_str() + crc_pos, "crc %x", &stored) != 1) {
+      return DataLossError("unparsable SERVICE meta checksum in " + dir);
+    }
+    if (stored != Crc32c(contents->data(), crc_pos)) {
+      return DataLossError("SERVICE meta checksum mismatch in " + dir);
+    }
+    // The checksum line is exactly "crc XXXXXXXX\n" and ends the file;
+    // the CRC cannot vouch for bytes after itself, so any slack there
+    // (or a clipped digit sscanf happily under-parses) is damage.
+    if (contents->size() != crc_pos + 13 || contents->back() != '\n') {
+      return DataLossError("malformed SERVICE meta checksum line in " + dir);
+    }
+    if (std::sscanf(contents->c_str(), kMetaBodyFormat, shards, objects) != 2) {
+      return DataLossError("unparsable SERVICE meta body in " + dir);
+    }
+  } else {
+    if (std::sscanf(contents->c_str(), kMetaV1Format, shards, objects) != 2) {
+      return DataLossError("unparsable SERVICE meta file in " + dir);
+    }
+  }
+  if (*shards == 0 || *objects == 0 || *shards > *objects) {
+    return DataLossError("implausible SERVICE meta (shards=" +
+                         std::to_string(*shards) + ", objects=" +
+                         std::to_string(*objects) + ") in " + dir);
   }
   return OkStatus();
 }
@@ -78,7 +139,64 @@ StatusOr<QueryResult> GatherAtViews(const ShardRouter& router,
   return merged;
 }
 
+const char* HealthDetail(ShardHealth h) {
+  switch (h) {
+    case ShardHealth::kQuarantined:
+      return "quarantined after a write fault";
+    case ShardHealth::kRecovering:
+      return "recovery in progress";
+    case ShardHealth::kPinnedReadOnly:
+      return "pinned read-only by the circuit breaker";
+    default:
+      return "unavailable";
+  }
+}
+
+/// Deadline-budgeted per-shard execution: when a deadline is set, the
+/// shard's batch runs in bounded chunks with the budget re-checked
+/// between chunks.  Chunking is result-invariant (the PR 5 batch
+/// split-invariance guarantee), so merged output is bit-identical to a
+/// single-shot query; only the typed-expiry granularity changes.
+constexpr size_t kDeadlineChunkQueries = 32;
+
+QueryRequest SliceRequest(const QueryRequest& request, size_t begin,
+                          size_t count) {
+  QueryRequest sub;
+  sub.type = request.type;
+  sub.radius = request.radius;
+  sub.k = request.k;
+  sub.batch.assign(request.batch.begin() + begin,
+                   request.batch.begin() + begin + count);
+  if (!request.radii.empty()) {
+    sub.radii.assign(request.radii.begin() + begin,
+                     request.radii.begin() + begin + count);
+  }
+  if (!request.ks.empty()) {
+    sub.ks.assign(request.ks.begin() + begin,
+                  request.ks.begin() + begin + count);
+  }
+  return sub;
+}
+
+void AppendChunk(QueryResult* acc, QueryResult&& part) {
+  for (auto& v : part.ids) acc->ids.push_back(std::move(v));
+  for (auto& v : part.neighbors) acc->neighbors.push_back(std::move(v));
+  acc->stats += part.stats;
+}
+
 }  // namespace
+
+Status ShardUnavailableError(uint32_t shard, double retry_after_ms,
+                             const std::string& detail) {
+  char hint[48];
+  if (retry_after_ms < 0) {
+    std::snprintf(hint, sizeof(hint), "manual reset required");
+  } else {
+    std::snprintf(hint, sizeof(hint), "retry after %.3f ms", retry_after_ms);
+  }
+  return UnavailableError("shard " + std::to_string(shard) +
+                          " unavailable: " + detail + " (" + hint + ")");
+}
 
 // -- construction -------------------------------------------------------------
 
@@ -89,6 +207,11 @@ StatusOr<std::unique_ptr<ShardedService>> ShardedService::Build(
     return InvalidArgumentError("num_shards must be >= 1");
   }
   if (data.empty()) return InvalidArgumentError("dataset must be non-empty");
+  if (sopts.self_heal && !durable) {
+    return InvalidArgumentError(
+        "self_heal requires a durable service (recovery replays the "
+        "shard's WAL/checkpoint chain)");
+  }
   auto router = std::make_shared<ShardRouter>(
       static_cast<uint32_t>(data.size()), sopts.num_shards);
   for (uint32_t s = 0; s < router->num_shards(); ++s) {
@@ -111,12 +234,15 @@ StatusOr<std::unique_ptr<ShardedService>> ShardedService::Build(
   svc->sopts_ = sopts;
   svc->router_ = router;
   svc->durable_ = durable;
+  svc->shard_config_ = shard_config;
   if (durable) {
     svc->dir_ = dir;
     svc->env_ = dopts.env != nullptr ? dopts.env : Env::Default();
+    svc->dopts_ = dopts;
+    svc->dopts_.env = svc->env_;
     PMI_RETURN_IF_ERROR(svc->env_->CreateDir(dir));
   }
-  svc->shards_.reserve(router->num_shards());
+  svc->slots_.reserve(router->num_shards());
   for (uint32_t s = 0; s < router->num_shards(); ++s) {
     Dataset shard_data = SplitShard(data, router->members(s));
     StatusOr<MetricDB> db =
@@ -124,13 +250,20 @@ StatusOr<std::unique_ptr<ShardedService>> ShardedService::Build(
                                           ShardDirName(dir, s), dopts)
                 : MetricDB::Create(shard_config, std::move(shard_data));
     if (!db.ok()) return db.status();
-    svc->shards_.push_back(std::make_unique<MetricDB>(std::move(*db)));
+    auto slot = std::make_unique<ShardSlot>();
+    slot->db = std::make_shared<MetricDB>(std::move(*db));
+    svc->slots_.push_back(std::move(slot));
   }
   if (durable) {
     PMI_RETURN_IF_ERROR(WriteMeta(svc->env_, dir, router->num_shards(),
                                   router->size()));
   }
   svc->queue_ = std::make_unique<AdmissionQueue>(sopts.workers, sopts.max_queue);
+  if (durable && sopts.self_heal) {
+    svc->supervisor_ =
+        std::make_unique<ShardSupervisor>(svc.get(), sopts.supervisor);
+    svc->supervisor_->Start();
+  }
   return svc;
 }
 
@@ -161,7 +294,9 @@ StatusOr<std::unique_ptr<ShardedService>> ShardedService::OpenDurable(
   svc->durable_ = true;
   svc->dir_ = dir;
   svc->env_ = env;
-  svc->shards_.reserve(num_shards);
+  svc->dopts_ = dopts;
+  svc->dopts_.env = env;
+  svc->slots_.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
     StatusOr<MetricDB> db = MetricDB::OpenDurable(ShardDirName(dir, s), dopts);
     if (!db.ok()) return db.status();
@@ -169,19 +304,38 @@ StatusOr<std::unique_ptr<ShardedService>> ShardedService::OpenDurable(
       return DataLossError("shard " + std::to_string(s) +
                            " dataset size does not match the SERVICE meta");
     }
-    svc->shards_.push_back(std::make_unique<MetricDB>(std::move(*db)));
+    auto slot = std::make_unique<ShardSlot>();
+    slot->db = std::make_shared<MetricDB>(std::move(*db));
+    svc->slots_.push_back(std::move(slot));
   }
+  svc->shard_config_ = svc->slots_[0]->db->config();
   svc->queue_ = std::make_unique<AdmissionQueue>(svc->sopts_.workers,
                                                  svc->sopts_.max_queue);
+  if (svc->sopts_.self_heal) {
+    svc->supervisor_ =
+        std::make_unique<ShardSupervisor>(svc.get(), svc->sopts_.supervisor);
+    svc->supervisor_->Start();
+  }
   return svc;
 }
 
 Status ShardedService::Close() {
   if (closed_.exchange(true, std::memory_order_acq_rel)) return OkStatus();
+  // Supervisor first: after Stop() returns no recovery attempt is in
+  // flight, so every slot's instance (possibly freshly swapped) is ours
+  // to close.
+  if (supervisor_ != nullptr) supervisor_->Stop();
   queue_->Shutdown();
   Status first;
-  for (std::unique_ptr<MetricDB>& shard : shards_) {
-    Status s = shard->Close();
+  for (std::unique_ptr<ShardSlot>& slot : slots_) {
+    std::shared_ptr<MetricDB> db;
+    {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      db = std::move(slot->db);
+      slot->stale_view.reset();
+    }
+    if (db == nullptr) continue;  // abandoned mid-recovery
+    Status s = db->Close();
     if (first.ok() && !s.ok()) first = s;
   }
   return first;
@@ -189,6 +343,18 @@ Status ShardedService::Close() {
 
 ShardedService::~ShardedService() {
   if (queue_ != nullptr) Close();
+}
+
+const MetricDBConfig& ShardedService::config() const { return shard_config_; }
+
+std::string ShardedService::ShardDir(uint32_t s) const {
+  return ShardDirName(dir_, s);
+}
+
+ShardedService::SlotView ShardedService::SnapshotSlot(uint32_t shard) const {
+  const ShardSlot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return SlotView{slot.db, slot.health, slot.stale_view, slot.retry_after_ms};
 }
 
 // -- request path -------------------------------------------------------------
@@ -244,18 +410,72 @@ T ShardedService::Submit(const Deadline& deadline, std::function<T()> fn) const 
 StatusOr<QueryResult> ShardedService::ExecuteQuery(const QueryRequest& request,
                                                    const Deadline& deadline) const {
   SteadyClock::time_point t0 = SteadyClock::now();
+
+  // Chunked single-source execution with the deadline budget re-checked
+  // between chunks (see kDeadlineChunkQueries).
+  auto run_chunked =
+      [&](const std::function<StatusOr<QueryResult>(const QueryRequest&)>& run)
+      -> StatusOr<QueryResult> {
+    if (!deadline.has_value() ||
+        request.batch.size() <= kDeadlineChunkQueries) {
+      return run(request);
+    }
+    QueryResult acc;
+    for (size_t begin = 0; begin < request.batch.size();
+         begin += kDeadlineChunkQueries) {
+      if (Expired(deadline)) {
+        deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+        return DeadlineExceededError(
+            "request deadline expired mid-shard (deadline budget "
+            "propagates into per-shard chunks)");
+      }
+      const size_t count =
+          std::min(kDeadlineChunkQueries, request.batch.size() - begin);
+      StatusOr<QueryResult> part = run(SliceRequest(request, begin, count));
+      if (!part.ok()) return part.status();
+      AppendChunk(&acc, std::move(*part));
+    }
+    return acc;
+  };
+
   std::vector<QueryResult> per_shard;
-  per_shard.reserve(shards_.size());
-  for (const std::unique_ptr<MetricDB>& shard : shards_) {
+  per_shard.reserve(slots_.size());
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
     if (Expired(deadline)) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
       return DeadlineExceededError("request deadline expired mid-gather");
     }
-    // Versioned shards answer at a pinned epoch version; indexes
-    // without clone support fall back to the shard's serialized path.
-    StatusOr<MetricDB::ReadView> view = shard->GetReadView();
-    StatusOr<QueryResult> r =
-        view.ok() ? view->Query(request) : shard->Query(request);
+    SlotView sv = SnapshotSlot(s);
+    StatusOr<QueryResult> r = [&]() -> StatusOr<QueryResult> {
+      if (sv.health == ShardHealth::kHealthy && sv.db != nullptr) {
+        // Versioned shards answer at a pinned epoch version; indexes
+        // without clone support fall back to the shard's serialized
+        // path.
+        StatusOr<MetricDB::ReadView> view = sv.db->GetReadView();
+        StatusOr<QueryResult> live =
+            view.ok()
+                ? run_chunked(
+                      [&](const QueryRequest& q) { return view->Query(q); })
+                : run_chunked(
+                      [&](const QueryRequest& q) { return sv.db->Query(q); });
+        if (live.ok() ||
+            live.status().code() == StatusCode::kDeadlineExceeded) {
+          return live;
+        }
+        // The instance may have been hot-swapped (closed) under us; if
+        // the slot left the healthy state, fall back to its stale view
+        // rather than surfacing an untyped internal error.
+        sv = SnapshotSlot(s);
+        if (sv.health == ShardHealth::kHealthy) return live;
+      }
+      if (sv.stale_view.has_value()) {
+        return run_chunked(
+            [&](const QueryRequest& q) { return sv.stale_view->Query(q); });
+      }
+      return ShardUnavailableError(
+          s, sv.retry_after_ms,
+          std::string(HealthDetail(sv.health)) + ", no stale view");
+    }();
     if (!r.ok()) return r.status();
     per_shard.push_back(std::move(*r));
   }
@@ -266,7 +486,8 @@ StatusOr<QueryResult> ShardedService::ExecuteQuery(const QueryRequest& request,
 }
 
 StatusOr<ApplyResult> ShardedService::ExecuteApply(
-    const std::vector<UpdateOp>& ops, const Deadline& deadline) {
+    const std::vector<UpdateOp>& ops, const RequestOptions& opts,
+    const Deadline& deadline) {
   if (Expired(deadline)) {
     deadline_expired_.fetch_add(1, std::memory_order_relaxed);
     return DeadlineExceededError("request deadline expired while queued");
@@ -274,16 +495,55 @@ StatusOr<ApplyResult> ShardedService::ExecuteApply(
   // Route to owning shards, rewriting to local ids; op order within a
   // shard follows batch order, so per-shard liveness validation sees
   // the same sequence an unsharded Apply would.
-  std::vector<std::vector<UpdateOp>> routed(shards_.size());
+  std::vector<std::vector<UpdateOp>> routed(slots_.size());
   for (const UpdateOp& op : ops) {
     routed[router_->shard_of(op.id)].push_back(
         {op.op, router_->local_of(op.id)});
   }
   ApplyResult result;
-  result.shard_status.resize(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  result.shard_status.resize(slots_.size());
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
     if (routed[s].empty()) continue;
-    result.shard_status[s] = shards_[s]->Apply(routed[s]);
+    // Budget check BEFORE dispatch: an expired shard gets a typed
+    // pre-dispatch kDeadlineExceeded with nothing applied there, so the
+    // retry layer may safely re-send that sub-batch.
+    if (Expired(deadline)) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      result.shard_status[s] = DeadlineExceededError(
+          "request deadline expired before dispatch to shard " +
+          std::to_string(s));
+      continue;
+    }
+    SlotView sv = SnapshotSlot(s);
+    if (sv.health != ShardHealth::kHealthy || sv.db == nullptr) {
+      result.shard_status[s] =
+          ShardUnavailableError(s, sv.retry_after_ms, HealthDetail(sv.health));
+      continue;
+    }
+    MetricDB::ApplyOptions aopts;
+    if (s < opts.sequence_fences.size() &&
+        opts.sequence_fences[s].has_value()) {
+      aopts.expected_sequence = *opts.sequence_fences[s];
+    }
+    Status st = sv.db->Apply(routed[s], aopts);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kUnavailable) {
+        // Fresh write fault: the shard just went sticky read-only.
+        // Wake the supervisor so quarantine does not wait out the poll.
+        if (supervisor_ != nullptr) supervisor_->Nudge();
+      } else if (!IsSequenceFenceMismatch(st)) {
+        // A hot-swap may have closed the instance between our snapshot
+        // and the Apply; keep the error typed for the retry layer.
+        SlotView now = SnapshotSlot(s);
+        if (now.health != ShardHealth::kHealthy) {
+          st = ShardUnavailableError(
+              s, now.retry_after_ms,
+              std::string(HealthDetail(now.health)) + " (" + st.message() +
+                  ")");
+        }
+      }
+    }
+    result.shard_status[s] = st;
   }
   return result;
 }
@@ -313,8 +573,8 @@ StatusOr<ApplyResult> ShardedService::Apply(const std::vector<UpdateOp>& ops,
     }
   }
   Deadline deadline = ResolveDeadline(opts);
-  return Submit<StatusOr<ApplyResult>>(deadline, [this, &ops, deadline] {
-    return ExecuteApply(ops, deadline);
+  return Submit<StatusOr<ApplyResult>>(deadline, [this, &ops, &opts, deadline] {
+    return ExecuteApply(ops, opts, deadline);
   });
 }
 
@@ -333,9 +593,13 @@ Status ShardedService::Checkpoint() {
     return FailedPreconditionError("service is closed");
   }
   Status first;
-  for (std::unique_ptr<MetricDB>& shard : shards_) {
-    Status s = shard->Checkpoint();
-    if (first.ok() && !s.ok()) first = s;
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    SlotView sv = SnapshotSlot(s);
+    Status st = (sv.health == ShardHealth::kHealthy && sv.db != nullptr)
+                    ? sv.db->Checkpoint()
+                    : ShardUnavailableError(s, sv.retry_after_ms,
+                                            HealthDetail(sv.health));
+    if (first.ok() && !st.ok()) first = st;
   }
   return first;
 }
@@ -347,11 +611,22 @@ StatusOr<ShardedService::ReadView> ShardedService::GetReadView() const {
     return FailedPreconditionError("service is closed");
   }
   std::vector<MetricDB::ReadView> views;
-  views.reserve(shards_.size());
-  for (const std::unique_ptr<MetricDB>& shard : shards_) {
-    StatusOr<MetricDB::ReadView> view = shard->GetReadView();
-    if (!view.ok()) return view.status();
-    views.push_back(std::move(*view));
+  views.reserve(slots_.size());
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    SlotView sv = SnapshotSlot(s);
+    if (sv.health == ShardHealth::kHealthy && sv.db != nullptr) {
+      StatusOr<MetricDB::ReadView> view = sv.db->GetReadView();
+      if (!view.ok()) return view.status();
+      views.push_back(std::move(*view));
+    } else if (sv.stale_view.has_value()) {
+      // Quarantined/recovering shards pin their quarantine-time view:
+      // still one consistent version, just not the freshest.
+      views.push_back(*sv.stale_view);
+    } else {
+      return ShardUnavailableError(
+          s, sv.retry_after_ms,
+          std::string(HealthDetail(sv.health)) + ", no stale view");
+    }
   }
   return ReadView(router_, std::move(views));
 }
@@ -373,27 +648,95 @@ StatusOr<QueryResult> ShardedService::ReadView::Query(
   return GatherAtViews(*router_, shards_, request);
 }
 
+// -- self-healing -------------------------------------------------------------
+
+std::vector<ShardHealthReport> ShardedService::health() const {
+  std::vector<ShardHealthReport> out;
+  out.reserve(slots_.size());
+  for (const std::unique_ptr<ShardSlot>& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    ShardHealthReport r;
+    r.health = slot->health;
+    r.last_error = slot->last_error;
+    r.attempts = slot->attempts;
+    r.retry_after_ms = slot->retry_after_ms;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Status ShardedService::ResetShard(uint32_t shard) {
+  if (shard >= slots_.size()) {
+    return InvalidArgumentError("shard " + std::to_string(shard) +
+                                " out of range [0, " +
+                                std::to_string(slots_.size()) + ")");
+  }
+  if (supervisor_ == nullptr) {
+    return FailedPreconditionError(
+        "service has no supervisor (ServiceOptions::self_heal is off)");
+  }
+  ShardSlot& slot = *slots_[shard];
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.health == ShardHealth::kHealthy) {
+      return FailedPreconditionError("shard " + std::to_string(shard) +
+                                     " is healthy; nothing to reset");
+    }
+    slot.attempts = 0;
+    if (slot.backoff != nullptr) slot.backoff->Reset();
+    slot.retry_after_ms = 0;
+    slot.next_attempt = SteadyClock::now();
+    // A recovery attempt already in flight keeps running; it simply
+    // counts from zero now.  Pinned shards re-enter the retry loop.
+    if (slot.health == ShardHealth::kPinnedReadOnly) {
+      slot.health = ShardHealth::kQuarantined;
+    }
+  }
+  supervisor_->Nudge();
+  return OkStatus();
+}
+
 // -- introspection ------------------------------------------------------------
 
 bool ShardedService::alive(ObjectId id) const {
   if (id >= router_->size()) return false;
-  return shards_[router_->shard_of(id)]->alive(router_->local_of(id));
+  const uint32_t s = router_->shard_of(id);
+  const ObjectId local = router_->local_of(id);
+  SlotView sv = SnapshotSlot(s);
+  if (sv.health == ShardHealth::kHealthy && sv.db != nullptr) {
+    return sv.db->alive(local);
+  }
+  if (sv.stale_view.has_value()) return sv.stale_view->alive(local);
+  return false;
 }
 
 std::vector<uint64_t> ShardedService::sequences() const {
   std::vector<uint64_t> out;
-  out.reserve(shards_.size());
-  for (const std::unique_ptr<MetricDB>& shard : shards_) {
-    out.push_back(shard->last_sequence());
+  out.reserve(slots_.size());
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    SlotView sv = SnapshotSlot(s);
+    if (sv.health == ShardHealth::kHealthy && sv.db != nullptr) {
+      out.push_back(sv.db->last_sequence());
+    } else if (sv.stale_view.has_value()) {
+      out.push_back(sv.stale_view->sequence());
+    } else {
+      out.push_back(0);
+    }
   }
   return out;
 }
 
 std::vector<Status> ShardedService::write_statuses() const {
   std::vector<Status> out;
-  out.reserve(shards_.size());
-  for (const std::unique_ptr<MetricDB>& shard : shards_) {
-    out.push_back(shard->write_status());
+  out.reserve(slots_.size());
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    SlotView sv = SnapshotSlot(s);
+    if (sv.health == ShardHealth::kHealthy && sv.db != nullptr) {
+      out.push_back(sv.db->write_status());
+    } else {
+      out.push_back(
+          ShardUnavailableError(s, sv.retry_after_ms, HealthDetail(sv.health)));
+    }
   }
   return out;
 }

@@ -10,15 +10,28 @@
 // Request path: every Query/Apply is admitted through a bounded queue +
 // worker pool (src/service/admission.h).  A full queue is typed
 // backpressure -- kResourceExhausted, never unbounded queueing -- and a
-// per-request deadline turns stragglers into typed kDeadlineExceeded
-// (checked at dequeue and between shard dispatches; a shard query
-// already executing runs to completion).
+// per-request deadline turns stragglers into typed kDeadlineExceeded.
+// The deadline budget is propagated INTO per-shard work: queries are
+// executed in bounded chunks with the budget re-checked between chunks
+// (chunking is bit-identical by the batch split-invariance guarantee),
+// and Apply re-checks before each shard's sub-commit, so a request
+// cannot overrun its deadline inside a slow shard.
 //
 // Reads scatter/gather: the worker pins a ReadView per shard (lock-free
 // epoch pin), runs the block-major batch engine inside each shard, and
 // merges -- union for MRQ, a k-way merge with (distance, id) tie-break
 // for MkNN -- so results are bit-identical to an unsharded MetricDB
 // holding the same data (see result_merger.h for why).
+//
+// Self-healing: each shard lives in a hot-swappable slot
+// (shared_ptr<MetricDB> + ShardHealth).  When a write fault makes a
+// shard sticky read-only, the ShardSupervisor (supervisor.h)
+// quarantines it -- reads continue from a stale pinned view, writes
+// return typed kUnavailable carrying the shard id and a retry-after
+// hint -- then recovers it in place from its own WAL/checkpoint chain
+// and swaps the fresh MetricDB into the slot.  Healthy shards and any
+// in-flight ReadViews are untouched.  Enable with
+// ServiceOptions::self_heal on a durable service.
 //
 // Consistency model: per-shard sequences.  A shard is internally
 // consistent (its ReadView is one published version); across shards a
@@ -37,13 +50,16 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/api/metric_db.h"
 #include "src/service/admission.h"
+#include "src/service/backoff.h"
 #include "src/service/shard_router.h"
+#include "src/service/supervisor.h"
 
 namespace pmi {
 
@@ -59,6 +75,10 @@ struct ServiceOptions {
   uint32_t max_queue = 64;
   /// Default per-request deadline in milliseconds; negative = none.
   double default_deadline_ms = -1;
+  /// Durable services only: run a ShardSupervisor that quarantines and
+  /// recovers write-faulted shards in place (supervisor.h).
+  bool self_heal = false;
+  SupervisorOptions supervisor;
 };
 
 /// Per-request overrides.
@@ -67,6 +87,13 @@ struct RequestOptions {
   /// default; >= 0 = hard deadline (0 is already expired -- useful for
   /// deterministic timeout tests); negative = no deadline.
   std::optional<double> deadline_ms;
+  /// Per-shard sequence fences for Apply (ignored by Query).  When
+  /// entry s is set, shard s's sub-batch commits only if the shard's
+  /// last_sequence() still equals the fence; a mismatch is a typed
+  /// SequenceFenceError and applies nothing to that shard.  Empty (the
+  /// default) = no fences.  This is how retry.h makes retried batches
+  /// idempotent.
+  std::vector<std::optional<uint64_t>> sequence_fences;
 };
 
 /// Outcome of a routed update batch: one Status per shard.  Shards the
@@ -90,6 +117,13 @@ struct ApplyResult {
     return OkStatus();
   }
 };
+
+/// The typed error a quarantined / recovering / pinned shard returns
+/// for writes (and for reads only when no stale view is available):
+/// kUnavailable carrying the shard id and a retry-after hint.
+/// retry_after_ms < 0 marks the pinned-read-only terminal state.
+Status ShardUnavailableError(uint32_t shard, double retry_after_ms,
+                             const std::string& detail);
 
 class ShardedService {
  public:
@@ -124,9 +158,9 @@ class ShardedService {
       const std::string& dir, const ServiceOptions& sopts = {},
       const DurabilityOptions& dopts = {});
 
-  /// Shuts the service down: refuses new requests, drains the admission
-  /// queue, joins the workers, closes every shard.  Idempotent; returns
-  /// the first shard Close error.
+  /// Shuts the service down: stops the supervisor, refuses new
+  /// requests, drains the admission queue, joins the workers, closes
+  /// every shard.  Idempotent; returns the first shard Close error.
   Status Close();
 
   ~ShardedService();
@@ -136,7 +170,8 @@ class ShardedService {
   /// Answers `request` through admission + scatter/gather.  Blocks the
   /// calling thread until the request completes (or is refused).
   /// Errors: kResourceExhausted (queue full), kDeadlineExceeded,
-  /// kFailedPrecondition (closed), plus anything a shard query returns.
+  /// kFailedPrecondition (closed), kUnavailable (a shard is under
+  /// recovery with no stale view), plus anything a shard query returns.
   /// Safe from any number of client threads.
   StatusOr<QueryResult> Query(const QueryRequest& request,
                               const RequestOptions& opts = {}) const;
@@ -145,7 +180,12 @@ class ShardedService {
   /// sub-batch per shard (see ApplyResult for the atomicity contract).
   /// The outer StatusOr rejects the whole batch untouched:
   /// kInvalidArgument (id out of range), kResourceExhausted,
-  /// kDeadlineExceeded, kFailedPrecondition (closed).
+  /// kDeadlineExceeded, kFailedPrecondition (closed).  Per-shard
+  /// statuses: kUnavailable while the supervisor has the shard
+  /// (quarantined/recovering/pinned -- message carries shard id +
+  /// retry-after), kDeadlineExceeded when the budget expired before
+  /// that shard's dispatch (nothing applied there), SequenceFenceError
+  /// on a stale fence, or the shard's own commit error.
   StatusOr<ApplyResult> Apply(const std::vector<UpdateOp>& ops,
                               const RequestOptions& opts = {});
 
@@ -185,18 +225,38 @@ class ShardedService {
 
   StatusOr<ReadView> GetReadView() const;
 
+  // -- self-healing --------------------------------------------------------
+
+  /// Per-shard health snapshot (healthy / quarantined / recovering /
+  /// pinned-read-only), in shard order.
+  std::vector<ShardHealthReport> health() const;
+
+  /// Manual circuit-breaker reset: re-arms recovery on a pinned (or
+  /// quarantined) shard -- attempts and backoff restart from zero and
+  /// the supervisor retries immediately.  kFailedPrecondition when the
+  /// shard is healthy or the service has no supervisor; kInvalidArgument
+  /// for a bad shard id.
+  Status ResetShard(uint32_t shard);
+
+  /// The supervisor, when self_heal is on (else nullptr).  Borrowed.
+  const ShardSupervisor* supervisor() const { return supervisor_.get(); }
+
   // -- introspection -------------------------------------------------------
 
   uint32_t num_shards() const { return router_->num_shards(); }
   const ShardRouter& router() const { return *router_; }
   const ServiceOptions& options() const { return sopts_; }
   /// The effective per-shard config (metric param already resolved).
-  const MetricDBConfig& config() const { return shards_[0]->config(); }
+  const MetricDBConfig& config() const;
 
   /// Writer-side views, like MetricDB::last_sequence()/alive(): exact
   /// only when no Apply is in flight (e.g. after joining clients).
+  /// During recovery a shard answers from its stale quarantine view.
   bool alive(ObjectId id) const;
   std::vector<uint64_t> sequences() const;
+  /// Per-shard write availability: OK iff the shard is healthy AND its
+  /// MetricDB write_status() is OK; a supervised shard reports its
+  /// typed kUnavailable while quarantined/recovering/pinned.
   std::vector<Status> write_statuses() const;
 
   /// Objects owned per shard (router view -- placement, not liveness).
@@ -205,7 +265,28 @@ class ShardedService {
   ServiceStats stats() const;
 
  private:
+  friend class ShardSupervisor;
+
   using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+  /// A hot-swappable shard: the live MetricDB (shared so in-flight
+  /// requests keep their instance across a swap), its health state, and
+  /// the stale pinned view that serves reads while the instance is
+  /// closed for recovery.  The slot mutex guards only the fields --
+  /// shard work (Apply/Query) runs on a copied shared_ptr outside it.
+  struct ShardSlot {
+    mutable std::mutex mu;
+    std::shared_ptr<MetricDB> db;
+    ShardHealth health = ShardHealth::kHealthy;
+    std::optional<MetricDB::ReadView> stale_view;
+    Status last_error;
+    uint32_t attempts = 0;
+    /// Advertised delay until the next recovery attempt (< 0: pinned).
+    double retry_after_ms = 0;
+    std::chrono::steady_clock::time_point next_attempt{};
+    std::chrono::steady_clock::time_point fault_detected_at{};
+    std::unique_ptr<Backoff> backoff;  // armed at quarantine time
+  };
 
   ShardedService() = default;
 
@@ -227,19 +308,35 @@ class ShardedService {
   StatusOr<QueryResult> ExecuteQuery(const QueryRequest& request,
                                      const Deadline& deadline) const;
   StatusOr<ApplyResult> ExecuteApply(const std::vector<UpdateOp>& ops,
+                                     const RequestOptions& opts,
                                      const Deadline& deadline);
 
+  /// Snapshot of a slot for one request (copied under the slot mutex).
+  struct SlotView {
+    std::shared_ptr<MetricDB> db;
+    ShardHealth health = ShardHealth::kHealthy;
+    std::optional<MetricDB::ReadView> stale_view;
+    double retry_after_ms = 0;
+  };
+  SlotView SnapshotSlot(uint32_t shard) const;
+
+  /// Directory of shard `s` (durable services).
+  std::string ShardDir(uint32_t s) const;
+
   ServiceOptions sopts_;
+  MetricDBConfig shard_config_;  // metric param resolved at build time
   std::shared_ptr<const ShardRouter> router_;
-  std::vector<std::unique_ptr<MetricDB>> shards_;
+  std::vector<std::unique_ptr<ShardSlot>> slots_;
   std::unique_ptr<AdmissionQueue> queue_;
+  std::unique_ptr<ShardSupervisor> supervisor_;
   std::atomic<bool> closed_{false};
   mutable std::atomic<uint64_t> deadline_expired_{0};
 
   // Durable services only.
   bool durable_ = false;
   std::string dir_;
-  Env* env_ = nullptr;  // borrowed; outlives the service
+  DurabilityOptions dopts_;  // env_ kept in sync below
+  Env* env_ = nullptr;       // borrowed; outlives the service
 };
 
 }  // namespace pmi

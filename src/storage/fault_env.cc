@@ -23,10 +23,11 @@ class FaultWritableFile final : public WritableFile {
         // Power loss mid-write: a random strict prefix lands, then the
         // world stops.  The status models the process dying -- the
         // caller must treat the op as unacknowledged.
+        // The env is already powered off (NextMutation crashed it with
+        // the trigger); only this call's torn prefix still reaches media.
         size_t keep = data.empty() ? 0 : Below(data.size());
         base_->Append(data.substr(0, keep));
         base_->Sync();  // the torn prefix itself may well be on media
-        env_->Crash();
         return UnavailableError("simulated crash: torn write");
       }
       case FaultKind::kShortWrite: {
@@ -63,8 +64,7 @@ class FaultWritableFile final : public WritableFile {
     }
     if (inject == FaultKind::kTornWrite) {
       // Power loss at the barrier itself: what persists is whatever the
-      // OS already wrote; the world stops.
-      env_->Crash();
+      // OS already wrote; NextMutation already downed the env.
       return UnavailableError("simulated crash: power loss at fsync");
     }
     if (inject != FaultKind::kNone) {
@@ -106,6 +106,13 @@ Status FaultInjectingEnv::NextMutation(FaultKind* inject) {
       index == plan_.trigger) {
     triggered_ = true;
     *inject = plan_.kind;
+    // Power loss takes effect HERE, atomically with the trigger
+    // decision.  If it were deferred until after the torn prefix lands
+    // on media, a harness observing triggered() could re-Arm() the env
+    // inside that window and the late crash would down the env with
+    // nobody left to clear it.  The faulting call itself writes its
+    // prefix through base_ directly, so this does not block it.
+    if (plan_.kind == FaultKind::kTornWrite) crashed_ = true;
   }
   return OkStatus();
 }
@@ -180,8 +187,8 @@ Status FaultInjectingEnv::RenameFile(const std::string& from,
   FaultKind inject = FaultKind::kNone;
   PMI_RETURN_IF_ERROR(NextMutation(&inject));
   if (inject == FaultKind::kTornWrite) {
-    // Power loss before the rename reached the directory.
-    Crash();
+    // Power loss before the rename reached the directory (the env is
+    // already down courtesy of NextMutation).
     return UnavailableError("simulated crash: power loss at rename");
   }
   if (inject != FaultKind::kNone) {
@@ -194,7 +201,6 @@ Status FaultInjectingEnv::SyncDir(const std::string& dir) {
   FaultKind inject = FaultKind::kNone;
   PMI_RETURN_IF_ERROR(NextMutation(&inject));
   if (inject == FaultKind::kTornWrite) {
-    Crash();
     return UnavailableError("simulated crash: power loss at dir fsync");
   }
   if (inject == FaultKind::kFailedSync) {

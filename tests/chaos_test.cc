@@ -1,0 +1,485 @@
+// The chaos orchestrator -- PR 9's acceptance harness.
+//
+// One long-lived durable self-healing service takes >= 200 scripted
+// fault rounds (5 fault kinds x 40 trigger offsets) while concurrent
+// per-shard writers drive toggle batches through ApplyWithRetry and a
+// reader hammers MkNN through QueryWithRetry.  Every round must end
+// with the service converged back to all-shards-writable (via
+// supervisor recovery, or circuit-breaker trip + manual ResetShard),
+// with zero crashes and zero untyped errors, and with every shard's
+// state equal to a replay of exactly its applied op prefix:
+//
+//   - each writer owns one shard's id stripe (disjoint ownership, the
+//     retry idempotence contract) and stops at the first terminal
+//     batch failure, so per round at most ONE batch per shard is in
+//     limbo;
+//   - at round end the shard's recovered sequence decides the limbo
+//     batch both ways: S == acked means the batch (and any WAL orphan
+//     of it) never committed, S == acked + |batch| means recovery
+//     replayed it.  Any other value -- in particular acked + 2|batch|,
+//     the double-apply signature -- fails the test;
+//   - liveness is then checked id-by-id against the replayed bitmap,
+//     and periodically MRQ/MkNN results are checked bit-identical
+//     against a LinearScan oracle built at that bitmap.
+//
+// kBitFlip is silent media corruption: the write acks, the poison sits
+// in the WAL until the next recovery truncates it (PR 6 scopes the ack
+// guarantee to reported faults for exactly this reason).  The harness
+// checkpoints after each bit-flip round -- the standard scrub defense
+// -- so the silent damage cannot masquerade as a recovery bug in a
+// later round.
+//
+// Knobs: PMI_CHAOS_ROUNDS (default 200), PMI_FAULT_SEED, and
+// PMI_RECOVERY_LOG (append one line per round for the CI artifact).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/metric_db.h"
+#include "src/core/rng.h"
+#include "src/data/generators.h"
+#include "src/service/retry.h"
+#include "src/service/sharded_service.h"
+#include "src/storage/env.h"
+#include "src/storage/fault_env.h"
+
+namespace pmi {
+namespace {
+
+constexpr uint64_t kSeed = 20260809;
+constexpr uint32_t kNumShards = 3;
+constexpr uint32_t kDatasetN = 180;
+constexpr uint32_t kOpsPerBatch = 3;
+constexpr uint32_t kBatchesPerWriter = 2;
+
+uint32_t EnvU32(const char* name, uint32_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+}
+
+std::string NewDir(const std::string& name) {
+  // Per-process suffix: concurrent invocations (CI shards, a soak loop
+  // next to ctest) must not share shard directories.
+  return ::testing::TempDir() + "pmi_chaos_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+void RemoveTree(const std::string& dir) {
+  Env* env = Env::Default();
+  StatusOr<std::vector<std::string>> names = env->ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      const std::string path = JoinPath(dir, name);
+      if (env->RemoveFile(path).ok()) continue;
+      RemoveTree(path);
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+bool WaitFor(const std::function<bool()>& pred, double timeout_ms) {
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::duration<double, std::milli>(timeout_ms);
+  while (std::chrono::steady_clock::now() < end) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+bool AllWritable(const ShardedService& svc) {
+  for (const Status& s : svc.write_statuses()) {
+    if (!s.ok()) return false;
+  }
+  return true;
+}
+
+/// Terminal statuses the chaos contract allows; anything else is an
+/// untyped failure and fails the run.
+bool IsTypedTerminal(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One writer's round outcome for its shard.
+struct WriterOutcome {
+  uint64_t acked_ops = 0;
+  std::vector<UpdateOp> limbo;  // the (single) terminally-failed batch
+  Status terminal;              // its collapsed status
+  uint64_t untyped = 0;
+  uint64_t attempts = 0;
+  uint64_t idempotent_skips = 0;
+};
+
+/// Aggregate chaos counters for the summary line.
+struct ChaosStats {
+  uint64_t rounds = 0;
+  uint64_t faults_fired = 0;
+  uint64_t limbo_batches = 0;
+  uint64_t orphan_replays = 0;
+  uint64_t breaker_resets = 0;
+  uint64_t reads_ok = 0;
+  uint64_t reads_typed = 0;
+  uint64_t untyped = 0;
+  uint64_t retry_attempts = 0;
+  uint64_t idempotent_skips = 0;
+};
+
+TEST(ChaosTest, ScriptedFaultSweepConvergesAndMatchesOracle) {
+  const uint64_t base_seed = EnvU32("PMI_FAULT_SEED", 20260809u);
+  const uint32_t rounds = EnvU32("PMI_CHAOS_ROUNDS", 200);
+  std::ofstream log;
+  if (const char* path = std::getenv("PMI_RECOVERY_LOG")) {
+    log.open(path, std::ios::app);
+  }
+
+  const std::string dir = NewDir("sweep");
+  RemoveTree(dir);
+  FaultInjectingEnv fenv(Env::Default());
+
+  BenchDataset bd = MakeBenchDataset(BenchDatasetId::kSynthetic, kDatasetN,
+                                     4242);
+  const Dataset data = bd.data;
+
+  ServiceOptions sopts;
+  sopts.num_shards = kNumShards;
+  sopts.workers = 3;
+  sopts.max_queue = 128;
+  sopts.self_heal = true;
+  sopts.supervisor.poll_interval_ms = 1;
+  sopts.supervisor.initial_backoff_ms = 1;
+  sopts.supervisor.max_backoff_ms = 8;
+  // Low enough that a long crash window (torn write) can trip the
+  // breaker, exercising the ResetShard path mid-sweep.
+  sopts.supervisor.max_recovery_attempts = 6;
+  sopts.supervisor.seed = base_seed;
+  DurabilityOptions dopts;
+  dopts.env = &fenv;
+  auto svc_or = ShardedService::CreateDurable(
+      MetricDBConfig().WithMetric("Linf").WithIndex("LAESA").WithPivots(4),
+      std::move(bd.data), dir, sopts, dopts);
+  ASSERT_TRUE(svc_or.ok()) << svc_or.status().ToString();
+  ShardedService& svc = **svc_or;
+
+  // Disjoint stripes: writer s owns exactly shard s's members.
+  std::vector<std::vector<ObjectId>> stripe(kNumShards);
+  for (uint32_t s = 0; s < kNumShards; ++s) stripe[s] = svc.router().members(s);
+
+  // The replayed ground truth: liveness per id, plus each shard's
+  // expected sequence.  Updated only from resolved batches.
+  std::vector<uint8_t> live(kDatasetN, 1);
+  std::vector<uint64_t> acked_seq(kNumShards, 0);
+
+  const FaultKind kKinds[] = {FaultKind::kTornWrite, FaultKind::kShortWrite,
+                              FaultKind::kFailedSync, FaultKind::kNoSpace,
+                              FaultKind::kBitFlip};
+  ChaosStats cs;
+
+  RetryPolicy wpolicy;
+  wpolicy.max_attempts = 100;
+  wpolicy.backoff = {0.5, 4.0, 2.0};
+  RetryPolicy rpolicy;
+  rpolicy.max_attempts = 20;
+  rpolicy.backoff = {0.25, 2.0, 2.0};
+
+  const auto oracle_check = [&](const std::string& when) {
+    StatusOr<MetricDB> oracle = MetricDB::Create(
+        MetricDBConfig().WithMetric("Linf").WithIndex("LinearScan"),
+        Dataset(data));
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    for (ObjectId id = 0; id < kDatasetN; ++id) {
+      if (!live[id]) {
+        ASSERT_TRUE(oracle->Remove(id).ok());
+      }
+    }
+    Rng qrng(base_seed ^ 0xfeed);
+    std::vector<ObjectView> queries;
+    for (int i = 0; i < 5; ++i) queries.push_back(data.view(qrng() % kDatasetN));
+    StatusOr<QueryResult> omrq =
+        oracle->Query(QueryRequest::RangeBatch(queries, 0.4));
+    StatusOr<QueryResult> smrq =
+        svc.Query(QueryRequest::RangeBatch(queries, 0.4));
+    ASSERT_TRUE(omrq.ok() && smrq.ok()) << when;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      std::vector<ObjectId> want = omrq->ids[q];
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(smrq->ids[q], want) << when << " MRQ query " << q;
+    }
+    StatusOr<QueryResult> oknn =
+        oracle->Query(QueryRequest::KnnBatch(queries, size_t{4}));
+    StatusOr<QueryResult> sknn =
+        svc.Query(QueryRequest::KnnBatch(queries, size_t{4}));
+    ASSERT_TRUE(oknn.ok() && sknn.ok()) << when;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(sknn->neighbors[q].size(), oknn->neighbors[q].size()) << when;
+      for (size_t i = 0; i < oknn->neighbors[q].size(); ++i) {
+        ASSERT_EQ(sknn->neighbors[q][i].id, oknn->neighbors[q][i].id) << when;
+        ASSERT_EQ(sknn->neighbors[q][i].dist, oknn->neighbors[q][i].dist)
+            << when;
+      }
+    }
+  };
+
+  for (uint32_t round = 0; round < rounds; ++round) {
+    const FaultKind kind = kKinds[round % 5];
+    // A round commits ~12 durability mutations; this modulus keeps most
+    // scripted points inside the window that actually fires.
+    const uint64_t trigger = (round / 5) % 12;
+    SCOPED_TRACE("round " + std::to_string(round) + ": " +
+                 FaultKindName(kind) + " at mutation " +
+                 std::to_string(trigger));
+    fenv.Arm({kind, trigger, base_seed ^ (round * 2654435761ull)});
+
+    // Writers: kBatchesPerWriter toggle batches on this shard's stripe,
+    // one op per id per batch (so the fence liveness probe is never
+    // ambiguous), stopping at the first terminal failure.
+    std::vector<WriterOutcome> out(kNumShards);
+    std::atomic<uint32_t> writers_live{kNumShards};
+    std::vector<std::thread> writers;
+    for (uint32_t s = 0; s < kNumShards; ++s) {
+      writers.emplace_back([&, s] {
+        for (uint32_t b = 0; b < kBatchesPerWriter; ++b) {
+          std::vector<UpdateOp> batch;
+          for (uint32_t j = 0; j < kOpsPerBatch; ++j) {
+            const ObjectId id =
+                stripe[s][(round * kBatchesPerWriter * kOpsPerBatch +
+                           b * kOpsPerBatch + j) %
+                          stripe[s].size()];
+            batch.push_back(live[id] ? UpdateOp::Remove(id)
+                                     : UpdateOp::Insert(id));
+            // Tentatively toggle so op j+1 sees op j's effect; rolled
+            // back below if the batch does not commit.
+            live[id] ^= 1;
+          }
+          RetryStats rs;
+          StatusOr<ApplyResult> r = ApplyWithRetry(svc, batch, wpolicy, {}, &rs);
+          out[s].attempts += rs.attempts;
+          out[s].idempotent_skips += rs.idempotent_skips;
+          const Status st = r.ok() ? r->shard_status[s] : r.status();
+          if (st.ok()) {
+            out[s].acked_ops += batch.size();
+            continue;
+          }
+          // Terminal: roll the tentative toggles back and park the
+          // batch in limbo for the round-end sequence check.
+          for (const UpdateOp& op : batch) live[op.id] ^= 1;
+          out[s].limbo = batch;
+          out[s].terminal = st;
+          if (!IsTypedTerminal(st)) ++out[s].untyped;
+          break;
+        }
+        --writers_live;
+      });
+    }
+
+    // Reader: MkNN through the retry layer for the whole writer window.
+    uint64_t reads_ok = 0, reads_typed = 0, reads_untyped = 0;
+    std::thread reader([&] {
+      Rng rrng(base_seed ^ round ^ 0xbeef);
+      while (writers_live.load() > 0) {
+        std::vector<ObjectView> qs;
+        for (int i = 0; i < 3; ++i) qs.push_back(data.view(rrng() % kDatasetN));
+        RetryStats rs;
+        StatusOr<QueryResult> r =
+            QueryWithRetry(svc, QueryRequest::KnnBatch(qs, size_t{3}), rpolicy,
+                           {}, &rs);
+        if (r.ok()) {
+          ++reads_ok;
+        } else if (IsTypedTerminal(r.status())) {
+          ++reads_typed;
+        } else {
+          ++reads_untyped;
+          ADD_FAILURE() << "untyped read failure: " << r.status().ToString();
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+
+    // Heal the env once the fault has fired (or the round turned out
+    // not to reach the trigger), then let everything drain.
+    WaitFor([&] { return fenv.triggered() || writers_live.load() == 0; },
+            5000);
+    const bool fired = fenv.triggered();
+    if (fired) ++cs.faults_fired;
+    if (fired && kind == FaultKind::kTornWrite) {
+      // Hold the post-crash powered-off window open long enough for the
+      // supervisor to burn a few recovery attempts against it -- the
+      // backoff/breaker path must see real failures in the sweep, not
+      // only in the unit tests.
+      std::this_thread::sleep_for(std::chrono::milliseconds(8));
+    }
+    fenv.Arm({FaultKind::kNone, 0, 1});
+    for (std::thread& t : writers) t.join();
+    reader.join();
+    cs.reads_ok += reads_ok;
+    cs.reads_typed += reads_typed;
+    cs.untyped += reads_untyped;
+
+    // Convergence: all shards writable again, with a manual
+    // circuit-breaker reset when a long crash window pinned a shard.
+    if (!WaitFor([&] { return AllWritable(svc); }, 10000)) {
+      std::vector<ShardHealthReport> health = svc.health();
+      for (uint32_t s = 0; s < kNumShards; ++s) {
+        if (health[s].health == ShardHealth::kPinnedReadOnly) {
+          ASSERT_TRUE(svc.ResetShard(s).ok());
+          ++cs.breaker_resets;
+        }
+      }
+      const bool converged = WaitFor([&] { return AllWritable(svc); }, 10000);
+      std::string detail;
+      for (const ShardHealthReport& h : svc.health()) {
+        detail += std::string(" [") + ShardHealthName(h.health) +
+                  " attempts=" + std::to_string(h.attempts) + " " +
+                  h.last_error.ToString() + "]";
+      }
+      if (!converged) {
+        // Liveness probe for the post-mortem: a supervisor whose sweep
+        // counter stops advancing is stuck, not backing off.
+        const ShardSupervisor::Stats s0 = svc.supervisor()->stats();
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        const ShardSupervisor::Stats s1 = svc.supervisor()->stats();
+        detail += " env_crashed=" + std::to_string(fenv.crashed()) +
+                  " sweeps=" + std::to_string(s0.health_checks) + "->" +
+                  std::to_string(s1.health_checks) +
+                  " faults_detected=" + std::to_string(s1.faults_detected) +
+                  " recoveries=" + std::to_string(s1.recoveries) +
+                  " failed_attempts=" + std::to_string(s1.failed_attempts) +
+                  " breaker_trips=" + std::to_string(s1.breaker_trips);
+      }
+      ASSERT_TRUE(converged)
+          << "service did not converge to all-shards-writable:" << detail;
+    }
+
+    // Resolve each shard's limbo batch from its recovered sequence.
+    // MetricDB logs one WAL record per op, so a torn tail may commit
+    // any PREFIX of the batch (in op order); recovery replays exactly
+    // that prefix.  S - acked must therefore land in [0, |batch|] --
+    // anything above |batch| is the double-apply signature -- and the
+    // ground truth absorbs exactly the first S - acked ops.
+    const std::vector<uint64_t> seqs = svc.sequences();
+    for (uint32_t s = 0; s < kNumShards; ++s) {
+      EXPECT_EQ(out[s].untyped, 0u)
+          << "untyped write failure on shard " << s << ": "
+          << out[s].terminal.ToString();
+      cs.untyped += out[s].untyped;
+      cs.retry_attempts += out[s].attempts;
+      cs.idempotent_skips += out[s].idempotent_skips;
+      acked_seq[s] += out[s].acked_ops;
+      ASSERT_GE(seqs[s], acked_seq[s])
+          << "shard " << s << " recovery lost acknowledged updates";
+      const uint64_t extra = seqs[s] - acked_seq[s];
+      if (out[s].limbo.empty()) {
+        ASSERT_EQ(extra, 0u)
+            << "shard " << s << " gained updates nobody issued";
+      } else {
+        ++cs.limbo_batches;
+        ASSERT_LE(extra, out[s].limbo.size())
+            << "shard " << s << " applied more than the limbo batch: "
+            << "double apply";
+        for (uint64_t i = 0; i < extra; ++i) live[out[s].limbo[i].id] ^= 1;
+        if (extra > 0) ++cs.orphan_replays;
+        acked_seq[s] = seqs[s];
+      }
+    }
+
+    // Bit-exact liveness against the replayed ground truth.
+    for (ObjectId id = 0; id < kDatasetN; ++id) {
+      ASSERT_EQ(svc.alive(id), static_cast<bool>(live[id]))
+          << "liveness diverged at id " << id;
+    }
+
+    if (kind == FaultKind::kBitFlip) {
+      // Scrub: absorb the silently corrupted WAL record into a fresh
+      // checkpoint so it cannot surface in a later round's recovery.
+      ASSERT_TRUE(svc.Checkpoint().ok());
+    }
+    if (round % 25 == 24) {
+      oracle_check("round " + std::to_string(round));
+    }
+
+    ++cs.rounds;
+    if (log.is_open()) {
+      for (uint32_t s = 0; s < kNumShards; ++s) {
+        log << "  shard" << s << ":";
+        StatusOr<std::vector<std::string>> names =
+            Env::Default()->ListDir(dir + "/shard-00" + std::to_string(s));
+        if (names.ok()) {
+          std::sort(names->begin(), names->end());
+          for (const std::string& n : *names) {
+            StatusOr<uint64_t> sz = Env::Default()->FileSize(
+                dir + "/shard-00" + std::to_string(s) + "/" + n);
+            log << " " << n << "=" << (sz.ok() ? *sz : 0);
+          }
+        }
+        log << "\n";
+      }
+      log << "chaos round=" << round << " kind=" << FaultKindName(kind)
+          << " trigger=" << trigger << " fired=" << fired
+          << " limbo=" << cs.limbo_batches
+          << " orphan_replays=" << cs.orphan_replays
+          << " breaker_resets=" << cs.breaker_resets
+          << " recoveries=" << svc.supervisor()->stats().recoveries
+          << " faults_detected=" << svc.supervisor()->stats().faults_detected
+          << " seq=[" << seqs[0] << "," << seqs[1] << "," << seqs[2] << "]"
+          << "\n";
+    }
+  }
+
+  // Final sweep-wide assertions.
+  EXPECT_EQ(cs.untyped, 0u);
+  EXPECT_GE(cs.rounds, rounds);
+  EXPECT_GT(cs.faults_fired, 0u) << "the sweep never actually faulted";
+  EXPECT_GT(cs.reads_ok, 0u);
+  oracle_check("final");
+
+  const ShardSupervisor::Stats sup = svc.supervisor()->stats();
+  ::testing::Test::RecordProperty("chaos_rounds", static_cast<int>(cs.rounds));
+  ::testing::Test::RecordProperty("faults_fired",
+                                  static_cast<int>(cs.faults_fired));
+  ::testing::Test::RecordProperty("recoveries",
+                                  static_cast<int>(sup.recoveries));
+  ::testing::Test::RecordProperty("breaker_trips",
+                                  static_cast<int>(sup.breaker_trips));
+  if (log.is_open()) {
+    log << "chaos summary rounds=" << cs.rounds << " fired=" << cs.faults_fired
+        << " recoveries=" << sup.recoveries
+        << " failed_attempts=" << sup.failed_attempts
+        << " breaker_trips=" << sup.breaker_trips
+        << " limbo=" << cs.limbo_batches
+        << " orphan_replays=" << cs.orphan_replays
+        << " idempotent_skips=" << cs.idempotent_skips
+        << " reads_ok=" << cs.reads_ok << " reads_typed=" << cs.reads_typed
+        << " untyped=" << cs.untyped << "\n";
+  }
+  EXPECT_TRUE(svc.Close().ok());
+  if (::testing::Test::HasFailure()) {
+    // Preserve the directory for a post-mortem.
+    std::fprintf(stderr, "chaos state preserved at %s\n", dir.c_str());
+  } else {
+    RemoveTree(dir);
+  }
+}
+
+}  // namespace
+}  // namespace pmi

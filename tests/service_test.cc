@@ -545,5 +545,139 @@ TEST(ServiceDurabilityTest, ReopensEveryShardToTheSameState) {
   RemoveTree(dir);
 }
 
+// -- SERVICE meta damage ------------------------------------------------------
+//
+// Degenerate meta files must come back as typed errors, mirroring the
+// snapshot damage suite: kDataLoss for anything mangled, and
+// kFailedPrecondition for a version this build does not speak.  Never a
+// crash, never a service with a bogus router.
+class ServiceMetaDamageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = NewDir("meta_damage");
+    RemoveTree(dir_);
+    BenchDataset bd = MakeBenchDataset(BenchDatasetId::kSynthetic, 96, 17);
+    MetricDBConfig config =
+        MetricDBConfig().WithMetric("Linf").WithIndex("LAESA").WithPivots(4);
+    sopts_.num_shards = 3;
+    sopts_.workers = 2;
+    sopts_.max_queue = 8;
+    auto created =
+        ShardedService::CreateDurable(config, std::move(bd.data), dir_, sopts_);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    ASSERT_TRUE((*created)->Close().ok());
+    StatusOr<std::string> meta =
+        Env::Default()->ReadFileToString(JoinPath(dir_, "SERVICE"));
+    ASSERT_TRUE(meta.ok());
+    pristine_ = *meta;
+  }
+
+  void TearDown() override { RemoveTree(dir_); }
+
+  void Rewrite(const std::string& contents) {
+    auto file = Env::Default()->NewWritableFile(JoinPath(dir_, "SERVICE"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(contents).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  StatusCode Reopen() {
+    auto reopened = ShardedService::OpenDurable(dir_, sopts_);
+    if (!reopened.ok()) return reopened.status().code();
+    (void)(*reopened)->Close();
+    return StatusCode::kOk;
+  }
+
+  std::string dir_;
+  std::string pristine_;
+  ServiceOptions sopts_;
+};
+
+TEST_F(ServiceMetaDamageTest, PristineMetaReopens) {
+  EXPECT_EQ(Reopen(), StatusCode::kOk);
+}
+
+TEST_F(ServiceMetaDamageTest, EmptyMetaIsDataLoss) {
+  Rewrite("");
+  EXPECT_EQ(Reopen(), StatusCode::kDataLoss);
+}
+
+TEST_F(ServiceMetaDamageTest, EveryTruncationIsTyped) {
+  for (size_t len = 1; len < pristine_.size(); ++len) {
+    Rewrite(pristine_.substr(0, len));
+    const StatusCode code = Reopen();
+    EXPECT_TRUE(code == StatusCode::kDataLoss ||
+                code == StatusCode::kFailedPrecondition)
+        << "truncation at " << len << " -> " << StatusCodeName(code);
+  }
+}
+
+TEST_F(ServiceMetaDamageTest, EveryBitFlipIsTypedOrHarmless) {
+  // A flip anywhere in the body must be caught by the CRC; a flip in
+  // the checksum line itself mismatches the body.  (kOk is impossible:
+  // every byte is covered one way or the other.)
+  for (size_t pos = 0; pos < pristine_.size(); ++pos) {
+    for (int bit : {0, 3, 7}) {
+      std::string bad = pristine_;
+      bad[pos] = static_cast<char>(bad[pos] ^ (1u << bit));
+      Rewrite(bad);
+      const StatusCode code = Reopen();
+      EXPECT_TRUE(code == StatusCode::kDataLoss ||
+                  code == StatusCode::kFailedPrecondition)
+          << "bit " << bit << " at byte " << pos << " -> " << StatusCodeName(code);
+    }
+  }
+}
+
+TEST_F(ServiceMetaDamageTest, FutureVersionIsFailedPrecondition) {
+  Rewrite("pmi-sharded-service v3\nshards 3\nobjects 96\nwhatever\n");
+  EXPECT_EQ(Reopen(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServiceMetaDamageTest, ImplausibleCountsAreDataLoss) {
+  // Valid v1 syntax (no checksum to catch it), absurd semantics: more
+  // shards than objects can never have been written by CreateDurable.
+  Rewrite("pmi-sharded-service v1\nshards 64\nobjects 3\n");
+  EXPECT_EQ(Reopen(), StatusCode::kDataLoss);
+}
+
+// -- deadline propagation -----------------------------------------------------
+
+TEST(DeadlineBudgetTest, ExpiresMidShardNotJustAtDispatch) {
+  // One shard, one fat LinearScan batch: the only place the deadline
+  // can trip is INSIDE per-shard execution, between chunks.  A service
+  // that checks only at dequeue/dispatch would serve the whole batch
+  // and overrun the budget instead of returning the typed error.
+  BenchDataset bd = MakeBenchDataset(BenchDatasetId::kSynthetic, 4096, 91);
+  const Dataset data = bd.data;
+  MetricDBConfig config = MetricDBConfig().WithMetric("L2").WithIndex("LinearScan");
+  ServiceOptions sopts;
+  sopts.num_shards = 1;
+  sopts.workers = 1;
+  sopts.max_queue = 4;
+  auto created = ShardedService::Create(config, std::move(bd.data), sopts);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<ShardedService> svc = std::move(*created);
+
+  std::vector<ObjectView> queries;
+  for (int i = 0; i < 2048; ++i) queries.push_back(data.view(i % 4096));
+  RequestOptions opts;
+  opts.deadline_ms = 2.0;
+  StatusOr<QueryResult> r =
+      svc->Query(QueryRequest::KnnBatch(queries, size_t{8}), opts);
+  ASSERT_FALSE(r.ok()) << "a 2ms budget cannot cover 2048 scans of 4096";
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(r.status().message().find("mid-shard"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_GE(svc->stats().deadline_expired, 1u);
+
+  // The same batch with room to breathe still answers fully.
+  opts.deadline_ms = 60000;
+  StatusOr<QueryResult> ok =
+      svc->Query(QueryRequest::KnnBatch(queries, size_t{8}), opts);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(svc->Close().ok());
+}
+
 }  // namespace
 }  // namespace pmi

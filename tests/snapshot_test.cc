@@ -315,6 +315,53 @@ TEST(SnapshotDamageUnitTest, AbsurdPivotTableHeaderIsDataLossNotBadAlloc) {
   }
 }
 
+TEST(SnapshotEmptyTableTest, DrainedPivotTableRoundTrips) {
+  // A table whose every row was removed serializes as width > 0,
+  // rows == 0 with nothing after it; the plausibility guard must not
+  // mistake that for a truncated payload (it once did, which made a
+  // checkpoint of a fully drained shard unreadable).
+  PivotTable table;
+  table.Reset(4, /*per_row=*/false);
+  ByteSink sink;
+  SerializePivotTable(table, &sink);
+  ByteSource source(sink.bytes());
+  PivotTable restored;
+  Status s = DeserializePivotTable(&source, &restored);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(restored.width(), 4u);
+  EXPECT_EQ(restored.rows(), 0u);
+  EXPECT_EQ(source.remaining(), 0u);
+}
+
+TEST(SnapshotEmptyTableTest, FullyDrainedDatabaseReopensFromSnapshot) {
+  // End-to-end: remove every object, snapshot, reopen.  The restored
+  // instance must know the objects are dead and resurrect them on
+  // insert.
+  Dataset data = MakeLaLike(64, /*seed=*/7);
+  auto built = MetricDB::Create(MetricDBConfig()
+                                    .WithMetric("L2")
+                                    .WithIndex("LAESA")
+                                    .WithPivots(4),
+                                data);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  for (ObjectId id = 0; id < data.size(); ++id) {
+    ASSERT_TRUE(built->Remove(id).ok());
+  }
+  const std::string path = TempPath("drained");
+  ASSERT_TRUE(built->Save(path).ok());
+  auto reopened = MetricDB::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (ObjectId id = 0; id < data.size(); ++id) {
+    EXPECT_FALSE(reopened->alive(id)) << "id " << id;
+  }
+  auto knn = reopened->Query(QueryRequest::KnnBatch({data.view(0)}, 3));
+  ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+  EXPECT_TRUE(knn->neighbors[0].empty());
+  ASSERT_TRUE(reopened->Insert(5).ok());
+  EXPECT_TRUE(reopened->alive(5));
+  std::remove(path.c_str());
+}
+
 TEST_F(SnapshotDamageTest, TrailingGarbageIsDataLoss) {
   Rewrite(bytes_ + "extra");
   auto r = MetricDB::Open(path_);
