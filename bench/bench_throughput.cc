@@ -55,6 +55,15 @@
 // three phases succeeds, the service heals within the cap, and a
 // post-recovery retried write commits.
 //
+// A sixth section, buffer_pool, measures the unified page cache on the
+// disk indexes (CPT, SPB-tree): batch MRQ/kNN cold (clean frames
+// dropped, every page faulted back through the pool) vs warm (fully
+// resident), single-threaded on a pool sized to hold the whole page
+// file.  The hard (exit-gating) checks are that warm answers are
+// bit-identical to cold and that the warm passes do zero physical
+// reads; the cold/warm speedup and the logical PA (which the pool must
+// not change) are reported.
+//
 // Emits one JSON document to stdout (progress chatter on stderr):
 //
 //   ./bench_throughput --threads 8 | python3 -m json.tool
@@ -86,6 +95,7 @@
 #include "src/core/thread_pool.h"
 #include "src/data/distribution.h"
 #include "src/data/generators.h"
+#include "src/harness/registry.h"
 #include "src/harness/workload.h"
 #include "src/tables/ept.h"
 #include "src/tables/laesa.h"
@@ -983,6 +993,115 @@ int main(int argc, char** argv) {
     RemoveTree(dir);
   }
 
+  // ---- buffer_pool: cold vs warm through the unified page cache -----------
+  // Disk indexes on one pool big enough to hold every page: the cold
+  // pass drops all clean frames first and faults the working set back
+  // in; the warm passes must run entirely from residency.  Answers are
+  // compared cold vs warm, and the warm physical-read count is the
+  // section's hard zero.
+  ThreadPool::SetGlobalThreads(1);
+  bool pool_match = true;
+  bool pool_warm_zero_reads = true;
+  std::fprintf(stderr, "buffer_pool: n=%u queries=%u (single-threaded)\n", n,
+               num_queries);
+  for (const char* pool_index : {"CPT", "SPB-tree"}) {
+    IndexOptions popts;
+    popts.buffer_pool =
+        std::make_shared<BufferPool>(popts.page_size, size_t{1} << 26);
+    auto index = MakeIndex(pool_index, popts);
+    if (index == nullptr) {
+      std::fprintf(stderr, "  %-8s: not in registry\n", pool_index);
+      pool_match = false;
+      continue;
+    }
+    index->Build(bd.data, *bd.metric, pivots);
+
+    std::vector<std::vector<ObjectId>> mrq_cold, mrq_warm, mrq_sink;
+    std::vector<std::vector<Neighbor>> knn_cold, knn_warm, knn_sink;
+    // One untimed priming pass drives the logical LRU simulation to its
+    // steady state (its end-of-batch state depends only on the access
+    // tail), so every later pass -- cold or warm -- replays identical
+    // logical PA and the comparison below is exact.
+    index->RangeQueryBatch(queries, r, &mrq_sink);
+    index->KnnQueryBatch(queries, k, &knn_sink);
+    OpStats cold_mrq, cold_knn;
+    double best_cold_mrq = 1e300, best_cold_knn = 1e300;
+    for (uint32_t rep = 0; rep < repeats; ++rep) {
+      // Build/update write-back leaves frames clean, so this empties
+      // the pool of this file's pages without touching the logical sim.
+      popts.buffer_pool->DropCleanFrames();
+      OpStats s = index->RangeQueryBatch(queries, r, &mrq_sink);
+      popts.buffer_pool->DropCleanFrames();
+      OpStats sk = index->KnnQueryBatch(queries, k, &knn_sink);
+      if (rep == 0) {
+        cold_mrq = s;
+        cold_knn = sk;
+        mrq_cold = mrq_sink;
+        knn_cold = knn_sink;
+        for (auto& out : mrq_cold) std::sort(out.begin(), out.end());
+      }
+      best_cold_mrq = std::min(best_cold_mrq, s.seconds);
+      best_cold_knn = std::min(best_cold_knn, sk.seconds);
+    }
+
+    OpStats warm_mrq, warm_knn;
+    double best_warm_mrq = 1e300, best_warm_knn = 1e300;
+    uint64_t warm_physical_reads = 0;
+    for (uint32_t rep = 0; rep < repeats; ++rep) {
+      OpStats s = index->RangeQueryBatch(queries, r, &mrq_sink);
+      OpStats sk = index->KnnQueryBatch(queries, k, &knn_sink);
+      if (rep == 0) {
+        warm_mrq = s;
+        warm_knn = sk;
+        mrq_warm = mrq_sink;
+        knn_warm = knn_sink;
+        for (auto& out : mrq_warm) std::sort(out.begin(), out.end());
+      }
+      warm_physical_reads += s.physical_reads + sk.physical_reads;
+      best_warm_mrq = std::min(best_warm_mrq, s.seconds);
+      best_warm_knn = std::min(best_warm_knn, sk.seconds);
+    }
+
+    const bool match =
+        SameResults(mrq_cold, mrq_warm) && SameResults(knn_cold, knn_warm) &&
+        cold_mrq.page_accesses() == warm_mrq.page_accesses() &&
+        cold_knn.page_accesses() == warm_knn.page_accesses();
+    pool_match &= match;
+    // The first cold pass must really have gone to the store, and a
+    // fully warm pool must never go back.
+    pool_warm_zero_reads &=
+        cold_mrq.physical_reads > 0 && warm_physical_reads == 0;
+
+    const double mrq_speedup =
+        best_warm_mrq > 0 ? best_cold_mrq / best_warm_mrq : 0;
+    const double knn_speedup =
+        best_warm_knn > 0 ? best_cold_knn / best_warm_knn : 0;
+    char extra[768];
+    std::snprintf(
+        extra, sizeof(extra),
+        "\"index\": \"%s\", %s, %s, %s, %s, %s, %s, %s, %s, %s, %s, %s",
+        pool_index, Num("mrq_cold_ms", best_cold_mrq * 1e3).c_str(),
+        Num("mrq_warm_ms", best_warm_mrq * 1e3).c_str(),
+        Num("mrq_warm_speedup", mrq_speedup).c_str(),
+        Num("knn_cold_ms", best_cold_knn * 1e3).c_str(),
+        Num("knn_warm_ms", best_warm_knn * 1e3).c_str(),
+        Num("knn_warm_speedup", knn_speedup).c_str(),
+        Num("cold_physical_reads", double(cold_mrq.physical_reads)).c_str(),
+        Num("warm_physical_reads", double(warm_physical_reads)).c_str(),
+        Num("logical_pa_mrq", double(warm_mrq.page_accesses())).c_str(),
+        Num("logical_pa_knn", double(warm_knn.page_accesses())).c_str(),
+        match ? "\"match\": true" : "\"match\": false");
+    json.Result("buffer_pool", extra);
+    std::fprintf(stderr,
+                 "  %-8s MRQ %8.2f -> %8.2f ms (%.2fx warm), kNN %8.2f -> "
+                 "%8.2f ms (%.2fx), warm phys reads %" PRIu64 "%s\n",
+                 pool_index, best_cold_mrq * 1e3, best_warm_mrq * 1e3,
+                 mrq_speedup, best_cold_knn * 1e3, best_warm_knn * 1e3,
+                 knn_speedup, warm_physical_reads,
+                 match ? "" : "  MISMATCH");
+  }
+  ThreadPool::SetGlobalThreads(0);
+
   char trailer[1536];
   std::snprintf(
       trailer, sizeof(trailer),
@@ -998,7 +1117,8 @@ int main(int argc, char** argv) {
       "\"sharded_apply_speedup_4v1\": %.3f, "
       "\"sharded_overload_typed\": %s, \"sharded_rejection_rate\": %.3f, "
       "\"chaos_reads_ok\": %s, \"chaos_healed\": %s, "
-      "\"chaos_write_ok\": %s, \"chaos_recovery_ms\": %.3f}",
+      "\"chaos_write_ok\": %s, \"chaos_recovery_ms\": %.3f, "
+      "\"pool_match\": %s, \"pool_warm_zero_reads\": %s}",
       n, num_queries, repeats, max_threads,
       std::thread::hardware_concurrency(), batch_n,
       results_match ? "true" : "false", compdists_match ? "true" : "false",
@@ -1008,13 +1128,15 @@ int main(int argc, char** argv) {
       sharded_mixed_ok ? "true" : "false", sharded_apply_speedup,
       sharded_overload_typed ? "true" : "false", sharded_rejection_rate,
       chaos_reads_ok ? "true" : "false", chaos_healed ? "true" : "false",
-      chaos_writes_ok ? "true" : "false", chaos_recovery_ms);
+      chaos_writes_ok ? "true" : "false", chaos_recovery_ms,
+      pool_match ? "true" : "false", pool_warm_zero_reads ? "true" : "false");
   json.End(trailer);
 
   const bool ok = results_match && compdists_match && blocking_match &&
                   concurrent_reads_ok && sharded_equiv_match &&
                   sharded_mixed_ok && sharded_overload_typed &&
-                  chaos_reads_ok && chaos_healed && chaos_writes_ok;
+                  chaos_reads_ok && chaos_healed && chaos_writes_ok &&
+                  pool_match && pool_warm_zero_reads;
   if (!ok) std::fprintf(stderr, "bench_throughput: EQUIVALENCE CHECK FAILED\n");
   return ok ? 0 : 1;
 }

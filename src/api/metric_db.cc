@@ -385,6 +385,13 @@ StatusOr<MetricDB> MetricDB::Create(const MetricDBConfig& config,
 
   MetricDB db;
   db.config_ = config;
+  // One physical page cache per database unless the caller installed a
+  // wider-scoped one (the sharded service shares a pool across shards).
+  // Pool size never affects logical PA, only pa_physical().
+  if (db.config_.options.buffer_pool == nullptr) {
+    db.config_.options.buffer_pool = std::make_shared<BufferPool>(
+        db.config_.options.page_size, db.config_.options.cache_bytes);
+  }
   db.metric_param_used_ = config.metric_param;
   PMI_RETURN_IF_ERROR(DeriveMetricParams(
       config.metric_name, data, &db.metric_param_used_, &db.metric_discrete_));
@@ -401,7 +408,7 @@ StatusOr<MetricDB> MetricDB::Create(const MetricDBConfig& config,
                                         : config.pivot_count;
   PMI_ASSIGN_OR_RETURN(
       std::unique_ptr<MetricIndex> index,
-      TryMakeIndex(config.index_name, config.options, requested_pivots));
+      TryMakeIndex(config.index_name, db.config_.options, requested_pivots));
   PMI_ASSIGN_OR_RETURN(PivotSet pivots, SelectPivots(data, *metric, config));
   // Selection clamps to the dataset size, so the effective count can
   // undercut the requested one; re-check the index's floor against it.
@@ -701,6 +708,10 @@ StatusOr<MetricDB> MetricDB::FromPayload(const std::string& payload) {
   PMI_RETURN_IF_ERROR(in.GetU32(&db.config_.pivot_count));
   PMI_RETURN_IF_ERROR(ReadOptions(&in, &db.config_.options));
   PMI_RETURN_IF_ERROR(ValidateOptions(db.config_.options));
+  // The pool is runtime state, never serialized: a reopened database
+  // gets a fresh private cache (see Create for the sizing rule).
+  db.config_.options.buffer_pool = std::make_shared<BufferPool>(
+      db.config_.options.page_size, db.config_.options.cache_bytes);
 
   PMI_ASSIGN_OR_RETURN(Dataset data, DeserializeDataset(&in));
   if (data.empty()) {

@@ -20,21 +20,40 @@ namespace pmi {
 /// hit costs nothing); distance computations are counted by
 /// DistanceComputer.  Snapshots of this struct bracket a build, query, or
 /// update to produce the per-operation costs reported by the benchmarks.
+///
+/// Two page-access levels are kept side by side.  `page_reads` /
+/// `page_writes` are LOGICAL accesses: what the paper's fixed-size LRU
+/// simulation (Section 6.1) would issue, independent of any real cache
+/// sitting underneath -- this is the comparable "PA" quantity every
+/// conformance test pins.  `pool_hits` / `physical_reads` /
+/// `physical_writes` are PHYSICAL accesses through the shared BufferPool
+/// (src/storage/buffer_pool.h): what actually crossed the backing-store
+/// seam after the pool absorbed repeats.  A warm pool drives
+/// pa_physical() toward zero while pa() is unchanged.
 struct PerfCounters {
   uint64_t dist_computations = 0;
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
+  uint64_t pool_hits = 0;
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
 
   void Reset() { *this = PerfCounters{}; }
 
-  /// Total page accesses, the paper's "PA" metric.
+  /// Total logical page accesses, the paper's "PA" metric.
   uint64_t page_accesses() const { return page_reads + page_writes; }
+
+  /// Accesses that reached the backing store through the buffer pool.
+  uint64_t pa_physical() const { return physical_reads + physical_writes; }
 
   PerfCounters operator-(const PerfCounters& rhs) const {
     PerfCounters d;
     d.dist_computations = dist_computations - rhs.dist_computations;
     d.page_reads = page_reads - rhs.page_reads;
     d.page_writes = page_writes - rhs.page_writes;
+    d.pool_hits = pool_hits - rhs.pool_hits;
+    d.physical_reads = physical_reads - rhs.physical_reads;
+    d.physical_writes = physical_writes - rhs.physical_writes;
     return d;
   }
 
@@ -42,6 +61,9 @@ struct PerfCounters {
     dist_computations += rhs.dist_computations;
     page_reads += rhs.page_reads;
     page_writes += rhs.page_writes;
+    pool_hits += rhs.pool_hits;
+    physical_reads += rhs.physical_reads;
+    physical_writes += rhs.physical_writes;
     return *this;
   }
 };

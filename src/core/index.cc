@@ -27,6 +27,9 @@ void ShardsToStats(const std::vector<PerfCounters>& shards,
     (*out)[i].dist_computations = shards[i].dist_computations;
     (*out)[i].page_reads = shards[i].page_reads;
     (*out)[i].page_writes = shards[i].page_writes;
+    (*out)[i].pool_hits = shards[i].pool_hits;
+    (*out)[i].physical_reads = shards[i].physical_reads;
+    (*out)[i].physical_writes = shards[i].physical_writes;
   }
 }
 
@@ -113,6 +116,9 @@ OpStats FoldSharedBatch(const std::vector<PerfCounters>& shards,
   op.dist_computations = total.dist_computations;
   op.page_reads = total.page_reads;
   op.page_writes = total.page_writes;
+  op.pool_hits = total.pool_hits;
+  op.physical_reads = total.physical_reads;
+  op.physical_writes = total.physical_writes;
   op.seconds = watch.Seconds();
   return op;
 }

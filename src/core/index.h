@@ -29,6 +29,7 @@
 #include "src/core/simd.h"
 #include "src/core/status.h"
 #include "src/core/thread_pool.h"
+#include "src/storage/buffer_pool.h"
 
 namespace pmi {
 
@@ -39,8 +40,19 @@ struct IndexOptions {
   /// two store objects inside tree nodes.
   uint32_t page_size = 4096;
 
-  /// LRU buffer-pool capacity (bytes); 128 KB per the paper.
+  /// LRU buffer-pool capacity (bytes); 128 KB per the paper.  Sizes the
+  /// logical PA simulation of every PagedFile the index creates, and the
+  /// private physical pool when `buffer_pool` is not set.
   uint32_t cache_bytes = 128 * 1024;
+
+  /// Shared physical page cache.  When set, every PagedFile of the index
+  /// serves its page bytes through this pool (one cache budget across
+  /// indexes and shards); when null, each PagedFile creates a private
+  /// pool of `cache_bytes`.  Physical pool size never changes logical PA
+  /// -- the paper-conformance quantity -- only pa_physical().  Held as a
+  /// shared_ptr because read snapshots can outlive the facade that
+  /// configured them.
+  std::shared_ptr<BufferPool> buffer_pool;
 
   /// Seed for any internal randomized decision (BKT pivots, M-tree split
   /// sampling, ...).
@@ -92,19 +104,28 @@ enum class BatchMode : uint8_t {
   kQueryMajor = 1,
 };
 
-/// Costs of one build / query / update operation.
+/// Costs of one build / query / update operation.  page_reads/page_writes
+/// are the paper's logical PA; pool_hits/physical_reads/physical_writes
+/// are what actually crossed the buffer-pool seam (see counters.h).
 struct OpStats {
   uint64_t dist_computations = 0;
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
+  uint64_t pool_hits = 0;
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
   double seconds = 0;
 
   uint64_t page_accesses() const { return page_reads + page_writes; }
+  uint64_t pa_physical() const { return physical_reads + physical_writes; }
 
   OpStats& operator+=(const OpStats& o) {
     dist_computations += o.dist_computations;
     page_reads += o.page_reads;
     page_writes += o.page_writes;
+    pool_hits += o.pool_hits;
+    physical_reads += o.physical_reads;
+    physical_writes += o.physical_writes;
     seconds += o.seconds;
     return *this;
   }
@@ -164,10 +185,16 @@ class MetricIndex {
   /// Fail-safe default: false.  An index opts in only after an audit
   /// shows its query path shares no mutable state beyond the cost
   /// counters (which the batch entry points redirect to per-thread
-  /// shards via CounterScope) -- per-query member scratch, query-path
-  /// RNGs, or any disk buffer pool disqualify it.  Non-opted-in indexes
-  /// keep the identical batch API and accounting; their batches just run
-  /// through the serial loop.
+  /// shards via CounterScope) -- per-query member scratch or query-path
+  /// RNGs disqualify it.  Disk residency no longer does: pages are
+  /// served through pinned BufferPool handles and the PagedFile's
+  /// logical LRU simulation is mutex-guarded, so the disk indexes'
+  /// read-only query paths opt in too (note that under a parallel
+  /// query-major batch the *interleaving* of the logical LRU becomes
+  /// thread-schedule-dependent, so logical PA totals of such batches are
+  /// only pinned for serial execution; results never depend on it).
+  /// Non-opted-in indexes keep the identical batch API and accounting;
+  /// their batches just run through the serial loop.
   virtual bool concurrent_queries() const { return false; }
 
   /// True when this index implements the block-major batch engine
@@ -190,8 +217,10 @@ class MetricIndex {
   /// optional `per_query` stats are identical across execution modes,
   /// thread counts, and SIMD dispatch levels.  Per-query stats carry
   /// compdists; `seconds` is meaningful only on the batch total (wall
-  /// clock of the whole batch, the QPS denominator) and page accesses of
-  /// a shared buffer pool (CPT) are accounted on the index total only.
+  /// clock of the whole batch, the QPS denominator).  Page accesses are
+  /// attributed per query through the same CounterScope routing as
+  /// compdists (the disk indexes charge both levels via
+  /// CounterScope::Active), so batch totals equal the serial sums.
   /// Like every MetricIndex operation, this is externally synchronized:
   /// one operation per index instance at a time (the non-atomic
   /// counters_ bookkeeping would race otherwise).  Concurrent batches on
@@ -436,6 +465,9 @@ class MetricIndex {
     s.dist_computations = delta.dist_computations;
     s.page_reads = delta.page_reads;
     s.page_writes = delta.page_writes;
+    s.pool_hits = delta.pool_hits;
+    s.physical_reads = delta.physical_reads;
+    s.physical_writes = delta.physical_writes;
     s.seconds = watch.Seconds();
     return s;
   }

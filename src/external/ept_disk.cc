@@ -13,8 +13,8 @@ void EptDisk::AppendRow(ObjectId id, const RafRef& ref, const uint32_t* pidx,
   uint32_t page_idx = rows_ / rpp;
   uint32_t slot = rows_ % rpp;
   while (page_idx >= seq_->num_pages()) seq_->Allocate();
-  char* row = seq_->Write(page_idx, /*load=*/slot != 0) +
-              size_t(slot) * RowBytes();
+  PageHandle h = seq_->Write(page_idx, /*load=*/slot != 0);
+  char* row = h.mutable_data() + size_t(slot) * RowBytes();
   std::memcpy(row, &id, 4);
   std::memcpy(row + 4, &ref.length, 4);
   std::memcpy(row + 8, &ref.offset, 8);
@@ -27,10 +27,10 @@ void EptDisk::AppendRow(ObjectId id, const RafRef& ref, const uint32_t* pidx,
 
 void EptDisk::BuildImpl() {
   l_ = std::max<uint32_t>(1, pivots_.size());
-  file_ = std::make_unique<PagedFile>(options_.page_size,
-                                      options_.cache_bytes, &counters_);
-  seq_ = std::make_unique<PagedFile>(options_.page_size,
-                                     options_.cache_bytes, &counters_);
+  file_ = std::make_unique<PagedFile>(options_.page_size, options_.cache_bytes,
+                                      &counters_, options_.buffer_pool);
+  seq_ = std::make_unique<PagedFile>(options_.page_size, options_.cache_bytes,
+                                     &counters_, options_.buffer_pool);
   raf_ = std::make_unique<RecordFile>(file_.get());
   rows_ = 0;
   DistanceComputer d = dist();
@@ -60,7 +60,8 @@ void EptDisk::RangeImpl(const ObjectView& q, double r,
   const uint32_t rpp = RowsPerPage();
   std::vector<char> buf;
   for (uint32_t row = 0; row < rows_; ++row) {
-    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    PageHandle h = seq_->Read(row / rpp);
+    const char* p = h.data() + size_t(row % rpp) * RowBytes();
     ObjectId id;
     std::memcpy(&id, p, 4);
     if (id == kInvalidObjectId) continue;  // tombstone
@@ -94,7 +95,8 @@ void EptDisk::KnnImpl(const ObjectView& q, size_t k,
   std::vector<char> buf;
   KnnHeap heap(k);
   for (uint32_t row = 0; row < rows_; ++row) {
-    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    PageHandle h = seq_->Read(row / rpp);
+    const char* p = h.data() + size_t(row % rpp) * RowBytes();
     ObjectId id;
     std::memcpy(&id, p, 4);
     if (id == kInvalidObjectId) continue;
@@ -135,13 +137,14 @@ void EptDisk::InsertImpl(ObjectId id) {
 void EptDisk::RemoveImpl(ObjectId id) {
   const uint32_t rpp = RowsPerPage();
   for (uint32_t row = 0; row < rows_; ++row) {
-    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    PageHandle h = seq_->Read(row / rpp);
+    const char* p = h.data() + size_t(row % rpp) * RowBytes();
     ObjectId got;
     std::memcpy(&got, p, 4);
     if (got != id) continue;
-    char* wp = seq_->Write(row / rpp);
+    PageHandle wh = seq_->Write(row / rpp);
     ObjectId dead = kInvalidObjectId;
-    std::memcpy(wp + size_t(row % rpp) * RowBytes(), &dead, 4);
+    std::memcpy(wh.mutable_data() + size_t(row % rpp) * RowBytes(), &dead, 4);
     break;
   }
   seq_->Flush();

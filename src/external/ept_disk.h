@@ -29,6 +29,9 @@ class EptDisk final : public MetricIndex {
 
   std::string name() const override { return "EPT*-disk"; }
   bool disk_based() const override { return true; }
+  // Audited: table scans and RAF reads use pinned buffer-pool handles
+  // and local scratch; counters go through CounterScope.
+  bool concurrent_queries() const override { return true; }
   size_t memory_bytes() const override { return psa_.memory_bytes(); }
   size_t disk_bytes() const override {
     return (file_ ? file_->bytes() : 0) + (seq_ ? seq_->bytes() : 0);

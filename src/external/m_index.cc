@@ -126,8 +126,8 @@ ObjectView MIndex::ReadRecord(const RafRef& ref, std::vector<char>* buf,
 void MIndex::BuildImpl() {
   assert(pivots_.size() >= (variant_ == Variant::kStar ? 2u : 1u) &&
          "hyperplane partitioning needs at least two pivots");
-  file_ = std::make_unique<PagedFile>(options_.page_size,
-                                      options_.cache_bytes, &counters_);
+  file_ = std::make_unique<PagedFile>(options_.page_size, options_.cache_bytes,
+                                      &counters_, options_.buffer_pool);
   btree_ = std::make_unique<BPlusTree>(file_.get(), 16);
   raf_ = std::make_unique<RecordFile>(file_.get());
   next_cluster_id_ = 0;

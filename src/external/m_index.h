@@ -46,6 +46,10 @@ class MIndex final : public MetricIndex {
     return variant_ == Variant::kBasic ? "M-index" : "M-index*";
   }
   bool disk_based() const override { return true; }
+  // Audited: cluster-tree traversal, B+-tree range scans, and RAF reads
+  // all use pinned buffer-pool handles and local scratch; counters go
+  // through CounterScope.
+  bool concurrent_queries() const override { return true; }
   size_t memory_bytes() const override;
   size_t disk_bytes() const override { return file_ ? file_->bytes() : 0; }
 

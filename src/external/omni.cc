@@ -19,8 +19,8 @@ namespace pmi {
 
 void OmniBase::InitStorage() {
   eps_ = metric().max_distance() * 1e-6 + 1e-9;
-  file_ = std::make_unique<PagedFile>(options_.page_size,
-                                      options_.cache_bytes, &counters_);
+  file_ = std::make_unique<PagedFile>(options_.page_size, options_.cache_bytes,
+                                      &counters_, options_.buffer_pool);
   raf_ = std::make_unique<RecordFile>(file_.get());
 }
 
@@ -54,8 +54,8 @@ void OmniSequential::AppendRow(ObjectId id, const std::vector<double>& phi,
   uint32_t page_idx = rows_ / rpp;
   uint32_t slot = rows_ % rpp;
   while (page_idx >= seq_->num_pages()) seq_->Allocate();
-  char* p = seq_->Write(page_idx, /*load=*/slot != 0);
-  char* row = p + size_t(slot) * RowBytes();
+  PageHandle h = seq_->Write(page_idx, /*load=*/slot != 0);
+  char* row = h.mutable_data() + size_t(slot) * RowBytes();
   std::memcpy(row, &id, 4);
   std::memcpy(row + 4, &ref.length, 4);
   std::memcpy(row + 8, &ref.offset, 8);
@@ -65,8 +65,8 @@ void OmniSequential::AppendRow(ObjectId id, const std::vector<double>& phi,
 
 void OmniSequential::BuildImpl() {
   InitStorage();
-  seq_ = std::make_unique<PagedFile>(options_.page_size,
-                                     options_.cache_bytes, &counters_);
+  seq_ = std::make_unique<PagedFile>(options_.page_size, options_.cache_bytes,
+                                     &counters_, options_.buffer_pool);
   rows_ = 0;
   std::string buf;
   for (ObjectId id = 0; id < data().size(); ++id) {
@@ -86,7 +86,8 @@ void OmniSequential::RangeImpl(const ObjectView& q, double r,
   const uint32_t rpp = RowsPerPage();
   std::vector<double> phi(l);
   for (uint32_t row = 0; row < rows_; ++row) {
-    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    PageHandle h = seq_->Read(row / rpp);
+    const char* p = h.data() + size_t(row % rpp) * RowBytes();
     ObjectId id;
     std::memcpy(&id, p, 4);
     if (id == kInvalidObjectId) continue;  // tombstone
@@ -107,7 +108,8 @@ void OmniSequential::KnnImpl(const ObjectView& q, size_t k,
   std::vector<double> phi(l);
   KnnHeap heap(k);
   for (uint32_t row = 0; row < rows_; ++row) {
-    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    PageHandle h = seq_->Read(row / rpp);
+    const char* p = h.data() + size_t(row % rpp) * RowBytes();
     ObjectId id;
     std::memcpy(&id, p, 4);
     if (id == kInvalidObjectId) continue;
@@ -133,13 +135,14 @@ void OmniSequential::InsertImpl(ObjectId id) {
 void OmniSequential::RemoveImpl(ObjectId id) {
   const uint32_t rpp = RowsPerPage();
   for (uint32_t row = 0; row < rows_; ++row) {
-    const char* p = seq_->Read(row / rpp) + size_t(row % rpp) * RowBytes();
+    PageHandle h = seq_->Read(row / rpp);
+    const char* p = h.data() + size_t(row % rpp) * RowBytes();
     ObjectId got;
     std::memcpy(&got, p, 4);
     if (got != id) continue;
-    char* wp = seq_->Write(row / rpp);
+    PageHandle wh = seq_->Write(row / rpp);
     ObjectId dead = kInvalidObjectId;
-    std::memcpy(wp + size_t(row % rpp) * RowBytes(), &dead, 4);
+    std::memcpy(wh.mutable_data() + size_t(row % rpp) * RowBytes(), &dead, 4);
     break;
   }
   seq_->Flush();

@@ -31,6 +31,10 @@ class OmniBase : public MetricIndex {
   explicit OmniBase(IndexOptions options) : MetricIndex(options) {}
 
   bool disk_based() const override { return true; }
+  // Audited (all three members): queries read table/tree pages and RAF
+  // records through pinned buffer-pool handles with local scratch only;
+  // counters go through CounterScope.
+  bool concurrent_queries() const override { return true; }
   size_t memory_bytes() const override { return pivots_.memory_bytes(); }
   size_t disk_bytes() const override { return file_ ? file_->bytes() : 0; }
 

@@ -52,8 +52,8 @@ std::vector<float> PmTree::MapToFloat(const ObjectView& o) const {
 
 void PmTree::BuildImpl() {
   eps_ = metric().max_distance() * 1e-6 + 1e-9;
-  file_ = std::make_unique<PagedFile>(options_.page_size,
-                                      options_.cache_bytes, &counters_);
+  file_ = std::make_unique<PagedFile>(options_.page_size, options_.cache_bytes,
+                                      &counters_, options_.buffer_pool);
   MTree::Options mo;
   mo.store_pivot_data = true;
   mo.num_pivots = pivots_.size();

@@ -27,6 +27,9 @@ class PmTree final : public MetricIndex {
 
   std::string name() const override { return "PM-tree"; }
   bool disk_based() const override { return true; }
+  // Audited: search loads M-tree nodes through pinned buffer-pool
+  // handles into local scratch; counters go through CounterScope.
+  bool concurrent_queries() const override { return true; }
   size_t memory_bytes() const override { return pivots_.memory_bytes(); }
   size_t disk_bytes() const override { return file_ ? file_->bytes() : 0; }
 

@@ -53,8 +53,8 @@ void SpbTree::BuildImpl() {
   curve_ = std::make_unique<HilbertCurve>(l, bits);
   cell_width_ = metric().max_distance() / (curve_->max_coord() + 1.0);
 
-  file_ = std::make_unique<PagedFile>(options_.page_size,
-                                      options_.cache_bytes, &counters_);
+  file_ = std::make_unique<PagedFile>(options_.page_size, options_.cache_bytes,
+                                      &counters_, options_.buffer_pool);
   // Non-leaf entries aggregate the grid cells of their subtree: the MBB
   // of Section 5.4, decoded from the Hilbert key on demand.
   const HilbertCurve* curve = curve_.get();

@@ -32,6 +32,9 @@ class SpbTree final : public MetricIndex {
 
   std::string name() const override { return "SPB-tree"; }
   bool disk_based() const override { return true; }
+  // Audited: B+-tree descent and RAF verification use pinned buffer-pool
+  // handles and local scratch only; counters go through CounterScope.
+  bool concurrent_queries() const override { return true; }
   size_t memory_bytes() const override { return pivots_.memory_bytes(); }
   size_t disk_bytes() const override { return file_ ? file_->bytes() : 0; }
 

@@ -229,6 +229,14 @@ StatusOr<std::unique_ptr<ShardedService>> ShardedService::Build(
   PMI_ASSIGN_OR_RETURN(
       shard_config.metric_param,
       ResolveMetricParam(config.metric_name, data, config.metric_param));
+  // One physical page cache across all shards: cache_bytes is the
+  // service-wide budget, not a per-shard one, so N shards cannot use N
+  // times the memory.  Shard PA accounting is unaffected (the logical
+  // simulation is per PagedFile).
+  if (shard_config.options.buffer_pool == nullptr) {
+    shard_config.options.buffer_pool = std::make_shared<BufferPool>(
+        shard_config.options.page_size, shard_config.options.cache_bytes);
+  }
 
   std::unique_ptr<ShardedService> svc(new ShardedService());
   svc->sopts_ = sopts;

@@ -44,8 +44,8 @@ BPlusTree::BPlusTree(PagedFile* file, uint32_t value_size, uint32_t agg_dims,
   leaf_capacity_ = leaf_slots - 1;
   internal_capacity_ = internal_slots - 1;
   root_ = file_->Allocate();
-  SetHeader(file_->Write(root_, /*load=*/false), /*leaf=*/true, 0,
-            kInvalidPageId);
+  SetHeader(file_->Write(root_, /*load=*/false).mutable_data(), /*leaf=*/true,
+            0, kInvalidPageId);
 }
 
 // -- raw page accessors -------------------------------------------------------
@@ -119,7 +119,8 @@ PageId BPlusTree::NodeView::next() const { return Next(raw); }
 
 BPlusTree::NodeView BPlusTree::ReadNode(PageId page) const {
   NodeView v;
-  v.raw = file_->Read(page);
+  v.pin = file_->Read(page);
+  v.raw = v.pin.data();
   v.is_leaf = IsLeaf(v.raw);
   v.count = Count(v.raw);
   v.tree = this;
@@ -129,7 +130,8 @@ BPlusTree::NodeView BPlusTree::ReadNode(PageId page) const {
 // -- summaries ----------------------------------------------------------------
 
 BPlusTree::Summary BPlusTree::ComputeSummary(PageId page) const {
-  const char* p = file_->Read(page);
+  PageHandle h = file_->Read(page);
+  const char* p = h.data();
   Summary s;
   s.agg.assign(2 * agg_dims_, 0);
   for (uint32_t d = 0; d < agg_dims_; ++d) {
@@ -179,7 +181,8 @@ void BPlusTree::WriteInternalEntry(char* node, uint32_t i, PageId child,
 
 BPlusTree::SplitResult BPlusTree::InsertRec(PageId page, uint64_t key,
                                             const char* value) {
-  char* p = file_->Write(page);
+  PageHandle ph = file_->Write(page);
+  char* p = ph.mutable_data();
   SplitResult res;
   if (IsLeaf(p)) {
     uint32_t n = Count(p);
@@ -201,7 +204,8 @@ BPlusTree::SplitResult BPlusTree::InsertRec(PageId page, uint64_t key,
     uint32_t left_n = n / 2;
     uint32_t right_n = n - left_n;
     PageId right = file_->Allocate();
-    char* rp = file_->Write(right, /*load=*/false);
+    PageHandle rh = file_->Write(right, /*load=*/false);
+    char* rp = rh.mutable_data();
     SetHeader(rp, /*leaf=*/true, right_n, Next(p));
     std::memcpy(LeafEntry(rp, 0), LeafEntry(p, left_n),
                 size_t(right_n) * leaf_entry_size());
@@ -221,7 +225,8 @@ BPlusTree::SplitResult BPlusTree::InsertRec(PageId page, uint64_t key,
   while (idx + 1 < n && LoadU64(InternalEntry(p, idx) + 4) < key) ++idx;
   PageId child = LoadU32(InternalEntry(p, idx));
   SplitResult sub = InsertRec(child, key, value);
-  p = file_->Write(page);  // re-pin (child writes may have evicted)
+  ph = file_->Write(page);  // re-touch (child writes shifted the LRU)
+  p = ph.mutable_data();
   WriteInternalEntry(p, idx, child, sub.left);
   if (sub.split) {
     std::memmove(InternalEntry(p, idx + 2), InternalEntry(p, idx + 1),
@@ -236,7 +241,8 @@ BPlusTree::SplitResult BPlusTree::InsertRec(PageId page, uint64_t key,
   uint32_t left_n = n / 2;
   uint32_t right_n = n - left_n;
   PageId right = file_->Allocate();
-  char* rp = file_->Write(right, /*load=*/false);
+  PageHandle rh = file_->Write(right, /*load=*/false);
+  char* rp = rh.mutable_data();
   SetHeader(rp, /*leaf=*/false, right_n, kInvalidPageId);
   std::memcpy(InternalEntry(rp, 0), InternalEntry(p, left_n),
               size_t(right_n) * internal_entry_size());
@@ -252,7 +258,8 @@ void BPlusTree::Insert(uint64_t key, const char* value) {
   SplitResult res = InsertRec(root_, key, value);
   if (!res.split) return;
   PageId new_root = file_->Allocate();
-  char* p = file_->Write(new_root, /*load=*/false);
+  PageHandle ph = file_->Write(new_root, /*load=*/false);
+  char* p = ph.mutable_data();
   SetHeader(p, /*leaf=*/false, 2, kInvalidPageId);
   WriteInternalEntry(p, 0, root_, res.left);
   WriteInternalEntry(p, 1, res.right_page, res.right);
@@ -264,7 +271,8 @@ void BPlusTree::Insert(uint64_t key, const char* value) {
 
 bool BPlusTree::RemoveRec(PageId page, uint64_t key, const char* value,
                           uint32_t match_bytes, Summary* updated) {
-  const char* cp = file_->Read(page);
+  PageHandle ch = file_->Read(page);
+  const char* cp = ch.data();
   if (IsLeaf(cp)) {
     uint32_t n = Count(cp);
     for (uint32_t i = 0; i < n; ++i) {
@@ -272,7 +280,8 @@ bool BPlusTree::RemoveRec(PageId page, uint64_t key, const char* value,
       uint64_t k = LoadU64(e);
       if (k > key) break;
       if (k == key && std::memcmp(e + 8, value, match_bytes) == 0) {
-        char* wp = file_->Write(page);
+        PageHandle wh = file_->Write(page);
+        char* wp = wh.mutable_data();
         std::memmove(LeafEntry(wp, i), LeafEntry(wp, i + 1),
                      size_t(n - i - 1) * leaf_entry_size());
         SetCount(wp, n - 1);
@@ -290,14 +299,16 @@ bool BPlusTree::RemoveRec(PageId page, uint64_t key, const char* value,
     PageId child = LoadU32(InternalEntry(cp, i));
     Summary child_sum;
     if (RemoveRec(child, key, value, match_bytes, &child_sum)) {
-      char* wp = file_->Write(page);
+      PageHandle wh = file_->Write(page);
+      char* wp = wh.mutable_data();
       WriteInternalEntry(wp, i, child, child_sum);
       *updated = ComputeSummary(page);
       return true;
     }
     // Duplicate keys may straddle children; keep trying while sep == key.
     if (sep > key) break;
-    cp = file_->Read(page);
+    ch = file_->Read(page);
+    cp = ch.data();
   }
   return false;
 }
@@ -323,7 +334,8 @@ void BPlusTree::BulkLoad(
   PageId prev = kInvalidPageId;
   if (sorted.empty()) {
     root_ = file_->Allocate();
-    SetHeader(file_->Write(root_, /*load=*/false), true, 0, kInvalidPageId);
+    SetHeader(file_->Write(root_, /*load=*/false).mutable_data(), true, 0,
+              kInvalidPageId);
     height_ = 1;
     return;
   }
@@ -335,7 +347,8 @@ void BPlusTree::BulkLoad(
       take = static_cast<uint32_t>(sorted.size() - i) / 2;
     }
     PageId page = file_->Allocate();
-    char* p = file_->Write(page, /*load=*/false);
+    PageHandle h = file_->Write(page, /*load=*/false);
+    char* p = h.mutable_data();
     SetHeader(p, /*leaf=*/true, take, kInvalidPageId);
     for (uint32_t j = 0; j < take; ++j) {
       char* e = LeafEntry(p, j);
@@ -343,7 +356,9 @@ void BPlusTree::BulkLoad(
       assert(sorted[i + j].second.size() == value_size_);
       std::memcpy(e + 8, sorted[i + j].second.data(), value_size_);
     }
-    if (prev != kInvalidPageId) SetNext(file_->Write(prev), page);
+    if (prev != kInvalidPageId) {
+      SetNext(file_->Write(prev).mutable_data(), page);
+    }
     prev = page;
     level.push_back({page, ComputeSummary(page)});
     i += take;
@@ -360,7 +375,8 @@ void BPlusTree::BulkLoad(
         take = static_cast<uint32_t>(level.size() - j) / 2;
       }
       PageId page = file_->Allocate();
-      char* p = file_->Write(page, /*load=*/false);
+      PageHandle h = file_->Write(page, /*load=*/false);
+      char* p = h.mutable_data();
       SetHeader(p, /*leaf=*/false, take, kInvalidPageId);
       for (uint32_t t = 0; t < take; ++t) {
         WriteInternalEntry(p, t, level[j + t].page, level[j + t].s);
@@ -381,13 +397,15 @@ void BPlusTree::Scan(
     const std::function<bool(uint64_t, const char*)>& fn) const {
   // Descend to the leftmost leaf that may hold `lo`.
   PageId page = root_;
-  const char* p = file_->Read(page);
+  PageHandle h = file_->Read(page);
+  const char* p = h.data();
   while (!IsLeaf(p)) {
     uint32_t n = Count(p);
     uint32_t idx = 0;
     while (idx + 1 < n && LoadU64(InternalEntry(p, idx) + 4) < lo) ++idx;
     page = LoadU32(InternalEntry(p, idx));
-    p = file_->Read(page);
+    h = file_->Read(page);
+    p = h.data();
   }
   while (true) {
     uint32_t n = Count(p);
@@ -401,7 +419,8 @@ void BPlusTree::Scan(
     PageId next = Next(p);
     if (next == kInvalidPageId) return;
     page = next;
-    p = file_->Read(page);
+    h = file_->Read(page);
+    p = h.data();
   }
 }
 

@@ -64,11 +64,13 @@ class BPlusTree {
 
   // -- Structural read access (custom traversals: SPB best-first) ---------
 
-  /// Decoded, read-only view of a node.  Pointers remain valid while the
-  /// underlying page exists (pages are never freed).
+  /// Decoded, read-only view of a node.  The view holds a buffer-pool
+  /// pin, so `raw` and every accessor stay valid (and the frame stays
+  /// un-evictable) for the life of the view; copying re-pins.
   struct NodeView {
     bool is_leaf = false;
     uint32_t count = 0;
+    PageHandle pin;
     const char* raw = nullptr;
     const BPlusTree* tree = nullptr;
 

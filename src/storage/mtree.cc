@@ -82,7 +82,8 @@ bool MTree::Fits(const MTreeNode& node) const {
 
 void MTree::StoreNode(PageId page, const MTreeNode& node, bool fresh) {
   assert(Fits(node));
-  char* p = file_->Write(page, /*load=*/!fresh);
+  PageHandle h = file_->Write(page, /*load=*/!fresh);
+  char* p = h.mutable_data();
   p[0] = node.is_leaf ? 1 : 0;
   p[1] = 0;
   uint16_t cnt = static_cast<uint16_t>(node.count());
@@ -120,7 +121,8 @@ void MTree::StoreNode(PageId page, const MTreeNode& node, bool fresh) {
 }
 
 MTreeNode MTree::LoadNode(PageId page) const {
-  const char* p = file_->Read(page);
+  PageHandle h = file_->Read(page);
+  const char* p = h.data();
   MTreeNode node;
   node.is_leaf = p[0] != 0;
   uint16_t cnt;

@@ -7,12 +7,20 @@
 namespace pmi {
 
 PagedFile::PagedFile(uint32_t page_size, uint32_t cache_bytes,
-                     PerfCounters* counters)
+                     PerfCounters* counters, std::shared_ptr<BufferPool> pool)
     : page_size_(page_size),
       capacity_frames_(std::max<uint32_t>(1, cache_bytes / page_size)),
-      counters_(counters) {
+      counters_(counters),
+      pool_(std::move(pool)) {
   assert(page_size_ >= 64);
+  if (pool_ == nullptr) {
+    pool_ = std::make_shared<BufferPool>(page_size_, cache_bytes);
+  }
+  assert(pool_->page_size() == page_size_);
+  store_id_ = pool_->RegisterStore(this, counters_);
 }
+
+PagedFile::~PagedFile() { pool_->UnregisterStore(store_id_); }
 
 PageId PagedFile::Allocate() {
   pages_.push_back(std::make_unique<char[]>(page_size_));
@@ -30,70 +38,127 @@ Status PageOutOfRange(const char* verb, PageId id, uint32_t num_pages) {
 
 }  // namespace
 
-StatusOr<const char*> PagedFile::ReadPage(PageId id) const {
+Status PagedFile::ReadInto(PageId page, char* dst) {
+  assert(page < pages_.size());
+  std::memcpy(dst, pages_[page].get(), page_size_);
+  return OkStatus();
+}
+
+Status PagedFile::WriteBack(PageId page, const char* src) {
+  assert(page < pages_.size());
+  std::memcpy(pages_[page].get(), src, page_size_);
+  return OkStatus();
+}
+
+StatusOr<PageHandle> PagedFile::ReadPage(PageId id) const {
   if (id >= pages_.size()) return PageOutOfRange("read", id, num_pages());
-  Touch(id, /*dirty=*/false);
-  return static_cast<const char*>(pages_[id].get());
-}
-
-StatusOr<char*> PagedFile::WritePage(PageId id, bool load) {
-  if (id >= pages_.size()) return PageOutOfRange("write", id, num_pages());
-  // A wholesale overwrite (load == false) skips the read charge a real
-  // buffer manager would also skip; either way the frame becomes dirty.
-  auto it = resident_.find(id);
-  if (it == resident_.end() && load) {
-    ++counters_->page_reads;
+  {
+    std::lock_guard<std::mutex> lock(sim_mu_);
+    TouchLocked(id, /*dirty=*/false);
   }
-  Touch(id, /*dirty=*/true);
-  return pages_[id].get();
+  return pool_->Pin(store_id_, id, /*for_write=*/false);
 }
 
-const char* PagedFile::Read(PageId id) const {
-  StatusOr<const char*> page = ReadPage(id);
+StatusOr<PageHandle> PagedFile::WritePage(PageId id, bool load) {
+  if (id >= pages_.size()) return PageOutOfRange("write", id, num_pages());
+  {
+    std::lock_guard<std::mutex> lock(sim_mu_);
+    // A wholesale overwrite (load == false) skips the read charge a real
+    // buffer manager would also skip; either way the frame becomes dirty.
+    auto it = resident_.find(id);
+    if (it == resident_.end() && load) {
+      ++CounterScope::Active(counters_)->page_reads;
+    }
+    TouchLocked(id, /*dirty=*/true);
+  }
+  return pool_->Pin(store_id_, id, /*for_write=*/true, load);
+}
+
+PageHandle PagedFile::Read(PageId id) const {
+  StatusOr<PageHandle> page = ReadPage(id);
   CheckOk(page.ok() ? OkStatus() : page.status(), "PagedFile::Read");
-  return *page;
+  return std::move(page).value();
 }
 
-char* PagedFile::Write(PageId id, bool load) {
-  StatusOr<char*> page = WritePage(id, load);
+PageHandle PagedFile::Write(PageId id, bool load) {
+  StatusOr<PageHandle> page = WritePage(id, load);
   CheckOk(page.ok() ? OkStatus() : page.status(), "PagedFile::Write");
-  return *page;
+  return std::move(page).value();
+}
+
+void PagedFile::ReadaheadPages(PageId first, uint32_t count) const {
+  if (first >= pages_.size()) return;
+  uint32_t avail = num_pages() - first;
+  pool_->Readahead(store_id_, first, std::min(count, avail));
 }
 
 void PagedFile::Flush() {
-  for (Frame& f : lru_) {
-    if (f.dirty) {
-      ++counters_->page_writes;
-      f.dirty = false;
+  {
+    std::lock_guard<std::mutex> lock(sim_mu_);
+    for (SimFrame& f : lru_) {
+      if (f.dirty) {
+        ++CounterScope::Active(counters_)->page_writes;
+        f.dirty = false;
+      }
     }
   }
+  // The in-memory backing store never fails a write-back.
+  CheckOk(pool_->FlushStore(store_id_), "PagedFile::Flush");
 }
 
 void PagedFile::DropCache() {
   Flush();
-  lru_.clear();
-  resident_.clear();
+  {
+    std::lock_guard<std::mutex> lock(sim_mu_);
+    lru_.clear();
+    resident_.clear();
+  }
+  pool_->DropStore(store_id_);
 }
 
-void PagedFile::Touch(PageId id, bool dirty) const {
+const char* PagedFile::RawPage(PageId id) const {
+  CheckOk(pool_->FlushPageIfDirty(store_id_, id), "PagedFile::RawPage");
+  return pages_[id].get();
+}
+
+void PagedFile::ResetPages() {
+  pool_->DropStore(store_id_);
+  {
+    std::lock_guard<std::mutex> lock(sim_mu_);
+    lru_.clear();
+    resident_.clear();
+  }
+  pages_.clear();
+}
+
+char* PagedFile::AppendRawPage() {
+  pages_.push_back(std::make_unique<char[]>(page_size_));
+  char* p = pages_.back().get();
+  std::memset(p, 0, page_size_);
+  return p;
+}
+
+void PagedFile::TouchLocked(PageId id, bool dirty) const {
   auto it = resident_.find(id);
   if (it != resident_.end()) {
     it->second->dirty |= dirty;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  if (!dirty) ++counters_->page_reads;  // pool miss on a read path
-  lru_.push_front(Frame{id, dirty});
+  if (!dirty) {
+    ++CounterScope::Active(counters_)->page_reads;  // pool miss, read path
+  }
+  lru_.push_front(SimFrame{id, dirty});
   resident_[id] = lru_.begin();
   EvictIfNeeded();
 }
 
 void PagedFile::EvictIfNeeded() const {
   while (lru_.size() > capacity_frames_) {
-    Frame victim = lru_.back();
+    SimFrame victim = lru_.back();
     lru_.pop_back();
     resident_.erase(victim.id);
-    if (victim.dirty) ++counters_->page_writes;
+    if (victim.dirty) ++CounterScope::Active(counters_)->page_writes;
   }
 }
 

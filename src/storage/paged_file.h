@@ -1,12 +1,27 @@
-// Simulated disk with a write-back LRU buffer pool.
+// Simulated disk with two-level page-access accounting.
 //
-// The paper's disk-based indexes are measured in page accesses (PA), not
-// device time, and use a fixed 4 KB page size plus a 128 KB LRU cache
-// (Section 6.1).  PagedFile reproduces exactly that accounting: pages
-// live in memory, but every fetch that misses the buffer pool counts a
-// page read, and every dirty page counts a page write when it is evicted
-// or flushed -- the same quantities a real buffer manager would issue to
-// disk.
+// The paper's disk-based indexes are measured in page accesses (PA),
+// not device time, and use a fixed 4 KB page size plus a 128 KB LRU
+// cache (Section 6.1).  PagedFile reproduces exactly that accounting
+// with a *logical* LRU simulation: every fetch that misses the
+// simulated pool counts a page read, and every dirty page counts a page
+// write when it is evicted or flushed -- the same quantities a real
+// buffer manager would issue to disk.  The simulation is pure
+// bookkeeping (a list of page ids), so logical PA is bit-identical at
+// any thread count and any physical cache size.
+//
+// The page *bytes* are served through a real, shareable BufferPool
+// (src/storage/buffer_pool.h): callers get RAII-pinned PageHandles
+// instead of raw pointers, many PagedFiles can share one pool with a
+// single cache_bytes budget, and physical I/O (pool misses and
+// write-backs against this file's backing array) is charged separately
+// as physical_reads / physical_writes.  With no pool supplied, the file
+// creates a private pool sized like the logical cache.
+//
+// Charges go through CounterScope::Active, so parallel batch shards
+// attribute both logical and physical I/O to the measuring query; the
+// logical simulation itself is mutex-guarded and deterministic in the
+// order Touch is called.
 
 #ifndef PMI_STORAGE_PAGED_FILE_H_
 #define PMI_STORAGE_PAGED_FILE_H_
@@ -15,97 +30,113 @@
 #include <cstring>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/counters.h"
 #include "src/core/status.h"
+#include "src/storage/buffer_pool.h"
 
 namespace pmi {
 
-/// Identifier of a page within one PagedFile.
-using PageId = uint32_t;
-
-inline constexpr PageId kInvalidPageId = UINT32_MAX;
-
-/// In-memory page store with PA accounting through an LRU buffer pool.
-class PagedFile {
+/// In-memory page store with PA accounting through an LRU simulation,
+/// serving page bytes as pinned BufferPool handles.
+class PagedFile : private PageStore {
  public:
-  /// `cache_bytes` rounds down to whole frames (>= 1 frame).
-  PagedFile(uint32_t page_size, uint32_t cache_bytes, PerfCounters* counters);
+  /// `cache_bytes` rounds down to whole frames (>= 1 frame) and sizes
+  /// the logical simulation.  `pool` is the shared physical cache; when
+  /// null a private pool of `cache_bytes` is created.  The pool must
+  /// outlive the file (shared_ptr makes that structural).
+  PagedFile(uint32_t page_size, uint32_t cache_bytes, PerfCounters* counters,
+            std::shared_ptr<BufferPool> pool = nullptr);
+  ~PagedFile() override;
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
 
   uint32_t page_size() const { return page_size_; }
   uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
   size_t bytes() const { return size_t(num_pages()) * page_size_; }
 
+  BufferPool* pool() const { return pool_.get(); }
+
   /// Allocates a zeroed page.  No PA is charged until it is written.
   PageId Allocate();
 
-  /// Page contents for reading.  Charges one page read on a pool miss.
-  /// A page id outside the file is kDataLoss, never an out-of-bounds
-  /// read: ids that cross this API may originate in persisted bytes.
-  StatusOr<const char*> ReadPage(PageId id) const;
+  /// Pins page contents for reading.  Charges one logical page read on
+  /// a simulated-pool miss (and a physical read if the shared pool also
+  /// misses).  A page id outside the file is kDataLoss, never an
+  /// out-of-bounds read: ids that cross this API may originate in
+  /// persisted bytes.
+  StatusOr<PageHandle> ReadPage(PageId id) const;
 
-  /// Page contents for mutation.  Pulls the page into the pool (charging
-  /// a read on miss if `load` -- pass false when overwriting wholesale)
-  /// and marks it dirty; the page write is charged at eviction or Flush.
-  /// Bounds-checked like ReadPage.
-  StatusOr<char*> WritePage(PageId id, bool load = true);
+  /// Pins page contents for mutation.  Pulls the page into the pools
+  /// (charging a read on miss if `load` -- pass false when overwriting
+  /// wholesale) and marks it dirty; the page write is charged at
+  /// eviction or Flush.  Bounds-checked like ReadPage.
+  StatusOr<PageHandle> WritePage(PageId id, bool load = true);
 
   /// Fail-stop forms for the inner index code, whose page ids are
   /// internally generated (a bad one is a program bug, not data
   /// corruption): same accounting, but an out-of-range id aborts with a
   /// message instead of silently reading garbage in release builds.
-  const char* Read(PageId id) const;
-  char* Write(PageId id, bool load = true);
+  PageHandle Read(PageId id) const;
+  PageHandle Write(PageId id, bool load = true);
+
+  /// Best-effort physical readahead of `count` pages starting at
+  /// `first` (clamped to the file).  Logical accounting is untouched:
+  /// readahead is a physical-layer optimization only.
+  void ReadaheadPages(PageId first, uint32_t count) const;
 
   /// Writes back all dirty pages (charging page writes) but keeps them
   /// resident.  Called at the end of builds and updates so their write
   /// cost lands in the right measurement window.
   void Flush();
 
-  /// Flush + empty the pool; used to cold-start a measurement phase.
+  /// Flush + empty both the simulated and the physical pool frames of
+  /// this file; used to cold-start a measurement phase.
   void DropCache();
 
   // -- snapshot access --------------------------------------------------------
-  // Raw page bytes bypass the buffer pool and charge no PA: snapshot
+  // Raw page bytes bypass the buffer pools and charge no PA: snapshot
   // serialization models copying the file wholesale, not a paged workload.
 
-  /// Read-only raw bytes of page `id` (page_size() bytes).
-  const char* RawPage(PageId id) const { return pages_[id].get(); }
+  /// Read-only raw bytes of page `id` (page_size() bytes).  Any dirty
+  /// pool frame is written through first so the bytes are current.
+  const char* RawPage(PageId id) const;
 
-  /// Drops every page and the whole buffer pool (dirty frames are
-  /// discarded, not written back); the caller refills via AppendRawPage.
-  void ResetPages() {
-    pages_.clear();
-    lru_.clear();
-    resident_.clear();
-  }
+  /// Drops every page and both pool levels (dirty frames are discarded,
+  /// not written back); the caller refills via AppendRawPage.
+  void ResetPages();
 
   /// Appends one zeroed page and returns its writable raw buffer.
-  char* AppendRawPage() {
-    pages_.push_back(std::make_unique<char[]>(page_size_));
-    char* p = pages_.back().get();
-    std::memset(p, 0, page_size_);
-    return p;
-  }
+  char* AppendRawPage();
 
  private:
-  void Touch(PageId id, bool dirty) const;
+  // PageStore over pages_ (the "disk"); runs under the pool mutex.
+  Status ReadInto(PageId page, char* dst) override;
+  Status WriteBack(PageId page, const char* src) override;
+
+  void TouchLocked(PageId id, bool dirty) const;
   void EvictIfNeeded() const;
 
   uint32_t page_size_;
   uint32_t capacity_frames_;
   PerfCounters* counters_;
+  std::shared_ptr<BufferPool> pool_;
+  uint64_t store_id_ = 0;
   std::vector<std::unique_ptr<char[]>> pages_;
 
-  struct Frame {
+  struct SimFrame {
     PageId id;
     bool dirty;
   };
-  // front = most recently used.
-  mutable std::list<Frame> lru_;
-  mutable std::unordered_map<PageId, std::list<Frame>::iterator> resident_;
+  // The logical LRU simulation; front = most recently used.  Guarded by
+  // sim_mu_ so concurrent readers keep exact (order-dependent) totals.
+  mutable std::mutex sim_mu_;
+  mutable std::list<SimFrame> lru_;
+  mutable std::unordered_map<PageId, std::list<SimFrame>::iterator> resident_;
 };
 
 }  // namespace pmi

@@ -25,8 +25,8 @@ RafRef RecordFile::Append(const char* data, uint32_t len) {
     while (page_idx >= pages_.size()) pages_.push_back(file_->Allocate());
     uint32_t chunk = std::min(remaining, ps - in_page);
     // Fresh append never needs the old page image when starting a page.
-    char* dst = file_->Write(pages_[page_idx], /*load=*/in_page != 0);
-    std::memcpy(dst + in_page, src, chunk);
+    PageHandle h = file_->Write(pages_[page_idx], /*load=*/in_page != 0);
+    std::memcpy(h.mutable_data() + in_page, src, chunk);
     pos += chunk;
     src += chunk;
     remaining -= chunk;
@@ -48,6 +48,22 @@ Status RecordFile::ReadRecord(const RafRef& ref,
   uint64_t pos = ref.offset;
   uint32_t remaining = ref.length;
   char* dst = out->data();
+  // A record longer than a page spans consecutive file pages: prime the
+  // physical pool for the whole span (logical PA is untouched).
+  if (ref.length > ps) {
+    uint32_t first = static_cast<uint32_t>(pos / ps);
+    uint32_t last = static_cast<uint32_t>((pos + ref.length - 1) / ps);
+    if (first < pages_.size()) {
+      // The span usually maps to consecutively allocated file pages;
+      // readahead covers the contiguous prefix.
+      uint32_t run = 1;
+      while (first + run <= last && first + run < pages_.size() &&
+             pages_[first + run] == pages_[first] + run) {
+        ++run;
+      }
+      file_->ReadaheadPages(pages_[first], run);
+    }
+  }
   while (remaining > 0) {
     uint32_t page_idx = static_cast<uint32_t>(pos / ps);
     uint32_t in_page = static_cast<uint32_t>(pos % ps);
@@ -55,8 +71,8 @@ Status RecordFile::ReadRecord(const RafRef& ref,
       return DataLossError("record ref reaches past the last RAF page");
     }
     uint32_t chunk = std::min(remaining, ps - in_page);
-    PMI_ASSIGN_OR_RETURN(const char* srcp, file_->ReadPage(pages_[page_idx]));
-    std::memcpy(dst, srcp + in_page, chunk);
+    PMI_ASSIGN_OR_RETURN(PageHandle h, file_->ReadPage(pages_[page_idx]));
+    std::memcpy(dst, h.data() + in_page, chunk);
     pos += chunk;
     dst += chunk;
     remaining -= chunk;

@@ -49,7 +49,8 @@ RTree::RTree(PagedFile* file, uint32_t dims) : file_(file), dims_(dims) {
   leaf_capacity_ = leaf_slots - 1;
   internal_capacity_ = internal_slots - 1;
   root_ = file_->Allocate();
-  SetHeader(file_->Write(root_, /*load=*/false), /*leaf=*/true, 0);
+  SetHeader(file_->Write(root_, /*load=*/false).mutable_data(), /*leaf=*/true,
+            0);
 }
 
 char* RTree::LeafEntryPtr(char* p, uint32_t i) const {
@@ -90,7 +91,8 @@ RafRef RTree::NodeView::ref(uint32_t i) const {
 
 RTree::NodeView RTree::ReadNode(PageId page) const {
   NodeView v;
-  v.raw = file_->Read(page);
+  v.pin = file_->Read(page);
+  v.raw = v.pin.data();
   v.is_leaf = IsLeaf(v.raw);
   v.count = Count(v.raw);
   v.tree = this;
@@ -98,7 +100,8 @@ RTree::NodeView RTree::ReadNode(PageId page) const {
 }
 
 RTree::Rect RTree::NodeBox(PageId page) const {
-  const char* p = file_->Read(page);
+  PageHandle h = file_->Read(page);
+  const char* p = h.data();
   Rect box;
   box.lo.assign(dims_, std::numeric_limits<float>::max());
   box.hi.assign(dims_, std::numeric_limits<float>::lowest());
@@ -129,7 +132,7 @@ RTree::Rect RTree::NodeBox(PageId page) const {
 void RTree::BulkLoad(std::vector<LeafEntry> entries) {
   if (entries.empty()) {
     root_ = file_->Allocate();
-    SetHeader(file_->Write(root_, /*load=*/false), true, 0);
+    SetHeader(file_->Write(root_, /*load=*/false).mutable_data(), true, 0);
     height_ = 1;
     return;
   }
@@ -182,7 +185,8 @@ void RTree::BulkLoad(std::vector<LeafEntry> entries) {
 
   for (auto [b, e] : leaf_runs) {
     PageId page = file_->Allocate();
-    char* p = file_->Write(page, /*load=*/false);
+    PageHandle h = file_->Write(page, /*load=*/false);
+    char* p = h.mutable_data();
     SetHeader(p, /*leaf=*/true, static_cast<uint32_t>(e - b));
     for (size_t i = b; i < e; ++i) {
       char* ep = LeafEntryPtr(p, static_cast<uint32_t>(i - b));
@@ -201,7 +205,8 @@ void RTree::BulkLoad(std::vector<LeafEntry> entries) {
     for (size_t j = 0; j < level.size(); j += int_fill) {
       size_t e = std::min(level.size(), j + int_fill);
       PageId page = file_->Allocate();
-      char* p = file_->Write(page, /*load=*/false);
+      PageHandle h = file_->Write(page, /*load=*/false);
+      char* p = h.mutable_data();
       SetHeader(p, /*leaf=*/false, static_cast<uint32_t>(e - j));
       for (size_t t = j; t < e; ++t) {
         char* ep = InternalEntryPtr(p, static_cast<uint32_t>(t - j));
@@ -305,7 +310,8 @@ void RTree::SplitNode(char* p, bool leaf, PageId page, SplitResult* out) {
     }
   };
   PageId right = file_->Allocate();
-  char* rp = file_->Write(right, /*load=*/false);
+  PageHandle rh = file_->Write(right, /*load=*/false);
+  char* rp = rh.mutable_data();
   SetHeader(rp, leaf, static_cast<uint32_t>(g2.size()));
   emit(rp, g2);
   SetHeader(p, leaf, static_cast<uint32_t>(g1.size()));
@@ -318,7 +324,8 @@ void RTree::SplitNode(char* p, bool leaf, PageId page, SplitResult* out) {
 
 RTree::SplitResult RTree::InsertRec(PageId page, uint32_t level,
                                     const LeafEntry& entry) {
-  char* p = file_->Write(page);
+  PageHandle ph = file_->Write(page);
+  char* p = ph.mutable_data();
   SplitResult res;
   if (IsLeaf(p)) {
     uint32_t n = Count(p);
@@ -357,7 +364,8 @@ RTree::SplitResult RTree::InsertRec(PageId page, uint32_t level,
   PageId child = LoadU32(p + kHeaderSize +
                          size_t(best) * internal_entry_size() + 8 * dims_);
   SplitResult sub = InsertRec(child, level + 1, entry);
-  p = file_->Write(page);
+  ph = file_->Write(page);  // re-touch (child writes shifted the LRU)
+  p = ph.mutable_data();
   {
     char* e = InternalEntryPtr(p, best);
     std::memcpy(e, sub.left_box.lo.data(), 4 * dims_);
@@ -384,7 +392,8 @@ void RTree::Insert(const LeafEntry& entry) {
   SplitResult res = InsertRec(root_, 0, entry);
   if (!res.split) return;
   PageId new_root = file_->Allocate();
-  char* p = file_->Write(new_root, /*load=*/false);
+  PageHandle ph = file_->Write(new_root, /*load=*/false);
+  char* p = ph.mutable_data();
   SetHeader(p, /*leaf=*/false, 2);
   char* e0 = InternalEntryPtr(p, 0);
   std::memcpy(e0, res.left_box.lo.data(), 4 * dims_);
@@ -402,13 +411,15 @@ void RTree::Insert(const LeafEntry& entry) {
 
 bool RTree::RemoveRec(PageId page, const float* point, ObjectId oid,
                       Rect* updated) {
-  const char* cp = file_->Read(page);
+  PageHandle ch = file_->Read(page);
+  const char* cp = ch.data();
   uint32_t n = Count(cp);
   if (IsLeaf(cp)) {
     for (uint32_t i = 0; i < n; ++i) {
       const char* e = cp + kHeaderSize + size_t(i) * leaf_entry_size();
       if (LoadU32(e + 4 * dims_) != oid) continue;
-      char* wp = file_->Write(page);
+      PageHandle wh = file_->Write(page);
+      char* wp = wh.mutable_data();
       std::memmove(LeafEntryPtr(wp, i), LeafEntryPtr(wp, i + 1),
                    size_t(n - i - 1) * leaf_entry_size());
       SetCount(wp, n - 1);
@@ -429,14 +440,16 @@ bool RTree::RemoveRec(PageId page, const float* point, ObjectId oid,
     PageId child = LoadU32(e + 8 * dims_);
     Rect child_box;
     if (RemoveRec(child, point, oid, &child_box)) {
-      char* wp = file_->Write(page);
+      PageHandle wh = file_->Write(page);
+      char* wp = wh.mutable_data();
       char* we = InternalEntryPtr(wp, i);
       std::memcpy(we, child_box.lo.data(), 4 * dims_);
       std::memcpy(we + 4 * dims_, child_box.hi.data(), 4 * dims_);
       *updated = NodeBox(page);
       return true;
     }
-    cp = file_->Read(page);
+    ch = file_->Read(page);
+    cp = ch.data();
   }
   return false;
 }

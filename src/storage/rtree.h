@@ -46,9 +46,11 @@ class RTree {
   bool Remove(const float* point, ObjectId oid);
 
   /// Decoded read-only node view; charges PA through the PagedFile.
+  /// Holds a buffer-pool pin: `raw` stays valid for the view's life.
   struct NodeView {
     bool is_leaf = false;
     uint32_t count = 0;
+    PageHandle pin;
     const char* raw = nullptr;
     const RTree* tree = nullptr;
 

@@ -11,8 +11,8 @@ void Cpt::BuildImpl() {
   const uint32_t l = pivots_.size();
   const uint32_t n = data().size();
   leaf_of_.clear();
-  file_ = std::make_unique<PagedFile>(options_.page_size,
-                                      options_.cache_bytes, &counters_);
+  file_ = std::make_unique<PagedFile>(options_.page_size, options_.cache_bytes,
+                                      &counters_, options_.buffer_pool);
   MTree::Options mo;
   mo.seed = options_.seed;
   mtree_ = std::make_unique<MTree>(
@@ -92,9 +92,10 @@ void Cpt::KnnImpl(const ObjectView& q, size_t k,
 // for the whole batch, collecting each query's exact candidate rows.
 // Phase 2: verify from disk query by query, in batch order -- the same
 // VerifyFromDisk calls, in the same order, as a query-major loop, so
-// the buffer-pool hit/miss pattern and the PA accounting are replayed
+// the logical LRU hit/miss pattern and the PA accounting are replayed
 // exactly, not just the results.  The whole batch runs on the calling
-// thread: CPT has one buffer pool (concurrent_queries() stays false).
+// thread, which keeps the logical access order deterministic (the
+// parallel query-major path cannot promise that; see index.h).
 bool Cpt::RangeBatchBlockImpl(const std::vector<ObjectView>& queries,
                               const double* radii,
                               std::vector<std::vector<ObjectId>>* out,
@@ -115,8 +116,8 @@ bool Cpt::RangeBatchBlockImpl(const std::vector<ObjectView>& queries,
       [](size_t, size_t) {});
   for (size_t i = 0; i < nq; ++i) {
     // VerifyFromDisk counts distances through dist(); the scope routes
-    // them to this query's shard (page accesses go to the index total
-    // through the buffer pool, as in every CPT operation).
+    // them -- and the M-tree page accesses, both logical and physical --
+    // to this query's shard.
     CounterScope scope(&per_query[i]);
     for (uint32_t row : candidates[i]) {
       const ObjectId id = oids_[row];
@@ -199,8 +200,8 @@ Status Cpt::LoadImpl(ByteSource* in) {
   if (page_size != options_.page_size) {
     return DataLossError("CPT snapshot page_size does not match options");
   }
-  file_ = std::make_unique<PagedFile>(options_.page_size,
-                                      options_.cache_bytes, &counters_);
+  file_ = std::make_unique<PagedFile>(options_.page_size, options_.cache_bytes,
+                                      &counters_, options_.buffer_pool);
   MTree::Options mo;
   mo.seed = options_.seed;
   mtree_ = std::make_unique<MTree>(

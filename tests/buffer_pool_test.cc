@@ -1,0 +1,334 @@
+// Pool-invariant tests for the shared buffer pool (satellite of the
+// unified-buffer-pool PR; see src/storage/buffer_pool.h for the
+// invariants pinned here):
+//
+//   * capacity-1 pools make progress under nested pins (overcommit),
+//   * pinned pages are never evicted and their data pointers are stable,
+//   * dirty pages are written back exactly once, in eviction/flush order,
+//   * a faulted write-back surfaces a typed Status and loses nothing,
+//   * stats and PerfCounters charges match a hand-computed script,
+//   * the logical PA of a PagedFile is invariant under physical pool
+//     size -- the two-level accounting the whole design rests on.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/counters.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/paged_file.h"
+
+namespace pmi {
+namespace {
+
+constexpr uint32_t kPage = 256;
+
+/// In-memory PageStore with injectable write faults and an order log.
+class VecStore final : public PageStore {
+ public:
+  Status ReadInto(PageId page, char* dst) override {
+    ++reads;
+    if (page < pages.size()) {
+      std::memcpy(dst, pages[page].data(), kPage);
+    } else {
+      std::memset(dst, 0, kPage);
+    }
+    return OkStatus();
+  }
+
+  Status WriteBack(PageId page, const char* src) override {
+    if (fail_writes) {
+      return UnavailableError("injected write-back fault");
+    }
+    if (page >= pages.size()) pages.resize(page + 1, std::string(kPage, '\0'));
+    pages[page].assign(src, kPage);
+    write_order.push_back(page);
+    return OkStatus();
+  }
+
+  std::vector<std::string> pages;
+  std::vector<PageId> write_order;
+  int reads = 0;
+  bool fail_writes = false;
+};
+
+TEST(BufferPoolTest, CapacityOneMakesProgressWithNestedPins) {
+  VecStore store;
+  BufferPool pool(kPage, kPage);  // exactly one frame
+  ASSERT_EQ(pool.capacity_frames(), 1u);
+  uint64_t sid = pool.RegisterStore(&store, nullptr);
+
+  // Parent and child pinned at once (the B+-tree descent shape): the
+  // pool must overcommit rather than deadlock or evict the pinned page.
+  auto parent = pool.Pin(sid, 0, /*for_write=*/true, /*load=*/false);
+  ASSERT_TRUE(parent.ok());
+  std::memset(parent->mutable_data(), 'P', kPage);
+  auto child = pool.Pin(sid, 1, /*for_write=*/true, /*load=*/false);
+  ASSERT_TRUE(child.ok());
+  std::memset(child->mutable_data(), 'C', kPage);
+  EXPECT_EQ(parent->data()[0], 'P') << "parent must survive the child pin";
+  EXPECT_EQ(pool.resident_frames(), 2u) << "one frame overcommitted";
+
+  parent->Reset();
+  child->Reset();
+  ASSERT_TRUE(pool.FlushStore(sid).ok());
+  ASSERT_EQ(store.pages.size(), 2u);
+  EXPECT_EQ(store.pages[0][0], 'P');
+  EXPECT_EQ(store.pages[1][0], 'C');
+  pool.UnregisterStore(sid);
+}
+
+TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
+  VecStore store;
+  BufferPool pool(kPage, 2 * kPage);
+  uint64_t sid = pool.RegisterStore(&store, nullptr);
+
+  auto pinned = pool.Pin(sid, 0, /*for_write=*/true, /*load=*/false);
+  ASSERT_TRUE(pinned.ok());
+  std::memset(pinned->mutable_data(), 'X', kPage);
+  const char* stable = pinned->data();
+
+  // Churn far more pages than the pool holds; the pinned frame must
+  // neither move nor be evicted.
+  for (PageId p = 1; p <= 16; ++p) {
+    auto h = pool.Pin(sid, p, /*for_write=*/true, /*load=*/false);
+    ASSERT_TRUE(h.ok());
+    std::memset(h->mutable_data(), char('a' + p % 26), kPage);
+  }
+  EXPECT_EQ(pinned->data(), stable);
+  EXPECT_EQ(pinned->data()[0], 'X');
+  EXPECT_EQ(pinned->data()[kPage - 1], 'X');
+  // Eviction kept up: the pool never grew past capacity + the pinned
+  // overcommit slack.
+  EXPECT_LE(pool.resident_frames(), pool.capacity_frames() + 1);
+
+  pinned->Reset();
+  ASSERT_TRUE(pool.FlushStore(sid).ok());
+  EXPECT_EQ(store.pages[0][0], 'X');
+  pool.UnregisterStore(sid);
+}
+
+TEST(BufferPoolTest, DirtyPagesWriteBackExactlyOnceInOrder) {
+  VecStore store;
+  BufferPool pool(kPage, 2 * kPage);
+  uint64_t sid = pool.RegisterStore(&store, nullptr);
+
+  for (PageId p = 0; p < 2; ++p) {
+    auto h = pool.Pin(sid, p, /*for_write=*/true, /*load=*/false);
+    ASSERT_TRUE(h.ok());
+    std::memset(h->mutable_data(), char('0' + p), kPage);
+  }
+  EXPECT_TRUE(store.write_order.empty()) << "write-back is lazy";
+
+  // Reading a third page forces one eviction; CLOCK takes page 0 (both
+  // candidates start referenced, the sweep clears in insertion order).
+  auto h = pool.Pin(sid, 2, /*for_write=*/false);
+  ASSERT_TRUE(h.ok());
+  h->Reset();
+  ASSERT_EQ(store.write_order, (std::vector<PageId>{0}));
+
+  // Flush writes the remaining dirty page; a second flush writes
+  // nothing -- every dirty page goes back exactly once.
+  ASSERT_TRUE(pool.FlushStore(sid).ok());
+  ASSERT_EQ(store.write_order, (std::vector<PageId>{0, 1}));
+  ASSERT_TRUE(pool.FlushStore(sid).ok());
+  EXPECT_EQ(store.write_order, (std::vector<PageId>{0, 1}));
+  EXPECT_EQ(pool.stats().write_backs, 2u);
+  pool.UnregisterStore(sid);
+}
+
+TEST(BufferPoolTest, FaultedWriteBackReturnsTypedStatusAndLosesNothing) {
+  VecStore store;
+  BufferPool pool(kPage, kPage);  // one frame: maximum pressure
+  uint64_t sid = pool.RegisterStore(&store, nullptr);
+  {
+    auto h = pool.Pin(sid, 0, /*for_write=*/true, /*load=*/false);
+    ASSERT_TRUE(h.ok());
+    std::memset(h->mutable_data(), 'D', kPage);
+  }
+
+  store.fail_writes = true;
+  // Explicit eviction surfaces the typed error; the page stays resident
+  // and dirty.
+  Status s = pool.EvictPage(sid, 0);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+  EXPECT_EQ(pool.resident_frames(), 1u);
+  EXPECT_EQ(pool.stats().write_back_failures, 1u);
+
+  // Cache pressure cannot force the loss either: with the only frame
+  // dirty behind a faulted store, a new pin overcommits instead.
+  const int reads_before = store.reads;
+  auto h2 = pool.Pin(sid, 1, /*for_write=*/false);
+  ASSERT_TRUE(h2.ok());
+  h2->Reset();
+  EXPECT_GE(pool.stats().write_back_failures, 2u)
+      << "the sweep must have tried (and failed) the dirty victim";
+
+  // The dirty data is still served from cache, not the (stale) store.
+  auto h3 = pool.Pin(sid, 0, /*for_write=*/false);
+  ASSERT_TRUE(h3.ok());
+  EXPECT_EQ(h3->data()[0], 'D');
+  EXPECT_EQ(store.reads, reads_before + 1)  // page 1 only
+      << "the dirty page must hit the cache, never re-read the store";
+  h3->Reset();
+
+  // Once the store heals, the data lands.
+  store.fail_writes = false;
+  ASSERT_TRUE(pool.FlushStore(sid).ok());
+  ASSERT_EQ(store.pages.size(), 1u);
+  EXPECT_EQ(store.pages[0][0], 'D');
+  pool.UnregisterStore(sid);
+}
+
+TEST(BufferPoolTest, StatsAndCountersMatchKnownAnswerScript) {
+  VecStore store;
+  store.pages.assign(4, std::string(kPage, 'z'));
+  PerfCounters pc;
+  BufferPool pool(kPage, 4 * kPage);
+  uint64_t sid = pool.RegisterStore(&store, &pc);
+
+  { auto h = pool.Pin(sid, 0, false); ASSERT_TRUE(h.ok()); }  // miss+read
+  { auto h = pool.Pin(sid, 0, false); ASSERT_TRUE(h.ok()); }  // hit
+  {  // miss, no store read (wholesale overwrite)
+    auto h = pool.Pin(sid, 1, /*for_write=*/true, /*load=*/false);
+    ASSERT_TRUE(h.ok());
+  }
+  ASSERT_TRUE(pool.FlushStore(sid).ok());   // one dirty write-back
+  ASSERT_TRUE(pool.EvictPage(sid, 0).ok()); // one eviction, clean
+  pool.Readahead(sid, 2, 2);                // two readahead loads
+  { auto h = pool.Pin(sid, 2, false); ASSERT_TRUE(h.ok()); }  // hit
+
+  BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.write_backs, 1u);
+  EXPECT_EQ(s.write_back_failures, 0u);
+  EXPECT_EQ(s.readaheads, 2u);
+
+  // The same script through the PerfCounters seam: physical reads are
+  // the demand load plus the two readaheads.
+  EXPECT_EQ(pc.pool_hits, 2u);
+  EXPECT_EQ(pc.physical_reads, 3u);
+  EXPECT_EQ(pc.physical_writes, 1u);
+  EXPECT_EQ(pc.pa_physical(), 4u);
+  EXPECT_EQ(store.reads, 3);
+  pool.UnregisterStore(sid);
+}
+
+TEST(BufferPoolTest, ReadaheadNeverEvictsResidentPages) {
+  VecStore store;
+  store.pages.assign(8, std::string(kPage, 'r'));
+  BufferPool pool(kPage, 2 * kPage);
+  uint64_t sid = pool.RegisterStore(&store, nullptr);
+
+  // Fill the pool with two resident (unpinned) pages.
+  { auto h = pool.Pin(sid, 0, false); ASSERT_TRUE(h.ok()); }
+  { auto h = pool.Pin(sid, 1, false); ASSERT_TRUE(h.ok()); }
+  ASSERT_EQ(pool.resident_frames(), 2u);
+
+  // No free frames and no growth headroom: readahead must do nothing
+  // rather than evict what queries may still want.
+  pool.Readahead(sid, 2, 4);
+  EXPECT_EQ(pool.stats().readaheads, 0u);
+  EXPECT_EQ(pool.resident_frames(), 2u);
+  EXPECT_TRUE(pool.Pin(sid, 0, false).ok()) << "page 0 still resident";
+  EXPECT_EQ(pool.stats().hits, 1u);
+  pool.UnregisterStore(sid);
+}
+
+TEST(BufferPoolTest, DropCleanFramesSparesDirtyOnes) {
+  VecStore store;
+  BufferPool pool(kPage, 4 * kPage);
+  uint64_t sid = pool.RegisterStore(&store, nullptr);
+  { auto h = pool.Pin(sid, 0, false); ASSERT_TRUE(h.ok()); }  // clean
+  {
+    auto h = pool.Pin(sid, 1, /*for_write=*/true, /*load=*/false);  // dirty
+    ASSERT_TRUE(h.ok());
+  }
+  pool.DropCleanFrames();  // the benchmark cold-cache reset
+  EXPECT_EQ(pool.resident_frames(), 1u) << "dirty page must stay";
+  ASSERT_TRUE(pool.FlushStore(sid).ok());
+  ASSERT_EQ(store.pages.size(), 2u);
+  pool.UnregisterStore(sid);
+}
+
+// -- the two-level accounting contract ---------------------------------------
+
+struct PaTrace {
+  uint64_t reads = 0, writes = 0;
+  bool operator==(const PaTrace&) const = default;
+};
+
+/// Runs a mixed page workload on a PagedFile wired to `pool` and
+/// returns its logical PA trace.
+PaTrace RunWorkload(std::shared_ptr<BufferPool> pool) {
+  PerfCounters c;
+  // Logical simulation fixed at 4 frames regardless of the pool.
+  PagedFile f(kPage, 4 * kPage, &c, std::move(pool));
+  std::vector<PageId> pages;
+  for (int i = 0; i < 12; ++i) pages.push_back(f.Allocate());
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < pages.size(); ++i) {
+      if ((i + round) % 3 == 0) {
+        PageHandle h = f.Write(pages[i], /*load=*/round != 0);
+        std::memset(h.mutable_data(), char(i), kPage);
+      } else {
+        PageHandle h = f.Read(pages[i]);
+        (void)h.data()[0];
+      }
+    }
+  }
+  f.Flush();
+  return PaTrace{c.page_reads, c.page_writes};
+}
+
+TEST(BufferPoolTest, LogicalPaIsInvariantUnderPhysicalPoolSize) {
+  // The paper's PA numbers come from the logical LRU simulation; the
+  // physical pool underneath may be any size without moving them.
+  PaTrace one = RunWorkload(std::make_shared<BufferPool>(kPage, kPage));
+  PaTrace tiny = RunWorkload(std::make_shared<BufferPool>(kPage, 3 * kPage));
+  PaTrace huge =
+      RunWorkload(std::make_shared<BufferPool>(kPage, 1024 * kPage));
+  PaTrace priv = RunWorkload(nullptr);  // PagedFile's private pool
+  EXPECT_EQ(one, tiny);
+  EXPECT_EQ(one, huge);
+  EXPECT_EQ(one, priv);
+  EXPECT_GT(one.reads + one.writes, 0u);
+}
+
+TEST(BufferPoolTest, SharedPoolServesMultipleFilesWithPrivateAccounting) {
+  auto pool = std::make_shared<BufferPool>(kPage, 2 * kPage);
+  PerfCounters ca, cb;
+  PagedFile fa(kPage, 4 * kPage, &ca, pool);
+  PagedFile fb(kPage, 4 * kPage, &cb, pool);
+  PageId pa = fa.Allocate(), pb = fb.Allocate();
+  {
+    PageHandle h = fa.Write(pa, false);
+    std::memset(h.mutable_data(), 'A', kPage);
+  }
+  {
+    PageHandle h = fb.Write(pb, false);
+    std::memset(h.mutable_data(), 'B', kPage);
+  }
+  // Same page id in different stores must never alias a frame.
+  {
+    PageHandle ha = fa.Read(pa);
+    PageHandle hb = fb.Read(pb);
+    EXPECT_EQ(ha.data()[0], 'A');
+    EXPECT_EQ(hb.data()[0], 'B');
+  }
+  // Each file's logical accounting is its own.
+  EXPECT_EQ(ca.page_writes + cb.page_writes, 0u) << "nothing flushed yet";
+  fa.Flush();
+  EXPECT_EQ(ca.page_writes, 1u);
+  EXPECT_EQ(cb.page_writes, 0u);
+  fb.Flush();
+  EXPECT_EQ(cb.page_writes, 1u);
+}
+
+}  // namespace
+}  // namespace pmi

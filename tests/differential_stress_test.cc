@@ -322,6 +322,143 @@ TEST(DifferentialStressTest, InMemoryIndexesMatchOracleAcrossConfigs) {
   ReinitSimdDispatch();
 }
 
+// -- disk indexes through the buffer pool ------------------------------------
+//
+// The pool contract under test: physical pool size is invisible to
+// everything the paper measures.  Each disk index replays the script
+// once per pool configuration -- the default private pool (the pre-pool
+// serial baseline shape), a 1-page pool (maximum eviction pressure), a
+// tiny pool, and an effectively unbounded one -- and every replay must
+// produce bit-identical results, compdists, and logical PA.  CI widens
+// the sweep through PMI_CACHE_BYTES.
+
+/// Everything a disk-index replay produces, recorded per op for exact
+/// cross-configuration comparison.
+struct DiskTrace {
+  std::vector<std::vector<ObjectId>> mrq;   // sorted result sets
+  std::vector<std::vector<double>> knn;     // ascending distance profiles
+  std::vector<uint64_t> compdists;          // query ops only
+  std::vector<uint64_t> logical_pa;         // every op, updates included
+  uint64_t build_pa = 0;
+
+  bool operator==(const DiskTrace&) const = default;
+};
+
+DiskTrace ReplayDisk(MetricIndex* index, const Script& script,
+                     const Dataset& data, const Metric& metric,
+                     const PivotSet& pivots) {
+  DiskTrace t;
+  t.build_pa = index->Build(data, metric, pivots).page_accesses();
+  for (const Op& op : script.ops) {
+    switch (op.kind) {
+      case Op::kMrq: {
+        std::vector<ObjectId> got;
+        OpStats s = index->RangeQuery(data.view(op.target), op.r, &got);
+        std::sort(got.begin(), got.end());
+        t.mrq.push_back(std::move(got));
+        t.compdists.push_back(s.dist_computations);
+        t.logical_pa.push_back(s.page_accesses());
+        break;
+      }
+      case Op::kKnn: {
+        std::vector<Neighbor> nn;
+        OpStats s = index->KnnQuery(data.view(op.target), op.k, &nn);
+        std::vector<double> profile;
+        for (const Neighbor& x : nn) profile.push_back(x.dist);
+        t.knn.push_back(std::move(profile));
+        t.compdists.push_back(s.dist_computations);
+        t.logical_pa.push_back(s.page_accesses());
+        break;
+      }
+      case Op::kRemove:
+        t.logical_pa.push_back(index->Remove(op.target).page_accesses());
+        break;
+      case Op::kInsert:
+        t.logical_pa.push_back(index->Insert(op.target).page_accesses());
+        break;
+    }
+  }
+  return t;
+}
+
+/// The reference replay must itself match the oracle.
+void CheckTraceAgainstOracle(const DiskTrace& t, const Script& script,
+                             const std::vector<Expected>& expected) {
+  size_t qi = 0, mi = 0, ki = 0;
+  for (const Op& op : script.ops) {
+    if (op.kind == Op::kMrq) {
+      SCOPED_TRACE("mrq " + std::to_string(mi));
+      EXPECT_EQ(t.mrq[mi], expected[qi].mrq);
+      ++mi;
+      ++qi;
+    } else if (op.kind == Op::kKnn) {
+      SCOPED_TRACE("knn " + std::to_string(ki));
+      ASSERT_EQ(t.knn[ki].size(), expected[qi].knn.size());
+      for (size_t j = 0; j < t.knn[ki].size(); ++j) {
+        EXPECT_EQ(t.knn[ki][j], expected[qi].knn[j]) << "rank " << j;
+      }
+      ++ki;
+      ++qi;
+    }
+  }
+  EXPECT_EQ(qi, expected.size());
+}
+
+TEST(DifferentialStressTest, DiskIndexesAreInvariantUnderPoolSize) {
+  const uint32_t kN = 300;
+  const uint32_t num_ops =
+      std::max(EnvU32("PMI_STRESS_OPS", 2000), 64u) / 4;
+  ThreadPool::SetGlobalThreads(1);
+  BenchDataset bd = MakeBenchDataset(BenchDatasetId::kSynthetic, kN, 4242);
+  PivotSelectionOptions po;
+  po.sample_size = 200;
+  po.pair_sample = 120;
+  PivotSet pivots = SelectSharedPivots(bd.data, *bd.metric, 4, po);
+  DistanceDistribution distribution =
+      EstimateDistribution(bd.data, *bd.metric, 2500, 3);
+  const Script script =
+      MakeScript(kN, num_ops, distribution, kScriptSeed ^ 0xD15C);
+  const std::vector<Expected> expected =
+      ReplayOracle(script, bd.data, *bd.metric, pivots);
+
+  IndexOptions base;
+  base.seed = 7;
+  // Physical pool sizes (bytes): 1 page, tiny, effectively unbounded.
+  std::vector<size_t> pool_bytes = {base.page_size, 4 * size_t{base.page_size},
+                                    size_t{1} << 26};
+  const uint32_t env_bytes = EnvU32("PMI_CACHE_BYTES", 0);
+  if (env_bytes != 0 &&
+      std::find(pool_bytes.begin(), pool_bytes.end(), size_t{env_bytes}) ==
+          pool_bytes.end()) {
+    pool_bytes.push_back(env_bytes);
+  }
+
+  for (const char* name : {"CPT", "SPB-tree", "M-index*"}) {
+    SCOPED_TRACE(name);
+    // Reference: the default private pool (sized cache_bytes), serial --
+    // the exact shape of the pre-pool code path.
+    auto ref_index = MakeIndex(name, base);
+    const DiskTrace reference =
+        ReplayDisk(ref_index.get(), script, bd.data, *bd.metric, pivots);
+    CheckTraceAgainstOracle(reference, script, expected);
+    if (::testing::Test::HasFatalFailure()) break;
+    EXPECT_GT(reference.build_pa, 0u) << "disk index must touch pages";
+
+    for (size_t bytes : pool_bytes) {
+      SCOPED_TRACE("pool_bytes=" + std::to_string(bytes));
+      IndexOptions opts = base;
+      opts.buffer_pool = std::make_shared<BufferPool>(opts.page_size, bytes);
+      auto index = MakeIndex(name, opts);
+      const DiskTrace got =
+          ReplayDisk(index.get(), script, bd.data, *bd.metric, pivots);
+      // Results, compdists, and the paper's logical PA: bit-identical
+      // at every physical pool size, down to a single frame.
+      EXPECT_EQ(got, reference);
+    }
+  }
+  ThreadPool::SetGlobalThreads(0);
+}
+
 // String workload: the banded edit-distance verification kernels under
 // interleaved updates, on the table + tree indexes that matter most.
 TEST(DifferentialStressTest, WordsWorkloadMatchesOracle) {

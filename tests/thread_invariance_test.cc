@@ -177,10 +177,13 @@ TEST_F(ThreadInvarianceTest, CptBuildAndQueriesAreIdentical) {
     OpStats knn = cpt.KnnQueryBatch(world_->queries, 10, &s.knn);
     s.knn_compdists = knn.dist_computations;
     snaps.push_back(std::move(s));
-    // CPT's batches run serially (one buffer pool), so even the page
-    // accesses must be invariant.
-    page_accesses.push_back(build.page_accesses() + mrq.page_accesses() +
-                            knn.page_accesses());
+    // Build is serial and batch MRQs run block-major on one thread, so
+    // their logical page accesses must be invariant.  MkNNQ batches run
+    // query-major and, since the buffer-pool PR, in parallel: the
+    // logical LRU interleaving is then schedule-dependent, so kNN PA is
+    // deliberately outside this pin (results and compdists above still
+    // cover it).
+    page_accesses.push_back(build.page_accesses() + mrq.page_accesses());
   }
   for (size_t i = 1; i < snaps.size(); ++i) {
     snaps[i].ExpectEq(snaps[0]);
